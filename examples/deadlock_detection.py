@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Deadlock detection during wildcard resolution (the paper's Fig. 5).
+
+The program below is *incorrectly synchronized*: rank 1 first receives
+from MPI_ANY_SOURCE and then specifically from rank 0.  If the wildcard
+happens to match rank 2's message the program completes; if it matches
+rank 0's, rank 1 blocks forever on the second receive.
+
+ScalaTrace records the wildcard unresolved, so Algorithm 2 must pick a
+binding — and its traversal detects that the trace admits a deadlocking
+execution, reporting the cycle instead of generating a benchmark that
+might hang (§4.4).
+
+Run:  python examples/deadlock_detection.py
+"""
+
+from repro.errors import TraceDeadlockError
+from repro.generator import generate_benchmark
+from repro.mpi import ANY_SOURCE
+from repro.scalatrace.compress import CompressionQueue
+from repro.scalatrace.merge import merge_traces
+from repro.scalatrace.rsd import Trace
+from repro.util.callsite import Callsite
+
+
+def fig5_trace() -> Trace:
+    """The trace of Fig. 5(b): the execution in which the wildcard was
+    satisfied by rank 2, leaving the explicit Recv(0) to pair with rank
+    0's only send — which the wildcard can steal on a different run."""
+    def rank_trace(rank, script):
+        q = CompressionQueue(rank)
+        for i, (op, kw) in enumerate(script):
+            q.append_event(op, Callsite.synthetic("fig5", i), 0, **kw)
+        return Trace(3, q.nodes, {0: (0, 1, 2)})
+
+    t0 = rank_trace(0, [("Send", dict(peer=1, size=8, tag=0)),
+                        ("Finalize", dict(size=0))])
+    t1 = rank_trace(1, [("Recv", dict(peer=ANY_SOURCE, size=8, tag=0)),
+                        ("Recv", dict(peer=0, size=8, tag=0)),
+                        ("Finalize", dict(size=0))])
+    t2 = rank_trace(2, [("Send", dict(peer=1, size=8, tag=0)),
+                        ("Finalize", dict(size=0))])
+    return merge_traces([t0, t1, t2])
+
+
+def main():
+    trace = fig5_trace()
+    print("trace of the Fig. 5 program:")
+    for rank in range(3):
+        ops = ", ".join(
+            f"{e.op}({'ANY' if e.peer == ANY_SOURCE else e.peer})"
+            if e.op in ("Send", "Recv") else e.op
+            for e in trace.iter_rank(rank))
+        print(f"  rank {rank}: {ops}")
+
+    print("\nrunning the benchmark generator (Algorithm 2)...")
+    try:
+        generate_benchmark(trace)
+    except TraceDeadlockError as exc:
+        print("REJECTED — potential deadlock detected:")
+        print(f"  {exc}")
+        print(f"  ranks involved: {exc.cycle}")
+        print("\nThe detection is *sufficient*, not necessary (§4.4): it "
+              "examines this trace's event\nordering, not every "
+              "interleaving — unlike a full verifier such as DAMPI.")
+        return
+    raise SystemExit("expected a TraceDeadlockError!")
+
+
+if __name__ == "__main__":
+    main()

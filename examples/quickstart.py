@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: the full Figure 1 pipeline on the paper's ring example.
+
+An MPI application (here a 1000-iteration nearest-neighbour ring, the
+paper's Fig. 2) is traced with ScalaTrace, converted into a readable
+coNCePTuaL benchmark, and the benchmark is executed — reproducing the
+original's communication profile exactly and its total run time almost
+exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import generate_from_application
+from repro.mpi import run_spmd
+from repro.sim import LogGPModel
+from repro.tools import MpiPHook, render_table, stats_match
+
+NRANKS = 16
+
+
+def ring_application(mpi):
+    """The original application: each rank circulates 1 KiB messages
+    around a ring, computing for ~50 us between iterations."""
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    for _ in range(1000):
+        recv_req = yield from mpi.irecv(source=left, tag=0)
+        send_req = yield from mpi.isend(dest=right, nbytes=1024, tag=0)
+        yield from mpi.waitall([recv_req, send_req])
+        yield from mpi.compute(50e-6)
+    yield from mpi.allreduce(8)       # final residual check
+    yield from mpi.finalize()
+
+
+def main():
+    model = LogGPModel()  # a Blue Gene/L-like platform
+
+    print("=== 1. trace the application and generate the benchmark ===")
+    bench = generate_from_application(ring_application, NRANKS,
+                                      model=model)
+    print(bench.source)
+
+    print("=== 2. run original and generated side by side ===")
+    orig_profile, gen_profile = MpiPHook(), MpiPHook()
+    orig = run_spmd(ring_application, NRANKS, model=model,
+                    hooks=[orig_profile])
+    gen, logs = bench.program.run(NRANKS, model=model,
+                                  hooks=[gen_profile])
+
+    rows = [
+        ["total time (ms)", orig.total_time * 1e3, gen.total_time * 1e3],
+        ["messages", orig.messages_sent, gen.messages_sent],
+        ["bytes sent", orig.bytes_sent, gen.bytes_sent],
+    ]
+    print(render_table(["metric", "original", "generated"], rows))
+
+    ok, detail = stats_match(orig_profile, gen_profile)
+    print(f"\nper-op communication profile identical: {ok} ({detail})")
+    err = abs(gen.total_time - orig.total_time) / orig.total_time * 100
+    print(f"total-time error: {err:.2f}%  "
+          f"(the paper reports 2.9% mean across its suite)")
+
+    print("\n=== 3. the benchmark logs its own measurements ===")
+    print(logs.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Benchmarks for machines you've never run on (the paper's §6).
+
+The paper closes with: "The ability to generate benchmarks that can be
+executed with arbitrary numbers of MPI processes still remains an open
+problem" and points to ScalaExtrap.  This example incorporates that
+follow-up: trace the FT skeleton at 4, 8, and 16 ranks — small runs any
+workstation can afford — then *extrapolate* the trace to 128 ranks and
+generate a 128-rank benchmark, without ever running the application at
+that scale.
+
+Validation: we can afford to simulate the real thing here, so the
+extrapolated benchmark's communication profile is checked against an
+actual 128-rank run.
+
+Run:  python examples/trace_extrapolation.py
+"""
+
+from repro.apps import make_app
+from repro.generator import (extrapolate_trace, generate_benchmark,
+                             trace_application)
+from repro.mpi import run_spmd
+from repro.sim import LogGPModel
+from repro.tools import MpiPHook, render_table, stats_match
+
+APP = "ft"
+SMALL = [4, 8, 16]
+TARGET = 128
+
+
+def main():
+    model = LogGPModel()
+    print(f"tracing NPB {APP.upper()} at {SMALL} ranks...")
+    traces = [trace_application(make_app(APP, n, "S"), n, model=model)
+              for n in SMALL]
+    rows = [[n, t.event_count(), t.node_count()]
+            for n, t in zip(SMALL, traces)]
+    print(render_table(["ranks", "events", "trace nodes"], rows))
+
+    print(f"\nextrapolating to {TARGET} ranks and generating the "
+          f"benchmark...")
+    big = extrapolate_trace(traces, TARGET)
+    bench = generate_benchmark(big)
+    print(f"extrapolated trace: {big.event_count()} events in "
+          f"{big.node_count()} nodes")
+    print(f"generated benchmark ({len(bench.source.splitlines())} "
+          f"lines):\n")
+    print(bench.source)
+
+    print(f"validating against a real {TARGET}-rank run...")
+    real_prof, gen_prof = MpiPHook(), MpiPHook()
+    real = run_spmd(make_app(APP, TARGET, "S"), TARGET, model=model,
+                    hooks=[real_prof])
+    gen, _ = bench.program.run(TARGET, model=LogGPModel(),
+                               hooks=[gen_prof])
+    ok, detail = stats_match(real_prof, gen_prof)
+    err = abs(gen.total_time - real.total_time) / real.total_time * 100
+    print(f"communication profile matches the real run: {ok} ({detail})")
+    print(f"total time: real {real.total_time * 1e3:.2f} ms vs "
+          f"extrapolated benchmark {gen.total_time * 1e3:.2f} ms "
+          f"({err:.1f}% apart)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation`` works on minimal/offline
+environments that lack the ``wheel`` package (pip falls back to the
+legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — automatic generation of executable communication specifications
+from parallel applications.
+
+A full-system reproduction of Wu, Mueller & Pakin (ICS'11): ScalaTrace-
+style lossless trace compression, a coNCePTuaL-subset DSL toolchain, and
+the trace-to-benchmark generator with collective alignment (Algorithm 1)
+and wildcard elimination (Algorithm 2) — all running on a deterministic
+discrete-event MPI simulator.
+
+Quick start::
+
+    from repro import generate_from_application
+    from repro.apps import make_app
+
+    app = make_app("lu", nranks=16, cls="S")
+    bench = generate_from_application(app, 16)
+    print(bench.source)                    # readable coNCePTuaL text
+    result, logs = bench.program.run(16)   # execute on the simulator
+"""
+
+from repro.generator.api import (GeneratedBenchmark, generate_benchmark,
+                                 generate_from_application, scale_compute,
+                                 trace_application)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeneratedBenchmark",
+    "generate_benchmark",
+    "generate_from_application",
+    "scale_compute",
+    "trace_application",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Application suite: communication skeletons of the NAS Parallel
+Benchmarks (BT, CG, EP, FT, IS, LU, MG, SP) and Sweep3D — the paper's
+evaluation workloads (§5.1) — plus the Fig. 2 ring example."""
+
+from repro.apps.base import AppDefinition, AppError, ClassParams
+from repro.apps.registry import (APPS, PAPER_SUITE, make_app,
+                                 valid_rank_counts)
+
+__all__ = [
+    "APPS",
+    "AppDefinition",
+    "AppError",
+    "ClassParams",
+    "PAPER_SUITE",
+    "make_app",
+    "valid_rank_counts",
+]

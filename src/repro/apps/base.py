@@ -1,0 +1,107 @@
+"""Shared infrastructure for the application suite.
+
+Each application is a *communication skeleton*: the exact message pattern
+of the original code (peers, sizes, tags, collectives, ordering) with the
+numerics replaced by virtual-time compute phases — the same abstraction
+the paper's generated benchmarks make, applied one level earlier so the
+whole study runs on the simulator.
+
+Problem classes follow the NPB convention (S, W, A, B, C): the class sets
+the global grid size and iteration count; the per-rank work and message
+sizes then derive from the processor decomposition, so strong-scaling
+behaviour is realistic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class AppError(ReproError):
+    """Invalid application configuration (bad rank count, unknown class)."""
+
+
+@dataclass(frozen=True)
+class ClassParams:
+    """One NPB problem class for one app."""
+
+    grid: int          # global grid points per dimension
+    iterations: int    # main loop trip count
+    inner: int = 1     # inner-loop factor where the app has one
+
+
+#: seconds of computation per grid point per sweep — a Blue Gene/L-class
+#: core doing a handful of flops per point
+PER_POINT = 4e-9
+
+
+def work_seconds(points: float, per_point: float = PER_POINT) -> float:
+    """Virtual compute time for touching ``points`` grid points."""
+    return max(points, 0.0) * per_point
+
+
+def grid_2d(nranks: int) -> Tuple[int, int]:
+    """Near-square 2-D process grid (px >= py, px * py == nranks)."""
+    py = int(math.sqrt(nranks))
+    while py > 1 and nranks % py:
+        py -= 1
+    return nranks // py, py
+
+
+def grid_3d(nranks: int) -> Tuple[int, int, int]:
+    """Near-cubic 3-D process grid."""
+    best = (nranks, 1, 1)
+    best_score = None
+    z = 1
+    while z * z * z <= nranks:
+        if nranks % z == 0:
+            rem = nranks // z
+            px, py = grid_2d(rem)
+            dims = tuple(sorted((px, py, z), reverse=True))
+            score = max(dims) - min(dims)
+            if best_score is None or score < best_score:
+                best, best_score = dims, score
+        z += 1
+    return best
+
+
+def require_square(nranks: int, app: str) -> int:
+    q = int(math.sqrt(nranks))
+    if q * q != nranks:
+        raise AppError(f"{app} requires a square number of ranks, "
+                       f"got {nranks}")
+    return q
+
+
+def require_power_of_two(nranks: int, app: str) -> int:
+    if nranks <= 0 or nranks & (nranks - 1):
+        raise AppError(f"{app} requires a power-of-two number of ranks, "
+                       f"got {nranks}")
+    return nranks
+
+
+@dataclass
+class AppDefinition:
+    """Registry entry: how to build one application."""
+
+    name: str
+    factory: Callable  # factory(nranks, params, **kw) -> program
+    classes: Dict[str, ClassParams]
+    description: str = ""
+    validate: Optional[Callable[[int], None]] = None
+
+    def make(self, nranks: int, cls: str = "S", **kwargs) -> Callable:
+        """Build the SPMD program function for ``nranks`` ranks."""
+        if self.validate is not None:
+            self.validate(nranks)
+        try:
+            params = self.classes[cls.upper()]
+        except KeyError:
+            raise AppError(
+                f"{self.name}: unknown class {cls!r}; choose from "
+                f"{sorted(self.classes)}") from None
+        return self.factory(nranks, params, **kwargs)

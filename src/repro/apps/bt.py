@@ -1,0 +1,87 @@
+"""NPB BT (Block Tridiagonal ADI solver) communication skeleton.
+
+BT runs on a square process grid.  Each time step exchanges ghost faces
+with the four grid neighbours (``copy_faces``, large asynchronous
+messages), then solves block-tridiagonal systems along x, y and z with a
+forward-substitution pipeline down each processor row/column and a
+back-substitution pipeline in the reverse direction.  BT is the paper's
+§5.4 what-if subject: almost all its traffic is asynchronous
+point-to-point with only setup/verification collectives.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, require_square, work_seconds
+
+
+def bt_factory(nranks: int, params: ClassParams):
+    q = require_square(nranks, "BT")
+    n = params.grid
+    cell = max(n // q, 2)                  # cells per rank per dimension
+    face_bytes = cell * cell * 5 * 8       # 5 solution components
+    line_bytes = cell * 5 * 5 * 8          # block boundary per pipeline hop
+
+    def program(mpi):
+        me = mpi.rank
+        x, y = me % q, me // q
+
+        def wrap(cx, cy):
+            return (cx % q) + (cy % q) * q
+
+        east, west = wrap(x + 1, y), wrap(x - 1, y)
+        south, north = wrap(x, y + 1), wrap(x, y - 1)
+
+        # setup broadcasts
+        yield from mpi.bcast(8, root=0)
+        yield from mpi.bcast(40, root=0)
+
+        def copy_faces():
+            reqs = []
+            for peer in (east, west, south, north):
+                r = yield from mpi.irecv(source=peer, tag=0)
+                reqs.append(r)
+            for peer in (east, west, south, north):
+                s = yield from mpi.isend(dest=peer, nbytes=face_bytes,
+                                         tag=0)
+                reqs.append(s)
+            yield from mpi.waitall(reqs)
+
+        def solve_line(prev, nxt, first, last, tag):
+            # forward substitution down the line
+            if not first:
+                yield from mpi.recv(source=prev, tag=tag)
+            yield from mpi.compute(work_seconds(cell ** 3 * 2))
+            if not last:
+                yield from mpi.send(dest=nxt, nbytes=line_bytes, tag=tag)
+            # back substitution up the line
+            if not last:
+                yield from mpi.recv(source=nxt, tag=tag + 1)
+            yield from mpi.compute(work_seconds(cell ** 3))
+            if not first:
+                yield from mpi.send(dest=prev, nbytes=line_bytes,
+                                    tag=tag + 1)
+
+        for _ in range(params.iterations):
+            yield from copy_faces()
+            yield from mpi.compute(work_seconds(cell ** 3 * 5))  # rhs
+            # x_solve: pipeline along my processor row
+            yield from solve_line(west, east, x == 0, x == q - 1, tag=10)
+            # y_solve: pipeline along my processor column
+            yield from solve_line(north, south, y == 0, y == q - 1, tag=20)
+            # z_solve is rank-local
+            yield from mpi.compute(work_seconds(cell ** 3 * 2))
+        # verification
+        yield from mpi.reduce(40, root=0)
+        yield from mpi.allreduce(8)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=12, iterations=6),
+    "W": ClassParams(grid=24, iterations=8),
+    "A": ClassParams(grid=64, iterations=10),
+    "B": ClassParams(grid=102, iterations=20),
+    "C": ClassParams(grid=162, iterations=30),
+}

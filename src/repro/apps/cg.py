@@ -1,0 +1,80 @@
+"""NPB CG (Conjugate Gradient) communication skeleton.
+
+CG distributes a sparse matrix over a 2-D processor grid (power-of-two
+ranks).  Every CG iteration performs a matrix-vector product whose
+partial results are summed across each processor *row* with a recursive-
+halving exchange, followed by a transpose exchange with the symmetric
+processor and two global dot-product reductions.  We reproduce that
+structure: per inner iteration, log2(row) pairwise exchange phases, the
+transpose send/receive, and the allreduces — with per-rank vector sizes
+derived from the class's matrix order NA.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (ClassParams, require_power_of_two,
+                             work_seconds)
+
+
+def _cg_layout(nranks: int):
+    """NPB CG layout: npcols x nprows with npcols >= nprows, both powers
+    of two, npcols * nprows == nranks."""
+    log2 = nranks.bit_length() - 1
+    nprows = 1 << (log2 // 2)
+    npcols = nranks // nprows
+    return npcols, nprows
+
+
+def cg_factory(nranks: int, params: ClassParams):
+    require_power_of_two(nranks, "CG")
+    npcols, nprows = _cg_layout(nranks)
+    na = params.grid                       # matrix order
+    rows_per_rank = na // nprows
+    vec_bytes = max(rows_per_rank // npcols, 1) * 8
+
+    def program(mpi):
+        me = mpi.rank
+        col = me % npcols
+        # reduce-exchange partners within my processor row: NPB's
+        # reduce_exch_proc - distance-halving butterfly over columns
+        exch = []
+        d = npcols // 2
+        while d >= 1:
+            exch.append((me // npcols) * npcols + (col ^ d))
+            d //= 2
+        # transpose partner (symmetric processor in the grid)
+        row_idx = me // npcols
+        transpose = col * nprows + row_idx if npcols == nprows else None
+
+        for _ in range(params.iterations):
+            for _ in range(params.inner):
+                # sparse matvec: local work then row-sum butterfly
+                yield from mpi.compute(work_seconds(
+                    rows_per_rank * 16 / npcols))
+                for peer in exch:
+                    rreq = yield from mpi.irecv(source=peer, tag=1)
+                    yield from mpi.send(dest=peer, nbytes=vec_bytes, tag=1)
+                    yield from mpi.wait(rreq)
+                if transpose is not None and transpose != me:
+                    rreq = yield from mpi.irecv(source=transpose, tag=2)
+                    yield from mpi.send(dest=transpose, nbytes=vec_bytes,
+                                        tag=2)
+                    yield from mpi.wait(rreq)
+                # dot products rho and alpha denominators
+                yield from mpi.allreduce(8)
+                yield from mpi.allreduce(8)
+            # residual norm after each outer iteration
+            yield from mpi.allreduce(8)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    # grid = NA (matrix order), iterations = outer x inner CG steps
+    "S": ClassParams(grid=1400, iterations=4, inner=5),
+    "W": ClassParams(grid=7000, iterations=6, inner=8),
+    "A": ClassParams(grid=14000, iterations=8, inner=10),
+    "B": ClassParams(grid=75000, iterations=20, inner=12),
+    "C": ClassParams(grid=150000, iterations=30, inner=15),
+}

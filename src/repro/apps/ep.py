@@ -1,0 +1,39 @@
+"""NPB EP (Embarrassingly Parallel) communication skeleton.
+
+EP generates Gaussian deviates independently on every rank; the only
+communication is a handful of small allreduces combining the per-bin
+counts and the checksum sums at the very end — which is what makes EP the
+canonical "no communication" baseline in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, work_seconds
+
+
+def ep_factory(nranks: int, params: ClassParams):
+    # EP's M parameter: 2^M random pairs split evenly across ranks
+    pairs_per_rank = (1 << params.grid) / nranks
+
+    def program(mpi):
+        # batched generation: NPB processes 2^16-pair chunks
+        chunks = max(params.iterations, 1)
+        for _ in range(chunks):
+            yield from mpi.compute(work_seconds(pairs_per_rank / chunks))
+        # combine the 10 concentric-square counts q(0..9) and sx/sy sums
+        yield from mpi.allreduce(8)           # sx
+        yield from mpi.allreduce(8)           # sy
+        yield from mpi.allreduce(10 * 8)      # q[0..9]
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    # grid here is NPB's M (log2 of pair count)
+    "S": ClassParams(grid=20, iterations=4),
+    "W": ClassParams(grid=21, iterations=4),
+    "A": ClassParams(grid=23, iterations=8),
+    "B": ClassParams(grid=25, iterations=8),
+    "C": ClassParams(grid=27, iterations=16),
+}

@@ -1,0 +1,49 @@
+"""NPB FT (3-D FFT) communication skeleton.
+
+FT computes repeated 3-D FFTs with a 1-D ("slab") decomposition at our
+scale: each iteration performs local FFTs in two dimensions, a global
+transpose implemented as MPI_Alltoall over a *duplicated* communicator,
+the remaining 1-D FFTs, and a checksum combined with an allreduce.  The
+communicator duplication at startup exercises §4.2's communicator
+handling in the generator.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, require_power_of_two, work_seconds
+
+
+def ft_factory(nranks: int, params: ClassParams):
+    require_power_of_two(nranks, "FT")
+    n = params.grid
+    # complex doubles: total volume n^3 * 16 bytes, transposed every FFT
+    slab_bytes = (n * n * n * 16) // (nranks * nranks)  # per-destination
+
+    def program(mpi):
+        # FT sets up its own communicator (MPI_Comm_dup of world)
+        comm = yield from mpi.comm_dup(None)
+        # broadcast of problem parameters
+        yield from mpi.bcast(24, root=0, comm=comm)
+        # initial evolve + forward FFT
+        yield from mpi.compute(work_seconds((n ** 3) * 2 / mpi.size))
+        yield from mpi.alltoall(max(slab_bytes, 16), comm=comm)
+        for _ in range(params.iterations):
+            # evolve in frequency space + inverse FFT (2 local dims)
+            yield from mpi.compute(work_seconds((n ** 3) * 3 / mpi.size))
+            # global transpose
+            yield from mpi.alltoall(max(slab_bytes, 16), comm=comm)
+            # final local FFT dimension + checksum
+            yield from mpi.compute(work_seconds((n ** 3) / mpi.size))
+            yield from mpi.allreduce(16, comm=comm)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=64, iterations=6),
+    "W": ClassParams(grid=128, iterations=6),
+    "A": ClassParams(grid=256, iterations=6),
+    "B": ClassParams(grid=512, iterations=20),
+    "C": ClassParams(grid=512, iterations=20),
+}

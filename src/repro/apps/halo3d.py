@@ -1,0 +1,69 @@
+"""halo3d — a 27-point 3-D exchange in the style of the Mantevo/Ember
+communication proxies.
+
+Each iteration exchanges faces, edges, and corners with all 26 neighbours
+of a non-periodic 3-D decomposition (three very different message sizes),
+followed by a compute phase and a periodic small allreduce.  The mix of
+message sizes in one phase stresses the emitter's grouping machinery and
+the network models' eager/rendezvous split.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, grid_3d, work_seconds
+
+
+def halo3d_factory(nranks: int, params: ClassParams):
+    px, py, pz = grid_3d(nranks)
+    n = params.grid
+    bx, by, bz = max(n // px, 2), max(n // py, 2), max(n // pz, 2)
+    face = {  # bytes by neighbour kind
+        "face": max(bx * by * 8, 8),
+        "edge": max(bx * 8, 8),
+        "corner": 8,
+    }
+
+    def program(mpi):
+        me = mpi.rank
+        x = me % px
+        y = (me // px) % py
+        z = me // (px * py)
+        neighbours = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    if dx == dy == dz == 0:
+                        continue
+                    nx, ny, nz = x + dx, y + dy, z + dz
+                    if not (0 <= nx < px and 0 <= ny < py
+                            and 0 <= nz < pz):
+                        continue
+                    kind = ("corner" if dx and dy and dz else
+                            "edge" if (bool(dx) + bool(dy) + bool(dz)) == 2
+                            else "face")
+                    neighbours.append(
+                        (nx + ny * px + nz * px * py, face[kind]))
+
+        for _ in range(params.iterations):
+            reqs = []
+            for peer, _ in neighbours:
+                r = yield from mpi.irecv(source=peer, tag=0)
+                reqs.append(r)
+            for peer, nbytes in neighbours:
+                s = yield from mpi.isend(dest=peer, nbytes=nbytes, tag=0)
+                reqs.append(s)
+            yield from mpi.waitall(reqs)
+            yield from mpi.compute(work_seconds(bx * by * bz * 3))
+            yield from mpi.allreduce(8)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=16, iterations=4),
+    "W": ClassParams(grid=32, iterations=8),
+    "A": ClassParams(grid=64, iterations=12),
+    "B": ClassParams(grid=128, iterations=20),
+    "C": ClassParams(grid=256, iterations=30),
+}

@@ -1,0 +1,58 @@
+"""NPB IS (Integer Sort) communication skeleton.
+
+Each IS iteration ranks a set of keys: the ranks combine bucket counts
+with an allreduce, exchange per-destination key counts with an alltoall
+of one integer each, and redistribute the keys themselves with an
+alltoallv whose per-destination volumes are *uneven* (keys are Gaussian-
+distributed over buckets).  The uneven alltoallv is the suite's test of
+Table 1's "MULTICAST with averaged message size" substitution.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, require_power_of_two, work_seconds
+
+
+def _key_split(total_keys: int, nranks: int):
+    """Deterministically uneven per-destination key counts (middle ranks
+    receive more, mimicking the Gaussian key distribution)."""
+    base = total_keys // (nranks * nranks)
+    sizes = []
+    for dst in range(nranks):
+        centre = nranks / 2
+        weight = 1.0 + 0.8 * (1.0 - abs(dst - centre) / centre)
+        sizes.append(max(int(base * weight), 4) * 4)  # 4-byte keys
+    return sizes
+
+def is_factory(nranks: int, params: ClassParams):
+    require_power_of_two(nranks, "IS")
+    total_keys = 1 << params.grid
+    buckets = 1024
+
+    def program(mpi):
+        for _ in range(params.iterations):
+            # local bucket counting
+            yield from mpi.compute(work_seconds(total_keys / mpi.size))
+            # combine bucket histograms
+            yield from mpi.allreduce(buckets * 4)
+            # exchange key counts, then the keys themselves (uneven)
+            yield from mpi.alltoall(4)
+            sizes = _key_split(total_keys, mpi.size)
+            yield from mpi.alltoallv(sizes)
+            # local ranking of received keys
+            yield from mpi.compute(work_seconds(total_keys / mpi.size / 2))
+        # full verification
+        yield from mpi.allreduce(8)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    # grid = log2 of total keys
+    "S": ClassParams(grid=16, iterations=4),
+    "W": ClassParams(grid=20, iterations=6),
+    "A": ClassParams(grid=23, iterations=10),
+    "B": ClassParams(grid=25, iterations=10),
+    "C": ClassParams(grid=27, iterations=10),
+}

@@ -1,0 +1,60 @@
+"""Jacobi 2-D relaxation — a classic halo-exchange workload beyond the
+paper's suite.
+
+Five-point stencil on a non-periodic 2-D process grid: every iteration
+exchanges one-row/one-column halos with up to four neighbours and checks
+convergence with an allreduce every few sweeps.  The non-periodic
+boundaries give corner, edge, and interior ranks different communication
+shapes — a good exercise for the generator's task-group selectors.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, grid_2d, work_seconds
+
+
+def jacobi_factory(nranks: int, params: ClassParams,
+                   check_every: int = 4):
+    px, py = grid_2d(nranks)
+    n = params.grid
+    row_bytes = max((n // px) * 8, 8)
+    col_bytes = max((n // py) * 8, 8)
+
+    def program(mpi):
+        me = mpi.rank
+        x, y = me % px, me // px
+        neighbours = []
+        if x > 0:
+            neighbours.append((me - 1, col_bytes))
+        if x < px - 1:
+            neighbours.append((me + 1, col_bytes))
+        if y > 0:
+            neighbours.append((me - px, row_bytes))
+        if y < py - 1:
+            neighbours.append((me + px, row_bytes))
+
+        for it in range(params.iterations):
+            reqs = []
+            for peer, _ in neighbours:
+                r = yield from mpi.irecv(source=peer, tag=0)
+                reqs.append(r)
+            for peer, nbytes in neighbours:
+                s = yield from mpi.isend(dest=peer, nbytes=nbytes, tag=0)
+                reqs.append(s)
+            yield from mpi.waitall(reqs)
+            yield from mpi.compute(work_seconds(
+                (n // px) * (n // py) * 5))
+            if it % check_every == check_every - 1:
+                yield from mpi.allreduce(8)   # global residual
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=64, iterations=8),
+    "W": ClassParams(grid=128, iterations=16),
+    "A": ClassParams(grid=256, iterations=24),
+    "B": ClassParams(grid=512, iterations=48),
+    "C": ClassParams(grid=1024, iterations=64),
+}

@@ -1,0 +1,71 @@
+"""NPB LU (SSOR solver) communication skeleton.
+
+LU factors the discretized Navier-Stokes operator with a wavefront
+("hyperplane") sweep over a 2-D processor grid.  For each k-plane of the
+lower-triangular solve a rank receives boundary data from its north and
+west neighbours, computes, then forwards south and east; the upper-
+triangular solve runs the wavefront in reverse.  Crucially, the NPB
+implementation posts these receives with **MPI_ANY_SOURCE** (the paper
+calls this out in §4.4), making LU the suite's test of Algorithm 2's
+wildcard elimination.  Residual norms are combined with allreduces.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, grid_2d, work_seconds
+
+
+def lu_factory(nranks: int, params: ClassParams, wildcard: bool = True):
+    px, py = grid_2d(nranks)
+    n = params.grid
+    nz = max(n // 8, 2)                    # k-planes swept per iteration
+    face = max((n // px) * 8 * 5, 40)      # 5 solution components per cell
+
+    def program(mpi):
+        from repro.mpi.api import ANY_SOURCE
+
+        me = mpi.rank
+        x, y = me % px, me // px
+        north = me - px if y > 0 else None
+        south = me + px if y < py - 1 else None
+        west = me - 1 if x > 0 else None
+        east = me + 1 if x < px - 1 else None
+
+        def sweep(upstream, downstream, tag):
+            # one triangular solve: nz pipelined k-planes
+            for _ in range(nz):
+                expected = [p for p in upstream if p is not None]
+                if wildcard:
+                    # NPB LU receives neighbour data in arbitrary order
+                    for _ in expected:
+                        yield from mpi.recv(source=ANY_SOURCE, tag=tag)
+                else:
+                    # deterministic variant used by the ablation bench
+                    for p in sorted(expected):
+                        yield from mpi.recv(source=p, tag=tag)
+                yield from mpi.compute(work_seconds(
+                    (n // px) * (n // py) * 10))
+                for p in downstream:
+                    if p is not None:
+                        yield from mpi.send(dest=p, nbytes=face, tag=tag)
+
+        for _ in range(params.iterations):
+            # lower-triangular: wavefront from the north-west corner
+            yield from sweep((north, west), (south, east), tag=1)
+            # upper-triangular: wavefront from the south-east corner
+            yield from sweep((south, east), (north, west), tag=2)
+            # SSOR residual norms
+            yield from mpi.allreduce(40)
+        yield from mpi.bcast(40, root=0)  # verification values
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=12, iterations=4),
+    "W": ClassParams(grid=33, iterations=6),
+    "A": ClassParams(grid=64, iterations=8),
+    "B": ClassParams(grid=102, iterations=12),
+    "C": ClassParams(grid=162, iterations=16),
+}

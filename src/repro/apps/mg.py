@@ -1,0 +1,77 @@
+"""NPB MG (Multigrid) communication skeleton.
+
+MG performs V-cycles on a 3-D grid distributed over a 3-D processor
+decomposition.  Each level exchanges one-cell-deep halos with the six
+axis neighbours (periodic), with face sizes shrinking by 4x per
+coarsening step; residual norms are combined with small allreduces.  The
+per-level size variation is exactly the kind of per-iteration parameter
+change the generator must express with loop-variable conditionals.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (ClassParams, grid_3d, require_power_of_two,
+                             work_seconds)
+
+
+def mg_factory(nranks: int, params: ClassParams):
+    require_power_of_two(nranks, "MG")
+    px, py, pz = grid_3d(nranks)
+    n = params.grid
+    # levels until the local grid degenerates
+    levels = max(2, min(n.bit_length() - 2, 6))
+
+    def program(mpi):
+        me = mpi.rank
+        # my coordinates in the process grid
+        x = me % px
+        y = (me // px) % py
+        z = me // (px * py)
+
+        def nbr(dx, dy, dz):
+            return (((x + dx) % px) + ((y + dy) % py) * px
+                    + ((z + dz) % pz) * px * py)
+
+        neighbours = [nbr(-1, 0, 0), nbr(1, 0, 0), nbr(0, -1, 0),
+                      nbr(0, 1, 0), nbr(0, 0, -1), nbr(0, 0, 1)]
+
+        def exchange(level):
+            # face bytes at this level: (n / 2^level)^2 per dimension pair
+            side = max(n >> level, 2)
+            face = max((side * side * 8) // max(px * py, 1), 8)
+            reqs = []
+            for peer in neighbours:
+                r = yield from mpi.irecv(source=peer, tag=level)
+                reqs.append(r)
+            for peer in neighbours:
+                s = yield from mpi.isend(dest=peer, nbytes=face, tag=level)
+                reqs.append(s)
+            yield from mpi.waitall(reqs)
+
+        # initial residual norm
+        yield from mpi.allreduce(16)
+        for _ in range(params.iterations):
+            # down-cycle: restrict to coarser grids
+            for level in range(levels):
+                yield from mpi.compute(work_seconds(
+                    (max(n >> level, 2) ** 3) / nranks))
+                yield from exchange(level)
+            # up-cycle: prolongate and smooth back to the fine grid
+            for level in range(levels - 1, -1, -1):
+                yield from mpi.compute(work_seconds(
+                    (max(n >> level, 2) ** 3) / (2 * nranks)))
+                yield from exchange(level)
+            # convergence norm
+            yield from mpi.allreduce(16)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=32, iterations=4),
+    "W": ClassParams(grid=64, iterations=4),
+    "A": ClassParams(grid=256, iterations=4),
+    "B": ClassParams(grid=256, iterations=10),
+    "C": ClassParams(grid=512, iterations=10),
+}

@@ -1,0 +1,85 @@
+"""Application registry: name → buildable definition."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.apps import (bt, cg, ep, ft, halo3d, is_sort, jacobi, lu, mg,
+                        ring, sp, sweep3d)
+from repro.apps.base import (AppDefinition, AppError, require_power_of_two,
+                             require_square)
+
+APPS: Dict[str, AppDefinition] = {
+    "ring": AppDefinition(
+        "ring", ring.ring_factory, ring.CLASSES,
+        "nearest-neighbour ring exchange (the paper's Fig. 2 example)"),
+    "ep": AppDefinition(
+        "ep", ep.ep_factory, ep.CLASSES,
+        "NPB EP: embarrassingly parallel, final small allreduces"),
+    "cg": AppDefinition(
+        "cg", cg.cg_factory, cg.CLASSES,
+        "NPB CG: row-sum butterfly + transpose + dot-product allreduces",
+        validate=lambda n: require_power_of_two(n, "CG")),
+    "mg": AppDefinition(
+        "mg", mg.mg_factory, mg.CLASSES,
+        "NPB MG: V-cycle with level-dependent 3-D halo exchange",
+        validate=lambda n: require_power_of_two(n, "MG")),
+    "ft": AppDefinition(
+        "ft", ft.ft_factory, ft.CLASSES,
+        "NPB FT: all-to-all transposes on a duplicated communicator",
+        validate=lambda n: require_power_of_two(n, "FT")),
+    "is": AppDefinition(
+        "is", is_sort.is_factory, is_sort.CLASSES,
+        "NPB IS: bucket allreduce + alltoall + uneven alltoallv",
+        validate=lambda n: require_power_of_two(n, "IS")),
+    "lu": AppDefinition(
+        "lu", lu.lu_factory, lu.CLASSES,
+        "NPB LU: SSOR wavefront with MPI_ANY_SOURCE receives (§4.4)"),
+    "bt": AppDefinition(
+        "bt", bt.bt_factory, bt.CLASSES,
+        "NPB BT: ADI face exchange + solver pipelines (the §5.4 subject)",
+        validate=lambda n: require_square(n, "BT")),
+    "sp": AppDefinition(
+        "sp", sp.sp_factory, sp.CLASSES,
+        "NPB SP: ADI with thinner, more frequent pipeline messages",
+        validate=lambda n: require_square(n, "SP")),
+    "sweep3d": AppDefinition(
+        "sweep3d", sweep3d.sweep3d_factory, sweep3d.CLASSES,
+        "Sweep3D: octant wavefronts with split-call-site collectives "
+        "(§4.3)"),
+    # extra (non-paper) workloads
+    "jacobi": AppDefinition(
+        "jacobi", jacobi.jacobi_factory, jacobi.CLASSES,
+        "Jacobi 2-D: non-periodic 5-point halo exchange + residual checks"),
+    "halo3d": AppDefinition(
+        "halo3d", halo3d.halo3d_factory, halo3d.CLASSES,
+        "halo3d: 27-point 3-D exchange (faces/edges/corners, Ember-style)"),
+}
+
+#: the paper's evaluation set (§5.1): NPB + Sweep3D
+PAPER_SUITE = ("bt", "cg", "ep", "ft", "is", "lu", "mg", "sp", "sweep3d")
+
+
+def make_app(name: str, nranks: int, cls: str = "S", **kwargs) -> Callable:
+    """Build the SPMD program for a named application."""
+    try:
+        definition = APPS[name.lower()]
+    except KeyError:
+        raise AppError(
+            f"unknown application {name!r}; choose from "
+            f"{sorted(APPS)}") from None
+    return definition.make(nranks, cls, **kwargs)
+
+
+def valid_rank_counts(name: str, candidates: List[int]) -> List[int]:
+    """Filter candidate rank counts to those the app accepts."""
+    definition = APPS[name.lower()]
+    out = []
+    for n in candidates:
+        try:
+            if definition.validate is not None:
+                definition.validate(n)
+            out.append(n)
+        except AppError:
+            continue
+    return out

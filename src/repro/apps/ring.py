@@ -1,0 +1,37 @@
+"""Ring microbenchmark — the paper's running example (Fig. 2).
+
+Each rank posts a receive from its left neighbour, sends to its right
+neighbour, and waits, for a configurable number of iterations.  The
+ScalaTrace of this program compresses to a single PRSD exactly as §3.1
+describes, and the generated coNCePTuaL program matches §3.2's example.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, work_seconds
+
+
+def ring_factory(nranks: int, params: ClassParams, nbytes: int = 1024):
+    iterations = params.iterations
+
+    def program(mpi):
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        for _ in range(iterations):
+            rreq = yield from mpi.irecv(source=left, tag=0)
+            sreq = yield from mpi.isend(dest=right, nbytes=nbytes, tag=0)
+            yield from mpi.waitall([rreq, sreq])
+            yield from mpi.compute(work_seconds(params.grid ** 2
+                                                / mpi.size))
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=32, iterations=50),
+    "W": ClassParams(grid=64, iterations=100),
+    "A": ClassParams(grid=128, iterations=200),
+    "B": ClassParams(grid=256, iterations=400),
+    "C": ClassParams(grid=512, iterations=1000),
+}

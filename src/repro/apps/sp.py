@@ -1,0 +1,82 @@
+"""NPB SP (Scalar Pentadiagonal ADI solver) communication skeleton.
+
+SP shares BT's square-grid ADI structure but factors scalar
+pentadiagonal systems: it runs roughly twice as many (smaller) pipeline
+messages per time step and many more time steps, giving it a higher
+communication-to-computation ratio — the contrast Fig. 6 shows between
+the two codes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, require_square, work_seconds
+
+
+def sp_factory(nranks: int, params: ClassParams):
+    q = require_square(nranks, "SP")
+    n = params.grid
+    cell = max(n // q, 2)
+    face_bytes = cell * cell * 5 * 8
+    line_bytes = cell * 5 * 2 * 8          # scalar systems: thinner lines
+
+    def program(mpi):
+        me = mpi.rank
+        x, y = me % q, me // q
+
+        def wrap(cx, cy):
+            return (cx % q) + (cy % q) * q
+
+        east, west = wrap(x + 1, y), wrap(x - 1, y)
+        south, north = wrap(x, y + 1), wrap(x, y - 1)
+
+        yield from mpi.bcast(8, root=0)
+
+        def exchange_faces():
+            reqs = []
+            for peer in (east, west, south, north):
+                r = yield from mpi.irecv(source=peer, tag=0)
+                reqs.append(r)
+            for peer in (east, west, south, north):
+                s = yield from mpi.isend(dest=peer, nbytes=face_bytes,
+                                         tag=0)
+                reqs.append(s)
+            yield from mpi.waitall(reqs)
+
+        def pentadiagonal(prev, nxt, first, last, tag):
+            # SP's solver makes two forward and two backward hops per
+            # dimension (factor + solve phases)
+            for phase in range(2):
+                t = tag + 2 * phase
+                if not first:
+                    yield from mpi.recv(source=prev, tag=t)
+                yield from mpi.compute(work_seconds(cell ** 3))
+                if not last:
+                    yield from mpi.send(dest=nxt, nbytes=line_bytes, tag=t)
+                if not last:
+                    yield from mpi.recv(source=nxt, tag=t + 1)
+                yield from mpi.compute(work_seconds(cell ** 3 / 2))
+                if not first:
+                    yield from mpi.send(dest=prev, nbytes=line_bytes,
+                                        tag=t + 1)
+
+        for _ in range(params.iterations):
+            yield from exchange_faces()
+            yield from mpi.compute(work_seconds(cell ** 3 * 3))
+            yield from pentadiagonal(west, east, x == 0, x == q - 1, tag=10)
+            yield from pentadiagonal(north, south, y == 0, y == q - 1,
+                                     tag=20)
+            yield from mpi.compute(work_seconds(cell ** 3))
+        yield from mpi.reduce(40, root=0)
+        yield from mpi.allreduce(8)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=12, iterations=8),
+    "W": ClassParams(grid=36, iterations=12),
+    "A": ClassParams(grid=64, iterations=16),
+    "B": ClassParams(grid=102, iterations=30),
+    "C": ClassParams(grid=162, iterations=40),
+}

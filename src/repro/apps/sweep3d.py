@@ -1,0 +1,77 @@
+"""Sweep3D (LANL neutron-transport kernel) communication skeleton.
+
+Sweep3D sweeps the discrete-ordinates equations across a 2-D processor
+grid for each of 8 angular octants: a rank receives its upstream i- and
+j-direction boundary fluxes, computes its block of cells, and forwards
+downstream — the classic wavefront.  After each pair of octants the code
+performs a flux-fixup reduction which, in the original source, is invoked
+from *different lines* depending on whether the rank applied fixups.  That
+is precisely the Fig. 3 situation, making Sweep3D the suite's test of
+Algorithm 1's collective alignment (the paper names it for this in §5.1).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, grid_2d, work_seconds
+
+#: sweep directions per octant pair: (di, dj)
+_OCTANTS = [(1, 1), (-1, 1), (1, -1), (-1, -1)]
+
+
+def sweep3d_factory(nranks: int, params: ClassParams,
+                    split_callsites: bool = True):
+    px, py = grid_2d(nranks)
+    n = params.grid
+    # angle-block boundary flux: it x jt cells x mmi angles x 8 bytes
+    it_cells = max(n // px, 1)
+    jt_cells = max(n // py, 1)
+    i_face = jt_cells * 6 * 8
+    j_face = it_cells * 6 * 8
+
+    def program(mpi):
+        me = mpi.rank
+        x, y = me % px, me // px
+
+        def sweep(di, dj):
+            # upstream/downstream neighbours for this sweep direction
+            i_up = me - di if 0 <= x - di < px else None
+            i_dn = me + di if 0 <= x + di < px else None
+            j_up = me - dj * px if 0 <= y - dj < py else None
+            j_dn = me + dj * px if 0 <= y + dj < py else None
+            for _ in range(params.inner):       # k-plane blocks
+                if i_up is not None:
+                    yield from mpi.recv(source=i_up, tag=1)
+                if j_up is not None:
+                    yield from mpi.recv(source=j_up, tag=2)
+                yield from mpi.compute(work_seconds(
+                    it_cells * jt_cells * 8))
+                if i_dn is not None:
+                    yield from mpi.send(dest=i_dn, nbytes=i_face, tag=1)
+                if j_dn is not None:
+                    yield from mpi.send(dest=j_dn, nbytes=j_face, tag=2)
+
+        for _ in range(params.iterations):
+            for di, dj in _OCTANTS:
+                yield from sweep(di, dj)
+                yield from sweep(-di, -dj)
+                # flux fixup: the same logical allreduce is reached from
+                # two different source lines depending on local state
+                if split_callsites and (me + x + y) % 2 == 0:
+                    yield from mpi.allreduce(24)   # fixup branch
+                else:
+                    yield from mpi.allreduce(24)   # no-fixup branch
+            # convergence test on the scalar flux
+            yield from mpi.allreduce(8)
+        yield from mpi.bcast(16, root=0)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=20, iterations=2, inner=4),
+    "W": ClassParams(grid=50, iterations=3, inner=6),
+    "A": ClassParams(grid=100, iterations=4, inner=8),
+    "B": ClassParams(grid=200, iterations=6, inner=10),
+    "C": ClassParams(grid=400, iterations=8, inner=12),
+}

@@ -1,0 +1,212 @@
+"""Command-line interface for the benchmark-generation pipeline.
+
+Mirrors Fig. 1 of the paper as shell steps::
+
+    repro apps                                    # list workloads
+    repro trace --app lu --np 16 -o lu.scalatrace # run + trace
+    repro generate lu.scalatrace -o lu.ncptl      # trace -> coNCePTuaL
+    repro run lu.ncptl --np 16                    # execute the benchmark
+    repro replay lu.scalatrace                    # ScalaReplay
+    repro compare a.scalatrace b.scalatrace       # semantic equivalence
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APPS, make_app
+from repro.conceptual.compiler import ConceptualProgram
+from repro.generator import (extrapolate_trace, generate_benchmark,
+                             trace_application)
+from repro.scalatrace.serialize import dump_trace, load_trace
+from repro.sim.network import PLATFORMS, make_model
+from repro.tools.compare import compression_ratio, traces_equivalent
+from repro.tools.mpip import MpiPHook
+from repro.tools.matrix import (communication_matrix, hotspots,
+                                render_matrix)
+from repro.tools.replay import replay_trace
+
+
+def _add_platform(parser):
+    parser.add_argument("--platform", default="bluegene",
+                        choices=sorted(PLATFORMS),
+                        help="network model preset")
+
+
+def cmd_apps(args):
+    for name in sorted(APPS):
+        print(f"{name:10s} {APPS[name].description}")
+    return 0
+
+
+def cmd_trace(args):
+    program = make_app(args.app, args.np, args.cls)
+    model = make_model(args.platform)
+    trace = trace_application(program, args.np, model=model)
+    dump_trace(trace, args.output)
+    print(f"traced {args.app} (class {args.cls}, {args.np} ranks) on "
+          f"{args.platform}: {trace.event_count()} events in "
+          f"{trace.node_count()} trace nodes "
+          f"({compression_ratio(trace):.1f}x compression) -> {args.output}")
+    return 0
+
+
+def cmd_generate(args):
+    trace = load_trace(args.trace)
+    bench = generate_benchmark(trace, align=not args.no_align,
+                               resolve=not args.no_resolve,
+                               include_timing=not args.no_timing)
+    with open(args.output, "w") as fh:
+        fh.write(bench.source)
+    notes = []
+    if bench.was_aligned:
+        notes.append("collectives aligned (Algorithm 1)")
+    if bench.was_resolved:
+        notes.append("wildcards resolved (Algorithm 2)")
+    print(f"generated {args.output} "
+          f"({len(bench.source.splitlines())} lines"
+          + (", " + ", ".join(notes) if notes else "") + ")")
+    if args.python:
+        with open(args.python, "w") as fh:
+            fh.write(bench.python_source())
+        print(f"generated {args.python} (Python backend)")
+    return 0
+
+
+def cmd_run(args):
+    with open(args.program) as fh:
+        source = fh.read()
+    program = ConceptualProgram.from_source(source)
+    model = make_model(args.platform)
+    hook = MpiPHook()
+    result, logs = program.run(args.np, model=model, hooks=[hook])
+    print(f"ran {args.program} on {args.np} simulated ranks "
+          f"({args.platform}): {result.total_time * 1e6:.1f} us total")
+    print(logs.report())
+    if args.profile:
+        print(hook.report())
+    return 0
+
+
+def cmd_replay(args):
+    trace = load_trace(args.trace)
+    model = make_model(args.platform)
+    result = replay_trace(trace, model=model)
+    print(f"replayed {args.trace} on {trace.world_size} ranks "
+          f"({args.platform}): {result.total_time * 1e6:.1f} us total, "
+          f"{result.messages_sent} messages")
+    return 0
+
+
+def cmd_extrapolate(args):
+    traces = [load_trace(path) for path in args.traces]
+    big = extrapolate_trace(traces, args.np)
+    dump_trace(big, args.output)
+    sizes = ", ".join(str(t.world_size) for t in traces)
+    print(f"extrapolated {{{sizes}}}-rank traces to {args.np} ranks: "
+          f"{big.event_count()} events in {big.node_count()} nodes "
+          f"-> {args.output}")
+    return 0
+
+
+def cmd_matrix(args):
+    trace = load_trace(args.trace)
+    m = communication_matrix(trace, counts=args.counts)
+    print(render_matrix(m))
+    unit = "messages" if args.counts else "bytes"
+    for src_r, dst, v in hotspots(m):
+        print(f"  {src_r} -> {dst}: {v} {unit}")
+    return 0
+
+
+def cmd_compare(args):
+    a = load_trace(args.trace_a)
+    b = load_trace(args.trace_b)
+    ok, detail = traces_equivalent(a, b,
+                                   check_wildcards=not args.ignore_sources)
+    print(("EQUIVALENT: " if ok else "DIFFERENT: ") + detail)
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="automatic communication-benchmark generation "
+                    "(ScalaTrace -> coNCePTuaL) on a simulated MPI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list available applications") \
+        .set_defaults(func=cmd_apps)
+
+    p = sub.add_parser("trace", help="trace an application")
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--np", type=int, required=True)
+    p.add_argument("--class", dest="cls", default="S",
+                   help="problem class (S/W/A/B/C)")
+    p.add_argument("-o", "--output", required=True)
+    _add_platform(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("generate",
+                       help="generate a coNCePTuaL benchmark from a trace")
+    p.add_argument("trace")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--python", help="also emit the Python backend here")
+    p.add_argument("--no-align", action="store_true",
+                   help="skip Algorithm 1 (collective alignment)")
+    p.add_argument("--no-resolve", action="store_true",
+                   help="skip Algorithm 2 (wildcard resolution)")
+    p.add_argument("--no-timing", action="store_true",
+                   help="omit COMPUTE statements")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("run", help="run a coNCePTuaL benchmark")
+    p.add_argument("program")
+    p.add_argument("--np", type=int, required=True)
+    p.add_argument("--profile", action="store_true",
+                   help="print the mpiP-style profile")
+    _add_platform(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("replay", help="replay a trace (ScalaReplay)")
+    p.add_argument("trace")
+    _add_platform(p)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("extrapolate",
+                       help="extrapolate small-rank traces to a larger "
+                            "rank count (§6 / ScalaExtrap)")
+    p.add_argument("traces", nargs="+",
+                   help="two or more traces of the same app at distinct "
+                        "rank counts (three or more disambiguate "
+                        "scaling laws)")
+    p.add_argument("--np", type=int, required=True,
+                   help="target rank count")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_extrapolate)
+
+    p = sub.add_parser("matrix",
+                       help="print a trace's communication matrix")
+    p.add_argument("trace")
+    p.add_argument("--counts", action="store_true",
+                   help="message counts instead of bytes")
+    p.set_defaults(func=cmd_matrix)
+
+    p = sub.add_parser("compare",
+                       help="check two traces for semantic equivalence")
+    p.add_argument("trace_a")
+    p.add_argument("trace_b")
+    p.add_argument("--ignore-sources", action="store_true",
+                   help="treat wildcard and resolved receives as equal")
+    p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""AST for the coNCePTuaL subset.
+
+This models the part of Pakin's coNCePTuaL language (TPDS'07) that the
+paper's benchmark generator emits, plus enough extra expressiveness for
+hand-written benchmarks: repetition loops, range loops, conditionals, task
+selectors with predicates, point-to-point sends/receives (synchronous or
+asynchronous, with implicit or "unsuspecting" pairing), MULTICAST and
+REDUCE collectives, SYNCHRONIZE, COMPUTE, counter RESET/LOG, and AWAIT
+COMPLETION.
+
+All nodes are plain dataclasses with structural equality, which lets tests
+assert the printer/parser round trip exactly:
+``parse(print(ast)) == ast``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# ---------------------------------------------------------------- expressions
+
+
+class Expr:
+    """Base class of arithmetic / boolean expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: float  # integral values are stored as ints by the parser
+
+    def __post_init__(self):
+        # normalize 5.0 -> 5 so printing round-trips
+        if isinstance(self.value, float) and self.value.is_integer():
+            object.__setattr__(self, "value", int(self.value))
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation.  ``op`` is one of:
+    ``+ - * / MOD = <> < > <= >= /\\ \\/ DIVIDES``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class IsIn(Expr):
+    """Membership test: ``x IS IN {a, b, c}``."""
+
+    item: Expr
+    members: Tuple[Expr, ...]
+
+
+# ------------------------------------------------------------- task selectors
+
+
+class TaskSelector:
+    """Which ranks a statement applies to."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class AllTasks(TaskSelector):
+    """``ALL TASKS`` or ``ALL TASKS t`` (binding a task variable)."""
+
+    var: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SingleTask(TaskSelector):
+    """``TASK <expr>``."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class SuchThat(TaskSelector):
+    """``TASKS t SUCH THAT <predicate>``."""
+
+    var: str
+    predicate: Expr
+
+
+# ----------------------------------------------------------------- statements
+
+
+class Stmt:
+    __slots__ = ()
+
+
+@dataclass
+class Program:
+    stmts: List[Stmt] = field(default_factory=list)
+
+    def __eq__(self, other):
+        return isinstance(other, Program) and self.stmts == other.stmts
+
+
+@dataclass
+class ForRep(Stmt):
+    """``FOR <count> REPETITIONS { ... }``."""
+
+    count: Expr
+    body: List[Stmt]
+
+    def __eq__(self, other):
+        return (isinstance(other, ForRep) and self.count == other.count
+                and self.body == other.body)
+
+
+@dataclass
+class ForEach(Stmt):
+    """``FOR EACH i IN {lo, ..., hi} { ... }`` (inclusive range)."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: List[Stmt]
+
+    def __eq__(self, other):
+        return (isinstance(other, ForEach) and self.var == other.var
+                and self.lo == other.lo and self.hi == other.hi
+                and self.body == other.body)
+
+
+@dataclass
+class IfStmt(Stmt):
+    """``IF <cond> THEN <stmt> [OTHERWISE <stmt>]``."""
+
+    cond: Expr
+    then: List[Stmt]
+    otherwise: List[Stmt] = field(default_factory=list)
+
+    def __eq__(self, other):
+        return (isinstance(other, IfStmt) and self.cond == other.cond
+                and self.then == other.then
+                and self.otherwise == other.otherwise)
+
+
+@dataclass(frozen=True)
+class SendStmt(Stmt):
+    """``<sel> [ASYNCHRONOUSLY] SEND(S) <count> <size>-BYTE MESSAGE(S)
+    TO [UNSUSPECTING] TASK <expr>``.
+
+    When ``unsuspecting`` is False the statement implies matching receives
+    on the destination tasks; when True only the send side is performed and
+    an explicit :class:`RecvStmt` elsewhere must receive the data.
+    """
+
+    sel: TaskSelector
+    size: Expr
+    dest: Expr
+    count: Expr = Num(1)
+    is_async: bool = False
+    unsuspecting: bool = False
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class RecvStmt(Stmt):
+    """``<sel> [ASYNCHRONOUSLY] RECEIVE(S) <count> <size>-BYTE MESSAGE(S)
+    FROM [ANY] TASK [<expr>]``.  ``source`` of None means ANY TASK (the
+    wildcard that Algorithm 2 eliminates from generated code)."""
+
+    sel: TaskSelector
+    size: Expr
+    source: Optional[Expr]
+    count: Expr = Num(1)
+    is_async: bool = False
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class MulticastStmt(Stmt):
+    """``<src sel> MULTICAST(S) A <size>-BYTE MESSAGE TO <target sel>``.
+
+    One source → a broadcast; sources identical to targets → an all-to-all
+    exchange; several sources → one broadcast per source.
+    """
+
+    sel: TaskSelector
+    size: Expr
+    targets: TaskSelector
+
+
+@dataclass(frozen=True)
+class ReduceStmt(Stmt):
+    """``<src sel> REDUCE(S) A <size>-BYTE VALUE TO <target sel>``.
+
+    Targets equal to sources → an allreduce; a single target → a rooted
+    reduction; disjoint extra targets → reduce + multicast.
+    """
+
+    sel: TaskSelector
+    size: Expr
+    targets: TaskSelector
+
+
+@dataclass(frozen=True)
+class SyncStmt(Stmt):
+    """``<sel> SYNCHRONIZE(S)`` (barrier over the selected tasks)."""
+
+    sel: TaskSelector
+
+
+@dataclass(frozen=True)
+class ComputeStmt(Stmt):
+    """``<sel> COMPUTE(S) FOR <expr> MICROSECONDS`` (the spin loop that
+    stands in for the original application's computation)."""
+
+    sel: TaskSelector
+    usecs: Expr
+
+
+@dataclass(frozen=True)
+class ResetStmt(Stmt):
+    """``<sel> RESET(S) THEIR COUNTERS``."""
+
+    sel: TaskSelector
+
+
+@dataclass(frozen=True)
+class AwaitStmt(Stmt):
+    """``<sel> AWAIT(S) COMPLETION`` (wait on all outstanding asynchronous
+    operations of the selected tasks)."""
+
+    sel: TaskSelector
+
+
+@dataclass(frozen=True)
+class LogStmt(Stmt):
+    """``<sel> LOG(S) THE <aggregate> OF <counter> AS "<label>"``."""
+
+    sel: TaskSelector
+    aggregate: str  # MEAN | MEDIAN | MINIMUM | MAXIMUM | SUM | FINAL
+    counter: str    # elapsed_usecs, bytes_sent, ...
+    label: str
+
+
+#: Aggregates accepted by LOG statements.
+AGGREGATES = ("MEAN", "MEDIAN", "MINIMUM", "MAXIMUM", "SUM", "FINAL")
+
+#: Runtime counters a LOG statement may reference.
+COUNTERS = ("elapsed_usecs", "bytes_sent", "bytes_received", "msgs_sent",
+            "msgs_received", "total_bytes", "total_msgs")
+
+#: Message-size units and their byte multipliers.
+UNITS = {
+    "BYTE": 1, "BYTES": 1,
+    "HALFWORD": 2, "HALFWORDS": 2,
+    "WORD": 4, "WORDS": 4,
+    "DOUBLEWORD": 8, "DOUBLEWORDS": 8,
+    "KILOBYTE": 1024, "KILOBYTES": 1024,
+    "MEGABYTE": 1 << 20, "MEGABYTES": 1 << 20,
+}

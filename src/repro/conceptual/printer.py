@@ -1,0 +1,189 @@
+"""Pretty-printer: AST → readable coNCePTuaL source text.
+
+The benchmark generator builds ASTs, never strings; this module renders
+them in the English-like concrete syntax, and the test suite asserts that
+``parse(print(ast)) == ast`` so generated programs are grammatical by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.conceptual.ast_nodes import (AllTasks, AwaitStmt, BinOp,
+                                        ComputeStmt, Expr, ForEach, ForRep,
+                                        IfStmt, IsIn, LogStmt, MulticastStmt,
+                                        Num, Program, RecvStmt, ReduceStmt,
+                                        ResetStmt, SendStmt, SingleTask,
+                                        Stmt, SuchThat, SyncStmt,
+                                        TaskSelector, Var)
+
+_PRECEDENCE = {
+    "\\/": 1, "/\\": 2,
+    "=": 3, "<>": 3, "<": 3, ">": 3, "<=": 3, ">=": 3, "DIVIDES": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5, "MOD": 5,
+}
+
+
+def render_expr(expr: Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, Num):
+        v = expr.value
+        if isinstance(v, float):
+            return repr(v)
+        return str(v)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, IsIn):
+        members = ", ".join(render_expr(m) for m in expr.members)
+        body = f"{render_expr(expr.item, 3)} IS IN {{{members}}}"
+        return f"({body})" if parent_prec > 3 else body
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = render_expr(expr.left, prec)
+        right = render_expr(expr.right, prec + 1)  # left-associative
+        body = f"{left} {expr.op} {right}"
+        return f"({body})" if prec < parent_prec else body
+    raise TypeError(f"cannot render {expr!r}")
+
+
+def render_selector(sel: TaskSelector) -> str:
+    if isinstance(sel, AllTasks):
+        return f"ALL TASKS {sel.var}" if sel.var else "ALL TASKS"
+    if isinstance(sel, SingleTask):
+        return f"TASK {render_expr(sel.expr)}"
+    if isinstance(sel, SuchThat):
+        return f"TASKS {sel.var} SUCH THAT {render_expr(sel.predicate)}"
+    raise TypeError(f"cannot render {sel!r}")
+
+
+def _plural(sel: TaskSelector) -> str:
+    """English verb suffix: TASK 0 SENDS, ALL TASKS SEND."""
+    return "S" if isinstance(sel, SingleTask) else ""
+
+
+def _render_size(size: Expr) -> str:
+    if isinstance(size, Num) and isinstance(size.value, int):
+        v = size.value
+        if v > 0 and v % (1 << 20) == 0:
+            n = v >> 20
+            return f"{n} MEGABYTE" + ("S" if n != 1 else "")
+        if v > 0 and v % 1024 == 0:
+            n = v >> 10
+            return f"{n} KILOBYTE" + ("S" if n != 1 else "")
+        return f"{v} BYTE" + ("S" if v != 1 else "")
+    return f"{render_expr(size, 6)} BYTES"
+
+
+def _render_tag(tag: int) -> str:
+    if tag == -1:
+        return " WITH ANY TAG"
+    if tag:
+        return f" WITH TAG {tag}"
+    return ""
+
+
+def _render_count_size(count: Expr, size: Expr, noun: str) -> str:
+    size_txt = _render_size(size)
+    if count == Num(1):
+        return f"A {size_txt} {noun}"
+    return f"{render_expr(count, 6)} {size_txt} {noun}S"
+
+
+class _Printer:
+    def __init__(self, indent: str = "  "):
+        self.indent = indent
+        self.lines: List[str] = []
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append(self.indent * depth + text)
+
+    def stmt_seq(self, stmts: List[Stmt], depth: int) -> None:
+        for i, stmt in enumerate(stmts):
+            self.stmt(stmt, depth, then=i < len(stmts) - 1)
+
+    def _block(self, body: List[Stmt], depth: int, suffix: str) -> None:
+        self.lines[-1] += " {"
+        self.stmt_seq(body, depth + 1)
+        self.emit(depth, "}" + suffix)
+
+    def stmt(self, stmt: Stmt, depth: int, then: bool) -> None:
+        suffix = " THEN" if then else ""
+        if isinstance(stmt, ForRep):
+            self.emit(depth, f"FOR {render_expr(stmt.count)} REPETITIONS")
+            self._block(stmt.body, depth, suffix)
+            return
+        if isinstance(stmt, ForEach):
+            self.emit(depth, f"FOR EACH {stmt.var} IN "
+                             f"{{{render_expr(stmt.lo)}, ..., "
+                             f"{render_expr(stmt.hi)}}}")
+            self._block(stmt.body, depth, suffix)
+            return
+        if isinstance(stmt, IfStmt):
+            self.emit(depth, f"IF {render_expr(stmt.cond)} THEN")
+            self._block(stmt.then, depth, "" if stmt.otherwise else suffix)
+            if stmt.otherwise:
+                self.lines[-1] += " OTHERWISE"
+                self._block(stmt.otherwise, depth, suffix)
+            return
+        self.emit(depth, self.simple(stmt) + suffix)
+
+    def simple(self, stmt: Stmt) -> str:
+        if isinstance(stmt, SendStmt):
+            s = render_selector(stmt.sel)
+            if stmt.is_async:
+                s += " ASYNCHRONOUSLY"
+            s += f" SEND{_plural(stmt.sel)} "
+            s += _render_count_size(stmt.count, stmt.size, "MESSAGE")
+            s += " TO "
+            if stmt.unsuspecting:
+                s += "UNSUSPECTING "
+            s += f"TASK {render_expr(stmt.dest)}"
+            s += _render_tag(stmt.tag)
+            return s
+        if isinstance(stmt, RecvStmt):
+            s = render_selector(stmt.sel)
+            if stmt.is_async:
+                s += " ASYNCHRONOUSLY"
+            s += f" RECEIVE{_plural(stmt.sel)} "
+            s += _render_count_size(stmt.count, stmt.size, "MESSAGE")
+            if stmt.source is None:
+                s += " FROM ANY TASK"
+            else:
+                s += f" FROM TASK {render_expr(stmt.source)}"
+            s += _render_tag(stmt.tag)
+            return s
+        if isinstance(stmt, MulticastStmt):
+            return (f"{render_selector(stmt.sel)} "
+                    f"MULTICAST{_plural(stmt.sel)} A "
+                    f"{_render_size(stmt.size)} MESSAGE TO "
+                    f"{render_selector(stmt.targets)}")
+        if isinstance(stmt, ReduceStmt):
+            return (f"{render_selector(stmt.sel)} "
+                    f"REDUCE{_plural(stmt.sel)} A "
+                    f"{_render_size(stmt.size)} VALUE TO "
+                    f"{render_selector(stmt.targets)}")
+        if isinstance(stmt, SyncStmt):
+            return f"{render_selector(stmt.sel)} SYNCHRONIZE{_plural(stmt.sel)}"
+        if isinstance(stmt, ComputeStmt):
+            return (f"{render_selector(stmt.sel)} "
+                    f"COMPUTE{_plural(stmt.sel)} FOR "
+                    f"{render_expr(stmt.usecs)} MICROSECONDS")
+        if isinstance(stmt, ResetStmt):
+            return (f"{render_selector(stmt.sel)} "
+                    f"RESET{_plural(stmt.sel)} THEIR COUNTERS")
+        if isinstance(stmt, AwaitStmt):
+            return (f"{render_selector(stmt.sel)} "
+                    f"AWAIT{_plural(stmt.sel)} COMPLETION")
+        if isinstance(stmt, LogStmt):
+            return (f"{render_selector(stmt.sel)} LOG{_plural(stmt.sel)} THE "
+                    f"{stmt.aggregate} OF {stmt.counter} AS "
+                    f"\"{stmt.label}\"")
+        raise TypeError(f"cannot render {stmt!r}")
+
+
+def print_program(program: Program, indent: str = "  ") -> str:
+    """Render a program AST as coNCePTuaL source text."""
+    p = _Printer(indent)
+    p.stmt_seq(program.stmts, 0)
+    return "\n".join(p.lines) + "\n"

@@ -1,0 +1,107 @@
+"""coNCePTuaL runtime support: per-task counters and the log database.
+
+Real coNCePTuaL programs write per-task log files full of measurement
+tables (§3.2 and [14]); our compiled programs record the same information
+into an in-memory :class:`LogDatabase` that tests and benchmark harnesses
+query directly.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Tuple
+
+from repro.conceptual.ast_nodes import COUNTERS
+
+
+class TaskCounters:
+    """The resettable counters a LOG statement can reference."""
+
+    def __init__(self):
+        self.reset_time = 0.0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.msgs_sent = 0
+        self.msgs_received = 0
+
+    def reset(self, now: float) -> None:
+        self.reset_time = now
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.msgs_sent = 0
+        self.msgs_received = 0
+
+    def value(self, counter: str, now: float) -> float:
+        if counter == "elapsed_usecs":
+            return (now - self.reset_time) * 1e6
+        if counter == "total_bytes":
+            return self.bytes_sent + self.bytes_received
+        if counter == "total_msgs":
+            return self.msgs_sent + self.msgs_received
+        if counter in COUNTERS:
+            return getattr(self, counter)
+        raise KeyError(f"unknown counter {counter!r}")
+
+
+class LogDatabase:
+    """Collected LOG-statement samples for one program run.
+
+    Samples are keyed by (label, aggregate); each sample is (rank, value).
+    """
+
+    def __init__(self):
+        self._samples: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
+
+    def record(self, label: str, aggregate: str, rank: int,
+               value: float) -> None:
+        self._samples.setdefault((label, aggregate), []).append((rank, value))
+
+    def labels(self) -> List[Tuple[str, str]]:
+        return sorted(self._samples)
+
+    def samples(self, label: str, aggregate: str = None) -> List[float]:
+        if aggregate is not None:
+            return [v for _, v in self._samples.get((label, aggregate), [])]
+        out = []
+        for (lbl, _), pairs in self._samples.items():
+            if lbl == label:
+                out.extend(v for _, v in pairs)
+        return out
+
+    def value(self, label: str) -> float:
+        """Aggregate all samples recorded under ``label`` using the
+        aggregate named in the LOG statement."""
+        for (lbl, agg), pairs in self._samples.items():
+            if lbl != label:
+                continue
+            values = [v for _, v in pairs]
+            return _aggregate(agg, values)
+        raise KeyError(f"no samples logged as {label!r}")
+
+    def report(self) -> str:
+        """Human-readable result table (the stand-in for coNCePTuaL's log
+        files)."""
+        lines = ["label | aggregate | samples | value"]
+        for (label, agg) in self.labels():
+            values = [v for _, v in self._samples[(label, agg)]]
+            lines.append(f"{label} | {agg} | {len(values)} | "
+                         f"{_aggregate(agg, values):.6g}")
+        return "\n".join(lines)
+
+
+def _aggregate(agg: str, values: List[float]) -> float:
+    if not values:
+        raise ValueError("no samples to aggregate")
+    if agg == "MEAN":
+        return statistics.fmean(values)
+    if agg == "MEDIAN":
+        return statistics.median(values)
+    if agg == "MINIMUM":
+        return min(values)
+    if agg == "MAXIMUM":
+        return max(values)
+    if agg == "SUM":
+        return sum(values)
+    if agg == "FINAL":
+        return values[-1]
+    raise ValueError(f"unknown aggregate {agg!r}")

@@ -1,0 +1,120 @@
+"""Static semantic checks for coNCePTuaL programs.
+
+Run before compilation so that authoring errors (unbound variables,
+unknown counters, malformed selectors) surface with clear messages rather
+than as runtime KeyErrors inside the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.conceptual.ast_nodes import (AllTasks, AwaitStmt, BinOp,
+                                        ComputeStmt, COUNTERS, Expr, ForEach,
+                                        ForRep, IfStmt, IsIn, LogStmt,
+                                        MulticastStmt, Num, Program,
+                                        RecvStmt, ReduceStmt, ResetStmt,
+                                        SendStmt, SingleTask, Stmt, SuchThat,
+                                        SyncStmt, TaskSelector, Var)
+from repro.errors import ConceptualSemanticError
+
+#: identifiers always in scope
+_BUILTINS = {"num_tasks"}
+
+
+def _check_expr(expr: Expr, scope: Set[str]) -> None:
+    if isinstance(expr, Num):
+        return
+    if isinstance(expr, Var):
+        if expr.name not in scope and expr.name not in _BUILTINS:
+            raise ConceptualSemanticError(
+                f"unbound variable {expr.name!r}")
+        return
+    if isinstance(expr, BinOp):
+        _check_expr(expr.left, scope)
+        _check_expr(expr.right, scope)
+        return
+    if isinstance(expr, IsIn):
+        _check_expr(expr.item, scope)
+        for m in expr.members:
+            _check_expr(m, scope)
+        return
+    raise ConceptualSemanticError(f"unknown expression node {expr!r}")
+
+
+def _selector_scope(sel: TaskSelector, scope: Set[str]) -> Set[str]:
+    """Scope visible to the statement body: the selector may bind a task
+    variable."""
+    if isinstance(sel, AllTasks):
+        return scope | {sel.var} if sel.var else scope
+    if isinstance(sel, SingleTask):
+        _check_expr(sel.expr, scope)
+        return scope
+    if isinstance(sel, SuchThat):
+        inner = scope | {sel.var}
+        _check_expr(sel.predicate, inner)
+        return inner
+    raise ConceptualSemanticError(f"unknown selector {sel!r}")
+
+
+def _check_stmt(stmt: Stmt, scope: Set[str]) -> None:
+    if isinstance(stmt, ForRep):
+        _check_expr(stmt.count, scope)
+        for s in stmt.body:
+            _check_stmt(s, scope)
+        return
+    if isinstance(stmt, ForEach):
+        _check_expr(stmt.lo, scope)
+        _check_expr(stmt.hi, scope)
+        inner = scope | {stmt.var}
+        for s in stmt.body:
+            _check_stmt(s, inner)
+        return
+    if isinstance(stmt, IfStmt):
+        _check_expr(stmt.cond, scope)
+        for s in stmt.then:
+            _check_stmt(s, scope)
+        for s in stmt.otherwise:
+            _check_stmt(s, scope)
+        return
+    if isinstance(stmt, SendStmt):
+        inner = _selector_scope(stmt.sel, scope)
+        _check_expr(stmt.count, inner)
+        _check_expr(stmt.size, inner)
+        _check_expr(stmt.dest, inner)
+        if stmt.tag < 0:
+            raise ConceptualSemanticError(
+                "a send cannot use the ANY tag")
+        return
+    if isinstance(stmt, RecvStmt):
+        inner = _selector_scope(stmt.sel, scope)
+        _check_expr(stmt.count, inner)
+        _check_expr(stmt.size, inner)
+        if stmt.source is not None:
+            _check_expr(stmt.source, inner)
+        return
+    if isinstance(stmt, (MulticastStmt, ReduceStmt)):
+        inner = _selector_scope(stmt.sel, scope)
+        _check_expr(stmt.size, inner)
+        _selector_scope(stmt.targets, scope)
+        return
+    if isinstance(stmt, ComputeStmt):
+        inner = _selector_scope(stmt.sel, scope)
+        _check_expr(stmt.usecs, inner)
+        return
+    if isinstance(stmt, (SyncStmt, ResetStmt, AwaitStmt)):
+        _selector_scope(stmt.sel, scope)
+        return
+    if isinstance(stmt, LogStmt):
+        _selector_scope(stmt.sel, scope)
+        if stmt.counter not in COUNTERS:
+            raise ConceptualSemanticError(
+                f"unknown counter {stmt.counter!r}; choose from {COUNTERS}")
+        return
+    raise ConceptualSemanticError(f"unknown statement node {stmt!r}")
+
+
+def check_program(program: Program) -> None:
+    """Raise :class:`ConceptualSemanticError` on the first problem found."""
+    for stmt in program.stmts:
+        _check_stmt(stmt, set())

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch pipeline failures uniformly while still being able to
+distinguish, e.g., a simulated-application deadlock from a DSL syntax error.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event simulator."""
+
+
+class SimDeadlockError(SimulationError):
+    """All live ranks are blocked and no operation can ever complete.
+
+    Carries ``blocked``: a mapping of rank -> human-readable description of
+    the operation the rank is blocked on, for diagnostics.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = dict(blocked)
+        detail = "; ".join(f"rank {r}: {d}" for r, d in sorted(self.blocked.items()))
+        super().__init__(f"simulated deadlock, all ranks blocked ({detail})")
+
+
+class MPIUsageError(SimulationError):
+    """An application used the MPI layer incorrectly (bad peer, bad comm...)."""
+
+
+class TraceError(ReproError):
+    """Malformed trace data or an operation unsupported by the trace model."""
+
+
+class ConceptualError(ReproError):
+    """Base class for coNCePTuaL toolchain errors."""
+
+
+class ConceptualSyntaxError(ConceptualError):
+    """Lexing or parsing failure; carries line/column info in the message."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class ConceptualSemanticError(ConceptualError):
+    """The program parsed but violates static semantic rules."""
+
+
+class GenerationError(ReproError):
+    """The benchmark generator could not convert a trace."""
+
+
+class TraceDeadlockError(GenerationError):
+    """Algorithm 2's deadlock detector found a potential deadlock in the
+    traced application (paper, Fig. 5): the trace admits an execution in
+    which some rank blocks forever.
+    """
+
+    def __init__(self, message, cycle=None):
+        self.cycle = list(cycle or [])
+        super().__init__(message)

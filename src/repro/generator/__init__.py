@@ -1,0 +1,44 @@
+"""The benchmark generator — the paper's central contribution.
+
+Trace traversal framework with pluggable code generators, Algorithm 1
+(collective alignment), Algorithm 2 (wildcard resolution with deadlock
+detection), the Table 1 collective mapping, rank absolutization, and
+emitters for coNCePTuaL and Python."""
+
+from repro.generator.align import align_collectives, needs_alignment
+from repro.generator.api import (GeneratedBenchmark, generate_benchmark,
+                                 generate_from_application, scale_compute,
+                                 trace_application)
+from repro.generator.emit_conceptual import ConceptualEmitter
+from repro.generator.emit_python import emit_python
+from repro.generator.extrap import (ExtrapolationError, extrapolate_trace,
+                                    fit_float, fit_int)
+from repro.generator.mapping import average_size, map_collective
+from repro.generator.rebuild import rebuild_trace
+from repro.generator.traversal import (CollectiveInstance, TraceScheduler,
+                                       TraversalResult)
+from repro.generator.wildcard import has_wildcards, resolve_wildcards
+
+__all__ = [
+    "CollectiveInstance",
+    "ConceptualEmitter",
+    "ExtrapolationError",
+    "extrapolate_trace",
+    "fit_float",
+    "fit_int",
+    "GeneratedBenchmark",
+    "TraceScheduler",
+    "TraversalResult",
+    "align_collectives",
+    "average_size",
+    "emit_python",
+    "generate_benchmark",
+    "generate_from_application",
+    "has_wildcards",
+    "map_collective",
+    "needs_alignment",
+    "rebuild_trace",
+    "resolve_wildcards",
+    "scale_compute",
+    "trace_application",
+]

@@ -1,0 +1,129 @@
+"""Public pipeline API: application → trace → coNCePTuaL benchmark.
+
+The one-call path mirrors Figure 1 of the paper::
+
+    from repro.generator import generate_from_application
+    bench = generate_from_application(app_program, nranks=16)
+    print(bench.source)                  # readable coNCePTuaL text
+    result, logs = bench.program.run(16) # execute the benchmark
+
+or step by step: :func:`trace_application` →
+:func:`align_collectives` → :func:`resolve_wildcards` →
+:func:`generate_benchmark`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.conceptual.ast_nodes import (ComputeStmt, ForEach, ForRep,
+                                        IfStmt, Num, Program)
+from repro.conceptual.compiler import ConceptualProgram
+from repro.generator.align import align_collectives, needs_alignment
+from repro.generator.emit_conceptual import ConceptualEmitter
+from repro.generator.emit_python import emit_python
+from repro.generator.wildcard import has_wildcards, resolve_wildcards
+from repro.mpi.world import run_spmd
+from repro.scalatrace.rsd import Trace
+from repro.scalatrace.tracer import ScalaTraceHook
+
+
+def trace_application(program: Callable, nranks: int, model=None,
+                      hooks=None, max_steps=None) -> Trace:
+    """Run an application under ScalaTrace interposition; return the
+    merged global trace."""
+    tracer = ScalaTraceHook()
+    all_hooks = [tracer] + list(hooks or [])
+    run_spmd(program, nranks, model=model, hooks=all_hooks,
+             max_steps=max_steps)
+    return tracer.trace
+
+
+@dataclass
+class GeneratedBenchmark:
+    """The generator's output bundle."""
+
+    program: ConceptualProgram   #: compiled, runnable benchmark
+    source: str                  #: readable coNCePTuaL text
+    trace: Trace                 #: the processed (aligned/resolved) trace
+    was_aligned: bool            #: Algorithm 1 ran
+    was_resolved: bool           #: Algorithm 2 ran
+
+    def python_source(self) -> str:
+        """The same benchmark rendered by the pluggable Python backend."""
+        return emit_python(self.program.ast, self.trace.world_size)
+
+
+def generate_benchmark(trace: Trace, align: bool = True,
+                       resolve: bool = True, include_timing: bool = True,
+                       split_first_rest: bool = True,
+                       name: str = "generated") -> GeneratedBenchmark:
+    """Convert a ScalaTrace trace into an executable coNCePTuaL benchmark.
+
+    ``align``/``resolve`` correspond to Algorithms 1 and 2; each runs only
+    after its cheap O(r) pre-check says the trace needs it (§4.3/§4.4).
+    ``split_first_rest=False`` disables the path-aware first-iteration
+    timing conditionals (an ablation of §4.5's summarization error).
+    """
+    was_aligned = was_resolved = False
+    if align and needs_alignment(trace):
+        trace = align_collectives(trace)
+        was_aligned = True
+    if resolve and has_wildcards(trace):
+        trace = resolve_wildcards(trace)
+        was_resolved = True
+    emitter = ConceptualEmitter(trace, include_timing=include_timing,
+                                split_first_rest=split_first_rest)
+    ast = emitter.generate()
+    program = ConceptualProgram(ast, name=name)
+    return GeneratedBenchmark(program=program, source=program.source,
+                              trace=trace, was_aligned=was_aligned,
+                              was_resolved=was_resolved)
+
+
+def generate_from_application(app_program: Callable, nranks: int,
+                              model=None, **kwargs) -> GeneratedBenchmark:
+    """Figure 1 in one call: trace the application, then generate."""
+    trace = trace_application(app_program, nranks, model=model)
+    return generate_benchmark(trace, **kwargs)
+
+
+def scale_compute(program: ConceptualProgram, factor: float,
+                  name: Optional[str] = None,
+                  where: Optional[Callable] = None) -> ConceptualProgram:
+    """Scale COMPUTE statements by ``factor`` (the §5.4 what-if study:
+    1.0 = original compute time, 0.0 = infinitely fast CPUs).
+
+    ``where`` optionally selects which COMPUTE statements to scale
+    (``where(stmt) -> bool``), realizing §5.4's refinement of "different
+    speedup factors for different computational phases" — compose several
+    calls with different predicates and factors.  Works on the AST,
+    exactly like hand-editing the generated source.
+    """
+    if factor < 0:
+        raise ValueError("factor must be non-negative")
+
+    def scale_stmt(stmt):
+        if isinstance(stmt, ComputeStmt):
+            if where is not None and not where(stmt):
+                return stmt
+            usecs = stmt.usecs
+            if not isinstance(usecs, Num):
+                raise ValueError(
+                    "can only scale constant COMPUTE durations")
+            return ComputeStmt(stmt.sel, Num(round(usecs.value * factor,
+                                                   6)))
+        if isinstance(stmt, ForRep):
+            return ForRep(stmt.count, [scale_stmt(s) for s in stmt.body])
+        if isinstance(stmt, ForEach):
+            return ForEach(stmt.var, stmt.lo, stmt.hi,
+                           [scale_stmt(s) for s in stmt.body])
+        if isinstance(stmt, IfStmt):
+            return IfStmt(stmt.cond, [scale_stmt(s) for s in stmt.then],
+                          [scale_stmt(s) for s in stmt.otherwise])
+        return stmt
+
+    ast = Program([scale_stmt(s) for s in program.ast.stmts])
+    return ConceptualProgram(ast, name=name or
+                             f"{program.name}-x{factor:g}")

@@ -1,0 +1,257 @@
+"""A second code-generation backend: coNCePTuaL AST → executable Python.
+
+The paper's traversal framework takes *pluggable* per-language generators
+(§4.1: "By implementing a generator for a different target language, we
+can easily generate code for languages other than CONCEPTUAL as well").
+This backend demonstrates that: it renders the same benchmark as a
+self-contained Python SPMD generator function over :mod:`repro.mpi`,
+so the output can be ``exec``'d and run on the simulator directly —
+playing the role the C+MPI backend plays for real coNCePTuaL.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.conceptual.ast_nodes import (AllTasks, AwaitStmt, BinOp,
+                                        ComputeStmt, Expr, ForEach, ForRep,
+                                        IfStmt, IsIn, LogStmt, MulticastStmt,
+                                        Num, Program, RecvStmt, ReduceStmt,
+                                        ResetStmt, SendStmt, SingleTask,
+                                        Stmt, SuchThat, SyncStmt,
+                                        TaskSelector, Var)
+from repro.errors import GenerationError
+
+_PY_OPS = {"+": "+", "-": "-", "*": "*", "/": "//", "MOD": "%",
+           "=": "==", "<>": "!=", "<": "<", ">": ">", "<=": "<=",
+           ">=": ">=", "/\\": "and", "\\/": "or"}
+
+
+def _expr(e: Expr) -> str:
+    if isinstance(e, Num):
+        return repr(e.value)
+    if isinstance(e, Var):
+        if e.name == "num_tasks":
+            return "mpi.size"
+        return e.name
+    if isinstance(e, IsIn):
+        members = ", ".join(_expr(m) for m in e.members)
+        return f"(({_expr(e.item)}) in ({members},))"
+    if isinstance(e, BinOp):
+        if e.op == "DIVIDES":
+            return f"(({_expr(e.right)}) % ({_expr(e.left)}) == 0)"
+        return f"(({_expr(e.left)}) {_PY_OPS[e.op]} ({_expr(e.right)}))"
+    raise GenerationError(f"cannot translate expression {e!r}")
+
+
+def _sel_guard(sel: TaskSelector, bind: str = "mpi.rank") -> str:
+    """Python boolean expression: does this rank match the selector?
+    Also returns the variable binding prelude needed (task var = rank)."""
+    if isinstance(sel, AllTasks):
+        return "True"
+    if isinstance(sel, SingleTask):
+        return f"({bind} == ({_expr(sel.expr)}))"
+    if isinstance(sel, SuchThat):
+        # the task variable is bound to the candidate rank
+        pred = _expr(sel.predicate)
+        return pred  # caller must bind sel.var
+    raise GenerationError(f"cannot translate selector {sel!r}")
+
+
+def _sel_var(sel: TaskSelector) -> str:
+    if isinstance(sel, AllTasks) and sel.var:
+        return sel.var
+    if isinstance(sel, SuchThat):
+        return sel.var
+    return "_t"
+
+
+def _sel_members_expr(sel: TaskSelector) -> str:
+    """Python expression producing the sorted member list of a selector."""
+    var = _sel_var(sel)
+    guard = _sel_guard(sel, bind=var)
+    return f"[{var} for {var} in range(mpi.size) if ({guard})]"
+
+
+class _Py:
+    def __init__(self):
+        self.lines: List[str] = []
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append("    " * depth + text)
+
+
+def _emit_stmts(py: _Py, stmts, depth: int) -> None:
+    for stmt in stmts:
+        _emit_stmt(py, stmt, depth)
+
+
+def _emit_guarded(py: _Py, sel: TaskSelector, depth: int) -> int:
+    """Emit the 'am I selected' guard; returns the new depth."""
+    var = _sel_var(sel)
+    if isinstance(sel, AllTasks):
+        if sel.var:
+            py.emit(depth, f"{sel.var} = mpi.rank")
+        return depth
+    if isinstance(sel, SingleTask):
+        py.emit(depth, f"if mpi.rank == ({_expr(sel.expr)}):")
+        return depth + 1
+    py.emit(depth, f"{var} = mpi.rank")
+    py.emit(depth, f"if {_expr(sel.predicate)}:")
+    return depth + 1
+
+
+def _emit_stmt(py: _Py, stmt: Stmt, depth: int) -> None:
+    if isinstance(stmt, ForRep):
+        py.emit(depth, f"for _ in range({_expr(stmt.count)}):")
+        _emit_stmts(py, stmt.body, depth + 1)
+        return
+    if isinstance(stmt, ForEach):
+        py.emit(depth, f"for {stmt.var} in range({_expr(stmt.lo)}, "
+                       f"({_expr(stmt.hi)}) + 1):")
+        _emit_stmts(py, stmt.body, depth + 1)
+        return
+    if isinstance(stmt, IfStmt):
+        py.emit(depth, f"if {_expr(stmt.cond)}:")
+        _emit_stmts(py, stmt.then, depth + 1)
+        if stmt.otherwise:
+            py.emit(depth, "else:")
+            _emit_stmts(py, stmt.otherwise, depth + 1)
+        return
+    if isinstance(stmt, SendStmt):
+        d = _emit_guarded(py, stmt.sel, depth)
+        count = _expr(stmt.count)
+        if stmt.count != Num(1):
+            py.emit(d, f"for _ in range({count}):")
+            d += 1
+        if stmt.is_async:
+            py.emit(d, f"_req = yield from mpi.isend(dest={_expr(stmt.dest)},"
+                       f" nbytes={_expr(stmt.size)}, tag={stmt.tag})")
+            py.emit(d, "_pending.append(_req)")
+        else:
+            py.emit(d, f"yield from mpi.send(dest={_expr(stmt.dest)}, "
+                       f"nbytes={_expr(stmt.size)}, tag={stmt.tag})")
+        if not stmt.unsuspecting:
+            raise GenerationError(
+                "the Python backend only renders generator output, which "
+                "always uses unsuspecting sends + explicit receives")
+        return
+    if isinstance(stmt, RecvStmt):
+        d = _emit_guarded(py, stmt.sel, depth)
+        if stmt.count != Num(1):
+            py.emit(d, f"for _ in range({_expr(stmt.count)}):")
+            d += 1
+        src = "ANY_SOURCE" if stmt.source is None else _expr(stmt.source)
+        if stmt.is_async:
+            py.emit(d, f"_req = yield from mpi.irecv(source={src}, "
+                       f"tag={stmt.tag})")
+            py.emit(d, "_pending.append(_req)")
+        else:
+            py.emit(d, f"yield from mpi.recv(source={src}, tag={stmt.tag})")
+        return
+    if isinstance(stmt, MulticastStmt):
+        sources = _sel_members_expr(stmt.sel)
+        targets = _sel_members_expr(stmt.targets)
+        py.emit(depth, f"_src = {sources}")
+        py.emit(depth, f"_tgt = {targets}")
+        py.emit(depth, f"_size = {_expr(stmt.size)}")
+        py.emit(depth, "yield from _multicast(mpi, _src, _tgt, _size)")
+        return
+    if isinstance(stmt, ReduceStmt):
+        sources = _sel_members_expr(stmt.sel)
+        targets = _sel_members_expr(stmt.targets)
+        py.emit(depth, f"_src = {sources}")
+        py.emit(depth, f"_tgt = {targets}")
+        py.emit(depth, f"_size = {_expr(stmt.size)}")
+        py.emit(depth, "yield from _reduce(mpi, _src, _tgt, _size)")
+        return
+    if isinstance(stmt, SyncStmt):
+        members = _sel_members_expr(stmt.sel)
+        py.emit(depth, f"_grp = {members}")
+        py.emit(depth, "if mpi.rank in _grp:")
+        py.emit(depth + 1,
+                "yield from mpi.barrier(comm=mpi.group_comm(_grp))")
+        return
+    if isinstance(stmt, ComputeStmt):
+        d = _emit_guarded(py, stmt.sel, depth)
+        py.emit(d, f"yield from mpi.compute(({_expr(stmt.usecs)}) * 1e-6)")
+        return
+    if isinstance(stmt, AwaitStmt):
+        d = _emit_guarded(py, stmt.sel, depth)
+        py.emit(d, "if _pending:")
+        py.emit(d + 1, "yield from mpi.waitall(_pending)")
+        py.emit(d + 1, "_pending.clear()")
+        return
+    if isinstance(stmt, ResetStmt):
+        py.emit(depth, "_t0 = mpi.now()")
+        return
+    if isinstance(stmt, LogStmt):
+        py.emit(depth, f"_log.append(({stmt.label!r}, mpi.rank, "
+                       f"(mpi.now() - _t0) * 1e6))")
+        return
+    raise GenerationError(f"cannot translate statement {stmt!r}")
+
+
+_PRELUDE = '''\
+"""Auto-generated communication benchmark (Python backend).
+
+Run with:  repro.mpi.run_spmd(benchmark, nranks={nranks}, ...)
+Per-rank log records accumulate in the module-level `collected_logs`.
+"""
+
+from repro.mpi.api import ANY_SOURCE
+
+collected_logs = []
+
+
+def _multicast(mpi, sources, targets, size):
+    if set(sources) == set(targets) and len(sources) > 1:
+        grp = sorted(set(sources))
+        if mpi.rank in grp:
+            yield from mpi.alltoall(size, comm=mpi.group_comm(grp))
+        return
+    for src in sorted(set(sources)):
+        grp = sorted(set(targets) | {{src}})
+        if mpi.rank in grp:
+            comm = mpi.group_comm(grp)
+            yield from mpi.bcast(size, root=comm.rank_of_world(src),
+                                 comm=comm)
+
+
+def _reduce(mpi, sources, targets, size):
+    src, tgt = set(sources), set(targets)
+    grp = sorted(src | tgt)
+    if mpi.rank not in grp:
+        return
+    comm = mpi.group_comm(grp)
+    if src == tgt:
+        yield from mpi.allreduce(size, comm=comm)
+        return
+    root = min(tgt)
+    yield from mpi.reduce(size, root=comm.rank_of_world(root), comm=comm)
+    rest = sorted(tgt - {{root}})
+    if rest:
+        bgrp = sorted({{root}} | set(rest))
+        if mpi.rank in bgrp:
+            bcomm = mpi.group_comm(bgrp)
+            yield from mpi.bcast(size, root=bcomm.rank_of_world(root),
+                                 comm=bcomm)
+
+
+def benchmark(mpi):
+    _pending = []
+    _log = collected_logs
+    _t0 = mpi.now()
+'''
+
+
+def emit_python(program: Program, nranks: int) -> str:
+    """Render a generated coNCePTuaL AST as executable Python source.
+
+    The output defines ``benchmark(mpi)``, runnable via
+    :func:`repro.mpi.run_spmd`.
+    """
+    py = _Py()
+    _emit_stmts(py, program.stmts, 1)
+    py.emit(1, "yield from mpi.finalize()")
+    return _PRELUDE.format(nranks=nranks) + "\n".join(py.lines) + "\n"

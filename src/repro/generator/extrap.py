@@ -1,0 +1,347 @@
+"""Trace extrapolation (the paper's §6 future work; ScalaExtrap [26]).
+
+"The ability to generate benchmarks that can be executed with arbitrary
+numbers of MPI processes still remains an open problem.  Our prior
+publication contributed a set of algorithms and techniques to extrapolate
+a trace of a large-scale execution of an application from traces of
+several smaller runs.  We intend to incorporate that effort into
+benchmark generation." — §6
+
+This module incorporates it: given structurally matching traces of the
+same SPMD application at two or more rank counts, every scalable aspect
+is fitted against the rank count and evaluated at an arbitrary target:
+
+* loop iteration counts        — const / affine in p, log2 p, sqrt p, 1/p
+* rank sets                    — per-run (start, stop, stride) fitting
+* peers and roots              — relative offsets, moduli, fitted consts
+* message sizes                — the same model (strong scaling shrinks
+                                 per-rank messages as c/p)
+* computation-time histograms  — first/rest means fitted in 1/p family
+
+Irregular per-rank tables (e.g. CG's XOR butterfly) have no closed form
+and raise :class:`ExtrapolationError` — the honest limit of the method,
+shared with ScalaExtrap's requirement of "communication topologies whose
+structure scales".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import GenerationError
+from repro.scalatrace.rsd import (EventNode, LoopNode, Node, ParamField,
+                                  Trace)
+from repro.util.expr import ANY_SOURCE, ParamExpr
+from repro.util.histogram import TimeHistogram
+from repro.util.rankset import RankSet
+from repro.util.valueseq import ValueSeq
+
+
+class ExtrapolationError(GenerationError):
+    """The input traces do not admit a scalable closed form."""
+
+
+# ---------------------------------------------------------------- fitting
+#: candidate basis functions g(p) for v = a + b * g(p)
+_FEATURES: List[Tuple[str, Callable[[int], float]]] = [
+    ("p", float),
+    ("log2p", lambda p: math.log2(p) if p > 1 else 0.0),
+    ("sqrtp", math.sqrt),
+    ("invp", lambda p: 1.0 / p),
+    ("invp2", lambda p: 1.0 / (p * p)),
+    ("p2", lambda p: float(p * p)),
+]
+# NOTE: two samples fit every two-parameter model, so with only two input
+# traces the first listed feature wins ties; supply three or more traces
+# to disambiguate (the ScalaExtrap paper makes the same recommendation).
+
+
+def fit_int(samples: Sequence[Tuple[int, int]],
+            what: str = "value") -> Callable[[int], int]:
+    """Exact integer model v(p) from (rank count, value) samples.
+
+    Tries a constant, then ``a + b*g(p)`` for each basis function,
+    accepting only models that reproduce *every* sample exactly (after
+    rounding).  Raises :class:`ExtrapolationError` if nothing fits.
+    """
+    ps = [p for p, _ in samples]
+    vs = [v for _, v in samples]
+    if len(set(vs)) == 1:
+        v0 = vs[0]
+        return lambda p: v0
+    if len(samples) < 2:
+        raise ExtrapolationError(
+            f"{what}: one sample cannot determine a scaling law")
+    for name, g in _FEATURES:
+        (p1, v1), (p2, v2) = samples[0], samples[1]
+        g1, g2 = g(p1), g(p2)
+        if abs(g1 - g2) < 1e-12:
+            continue
+        b = (v2 - v1) / (g2 - g1)
+        a = v1 - b * g1
+        # exact for small values; integer-flooring in the application's
+        # own size computations earns large values a 0.5% slack
+        if all(abs(a + b * g(p) - v) <= max(0.5, 0.005 * abs(v))
+               for p, v in samples):
+            return lambda p, a=a, b=b, g=g: int(round(a + b * g(p)))
+    raise ExtrapolationError(
+        f"{what}: no scaling law fits samples {list(samples)}")
+
+
+def fit_float(samples: Sequence[Tuple[int, float]],
+              rel_tol: float = 0.35) -> Callable[[int], float]:
+    """Approximate float model (for timing means): best of the same
+    family by relative error; falls back to the last sample's value when
+    nothing fits well (timing is allowed to be approximate, §4.5)."""
+    vs = [v for _, v in samples]
+    if max(vs) <= 0:
+        return lambda p: 0.0
+    if len(samples) < 2 or max(vs) - min(vs) <= 0.05 * max(vs):
+        mean = sum(vs) / len(vs)
+        return lambda p: mean
+    pmax = max(p for p, _ in samples)
+    best = None
+    best_err = None
+    for name, g in _FEATURES:
+        (p1, v1), (p2, v2) = samples[0], samples[1]
+        g1, g2 = g(p1), g(p2)
+        if abs(g1 - g2) < 1e-12:
+            continue
+        b = (v2 - v1) / (g2 - g1)
+        a = v1 - b * g1
+        err = max(abs(a + b * g(p) - v) / max(abs(v), 1e-12)
+                  for p, v in samples)
+        # timing laws must stay non-negative well past the sample range;
+        # this disambiguates "linear decrease" from the physical c/p law
+        if a + b * g(8 * pmax) < -1e-12:
+            continue
+        if best_err is None or err < best_err:
+            best, best_err = (a, b, g), err
+    if best is not None and best_err < rel_tol:
+        a, b, g = best
+        return lambda p: max(a + b * g(p), 0.0)
+    last = vs[-1]
+    return lambda p: last
+
+
+# ------------------------------------------------------------ structures
+def extrapolate_rankset(sets: Sequence[RankSet], ps: Sequence[int],
+                        target: int) -> RankSet:
+    """Fit each strided run's (start, stop, stride) against p."""
+    if all(len(s) == p for s, p in zip(sets, ps)):
+        return RankSet.world(target)
+    # contiguous sets fit directly on (min, max) — the canonical run form
+    # of very small sets (2 elements) would otherwise differ in shape
+    # from larger ones
+    if all(s and len(s) == s.max() - s.min() + 1 for s in sets):
+        lo = fit_int([(p, s.min()) for p, s in zip(ps, sets)],
+                     "interval start")(target)
+        hi = fit_int([(p, s.max()) for p, s in zip(ps, sets)],
+                     "interval stop")(target)
+        if not 0 <= lo <= hi:
+            raise ExtrapolationError(
+                f"interval ({lo}, {hi}) invalid at {target} ranks")
+        return RankSet.interval(lo, min(hi, target - 1))
+    runs_list = [s.runs for s in sets]
+    lengths = {len(r) for r in runs_list}
+    if len(lengths) != 1:
+        raise ExtrapolationError(
+            f"rank sets change shape with p: {[s.serialize() for s in sets]}")
+    out = []
+    for i in range(lengths.pop()):
+        start = fit_int([(p, runs[i][0]) for p, runs in zip(ps, runs_list)],
+                        "run start")(target)
+        stop = fit_int([(p, runs[i][1]) for p, runs in zip(ps, runs_list)],
+                       "run stop")(target)
+        stride = fit_int([(p, runs[i][2]) for p, runs in zip(ps, runs_list)],
+                         "run stride")(target)
+        if stride <= 0 or stop < start or stop >= target and start >= target:
+            raise ExtrapolationError(
+                f"extrapolated run ({start},{stop},{stride}) is invalid "
+                f"at {target} ranks")
+        out.extend(range(start, min(stop, target - 1) + 1, stride))
+    return RankSet(out)
+
+
+def _extrapolate_seq(seqs: Sequence[ValueSeq], ps: Sequence[int],
+                     target: int, what: str) -> ValueSeq:
+    lengths = {len(s.runs) for s in seqs}
+    if len(lengths) != 1:
+        raise ExtrapolationError(f"{what}: sequence shape changes with p")
+    runs = []
+    for i in range(lengths.pop()):
+        values = [(p, s.runs[i][0]) for p, s in zip(ps, seqs)]
+        counts = [(p, s.runs[i][1]) for p, s in zip(ps, seqs)]
+        if any(isinstance(v, tuple) for _, v in values):
+            # vector sizes: fit element-wise with a fitted vector length
+            vecs = [v for _, v in values]
+            vlen = fit_int([(p, len(v)) for (p, _), v in zip(values, vecs)],
+                           f"{what} vector length")(target)
+            elem_samples = [(p, sum(v) // max(len(v), 1))
+                            for (p, _), v in zip(values, vecs)]
+            elem = fit_int(elem_samples, f"{what} vector element")(target)
+            value: object = tuple([max(elem, 0)] * max(vlen, 0))
+        else:
+            value = fit_int(values, what)(target)
+        count = fit_int(counts, f"{what} run count")(target)
+        if count <= 0:
+            raise ExtrapolationError(
+                f"{what}: run count extrapolates to {count}")
+        runs.append((value, count))
+    return ValueSeq.from_runs(runs)
+
+
+def _extrapolate_field(fields: Sequence[Optional[ParamField]],
+                       ps: Sequence[int], target: int,
+                       what: str) -> Optional[ParamField]:
+    if all(f is None for f in fields):
+        return None
+    if any(f is None for f in fields):
+        raise ExtrapolationError(f"{what}: present only in some traces")
+    kinds = {("seq" if f.seq is not None else
+              "expr" if f.expr is not None else "map") for f in fields}
+    if len(kinds) != 1:
+        raise ExtrapolationError(f"{what}: representation changes with p")
+    kind = kinds.pop()
+    if kind == "map":
+        raise ExtrapolationError(
+            f"{what}: irregular per-rank values (no closed form in p)")
+    if kind == "seq":
+        seq = _extrapolate_seq([f.seq for f in fields], ps, target, what)
+        return ParamField(seq=seq)
+    exprs = [f.expr for f in fields]
+    ekinds = {e.kind for e in exprs}
+    if len(ekinds) != 1:
+        raise ExtrapolationError(f"{what}: expression form changes with p")
+    ekind = ekinds.pop()
+    if ekind == "table":
+        raise ExtrapolationError(
+            f"{what}: irregular per-rank table (no closed form in p)")
+    if ekind == "const":
+        samples = [(p, e.delta) for p, e in zip(ps, exprs)]
+        if all(v == ANY_SOURCE for _, v in samples):
+            return ParamField(expr=ParamExpr.const(ANY_SOURCE))
+        return ParamField(expr=ParamExpr.const(
+            fit_int(samples, what)(target)))
+    # rel: fit the offset; moduli must track the communicator size
+    delta = fit_int([(p, e.delta) for p, e in zip(ps, exprs)],
+                    f"{what} offset")(target)
+    mods = [e.mod for e in exprs]
+    if all(m is None for m in mods):
+        return ParamField(expr=ParamExpr.rel(delta))
+    if any(m is None for m in mods):
+        raise ExtrapolationError(f"{what}: modulus present only sometimes")
+    mod = fit_int([(p, m) for p, m in zip(ps, mods)],
+                  f"{what} modulus")(target)
+    return ParamField(expr=ParamExpr.rel(delta, mod=mod))
+
+
+def _scaled_histogram(hists: Sequence[TimeHistogram], ps: Sequence[int],
+                      target: int, count: int) -> TimeHistogram:
+    """Histogram with ``count`` samples at the fitted mean."""
+    h = TimeHistogram()
+    if count <= 0:
+        return h
+    mean = fit_float([(p, hist.mean) for p, hist in zip(ps, hists)])(target)
+    mean = max(mean, 0.0)
+    # construct directly (count may be large)
+    from repro.util.histogram import _bin_index
+    idx = _bin_index(mean)
+    h.bins[idx] = (count, mean * count)
+    h.count = count
+    h.total = mean * count
+    h.min = mean
+    h.max = mean
+    return h
+
+
+# ------------------------------------------------------------- main walk
+def _match_structures(node_lists: Sequence[List[Node]], what: str):
+    lengths = {len(nl) for nl in node_lists}
+    if len(lengths) != 1:
+        raise ExtrapolationError(
+            f"{what}: trace structure changes with p "
+            f"({[len(nl) for nl in node_lists]} nodes)")
+    for i in range(lengths.pop()):
+        nodes = [nl[i] for nl in node_lists]
+        types = {type(n) for n in nodes}
+        if len(types) != 1:
+            raise ExtrapolationError(f"{what}[{i}]: node types differ")
+        if isinstance(nodes[0], EventNode):
+            sigs = {(n.op, n.callsite, n.comm_id, n.wait_offsets)
+                    for n in nodes}
+            if len(sigs) != 1:
+                raise ExtrapolationError(
+                    f"{what}[{i}]: event signatures differ across traces")
+        yield nodes
+
+
+def _extrapolate_nodes(node_lists: Sequence[List[Node]], ps: Sequence[int],
+                       target: int, what: str = "trace") -> List[Node]:
+    out: List[Node] = []
+    for nodes in _match_structures(node_lists, what):
+        if isinstance(nodes[0], LoopNode):
+            count = fit_int([(p, n.count) for p, n in zip(ps, nodes)],
+                            f"{what} loop count")(target)
+            if count <= 0:
+                raise ExtrapolationError(
+                    f"{what}: loop count extrapolates to {count}")
+            ranks = extrapolate_rankset([n.ranks for n in nodes], ps,
+                                        target)
+            body = _extrapolate_nodes([n.body for n in nodes], ps, target,
+                                      what + ".loop")
+            out.append(LoopNode(count, body, ranks))
+            continue
+        ev: EventNode = nodes[0]
+        ranks = extrapolate_rankset([n.ranks for n in nodes], ps, target)
+        fields = {}
+        for name in ("peer", "size", "tag", "root"):
+            fields[name] = _extrapolate_field(
+                [getattr(n, name) for n in nodes], ps, target,
+                f"{what}.{ev.op}.{name}")
+        nranks = len(ranks)
+        first_per_rank = fit_int(
+            [(p, n.time_first.count // max(len(n.ranks), 1))
+             for p, n in zip(ps, nodes)], "first count")(target)
+        rest_per_rank = fit_int(
+            [(p, n.time_rest.count // max(len(n.ranks), 1))
+             for p, n in zip(ps, nodes)], "rest count")(target)
+        time_first = _scaled_histogram([n.time_first for n in nodes], ps,
+                                       target, first_per_rank * nranks)
+        time_rest = _scaled_histogram([n.time_rest for n in nodes], ps,
+                                      target, rest_per_rank * nranks)
+        out.append(EventNode(ev.op, ev.callsite, ev.comm_id, ranks,
+                             ev.instances, fields["peer"], fields["size"],
+                             fields["tag"], fields["root"],
+                             ev.wait_offsets, time_first, time_rest))
+    return out
+
+
+def extrapolate_trace(traces: Sequence[Trace], target: int) -> Trace:
+    """Extrapolate structurally matching traces to ``target`` ranks.
+
+    ``traces`` must come from the same application at distinct rank
+    counts (two or more; more samples disambiguate the scaling laws).
+    """
+    if len(traces) < 2:
+        raise ExtrapolationError(
+            "extrapolation needs traces at two or more rank counts")
+    ps = [t.world_size for t in traces]
+    if len(set(ps)) != len(ps):
+        raise ExtrapolationError("duplicate rank counts in input traces")
+    order = sorted(range(len(traces)), key=lambda i: ps[i])
+    traces = [traces[i] for i in order]
+    ps = [ps[i] for i in order]
+
+    # communicator table: comm ids must agree; memberships extrapolate
+    id_sets = {tuple(sorted(t.comm_table)) for t in traces}
+    if len(id_sets) != 1:
+        raise ExtrapolationError("communicator structure changes with p")
+    comm_table = {}
+    for cid in sorted(traces[0].comm_table):
+        sets = [RankSet(t.comm_table[cid]) for t in traces]
+        comm_table[cid] = tuple(
+            extrapolate_rankset(sets, ps, target))
+    nodes = _extrapolate_nodes([t.nodes for t in traces], ps, target)
+    return Trace(target, nodes, comm_table)

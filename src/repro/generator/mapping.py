@@ -1,0 +1,105 @@
+"""Table 1: mapping MPI collectives onto coNCePTuaL collectives.
+
+coNCePTuaL expresses collectives with MULTICAST, REDUCE, and SYNCHRONIZE;
+MPI collectives without a direct equivalent are substituted by one or more
+coNCePTuaL collectives with a similar data-movement pattern and volume —
+exactly the paper's Table 1:
+
+==============  =================================================
+MPI collective  coNCePTuaL implementation
+==============  =================================================
+Barrier         SYNCHRONIZE
+Bcast           MULTICAST (root → participants)
+Reduce          REDUCE → root
+Allreduce       REDUCE → all participants
+Alltoall        many-to-many MULTICAST
+Allgather       REDUCE + MULTICAST
+Allgatherv      REDUCE with averaged message size + MULTICAST
+Alltoallv       MULTICAST with averaged message size
+Gather          REDUCE
+Gatherv         REDUCE with averaged message size
+Reduce_scatter  n many-to-one REDUCEs with different sizes/roots
+Scatter         MULTICAST
+Scatterv        MULTICAST with averaged message size
+Comm_split/dup  SYNCHRONIZE (parent-communicator synchronization)
+==============  =================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.conceptual.ast_nodes import (MulticastStmt, Num, ReduceStmt,
+                                        SingleTask, Stmt, SyncStmt,
+                                        TaskSelector)
+from repro.errors import GenerationError
+
+#: Ops where a vector (tuple) size is averaged per Table 1.
+AVERAGED_OPS = frozenset({"Gatherv", "Scatterv", "Allgatherv", "Alltoallv"})
+
+
+def average_size(size) -> int:
+    """Vector sizes collapse to their average (Table 1's 'averaged
+    message size'); scalars pass through."""
+    if isinstance(size, tuple):
+        return sum(size) // max(len(size), 1)
+    return int(size)
+
+
+def map_collective(op: str, size, root_world: Optional[int],
+                   participants_sel: TaskSelector,
+                   members: Tuple[int, ...]) -> List[Stmt]:
+    """coNCePTuaL statements standing in for one MPI collective.
+
+    ``size`` is the per-rank payload (possibly a tuple for v-variants),
+    ``root_world`` the absolutized root where applicable,
+    ``participants_sel`` a selector covering all communicator members.
+    """
+    n = average_size(size)
+    size_expr = Num(n)
+    if op == "Barrier":
+        return [SyncStmt(participants_sel)]
+    if op in ("Comm_split", "Comm_dup"):
+        # communicators vanish from generated code entirely (§4.2): the
+        # benchmark's groups are static, so, like coNCePTuaL itself, all
+        # sub-communicator setup happens implicitly outside the measured
+        # region and no statement is emitted
+        return []
+    if op == "Bcast":
+        return [MulticastStmt(SingleTask(Num(root_world)), size_expr,
+                              participants_sel)]
+    if op in ("Scatter", "Scatterv"):
+        return [MulticastStmt(SingleTask(Num(root_world)), size_expr,
+                              participants_sel)]
+    if op == "Reduce":
+        return [ReduceStmt(participants_sel, size_expr,
+                           SingleTask(Num(root_world)))]
+    if op in ("Gather", "Gatherv"):
+        return [ReduceStmt(participants_sel, size_expr,
+                           SingleTask(Num(root_world)))]
+    if op == "Allreduce":
+        return [ReduceStmt(participants_sel, size_expr, participants_sel)]
+    if op in ("Alltoall", "Alltoallv"):
+        return [MulticastStmt(participants_sel, size_expr,
+                              participants_sel)]
+    if op in ("Allgather", "Allgatherv"):
+        root = min(members)
+        total = n * len(members)
+        return [
+            ReduceStmt(participants_sel, size_expr, SingleTask(Num(root))),
+            MulticastStmt(SingleTask(Num(root)), Num(total),
+                          participants_sel),
+        ]
+    if op == "Reduce_scatter":
+        sizes = size if isinstance(size, tuple) else \
+            tuple([int(size)] * len(members))
+        if len(sizes) != len(members):
+            raise GenerationError(
+                f"Reduce_scatter has {len(sizes)} sizes for "
+                f"{len(members)} members")
+        return [ReduceStmt(participants_sel, Num(sz),
+                           SingleTask(Num(member)))
+                for member, sz in zip(members, sizes)]
+    if op == "Finalize":
+        return []  # the compiled benchmark finalizes implicitly
+    raise GenerationError(f"no Table 1 mapping for collective {op!r}")

@@ -1,0 +1,69 @@
+"""Algorithm 2 (§4.4): eliminating nondeterminism from wildcard receives.
+
+``MPI_ANY_SOURCE`` receives make a benchmark's performance depend on which
+message happens to arrive first — unacceptable for a measurement tool.
+This pass rewrites every wildcard receive in the trace to an *arbitrary
+but valid* concrete source: the first sender that matches the receive
+under a deterministic traversal of the trace (the paper's lists L1/L2
+correspond to our scheduler's pending send/receive records).
+
+The traversal interprets blocking semantics faithfully, so if the traced
+application admits a deadlocking execution (Fig. 5), the traversal itself
+wedges and a :class:`~repro.errors.TraceDeadlockError` reports the cycle —
+the paper's *sufficient* deadlock detection (it examines this trace's
+event ordering, not all interleavings, so it may miss deadlocks a
+different execution would expose).
+"""
+
+from __future__ import annotations
+
+from repro.generator.rebuild import rebuild_trace
+from repro.generator.traversal import TraceScheduler
+from repro.mpi.hooks import P2P_OPS
+from repro.scalatrace.compress import compress_node_list
+from repro.scalatrace.rsd import EventNode, LoopNode, ParamField, Trace
+from repro.util.expr import ANY_SOURCE
+
+
+def _walk_events(nodes):
+    for n in nodes:
+        if isinstance(n, EventNode):
+            yield n
+        else:
+            yield from _walk_events(n.body)
+
+
+def has_wildcards(trace: Trace) -> bool:
+    """O(r) pre-check (§4.4): does any receive use MPI_ANY_SOURCE?"""
+    for node in _walk_events(trace.nodes):
+        if node.op not in ("Recv", "Irecv") or node.peer is None:
+            continue
+        field = node.peer
+        if field.seq is not None:
+            if any(v == ANY_SOURCE for v, _ in field.seq.runs):
+                return True
+        elif field.expr is not None:
+            if field.expr.is_constant() and \
+                    field.expr.constant_value() == ANY_SOURCE:
+                return True
+            if field.expr.kind == "table" and \
+                    ANY_SOURCE in field.expr.table.values():
+                return True
+    return False
+
+
+def resolve_wildcards(trace: Trace, force: bool = False) -> Trace:
+    """Return a trace with every wildcard receive bound to a concrete,
+    deterministically chosen source.  Raises
+    :class:`~repro.errors.TraceDeadlockError` if the trace admits a
+    deadlocking execution."""
+    if not force and not has_wildcards(trace):
+        return trace
+    result = TraceScheduler(trace, block_p2p=True).run()
+    # same output-queue discipline as Algorithm 1: resolved per-rank
+    # streams may fold differently across ranks (resolved sources differ),
+    # which would split already-aligned collectives; folding around
+    # collectives is deferred to the global recompression pass
+    rebuilt = rebuild_trace(trace, result, fold_collectives=False)
+    rebuilt.nodes = compress_node_list(rebuilt.nodes)
+    return rebuilt

@@ -1,0 +1,25 @@
+"""Simulated MPI layer: per-rank API, communicators, PMPI-style hooks,
+and the SPMD launcher."""
+
+from repro.mpi.api import ANY_SOURCE, ANY_TAG, MPIProcess
+from repro.mpi.comm import Communicator, CommRegistry
+from repro.mpi.hooks import (COLLECTIVE_OPS, MPIEvent, MPIHook, P2P_OPS,
+                             RecordingHook, WAIT_OPS)
+from repro.mpi.world import SpmdResult, World, run_spmd
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "COLLECTIVE_OPS",
+    "CommRegistry",
+    "Communicator",
+    "MPIEvent",
+    "MPIHook",
+    "MPIProcess",
+    "P2P_OPS",
+    "RecordingHook",
+    "SpmdResult",
+    "WAIT_OPS",
+    "World",
+    "run_spmd",
+]

@@ -1,0 +1,78 @@
+"""SPMD program launcher for the simulated MPI layer."""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import MPIUsageError
+from repro.mpi.api import MPIProcess
+from repro.mpi.comm import CommRegistry
+from repro.mpi.hooks import MPIHook
+from repro.sim.engine import Engine
+from repro.sim.network import LogGPModel, NetworkModel
+
+
+class World:
+    """Shared state of one simulated MPI job: the engine, the communicator
+    registry, the hook list, and the rendezvous area for comm_split data."""
+
+    def __init__(self, nranks: int, model: NetworkModel,
+                 hooks: Optional[Sequence[MPIHook]] = None,
+                 max_steps: Optional[int] = None):
+        self.engine = Engine(nranks, model, max_steps=max_steps)
+        self.registry = CommRegistry(nranks)
+        self.hooks: List[MPIHook] = list(hooks or [])
+        self.split_data: Dict[tuple, Dict[int, tuple]] = {}
+
+    @property
+    def size(self) -> int:
+        return self.registry.comm_world.size
+
+
+class SpmdResult:
+    """Outcome of a simulated SPMD run."""
+
+    def __init__(self, world: World, total_time: float):
+        self.world = world
+        self.total_time = total_time
+        self.per_rank_times = [world.engine.now(r) for r in range(world.size)]
+        self.messages_sent = world.engine.messages_sent
+        self.bytes_sent = world.engine.bytes_sent
+
+    def __repr__(self) -> str:
+        return (f"SpmdResult(time={self.total_time:.6g}s, "
+                f"messages={self.messages_sent})")
+
+
+def _wrap(program: Callable, mpi: MPIProcess):
+    """Run the user program and enforce that it finalized."""
+    gen = program(mpi)
+    if not inspect.isgenerator(gen):
+        raise MPIUsageError(
+            "an SPMD program must be a generator function (use 'yield from' "
+            "on the mpi methods)")
+    yield from gen
+    if not mpi._finalized:
+        raise MPIUsageError(
+            f"rank {mpi.rank} returned without calling mpi.finalize()")
+
+
+def run_spmd(program: Callable, nranks: int,
+             model: Optional[NetworkModel] = None,
+             hooks: Optional[Sequence[MPIHook]] = None,
+             max_steps: Optional[int] = None) -> SpmdResult:
+    """Execute ``program`` on ``nranks`` simulated ranks.
+
+    ``program(mpi)`` must be a generator function taking an
+    :class:`MPIProcess` and must end with ``yield from mpi.finalize()``.
+    Returns an :class:`SpmdResult`; hooks observe every MPI event and are
+    told when the run ends.
+    """
+    world = World(nranks, model or LogGPModel(), hooks=hooks,
+                  max_steps=max_steps)
+    gens = [_wrap(program, MPIProcess(world, r)) for r in range(nranks)]
+    total = world.engine.run(gens)
+    for hook in world.hooks:
+        hook.on_run_end(world)
+    return SpmdResult(world, total)

@@ -1,0 +1,22 @@
+"""ScalaTrace reproduction: lossless pattern-compressed communication
+tracing with RSD/PRSD structure, inter-rank merging, and histogram timing."""
+
+from repro.scalatrace.compress import CompressionQueue, nodes_match
+from repro.scalatrace.merge import merge_node_lists, merge_traces
+from repro.scalatrace.rsd import (ConcreteEvent, EventNode, LoopNode, Node,
+                                  ParamField, Trace)
+from repro.scalatrace.tracer import ScalaTraceHook
+
+__all__ = [
+    "CompressionQueue",
+    "ConcreteEvent",
+    "EventNode",
+    "LoopNode",
+    "Node",
+    "ParamField",
+    "ScalaTraceHook",
+    "Trace",
+    "merge_node_lists",
+    "merge_traces",
+    "nodes_match",
+]

@@ -1,0 +1,235 @@
+"""On-the-fly intra-rank loop compression (RSD → PRSD folding).
+
+This is ScalaTrace's core compression step (§3.1): as events stream in,
+repeated tails of the trace queue are folded into :class:`LoopNode`\\ s so
+that a 1000-iteration communication loop occupies a handful of nodes
+instead of thousands.  Three rewrite rules run to fixpoint after every
+append:
+
+* **coalesce** — two adjacent loops with matching bodies merge their
+  iteration counts;
+* **absorb**  — a loop followed by one more copy of its body increments
+  its count;
+* **fold**    — two adjacent copies of a w-node window become a loop with
+  count 2.
+
+Two nodes "match" when they are the same call site (op, stack signature,
+communicator, wait structure); parameters that differ per iteration are
+concatenated into :class:`~repro.scalatrace.rsd.ParamField` sequences, so
+folding is always lossless.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mpi.hooks import COLLECTIVE_OPS
+from repro.scalatrace.rsd import EventNode, LoopNode, Node, ParamField
+from repro.util.histogram import TimeHistogram
+from repro.util.rankset import RankSet
+
+
+def _contains_collective(node: Node) -> bool:
+    if isinstance(node, EventNode):
+        return node.op in COLLECTIVE_OPS
+    return any(_contains_collective(n) for n in node.body)
+
+#: Maximum repeated-window width considered when folding.  Loop bodies in
+#: real codes (and in the NPB suite) are far narrower than this.
+DEFAULT_MAX_WINDOW = 32
+
+_PARAM_FIELDS = ("peer", "size", "tag", "root")
+
+
+def nodes_match(a: Node, b: Node) -> bool:
+    """Structural compatibility for folding (parameters may differ, rank
+    sets must agree — trivially true inside a per-rank queue, essential
+    when recompressing a merged multi-rank trace)."""
+    if a.ranks != b.ranks:
+        return False
+    if isinstance(a, EventNode) and isinstance(b, EventNode):
+        return a.signature() == b.signature()
+    if isinstance(a, LoopNode) and isinstance(b, LoopNode):
+        if a.count != b.count or len(a.body) != len(b.body):
+            return False
+        return all(nodes_match(x, y) for x, y in zip(a.body, b.body))
+    return False
+
+
+def _segments_match(xs: List[Node], ys: List[Node]) -> bool:
+    return len(xs) == len(ys) and all(
+        nodes_match(x, y) for x, y in zip(xs, ys))
+
+
+def _merge_events(a: EventNode, b: EventNode,
+                  separate_entries: bool) -> Optional[EventNode]:
+    """Node representing all instances of ``a`` followed by all of ``b``.
+
+    Time histograms sum over ranks, so per-rank instance counts divide by
+    the rank-set size (1 inside a per-rank queue).
+
+    §3.1 path-aware timing: when the two copies are consecutive
+    iterations of the *same* loop entry (``separate_entries=False``),
+    ``b``'s first-iteration samples become subsequent-iteration samples;
+    when each copy was its own loop entry (the copies live inside sibling
+    inner loops being folded by an outer loop), both firsts stay firsts.
+    """
+    ca = a.sample_count() // max(len(a.ranks), 1)
+    cb = b.sample_count() // max(len(b.ranks), 1)
+    merged = {}
+    for name in _PARAM_FIELDS:
+        fa, fb = getattr(a, name), getattr(b, name)
+        if (fa is None) != (fb is None):
+            return None
+        if fa is None:
+            merged[name] = None
+            continue
+        combined = fa.concat(fb, ca, cb)
+        if combined is None:
+            return None
+        merged[name] = combined
+    time_first = a.time_first.copy()
+    time_rest = a.time_rest.copy()
+    if separate_entries:
+        time_first.merge(b.time_first)
+    else:
+        time_rest.merge(b.time_first)
+    time_rest.merge(b.time_rest)
+    return EventNode(a.op, a.callsite, a.comm_id, a.ranks, a.instances,
+                     merged["peer"], merged["size"], merged["tag"],
+                     merged["root"], a.wait_offsets, time_first, time_rest)
+
+
+def _merge_sequence(xs: List[Node], ys: List[Node],
+                    separate_entries: bool = False) -> Optional[List[Node]]:
+    out = []
+    for x, y in zip(xs, ys):
+        if isinstance(x, EventNode):
+            m = _merge_events(x, y, separate_entries)
+        else:
+            # copies of a nested loop are distinct entries of that loop
+            inner = _merge_sequence(x.body, y.body, separate_entries=True)
+            m = (LoopNode(x.count, inner, x.ranks)
+                 if inner is not None and x.count == y.count else None)
+        if m is None:
+            return None
+        out.append(m)
+    return out
+
+
+class CompressionQueue:
+    """The per-rank trace queue with fixpoint tail compression.
+
+    ``fold_collectives=False`` keeps windows containing collective events
+    out of loop folds; Algorithm 1's rebuild uses this so that logical
+    collectives occupy structurally identical positions on every rank
+    before the global (multi-rank) recompression pass runs.
+    """
+
+    def __init__(self, rank: int, max_window: int = DEFAULT_MAX_WINDOW,
+                 fold_collectives: bool = True):
+        self.rank = rank
+        self.ranks = RankSet.single(rank)
+        self.nodes: List[Node] = []
+        self.max_window = max_window
+        self.fold_collectives = fold_collectives
+
+    def append_event(self, op: str, callsite, comm_id: int,
+                     peer=None, size=None, tag=None, root=None,
+                     wait_offsets=None, delta_t: float = 0.0) -> None:
+        time_first = TimeHistogram()
+        time_first.add(max(delta_t, 0.0))
+        node = EventNode(
+            op, callsite, comm_id, self.ranks, instances=1,
+            peer=ParamField.of(peer) if peer is not None else None,
+            size=ParamField.of(size) if size is not None else None,
+            tag=ParamField.of(tag) if tag is not None else None,
+            root=ParamField.of(root) if root is not None else None,
+            wait_offsets=wait_offsets, time_first=time_first)
+        self.append_node(node)
+
+    def append_node(self, node: Node) -> None:
+        self.nodes.append(node)
+        self.compress_tail()
+
+    def _foldable(self, nodes: List[Node]) -> bool:
+        if self.fold_collectives:
+            return True
+        return not any(_contains_collective(n) for n in nodes)
+
+    def compress_tail(self) -> None:
+        """Apply coalesce/absorb/fold until no rule fires."""
+        q = self.nodes
+        changed = True
+        while changed:
+            changed = (self._try_coalesce(q) or self._try_absorb(q)
+                       or self._try_fold(q))
+
+    # -- rules --------------------------------------------------------------
+    def _try_coalesce(self, q: List[Node]) -> bool:
+        if len(q) < 2:
+            return False
+        a, b = q[-2], q[-1]
+        if not (isinstance(a, LoopNode) and isinstance(b, LoopNode)):
+            return False
+        if a.ranks != b.ranks or len(a.body) != len(b.body):
+            return False
+        if not all(nodes_match(x, y) for x, y in zip(a.body, b.body)):
+            return False
+        merged_body = _merge_sequence(a.body, b.body)
+        if merged_body is None:
+            return False
+        q[-2:] = [LoopNode(a.count + b.count, merged_body, a.ranks)]
+        return True
+
+    def _try_absorb(self, q: List[Node]) -> bool:
+        for w in range(1, min(self.max_window, len(q) - 1) + 1):
+            prev = q[-w - 1]
+            if not isinstance(prev, LoopNode) or len(prev.body) != w:
+                continue
+            tail = q[-w:]
+            if not _segments_match(prev.body, tail):
+                continue
+            if not self._foldable(tail):
+                continue
+            merged_body = _merge_sequence(prev.body, tail)
+            if merged_body is None:
+                continue
+            q[-w - 1:] = [LoopNode(prev.count + 1, merged_body, prev.ranks)]
+            return True
+        return False
+
+    def _try_fold(self, q: List[Node]) -> bool:
+        for w in range(1, min(self.max_window, len(q) // 2) + 1):
+            first, second = q[-2 * w:-w], q[-w:]
+            if not _segments_match(first, second):
+                continue
+            if not self._foldable(second):
+                continue
+            merged_body = _merge_sequence(first, second)
+            if merged_body is None:
+                continue
+            ranks = first[0].ranks
+            for n in first[1:]:
+                ranks = ranks | n.ranks
+            q[-2 * w:] = [LoopNode(2, merged_body, ranks)]
+            return True
+        return False
+
+
+def compress_node_list(nodes: List[Node]) -> List[Node]:
+    """Recompress a (possibly multi-rank) node sequence.
+
+    Used after inter-rank merging to fold structures that only became
+    foldable once rank sets were unified — the final step of Algorithm 1's
+    output-queue compression (§4.3: "we apply ScalaTrace's loop
+    compression algorithm to the output RSD queue").
+    """
+    queue = CompressionQueue(rank=0)
+    queue.nodes = []
+    for node in nodes:
+        if isinstance(node, LoopNode):
+            node = LoopNode(node.count, compress_node_list(node.body),
+                            node.ranks)
+        queue.append_node(node)
+    return queue.nodes

@@ -1,0 +1,164 @@
+"""Inter-rank (radix) trace merging.
+
+At MPI_Finalize time ScalaTrace combines the per-rank compressed traces
+into one global trace whose RSDs carry rank *sets* (§3.1).  We reproduce
+that with a binary merge tree: traces are merged pairwise, aligning the
+two node sequences with an LCS over structural signatures.
+
+Nodes that align merge by unioning their rank sets and re-expressing
+parameter differences as closed-form :class:`~repro.util.expr.ParamExpr`
+(e.g. a ring's ``dest = rank+1 mod N``) when possible, falling back to
+per-rank tables — never discarding information.  Nodes that do not align
+are interleaved in an order preserving both inputs' program orders, each
+keeping its own rank set (this is how e.g. "rank 0 sends, ranks 1..N-1
+receive" coexists inside one merged loop body).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.scalatrace.rsd import EventNode, LoopNode, Node, Trace
+from repro.util.rankset import RankSet
+
+_PARAM_FIELDS = ("peer", "size", "tag", "root")
+
+
+def _try_merge_nodes(a: Node, b: Node,
+                     comm_table: Dict[int, Tuple[int, ...]]) -> Optional[Node]:
+    """Merged node covering both rank sets, or None if incompatible."""
+    if isinstance(a, EventNode) and isinstance(b, EventNode):
+        if a.signature() != b.signature() or a.instances != b.instances:
+            return None
+        comm_ranks = comm_table.get(a.comm_id)
+        comm_size = len(comm_ranks) if comm_ranks else None
+        index = {w: i for i, w in enumerate(comm_ranks)} if comm_ranks else {}
+        a_cranks = [index.get(r, r) for r in a.ranks]
+        b_cranks = [index.get(r, r) for r in b.ranks]
+        merged = {}
+        for name in _PARAM_FIELDS:
+            fa, fb = getattr(a, name), getattr(b, name)
+            if (fa is None) != (fb is None):
+                return None
+            if fa is None:
+                merged[name] = None
+                continue
+            # merge in communicator-rank space (peers are comm-relative);
+            # always succeeds (irregular variation falls back to the
+            # lossless per-rank map)
+            merged[name] = fa.merge_ranks(RankSet(a_cranks), fb,
+                                          RankSet(b_cranks), comm_size)
+        time_first = a.time_first.copy()
+        time_first.merge(b.time_first)
+        time_rest = a.time_rest.copy()
+        time_rest.merge(b.time_rest)
+        return EventNode(a.op, a.callsite, a.comm_id, a.ranks | b.ranks,
+                         a.instances, merged["peer"], merged["size"],
+                         merged["tag"], merged["root"], a.wait_offsets,
+                         time_first, time_rest)
+    if isinstance(a, LoopNode) and isinstance(b, LoopNode):
+        if a.count != b.count:
+            return None
+        # bodies merge as an order-preserving supersequence: nodes present
+        # on only one side keep their own rank sets (this is how "rank 0
+        # sends, interior ranks receive then send" coexists in one loop).
+        # Require at least one genuinely shared node, though — otherwise
+        # any two equal-count loops would merge, and those spurious
+        # matches displace collective alignment in the outer LCS.
+        body = merge_node_lists(a.body, b.body, comm_table)
+        if len(body) == len(a.body) + len(b.body):
+            return None
+        return LoopNode(a.count, body, a.ranks | b.ranks)
+    return None
+
+
+def _match_weight(node: Node) -> int:
+    """Alignment priority of a successful match.
+
+    Collectives dominate: when matching a point-to-point pair conflicts in
+    order with matching a collective pair, the collective must win — this
+    is how the merge realizes Algorithm 1's guarantee that one logical
+    collective becomes one RSD.  Loops inherit the weight of their
+    contents (they may carry collectives inside)."""
+    if isinstance(node, EventNode):
+        from repro.mpi.hooks import COLLECTIVE_OPS
+        return 10_000 if node.op in COLLECTIVE_OPS else 1
+    return sum(_match_weight(n) for n in node.body)
+
+
+def _lcs_pairs(xs: List[Node], ys: List[Node],
+               comm_table) -> List[Tuple[int, int, Node]]:
+    """Maximum-weight common subsequence of mergeable nodes; returns
+    matched index pairs with their pre-computed merged node."""
+    n, m = len(xs), len(ys)
+    merged_cache: Dict[Tuple[int, int], Optional[Node]] = {}
+
+    def mergeable(i, j):
+        key = (i, j)
+        if key not in merged_cache:
+            merged_cache[key] = _try_merge_nodes(xs[i], ys[j], comm_table)
+        return merged_cache[key]
+
+    # weighted LCS DP
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            best = max(dp[i + 1][j], dp[i][j + 1])
+            node = mergeable(i, j)
+            if node is not None:
+                best = max(best, dp[i + 1][j + 1] + _match_weight(node))
+            dp[i][j] = best
+    pairs = []
+    i = j = 0
+    while i < n and j < m:
+        node = mergeable(i, j)
+        if node is not None and \
+                dp[i][j] == dp[i + 1][j + 1] + _match_weight(node):
+            pairs.append((i, j, node))
+            i += 1
+            j += 1
+        elif dp[i + 1][j] >= dp[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return pairs
+
+
+def merge_node_lists(xs: List[Node], ys: List[Node],
+                     comm_table) -> List[Node]:
+    """Order-preserving merge (shortest common supersequence around the
+    LCS of mergeable nodes)."""
+    pairs = _lcs_pairs(xs, ys, comm_table)
+    out: List[Node] = []
+    xi = yi = 0
+    for i, j, merged in pairs:
+        out.extend(xs[xi:i])
+        out.extend(ys[yi:j])
+        out.append(merged)
+        xi, yi = i + 1, j + 1
+    out.extend(xs[xi:])
+    out.extend(ys[yi:])
+    return out
+
+
+def merge_traces(traces: List[Trace]) -> Trace:
+    """Binary (radix-tree) merge of per-rank traces into a global trace."""
+    if not traces:
+        raise ValueError("no traces to merge")
+    world_size = traces[0].world_size
+    comm_table = {}
+    for t in traces:
+        comm_table.update(t.comm_table)
+    level = list(traces)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nodes = merge_node_lists(level[i].nodes, level[i + 1].nodes,
+                                     comm_table)
+            nxt.append(Trace(world_size, nodes, comm_table))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    result = level[0]
+    result.comm_table = comm_table
+    return result

@@ -1,0 +1,195 @@
+"""Text serialization of compressed traces.
+
+The on-disk format is line-oriented and human-inspectable, mirroring how
+ScalaTrace traces are shipped to the (offline) benchmark generator on a
+standalone workstation (§5.1).  Example::
+
+    SCALATRACE 1
+    world 4
+    comm 0 0:3
+    nodes {
+    loop 100 ranks=0:3 {
+    event Isend ranks=0:3 comm=0 inst=1 peer=ER1%4 size=Q1024 tag=Q0 time=... cs=...
+    }
+    event Finalize ranks=0:3 comm=0 inst=1 size=Q0 time=... cs=...
+    }
+
+Every field round-trips exactly (rank sets, parameter expressions, value
+sequences, timing histograms, call-site signatures).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, TextIO, Union
+
+from repro.errors import TraceError
+from repro.scalatrace.rsd import EventNode, LoopNode, Node, ParamField, Trace
+from repro.util.callsite import Callsite
+from repro.util.histogram import TimeHistogram
+from repro.util.rankset import RankSet
+
+_MAGIC = "SCALATRACE 1"
+
+
+def _quote(text: str) -> str:
+    return text.replace("%", "%25").replace(" ", "%20")
+
+
+def _unquote(text: str) -> str:
+    return text.replace("%20", " ").replace("%25", "%")
+
+
+def _write_nodes(out: TextIO, nodes: List[Node]) -> None:
+    for node in nodes:
+        if isinstance(node, LoopNode):
+            out.write(f"loop {node.count} ranks={node.ranks.serialize()} {{\n")
+            _write_nodes(out, node.body)
+            out.write("}\n")
+        else:
+            parts = [f"event {node.op}",
+                     f"ranks={node.ranks.serialize()}",
+                     f"comm={node.comm_id}",
+                     f"inst={node.instances}"]
+            for name in ("peer", "size", "tag", "root"):
+                field: ParamField = getattr(node, name)
+                if field is not None:
+                    parts.append(f"{name}={_quote(field.serialize())}")
+            if node.wait_offsets is not None:
+                off = ",".join(str(o) for o in node.wait_offsets) or "-"
+                parts.append(f"offsets={off}")
+            parts.append(f"tfirst={_quote(node.time_first.serialize())}")
+            parts.append(f"time={_quote(node.time_rest.serialize())}")
+            if node.callsite is not None:
+                parts.append(f"cs={_quote(node.callsite.serialize())}")
+            out.write(" ".join(parts) + "\n")
+
+
+def dump_trace(trace: Trace, out: Union[TextIO, str]) -> None:
+    """Write ``trace`` to a file path or text stream."""
+    if isinstance(out, str):
+        with open(out, "w") as fh:
+            dump_trace(trace, fh)
+        return
+    out.write(_MAGIC + "\n")
+    out.write(f"world {trace.world_size}\n")
+    for cid in sorted(trace.comm_table):
+        ranks = trace.comm_table[cid]
+        body = ",".join(str(r) for r in ranks) if ranks else "-"
+        out.write(f"comm {cid} {body}\n")
+    out.write("nodes {\n")
+    _write_nodes(out, trace.nodes)
+    out.write("}\n")
+
+
+def dumps_trace(trace: Trace) -> str:
+    buf = io.StringIO()
+    dump_trace(trace, buf)
+    return buf.getvalue()
+
+
+class _Parser:
+    def __init__(self, lines: List[str]):
+        self.lines = lines
+        self.pos = 0
+
+    def next_line(self) -> str:
+        while self.pos < len(self.lines):
+            line = self.lines[self.pos].strip()
+            self.pos += 1
+            if line:
+                return line
+        raise TraceError("unexpected end of trace file")
+
+    def parse_nodes(self) -> List[Node]:
+        nodes: List[Node] = []
+        while True:
+            line = self.next_line()
+            if line == "}":
+                return nodes
+            if line.startswith("loop "):
+                head = line[:-1].strip()  # strip trailing '{'
+                bits = head.split()
+                count = int(bits[1])
+                ranks = RankSet.parse(self._kv(bits, "ranks"))
+                body = self.parse_nodes()
+                nodes.append(LoopNode(count, body, ranks))
+            elif line.startswith("event "):
+                nodes.append(self._parse_event(line))
+            else:
+                raise TraceError(f"bad trace line: {line!r}")
+
+    @staticmethod
+    def _kv(bits: List[str], key: str, default: str = None) -> str:
+        prefix = key + "="
+        for b in bits:
+            if b.startswith(prefix):
+                return b[len(prefix):]
+        if default is not None:
+            return default
+        raise TraceError(f"missing field {key!r}")
+
+    def _parse_event(self, line: str) -> EventNode:
+        bits = line.split()
+        op = bits[1]
+        ranks = RankSet.parse(self._kv(bits, "ranks"))
+        comm_id = int(self._kv(bits, "comm"))
+        instances = int(self._kv(bits, "inst"))
+        fields = {}
+        for name in ("peer", "size", "tag", "root"):
+            raw = self._kv(bits, name, default="\0")
+            fields[name] = (None if raw == "\0"
+                            else ParamField.parse(_unquote(raw)))
+        off_raw = self._kv(bits, "offsets", default="\0")
+        if off_raw == "\0":
+            offsets = None
+        elif off_raw == "-":
+            offsets = ()
+        else:
+            offsets = tuple(int(x) for x in off_raw.split(","))
+        time_first = TimeHistogram.parse(
+            _unquote(self._kv(bits, "tfirst", default="-")))
+        time_rest = TimeHistogram.parse(_unquote(self._kv(bits, "time")))
+        cs_raw = self._kv(bits, "cs", default="\0")
+        callsite = None if cs_raw == "\0" else Callsite.parse(_unquote(cs_raw))
+        return EventNode(op, callsite, comm_id, ranks, instances,
+                         fields["peer"], fields["size"], fields["tag"],
+                         fields["root"], offsets, time_first, time_rest)
+
+
+def load_trace(source: Union[TextIO, str]) -> Trace:
+    """Read a trace from a file path, text stream, or serialized string."""
+    if isinstance(source, str):
+        if "\n" in source:
+            text = source
+        else:
+            with open(source) as fh:
+                text = fh.read()
+    else:
+        text = source.read()
+    lines = text.splitlines()
+    parser = _Parser(lines)
+    if parser.next_line() != _MAGIC:
+        raise TraceError("not a ScalaTrace file (bad magic)")
+    head = parser.next_line().split()
+    if head[0] != "world":
+        raise TraceError("expected 'world <n>'")
+    world_size = int(head[1])
+    comm_table = {}
+    while True:
+        line = parser.next_line()
+        if line.startswith("comm "):
+            _, cid, body = line.split()
+            ranks = (tuple() if body == "-"
+                     else tuple(int(r) for r in body.split(",")))
+            comm_table[int(cid)] = ranks
+        elif line == "nodes {":
+            break
+        else:
+            raise TraceError(f"unexpected header line: {line!r}")
+    nodes = parser.parse_nodes()
+    return Trace(world_size, nodes, comm_table)
+
+
+def loads_trace(text: str) -> Trace:
+    return load_trace(io.StringIO(text))

@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel: operation vocabulary, network models,
+and the deterministic min-clock engine."""
+
+from repro.sim.engine import Engine
+from repro.sim.network import (CongestionModel, LogGPModel, NetworkModel,
+                               PLATFORMS, SimpleModel, arc_model, make_model)
+from repro.sim.ops import (ANY_SOURCE, ANY_TAG, Collective, Compute, Op,
+                           PostRecv, PostSend, Test, WaitAll, WaitAny)
+from repro.sim.requests import Request, Status
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "arc_model",
+    "Collective",
+    "Compute",
+    "CongestionModel",
+    "Engine",
+    "LogGPModel",
+    "NetworkModel",
+    "Op",
+    "PLATFORMS",
+    "PostRecv",
+    "PostSend",
+    "Request",
+    "SimpleModel",
+    "Status",
+    "Test",
+    "WaitAll",
+    "WaitAny",
+    "make_model",
+]

@@ -1,0 +1,586 @@
+"""Deterministic discrete-event engine for SPMD rank programs.
+
+Rank programs are generator coroutines yielding :mod:`repro.sim.ops`
+operations.  The engine advances per-rank *virtual clocks* and matches
+messages under MPI semantics:
+
+* per-(source, destination, communicator) FIFO ("non-overtaking") order;
+* tag-selective matching, with ANY_SOURCE / ANY_TAG wildcards;
+* posted-receive queue scanned in post order.
+
+Scheduling is conservative: the runnable rank with the smallest clock runs
+next, and a wildcard receive is only matched once no other rank could still
+produce an earlier-arriving candidate (``arrival <= horizon`` where the
+horizon is the minimum over other live ranks of clock + minimum latency).
+When every rank is blocked, the engine commits the earliest-arriving
+deferred candidate instead (the only event that can happen next).  The
+result is a bit-deterministic simulation that still exhibits honest
+message races for ANY_SOURCE receives — the nondeterminism Algorithm 2 of
+the paper exists to remove from *generated* benchmarks.
+
+Timing uses the pluggable :class:`~repro.sim.network.NetworkModel`,
+including eager/rendezvous protocols, unexpected-message copy costs, and
+finite-buffer flow control (see the paper's Fig. 7 discussion).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import MPIUsageError, SimDeadlockError, SimulationError
+from repro.sim.network import NetworkModel
+from repro.sim.ops import (ANY_SOURCE, ANY_TAG, Collective, Compute, Op,
+                           PostRecv, PostSend, Test, WaitAll, WaitAny)
+from repro.sim.requests import Request, Status
+
+READY = "ready"
+BLOCKED = "blocked"
+DONE = "done"
+
+_BLOCK = object()  # sentinel returned by _apply when the rank must block
+
+
+class _Message:
+    __slots__ = ("seq", "src", "dst", "tag", "comm_id", "nbytes", "post_time",
+                 "inject_time", "protocol", "throttled", "charged", "sreq",
+                 "arrival")
+
+    _next_seq = 0
+
+    def __init__(self, src, dst, tag, comm_id, nbytes, post_time, inject_time,
+                 protocol, throttled, charged, sreq, arrival=None):
+        self.seq = _Message._next_seq
+        _Message._next_seq += 1
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.comm_id = comm_id
+        self.nbytes = nbytes
+        self.post_time = post_time
+        self.inject_time = inject_time
+        self.protocol = protocol      # "eager" or "rdv"
+        self.throttled = throttled
+        self.charged = charged        # counted against dst's unexpected buffer
+        self.sreq = sreq
+        self.arrival = arrival        # fixed arrival (wire-queued eager)
+
+
+class _PendingRecv:
+    __slots__ = ("seq", "rank", "src", "tag", "comm_id", "post_time", "rreq")
+
+    _next_seq = 0
+
+    def __init__(self, rank, src, tag, comm_id, post_time, rreq):
+        self.seq = _PendingRecv._next_seq
+        _PendingRecv._next_seq += 1
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.comm_id = comm_id
+        self.post_time = post_time
+        self.rreq = rreq
+
+
+class _RankState:
+    __slots__ = ("rank", "gen", "clock", "state", "blocked_kind",
+                 "blocked_data", "pending_value", "coll_seq")
+
+    def __init__(self, rank: int, gen: Generator):
+        self.rank = rank
+        self.gen = gen
+        self.clock = 0.0
+        self.state = READY
+        self.blocked_kind: Optional[str] = None   # "waitall"|"waitany"|"collective"
+        self.blocked_data = None
+        self.pending_value = None
+        self.coll_seq: Dict[int, int] = {}        # comm_id -> collective counter
+
+
+class _CollInstance:
+    __slots__ = ("key", "group", "nbytes", "arrivals", "completion")
+
+    def __init__(self, key, group, nbytes):
+        self.key = key
+        self.group = group
+        self.nbytes = nbytes
+        self.arrivals: Dict[int, float] = {}
+        self.completion: Optional[float] = None
+
+
+class Engine:
+    """Run a set of rank generator programs to completion in virtual time."""
+
+    def __init__(self, nranks: int, model: NetworkModel,
+                 max_steps: Optional[int] = None):
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        self.nranks = nranks
+        self.model = model
+        self.max_steps = max_steps
+        self._ranks: List[_RankState] = []
+        # (src, dst, comm_id) -> deque of unmatched _Message in send order
+        self._channels: Dict[Tuple[int, int, int], deque] = {}
+        # dst -> set of channel keys with unmatched messages
+        self._channels_by_dst: Dict[int, set] = {}
+        # dst -> list of _PendingRecv in post order
+        self._pending_recvs: Dict[int, List[_PendingRecv]] = {}
+        self._unexpected_bytes: Dict[int, int] = {}
+        # receive-side message processing is serial: a rank's "receive
+        # processor" finishes one message before starting the next, so a
+        # burst arriving faster than recv_overhead can drain queues up —
+        # the physical mechanism behind the paper's Fig. 7 discussion
+        self._rx_busy: Dict[int, float] = {}
+        # the ejection link to each rank is also serial (wire queueing):
+        # simultaneous arrivals stretch, paced arrivals do not
+        self._wire_free: Dict[int, float] = {}
+        # leaky-bucket overload accounting: (last update time, level bytes)
+        self._overload: Dict[int, Tuple[float, float]] = {}
+        self.overload_events = 0
+        self._coll: Dict[Tuple[int, int], _CollInstance] = {}
+        self._deferred_dsts: set = set()
+        self._min_latency = model.min_latency()
+        self.steps = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- public API --------------------------------------------------------
+    def run(self, programs: Sequence[Generator]) -> float:
+        """Drive ``programs`` (one generator per rank) to completion.
+
+        Returns the simulated makespan: the maximum final rank clock.
+        Raises :class:`SimDeadlockError` if the programs deadlock.
+        """
+        if len(programs) != self.nranks:
+            raise ValueError(
+                f"expected {self.nranks} programs, got {len(programs)}")
+        self._ranks = [_RankState(i, g) for i, g in enumerate(programs)]
+        for i in range(self.nranks):
+            self._pending_recvs[i] = []
+            self._unexpected_bytes[i] = 0
+            self._channels_by_dst[i] = set()
+            self._rx_busy[i] = 0.0
+            self._wire_free[i] = 0.0
+            self._overload[i] = (0.0, 0.0)
+
+        while True:
+            self.steps += 1
+            if self.max_steps is not None and self.steps > self.max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={self.max_steps}; likely livelock")
+            if self._deferred_dsts:
+                for dst in sorted(self._deferred_dsts):
+                    self._deferred_dsts.discard(dst)
+                    self._drain(dst, relaxed=False)
+            self._resume_resumable(relaxed=False)
+            ready = [rs for rs in self._ranks if rs.state == READY]
+            if ready:
+                rs = min(ready, key=lambda r: (r.clock, r.rank))
+                self._step(rs)
+                continue
+            if all(rs.state == DONE for rs in self._ranks):
+                break
+            # everyone blocked: try relaxed matching / resumption
+            if self._relaxed_progress():
+                continue
+            self._raise_deadlock()
+        return self.total_time
+
+    @property
+    def total_time(self) -> float:
+        return max((rs.clock for rs in self._ranks), default=0.0)
+
+    def now(self, rank: int) -> float:
+        return self._ranks[rank].clock
+
+    # -- generator stepping -------------------------------------------------
+    def _step(self, rs: _RankState) -> None:
+        value = rs.pending_value
+        rs.pending_value = None
+        while True:
+            self.steps += 1
+            if self.max_steps is not None and self.steps > self.max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={self.max_steps}; likely livelock")
+            try:
+                op = rs.gen.send(value)
+            except StopIteration:
+                rs.state = DONE
+                self._on_rank_done(rs)
+                return
+            value = self._apply(rs, op)
+            if value is _BLOCK:
+                rs.state = BLOCKED
+                return
+
+    def _apply(self, rs: _RankState, op: Op):
+        if isinstance(op, Compute):
+            rs.clock += op.duration
+            return None
+        if isinstance(op, PostSend):
+            return self._apply_send(rs, op)
+        if isinstance(op, PostRecv):
+            return self._apply_recv(rs, op)
+        if isinstance(op, WaitAll):
+            done = self._try_waitall(rs, op.requests, relaxed=False)
+            if done is not None:
+                return done
+            rs.blocked_kind = "waitall"
+            rs.blocked_data = op.requests
+            return _BLOCK
+        if isinstance(op, WaitAny):
+            done = self._try_waitany(rs, op.requests, relaxed=False)
+            if done is not None:
+                return done
+            rs.blocked_kind = "waitany"
+            rs.blocked_data = op.requests
+            return _BLOCK
+        if isinstance(op, Test):
+            # A test succeeds only if the operation has completed by the
+            # rank's current virtual time; testing never advances the clock
+            # past the completion (matching MPI_Test semantics).
+            req = op.request
+            if req.complete and req.completion <= rs.clock:
+                return (True, req.status)
+            return (False, None)
+        if isinstance(op, Collective):
+            return self._apply_collective(rs, op)
+        raise MPIUsageError(f"rank {rs.rank} yielded non-op {op!r}")
+
+    # -- sends ----------------------------------------------------------------
+    def _apply_send(self, rs: _RankState, op: PostSend) -> Request:
+        if op.dst >= self.nranks:
+            raise MPIUsageError(
+                f"rank {rs.rank} sends to nonexistent rank {op.dst}")
+        model = self.model
+        req = Request("send", rs.rank)
+        post_time = rs.clock
+        rs.clock += model.send_overhead(op.nbytes)
+        inject = rs.clock
+        eager = op.nbytes <= model.eager_threshold
+        charged = False
+        throttled = False
+        arrival = None
+        if eager and model.overload_drain_rate is not None:
+            # leaky bucket: the destination's protocol stack drains at a
+            # fixed rate; sustained offered load above it builds standing
+            # backlog, and senders to an overloaded stack back off
+            last_t, level = self._overload[op.dst]
+            level = max(0.0, level - (inject - last_t)
+                        * model.overload_drain_rate)
+            if level > model.overload_capacity:
+                rs.clock += model.overload_penalty
+                inject = rs.clock
+                self.overload_events += 1
+                level = max(0.0, level - model.overload_penalty
+                            * model.overload_drain_rate)
+            level += op.nbytes
+            self._overload[op.dst] = (inject, level)
+        if eager and model.wire_queueing:
+            # the destination's ejection link is serial: this message's
+            # data starts landing when the link frees up
+            reach = inject + model.transit_time(0)
+            backlog = self._wire_free[op.dst] - reach
+            threshold = model.backlog_stall_threshold
+            if threshold is not None and backlog > threshold:
+                # flow control: the sender stalls until the destination's
+                # queue drains back to the window (graduated backpressure);
+                # the cost lands on the sender's clock directly
+                rs.clock += (backlog - threshold
+                             + model.stall_penalty(op.nbytes))
+                inject = rs.clock
+                reach = inject + model.transit_time(0)
+            start = max(reach, self._wire_free[op.dst])
+            arrival = start + model.eject_time(op.nbytes)
+            self._wire_free[op.dst] = arrival
+        if eager:
+            preposted = self._has_compatible_recv(op.dst, rs.rank, op.tag,
+                                                  op.comm_id)
+            if not preposted:
+                cap = model.unexpected_capacity
+                pending = self._unexpected_bytes[op.dst]
+                if cap is not None and pending + op.nbytes > cap:
+                    throttled = True
+                charged = True
+                self._unexpected_bytes[op.dst] += op.nbytes
+            if not throttled:
+                req.completion = inject  # local completion, buffered send
+        msg = _Message(rs.rank, op.dst, op.tag, op.comm_id, op.nbytes,
+                       post_time, inject, "eager" if eager else "rdv",
+                       throttled, charged, req, arrival=arrival)
+        req.message = msg
+        key = (rs.rank, op.dst, op.comm_id)
+        self._channels.setdefault(key, deque()).append(msg)
+        self._channels_by_dst[op.dst].add(key)
+        self.messages_sent += 1
+        self.bytes_sent += op.nbytes
+        self._drain(op.dst, relaxed=False)
+        return req
+
+    def _has_compatible_recv(self, dst: int, src: int, tag: int,
+                             comm_id: int) -> bool:
+        for pr in self._pending_recvs[dst]:
+            if pr.comm_id != comm_id:
+                continue
+            if pr.src not in (src, ANY_SOURCE):
+                continue
+            if pr.tag not in (tag, ANY_TAG):
+                continue
+            return True
+        return False
+
+    # -- receives ---------------------------------------------------------------
+    def _apply_recv(self, rs: _RankState, op: PostRecv) -> Request:
+        if op.src != ANY_SOURCE and op.src >= self.nranks:
+            raise MPIUsageError(
+                f"rank {rs.rank} receives from nonexistent rank {op.src}")
+        req = Request("recv", rs.rank)
+        pr = _PendingRecv(rs.rank, op.src, op.tag, op.comm_id, rs.clock, req)
+        self._pending_recvs[rs.rank].append(pr)
+        self._drain(rs.rank, relaxed=False)
+        return req
+
+    # -- matching ------------------------------------------------------------
+    def _arrival_est(self, msg: _Message, recv_post: float) -> float:
+        model = self.model
+        if msg.protocol == "eager":
+            t = (msg.arrival if msg.arrival is not None
+                 else msg.inject_time + model.transit_time(msg.nbytes))
+            if msg.throttled:
+                t += model.stall_penalty(msg.nbytes)
+            return t
+        # rendezvous: data moves once both sides are ready
+        handshake = msg.inject_time + self._min_latency
+        return max(handshake, recv_post) + model.transit_time(msg.nbytes)
+
+    def _first_compatible_in_channel(self, key, tag) -> Optional[_Message]:
+        chan = self._channels.get(key)
+        if not chan:
+            return None
+        for msg in chan:
+            if tag == ANY_TAG or tag == msg.tag:
+                return msg
+        return None
+
+    def _candidates_for(self, pr: _PendingRecv) -> List[_Message]:
+        """First tag-compatible unmatched message of each eligible channel."""
+        out = []
+        if pr.src == ANY_SOURCE:
+            keys = sorted(self._channels_by_dst[pr.rank])
+        else:
+            keys = [(pr.src, pr.rank, pr.comm_id)]
+        for key in keys:
+            if key[2] != pr.comm_id:
+                continue
+            chan = self._channels.get(key)
+            if not chan:
+                continue
+            for msg in chan:
+                if pr.tag in (msg.tag, ANY_TAG):
+                    out.append(msg)
+                    break
+        return out
+
+    def _horizon(self, exclude_rank: int) -> float:
+        """Earliest virtual time at which any rank other than
+        ``exclude_rank`` could inject a new message."""
+        h = float("inf")
+        for rs in self._ranks:
+            if rs.rank == exclude_rank or rs.state == DONE:
+                continue
+            h = min(h, rs.clock)
+        return h + self._min_latency
+
+    def _drain(self, dst: int, relaxed: bool) -> bool:
+        """Match pending receives at ``dst`` against channel messages.
+
+        Receives are scanned in post order.  A directed receive matches the
+        first tag-compatible message in its channel immediately (FIFO order
+        makes this deterministic).  A wildcard receive matches its
+        earliest-arriving candidate only when that choice is *safe* (no
+        other rank could still produce an earlier arrival); unsafe wildcard
+        receives freeze matching for later receives that could steal their
+        messages.  Returns True if any match was committed.
+        """
+        any_progress = False
+        progress = True
+        while progress:
+            progress = False
+            frozen_pairs: set = set()  # (src, comm) pairs an unsafe ANY could take
+            frozen_all = False
+            for pr in list(self._pending_recvs[dst]):
+                if pr.src == ANY_SOURCE:
+                    cands = self._candidates_for(pr)
+                    cands = [m for m in cands
+                             if not frozen_all
+                             and (m.src, m.comm_id) not in frozen_pairs]
+                    if not cands:
+                        # nothing available yet; this wildcard blocks any
+                        # later recv from stealing what it might match
+                        frozen_all = True
+                        continue
+                    best = min(cands, key=lambda m: (
+                        self._arrival_est(m, pr.post_time), m.src, m.seq))
+                    if not relaxed:
+                        arr = self._arrival_est(best, pr.post_time)
+                        if arr > self._horizon(dst):
+                            self._deferred_dsts.add(dst)
+                            frozen_all = True
+                            continue
+                    self._commit_match(pr, best)
+                    progress = True
+                    any_progress = True
+                    break
+                else:
+                    if frozen_all or (pr.src, pr.comm_id) in frozen_pairs:
+                        continue
+                    msg = self._first_compatible_in_channel(
+                        (pr.src, dst, pr.comm_id), pr.tag)
+                    if msg is None:
+                        continue
+                    self._commit_match(pr, msg)
+                    progress = True
+                    any_progress = True
+                    break
+        return any_progress
+
+    def _commit_match(self, pr: _PendingRecv, msg: _Message) -> None:
+        model = self.model
+        arrival = self._arrival_est(msg, pr.post_time)
+        # message processing starts when the data is here, the receive is
+        # posted, and the receiver's (serial) message processor is free
+        start = max(pr.post_time, arrival, self._rx_busy[pr.rank])
+        completion = start
+        if msg.protocol == "eager" and arrival < pr.post_time:
+            completion += model.unexpected_copy(msg.nbytes)
+        completion += model.recv_overhead(msg.nbytes)
+        self._rx_busy[pr.rank] = completion
+        pr.rreq.completion = completion
+        pr.rreq.status = Status(msg.src, msg.tag, msg.nbytes)
+        pr.rreq.message = msg
+        # sender-side completion for rendezvous / throttled sends
+        if msg.sreq.completion is None:
+            msg.sreq.completion = completion
+            msg.sreq.status = Status(msg.src, msg.tag, msg.nbytes)
+        if msg.charged:
+            self._unexpected_bytes[msg.dst] -= msg.nbytes
+        key = (msg.src, msg.dst, msg.comm_id)
+        self._channels[key].remove(msg)
+        if not self._channels[key]:
+            self._channels_by_dst[msg.dst].discard(key)
+        self._pending_recvs[pr.rank].remove(pr)
+
+    # -- waits ----------------------------------------------------------------
+    def _try_waitall(self, rs: _RankState, requests, relaxed: bool):
+        if not all(r.complete for r in requests):
+            return None
+        if requests:
+            rs.clock = max(rs.clock, max(r.completion for r in requests))
+        return [r.status for r in requests]
+
+    def _try_waitany(self, rs: _RankState, requests, relaxed: bool):
+        done = [(r.completion, i) for i, r in enumerate(requests) if r.complete]
+        if not done:
+            return None
+        t, i = min(done)
+        if not relaxed and not all(r.complete for r in requests):
+            # an incomplete request might still finish earlier
+            if t > self._horizon(rs.rank):
+                return None
+        rs.clock = max(rs.clock, t)
+        return (i, requests[i].status)
+
+    # -- collectives ------------------------------------------------------------
+    def _apply_collective(self, rs: _RankState, op: Collective):
+        if rs.rank not in op.group:
+            raise MPIUsageError(
+                f"rank {rs.rank} called collective on group excluding it")
+        seq = rs.coll_seq.get(op.comm_id, 0)
+        rs.coll_seq[op.comm_id] = seq + 1
+        key = (op.comm_id, seq)
+        inst = self._coll.get(key)
+        if inst is None:
+            inst = _CollInstance(op.key, op.group, op.nbytes)
+            self._coll[key] = inst
+        else:
+            if inst.group != op.group or inst.key != op.key:
+                raise MPIUsageError(
+                    f"collective mismatch on comm {op.comm_id} seq {seq}: "
+                    f"{inst.key}/{inst.group} vs {op.key}/{op.group}")
+            inst.nbytes = max(inst.nbytes, op.nbytes)
+        inst.arrivals[rs.rank] = rs.clock
+        if len(inst.arrivals) == len(inst.group):
+            start = max(inst.arrivals.values())
+            inst.completion = start + self.model.collective_cost(
+                inst.key, len(inst.group), inst.nbytes)
+            # the caller resumes immediately; blocked participants are
+            # picked up by _resume_resumable on the next scheduler pass
+            rs.clock = inst.completion
+            return None
+        rs.blocked_kind = "collective"
+        rs.blocked_data = inst
+        return _BLOCK
+
+    # -- resumption -------------------------------------------------------------
+    def _resume_resumable(self, relaxed: bool) -> bool:
+        progress = False
+        for rs in self._ranks:
+            if rs.state != BLOCKED:
+                continue
+            if rs.blocked_kind == "waitall":
+                res = self._try_waitall(rs, rs.blocked_data, relaxed)
+                if res is None:
+                    continue
+                rs.pending_value = res
+            elif rs.blocked_kind == "waitany":
+                res = self._try_waitany(rs, rs.blocked_data, relaxed)
+                if res is None:
+                    continue
+                rs.pending_value = res
+            elif rs.blocked_kind == "collective":
+                inst = rs.blocked_data
+                if inst.completion is None:
+                    continue
+                rs.clock = inst.completion
+                rs.pending_value = None
+            else:  # pragma: no cover - defensive
+                raise AssertionError(rs.blocked_kind)
+            rs.state = READY
+            rs.blocked_kind = None
+            rs.blocked_data = None
+            progress = True
+        return progress
+
+    def _relaxed_progress(self) -> bool:
+        # 1. deferred wildcard matches, earliest arrival first
+        for dst in sorted(self._pending_recvs):
+            if self._drain(dst, relaxed=True):
+                return True
+        # 2. waits resumable without the safety horizon
+        if self._resume_resumable(relaxed=True):
+            return True
+        return False
+
+    # -- termination ------------------------------------------------------------
+    def _on_rank_done(self, rs: _RankState) -> None:
+        # A finished rank cannot post new sends; wildcard horizons improve.
+        if self._pending_recvs[rs.rank]:
+            raise MPIUsageError(
+                f"rank {rs.rank} finished with "
+                f"{len(self._pending_recvs[rs.rank])} unmatched receives")
+
+    def _describe_block(self, rs: _RankState) -> str:
+        if rs.blocked_kind == "collective":
+            inst = rs.blocked_data
+            missing = [r for r in inst.group if r not in inst.arrivals]
+            return f"collective {inst.key} awaiting ranks {missing}"
+        if rs.blocked_kind in ("waitall", "waitany"):
+            pending = [r for r in rs.blocked_data if not r.complete]
+            kinds = ", ".join(f"{r.kind}" for r in pending[:4])
+            return f"{rs.blocked_kind} on {len(pending)} requests ({kinds})"
+        return str(rs.blocked_kind)
+
+    def _raise_deadlock(self) -> None:
+        blocked = {rs.rank: self._describe_block(rs)
+                   for rs in self._ranks if rs.state == BLOCKED}
+        raise SimDeadlockError(blocked)

@@ -1,0 +1,56 @@
+"""Requests and statuses for nonblocking simulated communication."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Status:
+    """Completion record of a receive (or send).
+
+    ``source`` and ``tag`` report the *matched* values, which is how an
+    application observes the resolution of an MPI_ANY_SOURCE wildcard.
+    """
+
+    __slots__ = ("source", "tag", "nbytes")
+
+    def __init__(self, source: int, tag: int, nbytes: int):
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:
+        return f"Status(source={self.source}, tag={self.tag}, nbytes={self.nbytes})"
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation.
+
+    ``completion`` is the virtual time at which the operation completes, or
+    ``None`` while that time is not yet known (e.g. an unmatched receive).
+    The engine owns all mutation; applications only pass requests to
+    wait/test operations.
+    """
+
+    __slots__ = ("kind", "rank", "seq", "completion", "status", "message")
+
+    _next_seq = 0
+
+    def __init__(self, kind: str, rank: int):
+        if kind not in ("send", "recv"):
+            raise ValueError(f"bad request kind: {kind}")
+        self.kind = kind
+        self.rank = rank
+        self.seq = Request._next_seq
+        Request._next_seq += 1
+        self.completion: Optional[float] = None
+        self.status: Optional[Status] = None
+        self.message = None  # the Message this request produced/consumed
+
+    @property
+    def complete(self) -> bool:
+        return self.completion is not None
+
+    def __repr__(self) -> str:
+        state = f"t={self.completion:.6g}" if self.complete else "pending"
+        return f"Request({self.kind}, rank={self.rank}, {state})"

@@ -1,0 +1,73 @@
+"""Communication-matrix analysis of traces.
+
+A p×p matrix of bytes (or message counts) exchanged between rank pairs is
+the standard first look at an application's communication structure —
+the kind of view tools like mpiP and Vampir provide.  Here it doubles as
+another correctness lens: an application and its generated benchmark must
+produce identical matrices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.scalatrace.rsd import Trace
+from repro.util.expr import ANY_SOURCE
+
+#: events counted as directed traffic, with the byte interpretation
+_P2P_SENDS = ("Send", "Isend")
+
+
+def communication_matrix(trace: Trace,
+                         counts: bool = False) -> np.ndarray:
+    """p×p matrix: entry [src, dst] is bytes (or messages) sent src→dst.
+
+    Only point-to-point traffic is directed; collectives are excluded
+    (they have no single peer).  Wildcard receives do not contribute —
+    the matrix is built from the send side, which is always concrete.
+    """
+    p = trace.world_size
+    m = np.zeros((p, p), dtype=np.int64)
+    for rank in range(p):
+        for ev in trace.iter_rank(rank):
+            if ev.op not in _P2P_SENDS:
+                continue
+            comm = trace.comm_ranks(ev.comm_id)
+            dst = comm[ev.peer]
+            m[rank, dst] += 1 if counts else int(ev.size)
+    return m
+
+
+def matrices_equal(a: Trace, b: Trace) -> bool:
+    return bool(np.array_equal(communication_matrix(a),
+                               communication_matrix(b)))
+
+
+def render_matrix(m: np.ndarray, max_width: int = 100) -> str:
+    """ASCII heat map: '.' for zero, then 1-9 by decile of the maximum."""
+    p = m.shape[0]
+    peak = m.max()
+    lines = []
+    header = "    " + "".join(f"{j % 10}" for j in range(p))
+    lines.append(header[:max_width])
+    for i in range(p):
+        row = []
+        for j in range(p):
+            v = m[i, j]
+            if v == 0:
+                row.append(".")
+            else:
+                row.append(str(min(9, 1 + int(8 * v / peak))))
+        lines.append((f"{i:3d} " + "".join(row))[:max_width])
+    lines.append(f"peak: {int(peak)} bytes/pair")
+    return "\n".join(lines)
+
+
+def hotspots(m: np.ndarray, top: int = 5) -> List[Tuple[int, int, int]]:
+    """The ``top`` heaviest (src, dst, bytes) pairs."""
+    flat = [(int(m[i, j]), i, j) for i in range(m.shape[0])
+            for j in range(m.shape[1]) if m[i, j] > 0]
+    flat.sort(reverse=True)
+    return [(i, j, v) for v, i, j in flat[:top]]

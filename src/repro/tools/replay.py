@@ -1,0 +1,149 @@
+"""ScalaReplay: execute a ScalaTrace trace directly on the simulator.
+
+The paper's §5.2 uses ScalaReplay to compare an application's trace with
+its generated benchmark's trace "fairly": replaying both erases spurious
+structural differences (call-stack signatures) while preserving the
+semantic event stream.  Replay is also useful on its own — it is the
+trace-driven twin of the generated benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import TraceError
+from repro.mpi.api import ANY_SOURCE, MPIProcess
+from repro.mpi.world import SpmdResult, run_spmd
+from repro.scalatrace.rsd import Trace
+from repro.util.expr import ANY_SOURCE as TRACE_ANY
+
+
+def replay_program(trace: Trace, include_timing: bool = True):
+    """SPMD program function that re-executes ``trace`` event by event.
+
+    Communicators are rebuilt by replaying the recorded Comm_split /
+    Comm_dup events; trace communicator ids are mapped onto the replayed
+    ones by membership.  Computation gaps are reproduced from the per-node
+    timing histograms (deterministic round-robin draws, preserving each
+    node's total recorded time).
+    """
+
+    def program(mpi: MPIProcess):
+        outstanding = []
+        replay_iters: Dict[int, object] = {}
+        # trace comm id -> replayed Communicator, matched by membership
+        by_ranks = {tuple(range(trace.world_size)): mpi.comm_world}
+
+        def comm_for(comm_id):
+            ranks = trace.comm_ranks(comm_id)
+            try:
+                return by_ranks[tuple(ranks)]
+            except KeyError:
+                raise TraceError(
+                    f"replay reached an event on communicator {comm_id} "
+                    f"({ranks}) before replaying its creation") from None
+
+        def draw(node, kind, hist):
+            it = replay_iters.get((id(node), kind))
+            if it is None:
+                it = hist.replay_values()
+                replay_iters[(id(node), kind)] = it
+            return next(it)
+
+        for ev in trace.iter_rank(mpi.rank):
+            node = ev.node
+            # loop-entry-first instances draw from the first-iteration
+            # histogram, the rest from the subsequent-iteration one
+            period = node.first_period()
+            if period is not None and ev.instance % period == 0:
+                delta = draw(node, "first", node.time_first)
+            elif node.time_rest.count:
+                delta = draw(node, "rest", node.time_rest)
+            else:
+                delta = draw(node, "first", node.time_first)
+            if include_timing and delta > 0:
+                yield from mpi.compute(delta)
+
+            op = ev.op
+            if op == "Isend":
+                req = yield from mpi.isend(dest=ev.peer, nbytes=ev.size,
+                                           tag=ev.tag,
+                                           comm=comm_for(ev.comm_id))
+                outstanding.append(req)
+            elif op == "Send":
+                yield from mpi.send(dest=ev.peer, nbytes=ev.size,
+                                    tag=ev.tag, comm=comm_for(ev.comm_id))
+            elif op == "Irecv":
+                src = ANY_SOURCE if ev.peer == TRACE_ANY else ev.peer
+                req = yield from mpi.irecv(source=src, tag=ev.tag,
+                                           comm=comm_for(ev.comm_id))
+                outstanding.append(req)
+            elif op == "Recv":
+                src = ANY_SOURCE if ev.peer == TRACE_ANY else ev.peer
+                yield from mpi.recv(source=src, tag=ev.tag,
+                                    comm=comm_for(ev.comm_id))
+            elif op in ("Wait", "Waitall"):
+                offsets = ev.wait_offsets or ()
+                reqs = [outstanding[o] for o in offsets]
+                for r in reqs:
+                    outstanding.remove(r)
+                if len(reqs) == 1 and op == "Wait":
+                    yield from mpi.wait(reqs[0])
+                else:
+                    yield from mpi.waitall(reqs)
+            elif op == "Barrier":
+                yield from mpi.barrier(comm=comm_for(ev.comm_id))
+            elif op == "Bcast":
+                yield from mpi.bcast(ev.size, root=ev.root,
+                                     comm=comm_for(ev.comm_id))
+            elif op == "Reduce":
+                yield from mpi.reduce(ev.size, root=ev.root,
+                                      comm=comm_for(ev.comm_id))
+            elif op == "Allreduce":
+                yield from mpi.allreduce(ev.size,
+                                         comm=comm_for(ev.comm_id))
+            elif op in ("Gather", "Gatherv"):
+                fn = mpi.gather if op == "Gather" else mpi.gatherv
+                yield from fn(ev.size, root=ev.root,
+                              comm=comm_for(ev.comm_id))
+            elif op in ("Scatter", "Scatterv"):
+                fn = mpi.scatter if op == "Scatter" else mpi.scatterv
+                yield from fn(ev.size, root=ev.root,
+                              comm=comm_for(ev.comm_id))
+            elif op in ("Allgather", "Allgatherv"):
+                fn = (mpi.allgather if op == "Allgather"
+                      else mpi.allgatherv)
+                yield from fn(ev.size, comm=comm_for(ev.comm_id))
+            elif op == "Alltoall":
+                yield from mpi.alltoall(ev.size, comm=comm_for(ev.comm_id))
+            elif op == "Alltoallv":
+                yield from mpi.alltoallv(list(ev.size),
+                                         comm=comm_for(ev.comm_id))
+            elif op == "Reduce_scatter":
+                yield from mpi.reduce_scatter(list(ev.size),
+                                              comm=comm_for(ev.comm_id))
+            elif op == "Comm_split":
+                color, key = ev.size
+                sub = yield from mpi.comm_split(
+                    comm_for(ev.comm_id),
+                    None if color == -1 else color, key)
+                if sub is not None:
+                    by_ranks[sub.world_ranks] = sub
+            elif op == "Comm_dup":
+                sub = yield from mpi.comm_dup(comm_for(ev.comm_id))
+                by_ranks[sub.world_ranks] = sub
+            elif op == "Finalize":
+                yield from mpi.finalize()
+            else:
+                raise TraceError(f"replay cannot interpret op {op!r}")
+
+    return program
+
+
+def replay_trace(trace: Trace, model=None, hooks=None,
+                 include_timing: bool = True,
+                 max_steps: Optional[int] = None) -> SpmdResult:
+    """Run a full replay of ``trace``; returns the simulation result."""
+    return run_spmd(replay_program(trace, include_timing=include_timing),
+                    trace.world_size, model=model, hooks=hooks,
+                    max_steps=max_steps)

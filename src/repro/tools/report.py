@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table; numbers are right-aligned, text left-aligned."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(cells):
+        rendered = "  ".join(
+            row[c].rjust(widths[c]) if _numeric(cells, c) and i > 0
+            else row[c].ljust(widths[c])
+            for c in range(len(row)))
+        lines.append(rendered.rstrip())
+        if i == 0:
+            lines.append("-" * len(lines[-1]))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 100:
+            return f"{v:.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4f}"
+    return str(v)
+
+
+def _numeric(cells: List[List[str]], col: int) -> bool:
+    for row in cells[1:]:
+        try:
+            float(row[col])
+        except ValueError:
+            return False
+    return True

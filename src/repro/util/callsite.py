@@ -1,0 +1,91 @@
+"""Call-site (stack) signatures.
+
+ScalaTrace distinguishes MPI calls issued from different source locations
+by hashing the call stack at interposition time; loop compression then only
+folds events that share a signature.  We capture the analogous signature
+from the Python stack of the simulated application, skipping frames that
+belong to the repro framework itself so that signatures reflect *application*
+structure only.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional, Tuple
+
+#: Stack frames whose file lives under any of these package directories are
+#: framework frames, not application frames.
+_FRAMEWORK_DIRS = ("repro/sim", "repro/mpi", "repro/scalatrace",
+                   "repro/conceptual", "repro/tools")
+
+
+class Callsite:
+    """Immutable stack signature: a tuple of ``file:line:function`` frames,
+    innermost first."""
+
+    __slots__ = ("frames", "_hash")
+
+    def __init__(self, frames: Tuple[Tuple[str, int, str], ...]):
+        self.frames = tuple(frames)
+        self._hash = hash(self.frames)
+
+    @classmethod
+    def synthetic(cls, label: str, index: int = 0) -> "Callsite":
+        """Signature for code with no meaningful Python stack (e.g. compiled
+        coNCePTuaL programs use the AST node path as the signature)."""
+        return cls(((label, index, "<synthetic>"),))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Callsite):
+            return NotImplemented
+        return self.frames == other.frames
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def serialize(self) -> str:
+        return "|".join(f"{f}:{l}:{fn}" for f, l, fn in self.frames)
+
+    @classmethod
+    def parse(cls, text: str) -> "Callsite":
+        frames = []
+        for part in text.split("|"):
+            f, l, fn = part.rsplit(":", 2)
+            frames.append((f, int(l), fn))
+        return cls(tuple(frames))
+
+    def __repr__(self) -> str:
+        if not self.frames:
+            return "Callsite(<empty>)"
+        f, l, fn = self.frames[0]
+        more = f" (+{len(self.frames) - 1})" if len(self.frames) > 1 else ""
+        return f"Callsite({f}:{l} in {fn}{more})"
+
+
+def _is_framework_frame(filename: str) -> bool:
+    norm = filename.replace(os.sep, "/")
+    return any(d in norm for d in _FRAMEWORK_DIRS)
+
+
+def capture_callsite(max_depth: int = 8, skip: int = 1) -> Callsite:
+    """Capture the application portion of the current call stack.
+
+    ``skip`` framework-internal callers at the top are always dropped;
+    remaining framework frames are filtered by path.  Filenames are reduced
+    to basenames so signatures are stable across checkouts.
+    """
+    frame = sys._getframe(skip)
+    frames = []
+    while frame is not None and len(frames) < max_depth:
+        code = frame.f_code
+        norm = code.co_filename.replace(os.sep, "/")
+        if "repro/sim" in norm:
+            # the engine's scheduler frame: everything below it is harness,
+            # not application structure
+            break
+        if not _is_framework_frame(code.co_filename):
+            frames.append((os.path.basename(code.co_filename),
+                           frame.f_lineno, code.co_name))
+        frame = frame.f_back
+    return Callsite(tuple(frames))

@@ -1,0 +1,191 @@
+"""Structural tests for the application suite."""
+
+import pytest
+
+from repro.apps import APPS, AppError, PAPER_SUITE, make_app, \
+    valid_rank_counts
+from repro.apps.base import grid_2d, grid_3d, require_power_of_two, \
+    require_square, work_seconds
+from repro.mpi import RecordingHook, run_spmd
+from repro.sim import SimpleModel
+from repro.tools.mpip import MpiPHook
+
+
+def profile(name, nranks, cls="S", **kw):
+    hook = MpiPHook()
+    prog = make_app(name, nranks, cls, **kw)
+    res = run_spmd(prog, nranks, model=SimpleModel(), hooks=[hook])
+    return res, hook
+
+
+class TestBaseHelpers:
+    def test_grid_2d(self):
+        assert grid_2d(16) == (4, 4)
+        assert grid_2d(8) == (4, 2)
+        assert grid_2d(7) == (7, 1)
+
+    def test_grid_3d(self):
+        assert sorted(grid_3d(8)) == [2, 2, 2]
+        assert sorted(grid_3d(64)) == [4, 4, 4]
+        px, py, pz = grid_3d(16)
+        assert px * py * pz == 16
+
+    def test_require_square(self):
+        assert require_square(16, "x") == 4
+        with pytest.raises(AppError):
+            require_square(8, "x")
+
+    def test_require_power_of_two(self):
+        require_power_of_two(16, "x")
+        with pytest.raises(AppError):
+            require_power_of_two(12, "x")
+
+    def test_work_seconds(self):
+        assert work_seconds(1000) > 0
+        assert work_seconds(0) == 0
+        assert work_seconds(-5) == 0
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(AppError):
+            make_app("hpl", 4)
+
+    def test_registry_rejects_unknown_class(self):
+        with pytest.raises(AppError):
+            make_app("ring", 4, cls="Z")
+
+    def test_valid_rank_counts(self):
+        assert valid_rank_counts("bt", [4, 8, 9, 16]) == [4, 9, 16]
+        assert valid_rank_counts("cg", [4, 6, 8]) == [4, 8]
+
+    def test_paper_suite_registered(self):
+        assert set(PAPER_SUITE) <= set(APPS)
+        assert len(PAPER_SUITE) == 9
+
+
+@pytest.mark.parametrize("name", sorted(APPS))
+class TestAllAppsRun:
+    def test_runs_to_completion(self, name):
+        n = valid_rank_counts(name, [4, 8, 9, 16])[0]
+        res, hook = profile(name, n)
+        assert res.total_time > 0
+
+    def test_deterministic(self, name):
+        n = valid_rank_counts(name, [4, 8, 9, 16])[0]
+        t1 = profile(name, n)[0].total_time
+        t2 = profile(name, n)[0].total_time
+        assert t1 == t2
+
+    def test_all_ranks_finish_together_at_finalize(self, name):
+        n = valid_rank_counts(name, [4, 8, 9, 16])[0]
+        res, _ = profile(name, n)
+        # Finalize is a collective: every rank's final clock is the same
+        assert max(res.per_rank_times) == pytest.approx(
+            min(res.per_rank_times), rel=1e-9)
+
+
+class TestAppCommunicationShapes:
+    def test_ep_only_collectives(self):
+        _, hook = profile("ep", 8)
+        assert hook.calls("Allreduce") == 3 * 8
+        assert hook.calls("Send") == 0
+        assert hook.calls("Isend") == 0
+
+    def test_ring_message_count(self):
+        _, hook = profile("ring", 8)
+        # 50 iterations x 8 ranks
+        assert hook.calls("Isend") == 400
+        assert hook.calls("Irecv") == 400
+
+    def test_cg_has_butterfly_and_reductions(self):
+        _, hook = profile("cg", 8)
+        assert hook.calls("Allreduce") > 0
+        assert hook.calls("Send") > 0
+        # every send is matched by an irecv
+        assert hook.calls("Irecv") == hook.calls("Send")
+
+    def test_mg_halo_sizes_shrink_with_level(self):
+        rec = RecordingHook()
+        prog = make_app("mg", 8, "S")
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[rec])
+        sizes = {e.nbytes for e in rec.events if e.op == "Isend"}
+        assert len(sizes) > 1  # multiple levels -> multiple face sizes
+
+    def test_ft_uses_duplicated_communicator(self):
+        rec = RecordingHook()
+        prog = make_app("ft", 8, "S")
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[rec])
+        assert any(e.op == "Comm_dup" for e in rec.events)
+        a2a = [e for e in rec.events if e.op == "Alltoall"]
+        assert a2a and all(e.comm.id != 0 for e in a2a)
+
+    def test_is_alltoallv_uneven(self):
+        rec = RecordingHook()
+        prog = make_app("is", 8, "S")
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[rec])
+        av = [e for e in rec.events if e.op == "Alltoallv"]
+        assert av
+        sizes = av[0].nbytes
+        assert isinstance(sizes, tuple) and len(set(sizes)) > 1
+
+    def test_lu_uses_wildcards(self):
+        from repro.mpi import ANY_SOURCE
+        rec = RecordingHook()
+        prog = make_app("lu", 8, "S")
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[rec])
+        recvs = [e for e in rec.events if e.op == "Recv"]
+        assert recvs and all(e.peer == ANY_SOURCE for e in recvs)
+
+    def test_lu_wildcard_flag_off(self):
+        from repro.mpi import ANY_SOURCE
+        rec = RecordingHook()
+        prog = make_app("lu", 8, "S", wildcard=False)
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[rec])
+        recvs = [e for e in rec.events if e.op == "Recv"]
+        assert recvs and all(e.peer != ANY_SOURCE for e in recvs)
+
+    def test_bt_is_p2p_dominated(self):
+        # collectives appear only at setup/verification, so the ratio
+        # grows with the iteration count (use class W)
+        _, hook = profile("bt", 9, "W")
+        p2p = hook.calls("Isend") + hook.calls("Send")
+        colls = sum(hook.calls(op) for op in
+                    ("Bcast", "Reduce", "Allreduce"))
+        assert p2p > 10 * colls
+
+    def test_sp_communicates_more_often_than_bt(self):
+        _, bt = profile("bt", 9)
+        _, sp = profile("sp", 9)
+        bt_msgs = bt.calls("Isend") + bt.calls("Send")
+        sp_msgs = sp.calls("Isend") + sp.calls("Send")
+        assert sp_msgs > bt_msgs
+
+    def test_sweep3d_collectives_from_two_callsites(self):
+        rec = RecordingHook()
+        prog = make_app("sweep3d", 8, "S")
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[rec])
+        fixups = [e for e in rec.events
+                  if e.op == "Allreduce" and e.nbytes == 24]
+        callsites = {e.callsite for e in fixups}
+        assert len(callsites) == 2
+
+    def test_sweep3d_single_callsite_variant(self):
+        rec = RecordingHook()
+        prog = make_app("sweep3d", 8, "S", split_callsites=False)
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[rec])
+        fixups = [e for e in rec.events
+                  if e.op == "Allreduce" and e.nbytes == 24]
+        assert len({e.callsite for e in fixups}) == 1
+
+
+class TestClassScaling:
+    @pytest.mark.parametrize("name", ["ring", "cg", "is"])
+    def test_bigger_class_longer_run(self, name):
+        n = valid_rank_counts(name, [8])[0]
+        t_s = profile(name, n, "S")[0].total_time
+        t_w = profile(name, n, "W")[0].total_time
+        assert t_w > t_s
+
+    def test_message_volume_grows_with_class(self):
+        _, s = profile("ring", 8, "S")
+        _, w = profile("ring", 8, "W")
+        assert w.bytes("Isend") > s.bytes("Isend")

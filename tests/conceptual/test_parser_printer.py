@@ -1,0 +1,194 @@
+"""Parser + printer tests, including the round-trip property
+parse(print(ast)) == ast that keeps generated programs grammatical."""
+
+import pytest
+
+from repro.conceptual import ast, parse, print_program
+from repro.conceptual.ast_nodes import (AllTasks, AwaitStmt, BinOp,
+                                        ComputeStmt, ForEach, ForRep, IfStmt,
+                                        IsIn, LogStmt, MulticastStmt, Num,
+                                        Program, RecvStmt, ReduceStmt,
+                                        ResetStmt, SendStmt, SingleTask,
+                                        SuchThat, SyncStmt, Var)
+from repro.errors import ConceptualSyntaxError
+
+
+def roundtrip(program):
+    text = print_program(program)
+    return parse(text)
+
+
+class TestParsing:
+    def test_paper_example(self):
+        # the complete benchmark from the paper's §3.2 (minus the period)
+        text = '''
+        FOR 1000 REPETITIONS {
+          ALL TASKS RESET THEIR COUNTERS THEN
+          ALL TASKS t ASYNCHRONOUSLY SEND A 1 KILOBYTE MESSAGE TO TASK t+1 THEN
+          ALL TASKS AWAIT COMPLETION THEN
+          ALL TASKS LOG THE MEDIAN OF elapsed_usecs AS "Time (us)"
+        }
+        '''
+        prog = parse(text)
+        assert len(prog.stmts) == 1
+        loop = prog.stmts[0]
+        assert isinstance(loop, ForRep)
+        assert loop.count == Num(1000)
+        assert len(loop.body) == 4
+        send = loop.body[1]
+        assert isinstance(send, SendStmt)
+        assert send.is_async
+        assert send.size == Num(1024)
+        assert send.dest == BinOp("+", Var("t"), Num(1))
+
+    def test_paper_reduce_example(self):
+        text = "TASKS xyz SUCH THAT 3 DIVIDES xyz REDUCE A DOUBLEWORD VALUE TO TASK 0"
+        prog = parse(text)
+        red = prog.stmts[0]
+        assert isinstance(red, ReduceStmt)
+        assert red.sel == SuchThat("xyz", BinOp("DIVIDES", Num(3),
+                                                Var("xyz")))
+        # "A DOUBLEWORD VALUE" means one doubleword = 8 bytes
+        assert red.size == Num(8)
+
+    def test_doubleword_size(self):
+        prog = parse("ALL TASKS REDUCE A 1 DOUBLEWORD VALUE TO TASK 0")
+        assert prog.stmts[0].size == Num(8)
+
+    def test_unsuspecting_send(self):
+        prog = parse("TASK 0 SENDS A 512 BYTE MESSAGE TO UNSUSPECTING TASK 3")
+        send = prog.stmts[0]
+        assert send.unsuspecting
+        assert send.sel == SingleTask(Num(0))
+        assert send.dest == Num(3)
+
+    def test_receive_from_any(self):
+        prog = parse("TASK 1 RECEIVES A 4 BYTE MESSAGE FROM ANY TASK")
+        recv = prog.stmts[0]
+        assert isinstance(recv, RecvStmt)
+        assert recv.source is None
+
+    def test_receive_with_tag(self):
+        prog = parse("ALL TASKS t ASYNCHRONOUSLY RECEIVE A 64 BYTE MESSAGE "
+                     "FROM TASK t-1 WITH TAG 7")
+        recv = prog.stmts[0]
+        assert recv.tag == 7
+        assert recv.is_async
+
+    def test_message_count(self):
+        prog = parse("TASK 0 SENDS 3 512 BYTE MESSAGES TO TASK 1")
+        send = prog.stmts[0]
+        assert send.count == Num(3)
+        assert send.size == Num(512)
+
+    def test_for_each(self):
+        prog = parse("FOR EACH i IN {0, ..., 9} { TASK 0 COMPUTES FOR i "
+                     "MICROSECONDS }")
+        loop = prog.stmts[0]
+        assert isinstance(loop, ForEach)
+        assert (loop.var, loop.lo, loop.hi) == ("i", Num(0), Num(9))
+
+    def test_if_otherwise(self):
+        prog = parse("IF num_tasks > 4 THEN ALL TASKS SYNCHRONIZE "
+                     "OTHERWISE ALL TASKS COMPUTE FOR 5 MICROSECONDS")
+        stmt = prog.stmts[0]
+        assert isinstance(stmt, IfStmt)
+        assert isinstance(stmt.then[0], SyncStmt)
+        assert isinstance(stmt.otherwise[0], ComputeStmt)
+
+    def test_multicast_to_all(self):
+        prog = parse("TASK 0 MULTICASTS A 2 KILOBYTE MESSAGE TO ALL TASKS")
+        mc = prog.stmts[0]
+        assert isinstance(mc, MulticastStmt)
+        assert mc.size == Num(2048)
+        assert mc.targets == AllTasks()
+
+    def test_operator_precedence(self):
+        prog = parse("ALL TASKS COMPUTE FOR 1 + 2 * 3 MICROSECONDS")
+        assert prog.stmts[0].usecs == BinOp("+", Num(1),
+                                            BinOp("*", Num(2), Num(3)))
+
+    def test_mod_and_comparison(self):
+        prog = parse("TASKS t SUCH THAT t MOD 2 = 0 SYNCHRONIZE")
+        pred = prog.stmts[0].sel.predicate
+        assert pred == BinOp("=", BinOp("MOD", Var("t"), Num(2)), Num(0))
+
+    def test_logical_connectives(self):
+        prog = parse("TASKS t SUCH THAT t >= 2 /\\ t <= 5 SYNCHRONIZE")
+        pred = prog.stmts[0].sel.predicate
+        assert pred.op == "/\\"
+
+    def test_is_in(self):
+        prog = parse("TASKS t SUCH THAT t IS IN {1, 3, 5} SYNCHRONIZE")
+        pred = prog.stmts[0].sel.predicate
+        assert isinstance(pred, IsIn)
+        assert pred.members == (Num(1), Num(3), Num(5))
+
+    def test_decimal_compute_times(self):
+        prog = parse("ALL TASKS COMPUTE FOR 12.75 MICROSECONDS")
+        assert prog.stmts[0].usecs == Num(12.75)
+
+    def test_comments_ignored(self):
+        prog = parse("# a comment\nALL TASKS SYNCHRONIZE # trailing\n")
+        assert isinstance(prog.stmts[0], SyncStmt)
+
+    def test_case_insensitive_keywords(self):
+        prog = parse("all tasks synchronize")
+        assert isinstance(prog.stmts[0], SyncStmt)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("text", [
+        "FOR REPETITIONS { ALL TASKS SYNCHRONIZE }",
+        "ALL TASKS SEND A MESSAGE TO TASK 1",          # missing size
+        "TASK 0 SENDS A 4 BYTE MESSAGE",                # missing TO
+        "ALL TASKS LOG THE BOGUS OF elapsed_usecs AS \"x\"",
+        "ALL TASKS FROBNICATE",
+        "TASKS SUCH THAT 1 = 1 SYNCHRONIZE",            # missing var
+        "ALL TASKS SYNCHRONIZE THEN",                   # dangling THEN
+        "ALL TASKS ASYNCHRONOUSLY SYNCHRONIZE",         # async non-send
+        'ALL TASKS LOG THE MEAN OF elapsed_usecs AS "unterminated',
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(ConceptualSyntaxError):
+            parse(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(ConceptualSyntaxError) as exc:
+            parse("ALL TASKS\nFROBNICATE")
+        assert exc.value.line == 2
+
+
+class TestRoundTrip:
+    PROGRAMS = [
+        'FOR 1000 REPETITIONS { ALL TASKS RESET THEIR COUNTERS THEN '
+        'ALL TASKS t ASYNCHRONOUSLY SEND A 1 KILOBYTE MESSAGE TO TASK t+1 '
+        'THEN ALL TASKS AWAIT COMPLETION THEN ALL TASKS LOG THE MEDIAN OF '
+        'elapsed_usecs AS "Time (us)" }',
+        'TASKS t SUCH THAT t MOD 3 = 0 REDUCE A 8 BYTE VALUE TO TASK 0',
+        'TASK 0 MULTICASTS A 1 MEGABYTE MESSAGE TO ALL TASKS',
+        'IF num_tasks > 2 THEN { ALL TASKS SYNCHRONIZE THEN ALL TASKS '
+        'COMPUTE FOR 1.5 MICROSECONDS } OTHERWISE ALL TASKS SYNCHRONIZE',
+        'FOR EACH lvl IN {0, ..., 5} { ALL TASKS t ASYNCHRONOUSLY SEND A '
+        '(lvl + 1) BYTES MESSAGE TO TASK (t + 1) MOD num_tasks THEN ALL '
+        'TASKS AWAIT COMPLETION }',
+        'TASK 3 RECEIVES 5 128 BYTE MESSAGES FROM ANY TASK WITH TAG 9',
+        'ALL TASKS u SUCH THAT u IS IN {0, 2, 7} SYNCHRONIZE'
+        if False else 'TASKS u SUCH THAT u IS IN {0, 2, 7} SYNCHRONIZE',
+    ]
+
+    @pytest.mark.parametrize("text", PROGRAMS)
+    def test_parse_print_parse_fixpoint(self, text):
+        ast1 = parse(text)
+        printed = print_program(ast1)
+        ast2 = parse(printed)
+        assert ast1 == ast2
+        # printing is a fixpoint
+        assert print_program(ast2) == printed
+
+    def test_printed_text_is_readable(self):
+        prog = parse(self.PROGRAMS[0])
+        text = print_program(prog)
+        assert "FOR 1000 REPETITIONS {" in text
+        assert "1 KILOBYTE MESSAGE" in text
+        assert text.count("THEN") == 3

@@ -1,0 +1,128 @@
+"""Tests for Algorithm 1: combining per-node collectives (§4.3, Fig. 3)."""
+
+import pytest
+
+from repro.generator import (align_collectives, generate_from_application,
+                             needs_alignment, trace_application)
+from repro.mpi.hooks import COLLECTIVE_OPS
+from repro.scalatrace.rsd import EventNode, LoopNode
+from repro.sim import SimpleModel
+
+
+def fig3_app(mpi):
+    """The paper's Fig. 3(a): the same barrier issued from different
+    source lines on different ranks."""
+    if mpi.rank == 0:
+        yield from mpi.compute(1e-6)
+        yield from mpi.barrier()   # call site A
+    else:
+        yield from mpi.barrier()   # call site B
+    yield from mpi.finalize()
+
+
+def _collective_nodes(trace, op):
+    def walk(nodes):
+        for n in nodes:
+            if isinstance(n, EventNode):
+                if n.op == op:
+                    yield n
+            else:
+                yield from walk(n.body)
+    return list(walk(trace.nodes))
+
+
+class TestPreCheck:
+    def test_fig3_trace_needs_alignment(self):
+        trace = trace_application(fig3_app, 4, model=SimpleModel())
+        assert needs_alignment(trace)
+        # two partial barrier RSDs before alignment
+        assert len(_collective_nodes(trace, "Barrier")) == 2
+
+    def test_aligned_app_does_not(self):
+        def app(mpi):
+            yield from mpi.barrier()
+            yield from mpi.finalize()
+
+        trace = trace_application(app, 4, model=SimpleModel())
+        assert not needs_alignment(trace)
+
+    def test_noop_when_aligned(self):
+        def app(mpi):
+            yield from mpi.barrier()
+            yield from mpi.finalize()
+
+        trace = trace_application(app, 4, model=SimpleModel())
+        assert align_collectives(trace) is trace
+
+
+class TestAlignment:
+    def test_fig3_barriers_merge_to_one_rsd(self):
+        trace = trace_application(fig3_app, 4, model=SimpleModel())
+        aligned = align_collectives(trace)
+        barriers = _collective_nodes(aligned, "Barrier")
+        assert len(barriers) == 1
+        assert list(barriers[0].ranks) == [0, 1, 2, 3]
+
+    def test_alignment_preserves_event_counts(self):
+        trace = trace_application(fig3_app, 4, model=SimpleModel())
+        aligned = align_collectives(trace)
+        for r in range(4):
+            assert aligned.event_count(r) == trace.event_count(r)
+
+    def test_alignment_preserves_order(self):
+        def app(mpi):
+            if mpi.rank % 2 == 0:
+                yield from mpi.send(dest=(mpi.rank + 1) % mpi.size, nbytes=64)
+                yield from mpi.barrier()        # site A
+            else:
+                yield from mpi.recv(source=(mpi.rank - 1) % mpi.size)
+                yield from mpi.barrier()        # site B
+            yield from mpi.allreduce(8)
+            yield from mpi.finalize()
+
+        trace = trace_application(app, 4, model=SimpleModel())
+        aligned = align_collectives(trace)
+        for r in range(4):
+            ops = [e.op for e in aligned.iter_rank(r)]
+            # per-rank program order intact
+            assert ops[-3:] == ["Barrier", "Allreduce", "Finalize"]
+
+    def test_collectives_in_loops_align(self):
+        def app(mpi):
+            for _ in range(10):
+                if mpi.rank < mpi.size // 2:
+                    yield from mpi.allreduce(8)   # site A
+                else:
+                    yield from mpi.allreduce(8)   # site B
+            yield from mpi.finalize()
+
+        trace = trace_application(app, 4, model=SimpleModel())
+        assert needs_alignment(trace)
+        aligned = align_collectives(trace)
+        nodes = _collective_nodes(aligned, "Allreduce")
+        assert len(nodes) == 1
+        assert list(nodes[0].ranks) == [0, 1, 2, 3]
+        # still compressed: a single loop of 10
+        assert aligned.event_count(0) == 11  # 10 allreduce + finalize
+
+    def test_subcomm_collectives_align_within_comm(self):
+        def app(mpi):
+            sub = yield from mpi.comm_split(None, color=mpi.rank % 2,
+                                            key=mpi.rank)
+            if mpi.rank == 0:
+                yield from mpi.allreduce(8, comm=sub)  # site A
+            else:
+                yield from mpi.allreduce(8, comm=sub)  # site B
+            yield from mpi.finalize()
+
+        trace = trace_application(app, 4, model=SimpleModel())
+        aligned = align_collectives(trace)
+        nodes = _collective_nodes(aligned, "Allreduce")
+        ranksets = sorted(tuple(n.ranks) for n in nodes)
+        assert ranksets == [(0, 2), (1, 3)]
+
+    def test_generation_on_fig3_produces_single_synchronize(self):
+        bench = generate_from_application(fig3_app, 4, model=SimpleModel())
+        assert bench.was_aligned
+        assert bench.source.count("SYNCHRONIZE") == 1
+        assert "ALL TASKS SYNCHRONIZE" in bench.source

@@ -1,0 +1,156 @@
+"""Tests for trace extrapolation (§6 future work / ScalaExtrap)."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.generator import generate_benchmark, trace_application
+from repro.generator.extrap import (ExtrapolationError, extrapolate_rankset,
+                                    extrapolate_trace, fit_float, fit_int)
+from repro.mpi import run_spmd
+from repro.sim import SimpleModel
+from repro.tools import MpiPHook, traces_equivalent
+from repro.tools.mpip import stats_match
+from repro.util.rankset import RankSet
+
+
+def traced(name, nranks, cls="S"):
+    return trace_application(make_app(name, nranks, cls), nranks,
+                             model=SimpleModel())
+
+
+class TestFitting:
+    def test_constant(self):
+        f = fit_int([(4, 7), (8, 7), (16, 7)])
+        assert f(128) == 7
+
+    def test_linear_in_p(self):
+        f = fit_int([(4, 9), (8, 17)])  # v = 2p + 1
+        assert f(16) == 33
+
+    def test_log2(self):
+        # three samples disambiguate log2 p from affine-in-p
+        f = fit_int([(4, 2), (16, 4), (64, 6)])
+        assert f(256) == 8
+
+    def test_affine_validated_on_all_samples(self):
+        with pytest.raises(ExtrapolationError):
+            fit_int([(4, 1), (8, 2), (16, 100)])
+
+    def test_single_sample_is_constant(self):
+        # one sample can only support the constant model
+        assert fit_int([(4, 9)])(16) == 9
+        assert fit_int([(4, 9), (8, 9)])(16) == 9
+
+    def test_float_inverse_p(self):
+        f = fit_float([(4, 1.0), (8, 0.5)])  # mean ~ c/p
+        assert f(16) == pytest.approx(0.25, rel=0.05)
+
+    def test_float_constant(self):
+        f = fit_float([(4, 2.0), (8, 2.02)])
+        assert f(64) == pytest.approx(2.01, rel=0.05)
+
+
+class TestRankSetExtrapolation:
+    def test_world(self):
+        out = extrapolate_rankset([RankSet.world(4), RankSet.world(8)],
+                                  [4, 8], 32)
+        assert out == RankSet.world(32)
+
+    def test_constant_singleton(self):
+        out = extrapolate_rankset([RankSet.single(0), RankSet.single(0)],
+                                  [4, 8], 32)
+        assert out == RankSet.single(0)
+
+    def test_last_rank(self):
+        out = extrapolate_rankset([RankSet.single(3), RankSet.single(7)],
+                                  [4, 8], 32)
+        assert out == RankSet.single(31)
+
+    def test_interior(self):
+        out = extrapolate_rankset(
+            [RankSet.interval(1, 2), RankSet.interval(1, 6)], [4, 8], 16)
+        assert out == RankSet.interval(1, 14)
+
+    def test_shape_change_rejected(self):
+        with pytest.raises(ExtrapolationError):
+            extrapolate_rankset([RankSet([0, 2]), RankSet([0, 2, 4, 6])],
+                                [4, 8], 16)
+
+
+class TestRingExtrapolation:
+    """Ring traces extrapolate *exactly*: comparing against a real trace
+    at the target size gives semantic equivalence."""
+
+    def test_matches_real_trace(self):
+        small = [traced("ring", 4), traced("ring", 8)]
+        extrapolated = extrapolate_trace(small, 16)
+        real = traced("ring", 16)
+        ok, diff = traces_equivalent(extrapolated, real)
+        assert ok, diff
+
+    def test_generated_benchmark_matches_real_app(self):
+        small = [traced("ring", 4), traced("ring", 8)]
+        extrapolated = extrapolate_trace(small, 16)
+        bench = generate_benchmark(extrapolated)
+        orig_prof, gen_prof = MpiPHook(), MpiPHook()
+        run_spmd(make_app("ring", 16, "S"), 16, model=SimpleModel(),
+                 hooks=[orig_prof])
+        bench.program.run(16, model=SimpleModel(), hooks=[gen_prof])
+        ok, diff = stats_match(orig_prof, gen_prof)
+        assert ok, diff
+
+    def test_timing_extrapolates(self):
+        # ring compute is grid^2/p: mean scales as 1/p
+        small = [traced("ring", 4), traced("ring", 8)]
+        extrapolated = extrapolate_trace(small, 16)
+        real = traced("ring", 16)
+        from repro.tools import total_recorded_time
+        assert total_recorded_time(extrapolated) == pytest.approx(
+            total_recorded_time(real), rel=0.10)
+
+
+class TestCollectiveAppExtrapolation:
+    def test_ep(self):
+        small = [traced("ep", 4), traced("ep", 8)]
+        extrapolated = extrapolate_trace(small, 64)
+        real = traced("ep", 64)
+        ok, diff = traces_equivalent(extrapolated, real)
+        assert ok, diff
+
+    def test_ft_with_subcommunicator(self):
+        # FT's slab volume scales as 1/p^2: three traces disambiguate
+        small = [traced("ft", 4), traced("ft", 8), traced("ft", 16)]
+        extrapolated = extrapolate_trace(small, 32)
+        real = traced("ft", 32)
+        ok, diff = traces_equivalent(extrapolated, real)
+        assert ok, diff
+
+    def test_is_vector_sizes(self):
+        small = [traced("is", 4), traced("is", 8), traced("is", 16)]
+        extrapolated = extrapolate_trace(small, 32)
+        real = traced("is", 32)
+        # per-destination volumes are deterministic functions of p in our
+        # IS; totals must land close (weights are not exactly affine)
+        ext_a2av = [e for e in extrapolated.iter_rank(0)
+                    if e.op == "Alltoallv"]
+        real_a2av = [e for e in real.iter_rank(0) if e.op == "Alltoallv"]
+        assert len(ext_a2av) == len(real_a2av)
+        ext_vol = sum(sum(e.size) for e in ext_a2av)
+        real_vol = sum(sum(e.size) for e in real_a2av)
+        assert ext_vol == pytest.approx(real_vol, rel=0.25)
+
+
+class TestLimits:
+    def test_needs_two_traces(self):
+        with pytest.raises(ExtrapolationError):
+            extrapolate_trace([traced("ring", 4)], 16)
+
+    def test_duplicate_sizes_rejected(self):
+        with pytest.raises(ExtrapolationError):
+            extrapolate_trace([traced("ring", 4), traced("ring", 4)], 16)
+
+    def test_irregular_topology_rejected(self):
+        # CG's XOR butterfly has no closed form in p
+        small = [traced("cg", 4), traced("cg", 8)]
+        with pytest.raises(ExtrapolationError):
+            extrapolate_trace(small, 32)

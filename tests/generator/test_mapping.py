@@ -1,0 +1,102 @@
+"""Tests for the Table 1 MPI→coNCePTuaL collective mapping."""
+
+import pytest
+
+from repro.conceptual.ast_nodes import (AllTasks, MulticastStmt, Num,
+                                        ReduceStmt, SingleTask, SyncStmt)
+from repro.errors import GenerationError
+from repro.generator.mapping import average_size, map_collective
+
+SEL = AllTasks()
+MEMBERS4 = (0, 1, 2, 3)
+
+
+class TestScalarMappings:
+    def test_barrier(self):
+        (stmt,) = map_collective("Barrier", 0, None, SEL, MEMBERS4)
+        assert isinstance(stmt, SyncStmt)
+
+    def test_bcast_is_multicast_from_root(self):
+        (stmt,) = map_collective("Bcast", 4096, 2, SEL, MEMBERS4)
+        assert isinstance(stmt, MulticastStmt)
+        assert stmt.sel == SingleTask(Num(2))
+        assert stmt.size == Num(4096)
+        assert stmt.targets == SEL
+
+    def test_reduce_to_root(self):
+        (stmt,) = map_collective("Reduce", 8, 0, SEL, MEMBERS4)
+        assert isinstance(stmt, ReduceStmt)
+        assert stmt.targets == SingleTask(Num(0))
+
+    def test_allreduce_to_all(self):
+        (stmt,) = map_collective("Allreduce", 8, None, SEL, MEMBERS4)
+        assert isinstance(stmt, ReduceStmt)
+        assert stmt.targets == SEL
+
+    def test_gather_becomes_reduce(self):
+        (stmt,) = map_collective("Gather", 256, 1, SEL, MEMBERS4)
+        assert isinstance(stmt, ReduceStmt)
+        assert stmt.targets == SingleTask(Num(1))
+
+    def test_scatter_becomes_multicast(self):
+        (stmt,) = map_collective("Scatter", 256, 1, SEL, MEMBERS4)
+        assert isinstance(stmt, MulticastStmt)
+        assert stmt.sel == SingleTask(Num(1))
+
+    def test_alltoall_many_to_many_multicast(self):
+        (stmt,) = map_collective("Alltoall", 128, None, SEL, MEMBERS4)
+        assert isinstance(stmt, MulticastStmt)
+        assert stmt.sel == SEL and stmt.targets == SEL
+
+    def test_finalize_maps_to_nothing(self):
+        assert map_collective("Finalize", 0, None, SEL, MEMBERS4) == []
+
+    def test_comm_management_vanishes(self):
+        # §4.2: communicators disappear from generated code; their setup
+        # is implicit, so no statement is emitted
+        assert map_collective("Comm_split", 0, None, SEL, MEMBERS4) == []
+        assert map_collective("Comm_dup", 0, None, SEL, MEMBERS4) == []
+
+    def test_unknown_rejected(self):
+        with pytest.raises(GenerationError):
+            map_collective("Frobnicate", 0, None, SEL, MEMBERS4)
+
+
+class TestVectorMappings:
+    def test_average_size(self):
+        assert average_size((100, 200, 300, 400)) == 250
+        assert average_size(128) == 128
+
+    def test_gatherv_averages(self):
+        (stmt,) = map_collective("Gatherv", (100, 200, 300, 400), 0,
+                                 SEL, MEMBERS4)
+        assert stmt.size == Num(250)
+
+    def test_alltoallv_averaged_multicast(self):
+        (stmt,) = map_collective("Alltoallv", (0, 100, 100, 200), None,
+                                 SEL, MEMBERS4)
+        assert isinstance(stmt, MulticastStmt)
+        assert stmt.size == Num(100)
+
+    def test_allgather_is_reduce_plus_multicast(self):
+        stmts = map_collective("Allgather", 64, None, SEL, MEMBERS4)
+        assert len(stmts) == 2
+        red, mc = stmts
+        assert isinstance(red, ReduceStmt)
+        assert red.size == Num(64)
+        assert isinstance(mc, MulticastStmt)
+        # the re-broadcast carries the gathered total
+        assert mc.size == Num(64 * 4)
+
+    def test_reduce_scatter_n_reduces(self):
+        sizes = (10, 20, 30, 40)
+        stmts = map_collective("Reduce_scatter", sizes, None, SEL, MEMBERS4)
+        assert len(stmts) == 4
+        assert all(isinstance(s, ReduceStmt) for s in stmts)
+        assert [s.size for s in stmts] == [Num(n) for n in sizes]
+        assert [s.targets for s in stmts] == [SingleTask(Num(m))
+                                              for m in MEMBERS4]
+
+    def test_reduce_scatter_size_mismatch(self):
+        with pytest.raises(GenerationError):
+            map_collective("Reduce_scatter", (1, 2), None, SEL, MEMBERS4)

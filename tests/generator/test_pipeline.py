@@ -1,0 +1,195 @@
+"""End-to-end generator pipeline tests (§5.2's methodology in miniature):
+application → trace → benchmark → run → identical communication profile."""
+
+import pytest
+
+from repro.conceptual import parse
+from repro.generator import (generate_benchmark, generate_from_application,
+                             scale_compute, trace_application)
+from repro.mpi import ANY_SOURCE, run_spmd
+from repro.sim import SimpleModel
+from repro.tools.mpip import MpiPHook, stats_match
+
+
+def roundtrip(app, nranks, **genkw):
+    """Run app and its generated benchmark; return both profiles."""
+    bench = generate_from_application(app, nranks, model=SimpleModel(),
+                                      **genkw)
+    orig, gen = MpiPHook(), MpiPHook()
+    run_spmd(app, nranks, model=SimpleModel(), hooks=[orig])
+    bench.program.run(nranks, model=SimpleModel(), hooks=[gen])
+    return bench, orig, gen
+
+
+def ring_app(mpi):
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    for _ in range(40):
+        rreq = yield from mpi.irecv(source=left, tag=0)
+        sreq = yield from mpi.isend(dest=right, nbytes=1024, tag=0)
+        yield from mpi.waitall([rreq, sreq])
+        yield from mpi.compute(5e-6)
+    yield from mpi.allreduce(8)
+    yield from mpi.finalize()
+
+
+class TestProfileEquality:
+    def test_ring_profile_identical(self):
+        _, orig, gen = roundtrip(ring_app, 8)
+        ok, diff = stats_match(orig, gen)
+        assert ok, diff
+
+    def test_stencil_profile_identical(self):
+        def app(mpi):
+            for _ in range(10):
+                reqs = []
+                for d in (-1, 1):
+                    peer = mpi.rank + d
+                    if 0 <= peer < mpi.size:
+                        r = yield from mpi.irecv(source=peer, tag=0)
+                        s = yield from mpi.isend(dest=peer, nbytes=4096,
+                                                 tag=0)
+                        reqs += [r, s]
+                yield from mpi.waitall(reqs)
+            yield from mpi.finalize()
+
+        _, orig, gen = roundtrip(app, 6)
+        ok, diff = stats_match(orig, gen)
+        assert ok, diff
+
+    def test_master_worker_profile_identical(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                for _ in range(mpi.size - 1):
+                    st = yield from mpi.recv(source=ANY_SOURCE, tag=5)
+                yield from mpi.bcast(64, root=0)
+            else:
+                yield from mpi.compute(1e-5 * mpi.rank)
+                yield from mpi.send(dest=0, nbytes=128, tag=5)
+                yield from mpi.bcast(64, root=0)
+            yield from mpi.finalize()
+
+        bench, orig, gen = roundtrip(app, 5)
+        assert bench.was_resolved
+        ok, diff = stats_match(orig, gen)
+        assert ok, diff
+
+    def test_collectives_profile_identical(self):
+        def app(mpi):
+            for _ in range(5):
+                yield from mpi.bcast(2048, root=0)
+                yield from mpi.allreduce(8)
+                yield from mpi.alltoall(512)
+                yield from mpi.reduce(16, root=mpi.size - 1)
+            yield from mpi.finalize()
+
+        _, orig, gen = roundtrip(app, 4)
+        ok, diff = stats_match(orig, gen)
+        assert ok, diff
+
+
+class TestGeneratedSource:
+    def test_source_is_parsable(self):
+        bench, _, _ = roundtrip(ring_app, 8)
+        reparsed = parse(bench.source)
+        assert reparsed == bench.program.ast
+
+    def test_source_is_compact(self):
+        bench, _, _ = roundtrip(ring_app, 8)
+        # 40 iterations x 8 ranks of traffic in a handful of lines
+        assert len(bench.source.splitlines()) < 15
+
+    def test_source_size_constant_in_ranks(self):
+        b8 = generate_from_application(ring_app, 8, model=SimpleModel())
+        b16 = generate_from_application(ring_app, 16, model=SimpleModel())
+        assert len(b8.source.splitlines()) == len(b16.source.splitlines())
+
+    def test_ring_closed_form_destination(self):
+        bench, _, _ = roundtrip(ring_app, 8)
+        assert "(t + 1) MOD num_tasks" in bench.source
+
+    def test_timing_can_be_disabled(self):
+        bench = generate_from_application(ring_app, 4, model=SimpleModel(),
+                                          include_timing=False)
+        assert "COMPUTE" not in bench.source
+
+
+class TestTimingFidelity:
+    def test_total_time_close(self):
+        bench = generate_from_application(ring_app, 8, model=SimpleModel())
+        orig = run_spmd(ring_app, 8, model=SimpleModel())
+        gen, _ = bench.program.run(8, model=SimpleModel())
+        err = abs(gen.total_time - orig.total_time) / orig.total_time
+        assert err < 0.05
+
+    def test_irregular_compute_times_averaged(self):
+        def app(mpi):
+            for i in range(20):
+                yield from mpi.compute(1e-5 * (1 + (i % 3)))
+                yield from mpi.allreduce(8)
+            yield from mpi.finalize()
+
+        bench = generate_from_application(app, 4, model=SimpleModel())
+        orig = run_spmd(app, 4, model=SimpleModel())
+        gen, _ = bench.program.run(4, model=SimpleModel())
+        err = abs(gen.total_time - orig.total_time) / orig.total_time
+        assert err < 0.10
+
+
+class TestWhatIfScaling:
+    def test_scale_compute_halves_compute(self):
+        def app(mpi):
+            for _ in range(10):
+                yield from mpi.compute(1e-3)
+                yield from mpi.barrier()
+            yield from mpi.finalize()
+
+        bench = generate_from_application(app, 2, model=SimpleModel())
+        full, _ = bench.program.run(2, model=SimpleModel())
+        half_prog = scale_compute(bench.program, 0.5)
+        half, _ = half_prog.run(2, model=SimpleModel())
+        assert half.total_time == pytest.approx(full.total_time / 2,
+                                                rel=0.05)
+
+    def test_scale_zero_removes_compute(self):
+        def app(mpi):
+            yield from mpi.compute(1.0)
+            yield from mpi.barrier()
+            yield from mpi.finalize()
+
+        bench = generate_from_application(app, 2, model=SimpleModel())
+        zero, _ = scale_compute(bench.program, 0.0).run(
+            2, model=SimpleModel())
+        assert zero.total_time < 1e-3
+
+    def test_negative_factor_rejected(self):
+        bench = generate_from_application(ring_app, 4, model=SimpleModel())
+        with pytest.raises(ValueError):
+            scale_compute(bench.program, -1)
+
+
+class TestPythonBackend:
+    def test_python_source_compiles_and_runs(self):
+        bench, orig, _ = roundtrip(ring_app, 8)
+        src = bench.python_source()
+        namespace = {}
+        exec(compile(src, "<generated>", "exec"), namespace)
+        gen_hook = MpiPHook()
+        run_spmd(namespace["benchmark"], 8, model=SimpleModel(),
+                 hooks=[gen_hook])
+        ok, diff = stats_match(orig, gen_hook)
+        assert ok, diff
+
+    def test_python_source_mentions_backend(self):
+        bench, _, _ = roundtrip(ring_app, 4)
+        assert "Auto-generated communication benchmark" in \
+            bench.python_source()
+
+
+class TestStepwiseApi:
+    def test_manual_pipeline_matches_oneshot(self):
+        trace = trace_application(ring_app, 8, model=SimpleModel())
+        bench = generate_benchmark(trace)
+        oneshot = generate_from_application(ring_app, 8,
+                                            model=SimpleModel())
+        assert bench.source == oneshot.source

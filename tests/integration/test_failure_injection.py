@@ -1,0 +1,171 @@
+"""Failure injection: the pipeline must fail loudly and informatively on
+malformed inputs, hostile programs, and resource-limit breaches."""
+
+import pytest
+
+from repro.conceptual import ConceptualProgram
+from repro.errors import (ConceptualSemanticError, ConceptualSyntaxError,
+                          MPIUsageError, SimDeadlockError, SimulationError,
+                          TraceError)
+from repro.generator import generate_benchmark, trace_application
+from repro.mpi import ANY_SOURCE, run_spmd
+from repro.scalatrace.serialize import dumps_trace, loads_trace
+from repro.sim import SimpleModel
+from repro.tools.replay import replay_trace
+
+
+class TestSimulatorLimits:
+    def test_max_steps_catches_livelock(self):
+        def spinner(mpi):
+            while True:
+                yield from mpi.compute(1e-9)
+
+        with pytest.raises(SimulationError):
+            run_spmd(spinner, 1, model=SimpleModel(), max_steps=100)
+
+    def test_deadlock_reports_all_blocked_ranks(self):
+        def prog(mpi):
+            peer = (mpi.rank + 1) % mpi.size
+            yield from mpi.recv(source=peer)
+            yield from mpi.finalize()
+
+        with pytest.raises(SimDeadlockError) as exc:
+            run_spmd(prog, 4, model=SimpleModel())
+        assert set(exc.value.blocked) == {0, 1, 2, 3}
+        assert "Recv" in str(exc.value) or "recv" in str(exc.value)
+
+    def test_collective_order_mismatch(self):
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.barrier()
+                yield from mpi.allreduce(8)
+            else:
+                yield from mpi.allreduce(8)
+                yield from mpi.barrier()
+            yield from mpi.finalize()
+
+        with pytest.raises(MPIUsageError):
+            run_spmd(prog, 2, model=SimpleModel())
+
+    def test_program_raising_propagates(self):
+        def prog(mpi):
+            yield from mpi.compute(1e-6)
+            raise RuntimeError("application bug")
+
+        with pytest.raises(RuntimeError, match="application bug"):
+            run_spmd(prog, 1, model=SimpleModel())
+
+
+class TestTraceCorruption:
+    def _trace(self):
+        def app(mpi):
+            for _ in range(5):
+                yield from mpi.allreduce(8)
+            yield from mpi.finalize()
+
+        return trace_application(app, 4, model=SimpleModel())
+
+    def test_truncated_file(self):
+        text = dumps_trace(self._trace())
+        for cut in (len(text) // 3, len(text) // 2):
+            with pytest.raises(TraceError):
+                loads_trace(text[:cut])
+
+    def test_corrupted_field(self):
+        text = dumps_trace(self._trace())
+        bad = text.replace("comm=0", "comm=zero", 1)
+        with pytest.raises((TraceError, ValueError)):
+            loads_trace(bad)
+
+    def test_unknown_comm_in_events(self):
+        trace = self._trace()
+        # drop the communicator table entry the events reference
+        trace.comm_table.pop(0)
+        with pytest.raises(TraceError):
+            list(trace.iter_rank(0))
+
+    def test_replay_of_inconsistent_wait_offsets(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                req = yield from mpi.isend(dest=1, nbytes=8)
+                yield from mpi.wait(req)
+            else:
+                yield from mpi.recv(source=0)
+            yield from mpi.finalize()
+
+        trace = trace_application(app, 2, model=SimpleModel())
+
+        # corrupt the wait offsets to point past the outstanding list
+        from repro.scalatrace.rsd import EventNode, LoopNode
+
+        def walk(nodes):
+            for n in nodes:
+                if isinstance(n, EventNode):
+                    yield n
+                else:
+                    yield from walk(n.body)
+
+        for node in walk(trace.nodes):
+            if node.op == "Wait":
+                node.wait_offsets = (7,)
+        with pytest.raises((IndexError, TraceError)):
+            replay_trace(trace, model=SimpleModel())
+
+
+class TestHostileDSLInput:
+    @pytest.mark.parametrize("source,error", [
+        ("ALL TASKS SEND", ConceptualSyntaxError),
+        ("FOR -1 REPETITIONS { ALL TASKS SYNCHRONIZE }",
+         None),  # parses; executes as zero iterations
+        ("TASK 99 SENDS A 1 BYTE MESSAGE TO TASK 0",
+         ConceptualSemanticError),
+        ('ALL TASKS LOG THE MEAN OF nonsense AS "x"',
+         ConceptualSemanticError),
+    ])
+    def test_bad_programs(self, source, error):
+        if error is ConceptualSyntaxError:
+            with pytest.raises(error):
+                ConceptualProgram.from_source(source)
+            return
+        if error is ConceptualSemanticError:
+            try:
+                prog = ConceptualProgram.from_source(source)
+            except ConceptualSemanticError:
+                return
+            with pytest.raises(ConceptualSemanticError):
+                prog.run(4, model=SimpleModel())
+            return
+        prog = ConceptualProgram.from_source(source)
+        prog.run(4, model=SimpleModel())  # must not hang or crash
+
+    def test_self_send_program_runs(self):
+        # degenerate but legal: a task messaging itself asynchronously
+        prog = ConceptualProgram.from_source(
+            "TASK 0 ASYNCHRONOUSLY SENDS A 4 BYTE MESSAGE TO UNSUSPECTING "
+            "TASK 0 THEN "
+            "TASK 0 ASYNCHRONOUSLY RECEIVES A 4 BYTE MESSAGE FROM TASK 0 "
+            "THEN ALL TASKS AWAIT COMPLETION")
+        result, _ = prog.run(2, model=SimpleModel())
+        assert result.total_time >= 0
+
+
+class TestGeneratorRobustness:
+    def test_empty_trace_generates_trivial_benchmark(self):
+        def app(mpi):
+            yield from mpi.finalize()
+
+        trace = trace_application(app, 4, model=SimpleModel())
+        bench = generate_benchmark(trace)
+        result, logs = bench.program.run(4, model=SimpleModel())
+        assert logs.value("Total time (us)") >= 0
+
+    def test_single_rank_world(self):
+        def app(mpi):
+            yield from mpi.compute(1e-4)
+            yield from mpi.allreduce(8)
+            yield from mpi.finalize()
+
+        trace = trace_application(app, 1, model=SimpleModel())
+        bench = generate_benchmark(trace)
+        result, _ = bench.program.run(1, model=SimpleModel())
+        assert result.total_time > 0

@@ -1,0 +1,105 @@
+"""Integration: the full pipeline over the entire application suite.
+
+For every workload (the paper's §5.1 set plus the ring) this runs
+trace → generate → execute and checks the §5.2/§5.3 claims:
+
+* identical (substitution-aware) communication profiles,
+* per-event trace equivalence via the ScalaTrace-of-generated-benchmark
+  comparison,
+* total time within a small relative error,
+* the generated source parses back to the generated AST.
+"""
+
+import pytest
+
+from repro.apps import APPS, PAPER_SUITE, make_app, valid_rank_counts
+from repro.conceptual import parse
+from repro.generator import generate_from_application
+from repro.mpi import run_spmd
+from repro.scalatrace import ScalaTraceHook
+from repro.sim import LogGPModel
+from repro.tools import MpiPHook, traces_equivalent
+from repro.tools.mpip import stats_match
+
+#: Table 1 substitutions intentionally change these apps' event streams
+SUBSTITUTED = {"is"}
+
+
+@pytest.fixture(scope="module")
+def pipeline_results():
+    out = {}
+    for name in sorted(APPS):
+        nranks = valid_rank_counts(name, [8, 9])[0]
+        program = make_app(name, nranks, "S")
+        model = LogGPModel()
+        bench = generate_from_application(program, nranks, model=model)
+        orig_prof, gen_prof = MpiPHook(), MpiPHook()
+        gen_tracer = ScalaTraceHook()
+        orig = run_spmd(program, nranks, model=model, hooks=[orig_prof])
+        gen, _ = bench.program.run(nranks, model=LogGPModel(),
+                                   hooks=[gen_prof, gen_tracer])
+        out[name] = dict(nranks=nranks, bench=bench, orig=orig, gen=gen,
+                         orig_prof=orig_prof, gen_prof=gen_prof,
+                         gen_trace=gen_tracer.trace)
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(APPS))
+class TestSuiteRoundTrip:
+    def test_profile_matches(self, pipeline_results, name):
+        r = pipeline_results[name]
+        if name in SUBSTITUTED:
+            pytest.skip("Table 1 substitution changes the op mix")
+        ok, diff = stats_match(r["orig_prof"], r["gen_prof"])
+        assert ok, f"{name}: {diff}"
+
+    def test_per_event_equivalent(self, pipeline_results, name):
+        r = pipeline_results[name]
+        if name in SUBSTITUTED:
+            pytest.skip("Table 1 substitution changes the event stream")
+        ok, diff = traces_equivalent(r["bench"].trace, r["gen_trace"],
+                                     check_wildcards=False)
+        assert ok, f"{name}: {diff}"
+
+    def test_timing_close(self, pipeline_results, name):
+        r = pipeline_results[name]
+        err = abs(r["gen"].total_time - r["orig"].total_time) \
+            / r["orig"].total_time
+        assert err < 0.10, f"{name}: {err * 100:.1f}% timing error"
+
+    def test_source_parses_back(self, pipeline_results, name):
+        r = pipeline_results[name]
+        assert parse(r["bench"].source) == r["bench"].program.ast
+
+    def test_python_backend_compiles(self, pipeline_results, name):
+        r = pipeline_results[name]
+        src = r["bench"].python_source()
+        compile(src, f"<{name}>", "exec")
+
+    def test_algorithms_flagged_as_expected(self, pipeline_results, name):
+        r = pipeline_results[name]
+        if name == "lu":
+            assert r["bench"].was_resolved
+        if name == "sweep3d":
+            assert r["bench"].was_aligned
+        if name in ("ring", "ep", "bt", "sp"):
+            assert not r["bench"].was_aligned
+            assert not r["bench"].was_resolved
+
+
+class TestSuiteAtScale:
+    """Spot-check one irregular and one pipelined app at 16 ranks."""
+
+    @pytest.mark.parametrize("name", ["lu", "sweep3d"])
+    def test_16_rank_roundtrip(self, name):
+        program = make_app(name, 16, "S")
+        bench = generate_from_application(program, 16, model=LogGPModel())
+        orig_prof, gen_prof = MpiPHook(), MpiPHook()
+        orig = run_spmd(program, 16, model=LogGPModel(),
+                        hooks=[orig_prof])
+        gen, _ = bench.program.run(16, model=LogGPModel(),
+                                   hooks=[gen_prof])
+        ok, diff = stats_match(orig_prof, gen_prof)
+        assert ok, diff
+        err = abs(gen.total_time - orig.total_time) / orig.total_time
+        assert err < 0.10

@@ -1,0 +1,203 @@
+"""Tests for simulated MPI collectives and communicator management."""
+
+import pytest
+
+from repro.errors import MPIUsageError
+from repro.mpi import RecordingHook, run_spmd
+from repro.sim import SimpleModel
+
+
+def spmd(program, nranks, **kw):
+    hook = RecordingHook()
+    kw.setdefault("model", SimpleModel())
+    res = run_spmd(program, nranks, hooks=[hook], **kw)
+    return res, hook
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("name,kwargs", [
+        ("barrier", {}),
+        ("bcast", {"nbytes": 1024, "root": 1}),
+        ("reduce", {"nbytes": 8, "root": 0}),
+        ("allreduce", {"nbytes": 8}),
+        ("gather", {"nbytes": 100, "root": 0}),
+        ("gatherv", {"nbytes": 100, "root": 0}),
+        ("scatter", {"nbytes": 100, "root": 0}),
+        ("scatterv", {"nbytes": 100, "root": 0}),
+        ("allgather", {"nbytes": 64}),
+        ("allgatherv", {"nbytes": 64}),
+        ("alltoall", {"nbytes": 32}),
+    ])
+    def test_uniform_collectives_run_and_emit(self, name, kwargs):
+        def program(mpi):
+            yield from getattr(mpi, name)(**kwargs)
+            yield from mpi.finalize()
+
+        res, hook = spmd(program, 4)
+        evs = [e for e in hook.events if e.op.lower() == name]
+        assert len(evs) == 4
+        assert res.total_time > 0
+
+    def test_alltoallv_per_destination_sizes(self):
+        def program(mpi):
+            sizes = [10 * (i + 1) for i in range(mpi.size)]
+            yield from mpi.alltoallv(sizes)
+            yield from mpi.finalize()
+
+        _, hook = spmd(program, 4)
+        evs = [e for e in hook.events if e.op == "Alltoallv"]
+        assert all(e.nbytes == (10, 20, 30, 40) for e in evs)
+        assert evs[0].total_bytes == 100
+
+    def test_alltoallv_wrong_length_rejected(self):
+        def program(mpi):
+            yield from mpi.alltoallv([1, 2])  # world has 4 ranks
+            yield from mpi.finalize()
+
+        with pytest.raises(MPIUsageError):
+            run_spmd(program, 4, model=SimpleModel())
+
+    def test_reduce_scatter_sizes(self):
+        def program(mpi):
+            yield from mpi.reduce_scatter([8] * mpi.size)
+            yield from mpi.finalize()
+
+        _, hook = spmd(program, 4)
+        evs = [e for e in hook.events if e.op == "Reduce_scatter"]
+        assert len(evs) == 4
+
+    def test_collective_synchronizes(self):
+        times = {}
+
+        def program(mpi):
+            yield from mpi.compute(1e-3 * mpi.rank)
+            yield from mpi.barrier()
+            times[mpi.rank] = mpi.now()
+            yield from mpi.finalize()
+
+        spmd(program, 4)
+        assert len(set(times.values())) == 1
+
+
+class TestCommSplit:
+    def test_split_into_rows(self):
+        comms = {}
+
+        def program(mpi):
+            row = mpi.rank // 2
+            sub = yield from mpi.comm_split(None, color=row, key=mpi.rank)
+            comms[mpi.rank] = sub
+            yield from mpi.finalize()
+
+        spmd(program, 4)
+        assert comms[0].world_ranks == (0, 1)
+        assert comms[2].world_ranks == (2, 3)
+        # same logical comm -> same interned id on both members
+        assert comms[0].id == comms[1].id
+        assert comms[0].id != comms[2].id
+
+    def test_split_key_orders_ranks(self):
+        comms = {}
+
+        def program(mpi):
+            # reverse ordering within the single color
+            sub = yield from mpi.comm_split(None, color=0, key=-mpi.rank)
+            comms[mpi.rank] = sub
+            yield from mpi.finalize()
+
+        spmd(program, 3)
+        assert comms[0].world_ranks == (2, 1, 0)
+        assert comms[0].rank_of_world(2) == 0
+
+    def test_split_undefined_color(self):
+        comms = {}
+
+        def program(mpi):
+            color = 0 if mpi.rank == 0 else None
+            sub = yield from mpi.comm_split(None, color=color)
+            comms[mpi.rank] = sub
+            yield from mpi.finalize()
+
+        spmd(program, 2)
+        assert comms[1] is None
+        assert comms[0].world_ranks == (0,)
+
+    def test_p2p_on_subcomm_uses_comm_ranks(self):
+        seen = {}
+
+        def program(mpi):
+            # odd/even split; within each subcomm rank 0 sends to rank 1
+            sub = yield from mpi.comm_split(None, color=mpi.rank % 2,
+                                            key=mpi.rank)
+            if sub.rank_of_world(mpi.rank) == 0:
+                yield from mpi.send(dest=1, nbytes=8, comm=sub)
+            else:
+                st = yield from mpi.recv(source=0, comm=sub)
+                seen[mpi.rank] = st.source
+            yield from mpi.finalize()
+
+        spmd(program, 4)
+        # world rank 2 received from subcomm rank 0 (world rank 0)
+        assert seen[2] == 0
+        assert seen[3] == 0
+
+    def test_collective_on_subcomm_only_involves_members(self):
+        def program(mpi):
+            sub = yield from mpi.comm_split(None, color=mpi.rank % 2,
+                                            key=mpi.rank)
+            yield from mpi.allreduce(8, comm=sub)
+            yield from mpi.finalize()
+
+        _, hook = spmd(program, 4)
+        evs = [e for e in hook.events if e.op == "Allreduce"]
+        assert len(evs) == 4
+        assert all(e.comm.size == 2 for e in evs)
+
+    def test_dup_preserves_membership_new_id(self):
+        comms = {}
+
+        def program(mpi):
+            dup = yield from mpi.comm_dup(None)
+            comms[mpi.rank] = dup
+            yield from mpi.finalize()
+
+        spmd(program, 3)
+        assert comms[0].world_ranks == (0, 1, 2)
+        assert comms[0].id != 0
+        assert comms[0].id == comms[1].id == comms[2].id
+
+    def test_split_events_carry_color_and_key(self):
+        def program(mpi):
+            yield from mpi.comm_split(None, color=mpi.rank % 2, key=7)
+            yield from mpi.finalize()
+
+        _, hook = spmd(program, 2)
+        evs = [e for e in hook.events if e.op == "Comm_split"]
+        assert [e.nbytes for e in sorted(evs, key=lambda e: e.rank)] == [
+            (0, 7), (1, 7)]
+
+
+class TestCommunicatorClass:
+    def test_translation_errors(self):
+        def program(mpi):
+            sub = yield from mpi.comm_split(None, color=mpi.rank % 2,
+                                            key=mpi.rank)
+            with pytest.raises(MPIUsageError):
+                sub.to_world(5)
+            with pytest.raises(MPIUsageError):
+                sub.rank_of_world(99)
+            yield from mpi.finalize()
+
+        spmd(program, 4)
+
+    def test_send_outside_comm_rejected(self):
+        def program(mpi):
+            sub = yield from mpi.comm_split(None, color=mpi.rank % 2,
+                                            key=mpi.rank)
+            if mpi.rank == 0:
+                # sub has 2 members; dest 2 is out of range
+                with pytest.raises(MPIUsageError):
+                    yield from mpi.send(dest=2, nbytes=1, comm=sub)
+            yield from mpi.finalize()
+
+        spmd(program, 4)

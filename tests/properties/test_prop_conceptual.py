@@ -1,0 +1,102 @@
+"""Property tests for the coNCePTuaL toolchain: for every AST the
+generator could emit, print → parse is the identity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conceptual.ast_nodes import (AllTasks, AwaitStmt, BinOp,
+                                        ComputeStmt, ForEach, ForRep,
+                                        IfStmt, IsIn, LogStmt,
+                                        MulticastStmt, Num, Program,
+                                        RecvStmt, ReduceStmt, ResetStmt,
+                                        SendStmt, SingleTask, SuchThat,
+                                        SyncStmt, Var)
+from repro.conceptual.parser import parse
+from repro.conceptual.printer import print_program
+
+# -- expression strategy ----------------------------------------------------
+_numbers = st.integers(min_value=0, max_value=4096).map(Num)
+_vars = st.sampled_from(["t", "rep0", "rep1", "num_tasks"]).map(Var)
+_atoms = st.one_of(_numbers, _vars)
+
+
+def _arith(children):
+    return st.builds(BinOp, st.sampled_from(["+", "-", "*", "MOD"]),
+                     children, children)
+
+
+arith_exprs = st.recursive(_atoms, _arith, max_leaves=6)
+
+bool_exprs = st.one_of(
+    st.builds(BinOp, st.sampled_from(["=", "<>", "<", ">", "<=", ">="]),
+              arith_exprs, arith_exprs),
+    st.builds(lambda item, members: IsIn(item, tuple(members)), _vars,
+              st.lists(_numbers, min_size=1, max_size=4)),
+    st.builds(BinOp, st.just("DIVIDES"), _numbers.filter(
+        lambda n: n.value > 0), arith_exprs),
+)
+bool_exprs = st.one_of(
+    bool_exprs,
+    st.builds(BinOp, st.sampled_from(["/\\", "\\/"]), bool_exprs,
+              bool_exprs),
+)
+
+# -- selector strategy ---------------------------------------------------------
+selectors = st.one_of(
+    st.just(AllTasks()),
+    st.just(AllTasks("t")),
+    st.builds(SingleTask, _numbers),
+    st.builds(SuchThat, st.just("t"), bool_exprs),
+)
+
+# -- statement strategy -----------------------------------------------------------
+_simple_stmts = st.one_of(
+    st.builds(SendStmt, selectors, _numbers, arith_exprs,
+              st.just(Num(1)), st.booleans(), st.just(True),
+              st.integers(0, 9)),
+    st.builds(RecvStmt, selectors, _numbers,
+              st.one_of(st.none(), arith_exprs), st.just(Num(1)),
+              st.booleans(), st.integers(0, 9)),
+    st.builds(MulticastStmt, selectors, _numbers, selectors),
+    st.builds(ReduceStmt, selectors, _numbers, selectors),
+    st.builds(SyncStmt, selectors),
+    st.builds(ComputeStmt, selectors,
+              st.floats(min_value=0.001, max_value=1e6,
+                        allow_nan=False).map(lambda x: Num(round(x, 3)))),
+    st.builds(ResetStmt, selectors),
+    st.builds(AwaitStmt, selectors),
+    st.builds(LogStmt, selectors,
+              st.sampled_from(["MEAN", "MEDIAN", "SUM", "FINAL"]),
+              st.sampled_from(["elapsed_usecs", "bytes_sent"]),
+              st.text(alphabet="abc XYZ09_.-()%", min_size=1,
+                      max_size=12)),
+)
+
+
+def _compound(children):
+    bodies = st.lists(children, min_size=1, max_size=3)
+    return st.one_of(
+        st.builds(ForRep, st.integers(1, 1000).map(Num), bodies),
+        st.builds(ForEach, st.sampled_from(["rep0", "rep1"]),
+                  st.just(Num(0)), st.integers(1, 99).map(Num), bodies),
+        st.builds(IfStmt, bool_exprs, bodies, st.one_of(
+            st.just([]), bodies)),
+    )
+
+
+statements = st.recursive(_simple_stmts, _compound, max_leaves=8)
+programs = st.lists(statements, min_size=1, max_size=5).map(Program)
+
+
+class TestRoundTripProperty:
+    @given(programs)
+    @settings(max_examples=80, deadline=None)
+    def test_print_parse_identity(self, program):
+        text = print_program(program)
+        assert parse(text) == program
+
+    @given(programs)
+    @settings(max_examples=50, deadline=None)
+    def test_printing_is_fixpoint(self, program):
+        text = print_program(program)
+        assert print_program(parse(text)) == text

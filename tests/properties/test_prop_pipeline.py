@@ -1,0 +1,95 @@
+"""End-to-end property: for randomly composed SPMD applications, the
+generated benchmark reproduces the application's communication profile
+exactly (§5.2's claim, as a hypothesis property)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generator import generate_from_application
+from repro.mpi import run_spmd
+from repro.sim import SimpleModel
+from repro.tools.mpip import MpiPHook, stats_match
+
+NRANKS = 6
+
+# building blocks of a random (deadlock-free) SPMD application:
+# each block is (kind, params); blocks compose sequentially
+_blocks = st.lists(
+    st.one_of(
+        st.tuples(st.just("ring"), st.sampled_from((64, 1024)),
+                  st.integers(1, 4)),
+        st.tuples(st.just("fan_in"), st.integers(0, NRANKS - 1),
+                  st.sampled_from((16, 256))),
+        st.tuples(st.just("barrier"), st.none(), st.none()),
+        st.tuples(st.just("allreduce"), st.sampled_from((8, 64)),
+                  st.none()),
+        st.tuples(st.just("bcast"), st.integers(0, NRANKS - 1),
+                  st.sampled_from((128, 2048))),
+        st.tuples(st.just("compute"), st.floats(1e-6, 1e-3,
+                                                allow_nan=False),
+                  st.none()),
+    ),
+    min_size=1, max_size=6)
+
+
+def build_app(blocks):
+    def program(mpi):
+        for kind, a, b in blocks:
+            if kind == "ring":
+                nbytes, reps = a, b
+                right = (mpi.rank + 1) % mpi.size
+                left = (mpi.rank - 1) % mpi.size
+                for _ in range(reps):
+                    r = yield from mpi.irecv(source=left, tag=1)
+                    s = yield from mpi.isend(dest=right, nbytes=nbytes,
+                                             tag=1)
+                    yield from mpi.waitall([r, s])
+            elif kind == "fan_in":
+                root, nbytes = a, b
+                if mpi.rank == root:
+                    for _ in range(mpi.size - 1):
+                        yield from mpi.recv(source=-1, tag=2)
+                else:
+                    yield from mpi.send(dest=root, nbytes=nbytes, tag=2)
+            elif kind == "barrier":
+                yield from mpi.barrier()
+            elif kind == "allreduce":
+                yield from mpi.allreduce(a)
+            elif kind == "bcast":
+                yield from mpi.bcast(b, root=a)
+            elif kind == "compute":
+                yield from mpi.compute(a)
+        yield from mpi.finalize()
+    return program
+
+
+class TestPipelineProperty:
+    @given(_blocks)
+    @settings(max_examples=25, deadline=None)
+    def test_generated_profile_matches(self, blocks):
+        app = build_app(blocks)
+        bench = generate_from_application(app, NRANKS,
+                                          model=SimpleModel())
+        orig, gen = MpiPHook(), MpiPHook()
+        run_spmd(app, NRANKS, model=SimpleModel(), hooks=[orig])
+        bench.program.run(NRANKS, model=SimpleModel(), hooks=[gen])
+        ok, diff = stats_match(orig, gen)
+        assert ok, diff
+
+    @given(_blocks)
+    @settings(max_examples=15, deadline=None)
+    def test_generated_time_tracks_original(self, blocks):
+        # hypothesis composes adversarial programs (e.g. phases with very
+        # different compute reusing one call site), which stress exactly
+        # the paper's acknowledged error source — timing summarization
+        # (§4.5; their worst case is 22%).  The bound here guards against
+        # gross regressions, not the suite-level accuracy (see
+        # benchmarks/bench_fig6_timing.py for that).
+        app = build_app(blocks)
+        bench = generate_from_application(app, NRANKS,
+                                          model=SimpleModel())
+        orig = run_spmd(app, NRANKS, model=SimpleModel())
+        gen, _ = bench.program.run(NRANKS, model=SimpleModel())
+        if orig.total_time > 1e-5:
+            err = abs(gen.total_time - orig.total_time) / orig.total_time
+            assert err < 0.60

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the utility substrate."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.expr import ParamExpr
+from repro.util.histogram import TimeHistogram
+from repro.util.rankset import RankSet
+from repro.util.valueseq import ValueSeq
+
+ranks_lists = st.lists(st.integers(min_value=0, max_value=200),
+                       min_size=0, max_size=50)
+value_lists = st.lists(st.integers(min_value=-100, max_value=10_000),
+                       min_size=0, max_size=60)
+durations = st.lists(st.floats(min_value=0, max_value=10.0,
+                               allow_nan=False), min_size=0, max_size=40)
+
+
+class TestRankSetProperties:
+    @given(ranks_lists)
+    def test_serialize_roundtrip(self, ranks):
+        rs = RankSet(ranks)
+        assert RankSet.parse(rs.serialize()) == rs
+
+    @given(ranks_lists, ranks_lists)
+    def test_union_is_set_union(self, a, b):
+        assert set(RankSet(a) | RankSet(b)) == set(a) | set(b)
+
+    @given(ranks_lists, ranks_lists)
+    def test_difference_intersection_partition(self, a, b):
+        ra, rb = RankSet(a), RankSet(b)
+        assert (ra - rb) | (ra & rb) == ra
+
+    @given(ranks_lists)
+    def test_iteration_sorted_unique(self, ranks):
+        out = list(RankSet(ranks))
+        assert out == sorted(set(ranks))
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                    max_size=20))
+    def test_predicate_selects_exactly_members(self, ranks):
+        world = 64
+        rs = RankSet(ranks)
+        pred = rs.to_predicate("t", world)
+        if not pred:
+            assert len(rs) == world
+            return
+        # evaluate the predicate through the coNCePTuaL expression engine
+        from repro.conceptual.compiler import eval_expr
+        from repro.conceptual.parser import Parser
+        ast = Parser(pred).parse_expr()
+        selected = {t for t in range(world)
+                    if eval_expr(ast, {"t": t, "num_tasks": world})}
+        assert selected == set(rs)
+
+
+class TestValueSeqProperties:
+    @given(value_lists)
+    def test_roundtrip_iteration(self, values):
+        assert list(ValueSeq(values)) == values
+
+    @given(value_lists)
+    def test_serialize_roundtrip(self, values):
+        s = ValueSeq(values)
+        assert ValueSeq.parse(s.serialize()) == s
+
+    @given(value_lists, value_lists)
+    def test_concat(self, a, b):
+        assert list(ValueSeq(a).concat(ValueSeq(b))) == a + b
+
+    @given(value_lists, st.integers(min_value=0, max_value=5))
+    def test_tile(self, values, n):
+        assert list(ValueSeq(values).tile(n)) == values * n
+
+    @given(value_lists, st.integers(min_value=1, max_value=4))
+    def test_tiling_detection(self, body, n):
+        whole = ValueSeq(body * n)
+        assert whole.is_tiling_of(ValueSeq(body))
+
+    @given(value_lists)
+    def test_indexing_matches_list(self, values):
+        s = ValueSeq(values)
+        assert [s[i] for i in range(len(values))] == values
+
+
+class TestHistogramProperties:
+    @given(durations)
+    def test_total_and_count_exact(self, samples):
+        h = TimeHistogram()
+        for x in samples:
+            h.add(x)
+        assert h.count == len(samples)
+        assert abs(h.total - sum(samples)) <= 1e-9 * max(len(samples), 1)
+
+    @given(durations, durations)
+    def test_merge_additive(self, a, b):
+        ha, hb = TimeHistogram(), TimeHistogram()
+        for x in a:
+            ha.add(x)
+        for x in b:
+            hb.add(x)
+        ha.merge(hb)
+        assert ha.count == len(a) + len(b)
+        assert abs(ha.total - (sum(a) + sum(b))) <= 1e-6
+
+    @given(durations)
+    def test_replay_preserves_total(self, samples):
+        h = TimeHistogram()
+        for x in samples:
+            h.add(x)
+        drawn = list(itertools.islice(h.replay_values(), h.count))
+        assert abs(sum(drawn) - h.total) <= 1e-6 * max(h.count, 1)
+
+    @given(durations)
+    def test_serialize_roundtrip(self, samples):
+        h = TimeHistogram()
+        for x in samples:
+            h.add(x)
+        h2 = TimeHistogram.parse(h.serialize())
+        assert h2.count == h.count
+        assert abs(h2.total - h.total) <= 1e-9
+
+
+class TestParamExprProperties:
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)),
+                    min_size=1, max_size=32, unique_by=lambda p: p[0]),
+           st.one_of(st.none(), st.integers(min_value=2, max_value=64)))
+    def test_inference_reproduces_samples(self, pairs, comm_size):
+        expr = ParamExpr.infer(pairs, comm_size)
+        for rank, value in pairs:
+            assert expr.evaluate(rank) == value
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)),
+                    min_size=1, max_size=32, unique_by=lambda p: p[0]))
+    def test_serialize_roundtrip(self, pairs):
+        expr = ParamExpr.infer(pairs)
+        assert ParamExpr.parse(expr.serialize()) == expr
+
+    @given(st.integers(-10, 10), st.integers(0, 100))
+    def test_rel_is_offset(self, delta, rank):
+        assert ParamExpr.rel(delta).evaluate(rank) == rank + delta

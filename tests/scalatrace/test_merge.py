@@ -1,0 +1,150 @@
+"""Unit tests for inter-rank trace merging."""
+
+import pytest
+
+from repro.scalatrace.compress import CompressionQueue
+from repro.scalatrace.merge import merge_traces
+from repro.scalatrace.rsd import EventNode, LoopNode, Trace
+from repro.util.callsite import Callsite
+
+
+def cs(n):
+    return Callsite.synthetic("app", n)
+
+
+def build_rank(rank, script, world=4, comm_table=None):
+    """script: list of (op, kwargs) appended for one rank."""
+    q = CompressionQueue(rank)
+    for op, kw in script:
+        q.append_event(op, kw.pop("cs", cs(1)), kw.pop("comm", 0), **kw)
+    return Trace(world, q.nodes, comm_table or {0: tuple(range(world))})
+
+
+class TestRankMerging:
+    def test_identical_events_union_ranks(self):
+        traces = [build_rank(r, [("Barrier", {"size": 0})]) for r in range(4)]
+        merged = merge_traces(traces)
+        assert merged.node_count() == 1
+        node = merged.nodes[0]
+        assert list(node.ranks) == [0, 1, 2, 3]
+
+    def test_ring_peers_become_relative_expr(self):
+        world = 4
+        traces = []
+        for r in range(world):
+            traces.append(build_rank(
+                r, [("Send", {"peer": (r + 1) % world, "size": 64, "tag": 0})],
+                world=world))
+        merged = merge_traces(traces)
+        assert merged.node_count() == 1
+        node = merged.nodes[0]
+        assert node.peer.expr is not None
+        assert node.peer.expr.kind == "rel"
+        assert node.peer.expr.mod == world
+        # decompression resolves each rank's peer correctly
+        for r in range(world):
+            evs = list(merged.iter_rank(r))
+            assert evs[0].peer == (r + 1) % world
+
+    def test_irregular_peers_fall_back_to_table(self):
+        peers = {0: 3, 1: 3, 2: 0, 3: 1}
+        traces = [build_rank(r, [("Send", {"peer": peers[r], "size": 8,
+                                           "tag": 0})]) for r in range(4)]
+        merged = merge_traces(traces)
+        assert merged.node_count() == 1
+        for r in range(4):
+            (ev,) = merged.iter_rank(r)
+            assert ev.peer == peers[r]
+
+    def test_different_callsites_interleave(self):
+        # rank 0 sends from line 1; ranks 1-3 receive at line 2
+        traces = [build_rank(0, [("Send", {"cs": cs(1), "peer": 1,
+                                           "size": 8, "tag": 0})])]
+        for r in range(1, 4):
+            traces.append(build_rank(r, [("Recv", {"cs": cs(2), "peer": 0,
+                                                   "size": 8, "tag": 0})]))
+        merged = merge_traces(traces)
+        assert merged.node_count() == 2
+        send, recv = merged.nodes
+        assert send.op == "Send" and list(send.ranks) == [0]
+        assert recv.op == "Recv" and list(recv.ranks) == [1, 2, 3]
+
+    def test_loops_merge_when_counts_equal(self):
+        def script(r):
+            return [("Send", {"peer": (r + 1) % 4, "size": 8, "tag": 0})
+                    for _ in range(100)]
+
+        traces = [build_rank(r, script(r)) for r in range(4)]
+        merged = merge_traces(traces)
+        assert merged.node_count() == 2  # LoopNode + EventNode
+        loop = merged.nodes[0]
+        assert isinstance(loop, LoopNode)
+        assert loop.count == 100
+        assert list(loop.ranks) == [0, 1, 2, 3]
+
+    def test_loops_with_different_counts_stay_separate(self):
+        t0 = build_rank(0, [("Send", {"peer": 1, "size": 8, "tag": 0})] * 10,
+                        world=2)
+        t1 = build_rank(1, [("Send", {"peer": 0, "size": 8, "tag": 0})] * 20,
+                        world=2)
+        merged = merge_traces([t0, t1])
+        assert merged.event_count(0) == 10
+        assert merged.event_count(1) == 20
+
+    def test_mixed_structure_inside_loop(self):
+        # all ranks loop 50x; rank 0's body sends, others' bodies receive
+        t0 = build_rank(0, [("Send", {"cs": cs(1), "peer": 1, "size": 8,
+                                      "tag": 0})] * 50, world=2)
+        t1 = build_rank(1, [("Recv", {"cs": cs(2), "peer": 0, "size": 8,
+                                      "tag": 0})] * 50, world=2)
+        merged = merge_traces([t0, t1])
+        # loops can't merge (bodies disjoint) but totals must be preserved
+        assert merged.event_count(0) == 50
+        assert merged.event_count(1) == 50
+        assert [e.op for e in merged.iter_rank(0)] == ["Send"] * 50
+
+    def test_time_histograms_merge_across_ranks(self):
+        traces = []
+        for r in range(2):
+            q = CompressionQueue(r)
+            q.append_event("Barrier", cs(1), 0, size=0, delta_t=1e-3 * (r + 1))
+            traces.append(Trace(2, q.nodes, {0: (0, 1)}))
+        merged = merge_traces(traces)
+        node = merged.nodes[0]
+        assert node.time.count == 2
+        assert node.time.total == pytest.approx(3e-3)
+
+    def test_trace_size_constant_in_ranks(self):
+        def world_trace(world):
+            traces = []
+            for r in range(world):
+                script = [("Isend", {"cs": cs(1), "peer": (r + 1) % world,
+                                     "size": 1024, "tag": 0}),
+                          ("Irecv", {"cs": cs(2),
+                                     "peer": (r - 1) % world,
+                                     "size": 0, "tag": 0}),
+                          ("Waitall", {"cs": cs(3), "wait_offsets": (0, 1)})
+                          ] * 100
+                traces.append(build_rank(r, script, world=world))
+            return merge_traces(traces).node_count()
+
+        assert world_trace(4) == world_trace(16) == world_trace(32)
+
+    def test_sizes_varying_by_rank_become_expr_or_table(self):
+        traces = [build_rank(r, [("Send", {"peer": 0, "size": 100 * (r + 1),
+                                           "tag": 0})]) for r in range(4)]
+        merged = merge_traces(traces)
+        assert merged.node_count() == 1
+        for r in range(4):
+            (ev,) = merged.iter_rank(r)
+            assert ev.size == 100 * (r + 1)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    def test_single_trace_passthrough(self):
+        t = build_rank(0, [("Barrier", {"size": 0})], world=1,
+                       comm_table={0: (0,)})
+        merged = merge_traces([t])
+        assert merged.node_count() == 1

@@ -1,0 +1,177 @@
+"""Round-trip tests for trace serialization."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.mpi import ANY_SOURCE, run_spmd
+from repro.scalatrace import ScalaTraceHook
+from repro.scalatrace.rsd import EventNode, LoopNode
+from repro.scalatrace.serialize import dumps_trace, loads_trace
+from repro.sim import SimpleModel
+
+
+def traced(program, nranks):
+    hook = ScalaTraceHook()
+    run_spmd(program, nranks, model=SimpleModel(), hooks=[hook])
+    return hook.trace
+
+
+def assert_equivalent(a, b):
+    assert a.world_size == b.world_size
+    assert a.comm_table == b.comm_table
+    assert a.node_count() == b.node_count()
+    for r in range(a.world_size):
+        ea = [e.key() for e in a.iter_rank(r)]
+        eb = [e.key() for e in b.iter_rank(r)]
+        assert ea == eb
+
+
+class TestRoundTrip:
+    def test_ring(self):
+        def program(mpi):
+            right = (mpi.rank + 1) % mpi.size
+            for _ in range(25):
+                rreq = yield from mpi.irecv(source=(mpi.rank - 1) % mpi.size)
+                yield from mpi.send(dest=right, nbytes=2048)
+                yield from mpi.wait(rreq)
+            yield from mpi.finalize()
+
+        t = traced(program, 8)
+        t2 = loads_trace(dumps_trace(t))
+        assert_equivalent(t, t2)
+
+    def test_collectives_and_subcomms(self):
+        def program(mpi):
+            sub = yield from mpi.comm_split(None, color=mpi.rank % 2,
+                                            key=mpi.rank)
+            yield from mpi.bcast(1024, root=0)
+            yield from mpi.allreduce(8, comm=sub)
+            yield from mpi.alltoallv([8 * (i + 1) for i in range(sub.size)],
+                                     comm=sub)
+            yield from mpi.finalize()
+
+        t = traced(program, 4)
+        t2 = loads_trace(dumps_trace(t))
+        assert_equivalent(t, t2)
+
+    def test_wildcards_preserved(self):
+        def program(mpi):
+            if mpi.rank == 0:
+                for _ in range(3):
+                    yield from mpi.recv(source=ANY_SOURCE, tag=7)
+            else:
+                for _ in range(3):
+                    yield from mpi.send(dest=0, nbytes=4, tag=7)
+            yield from mpi.finalize()
+
+        t = traced(program, 2)
+        t2 = loads_trace(dumps_trace(t))
+        assert_equivalent(t, t2)
+        recvs = [e for e in t2.iter_rank(0) if e.op == "Recv"]
+        assert all(e.peer == ANY_SOURCE for e in recvs)
+
+    def test_timing_survives(self):
+        def program(mpi):
+            for _ in range(5):
+                yield from mpi.compute(1e-3)
+                yield from mpi.barrier()
+            yield from mpi.finalize()
+
+        t = traced(program, 2)
+        t2 = loads_trace(dumps_trace(t))
+
+        def total_time(tr):
+            def walk(nodes):
+                for n in nodes:
+                    if isinstance(n, EventNode):
+                        yield n.time.total
+                    else:
+                        yield from walk(n.body)
+            return sum(walk(tr.nodes))
+
+        assert total_time(t2) == pytest.approx(total_time(t))
+
+    def test_callsites_survive(self):
+        def program(mpi):
+            yield from mpi.barrier()
+            yield from mpi.finalize()
+
+        t = traced(program, 2)
+        t2 = loads_trace(dumps_trace(t))
+
+        def first_event(tr):
+            n = tr.nodes[0]
+            while isinstance(n, LoopNode):
+                n = n.body[0]
+            return n
+
+        assert first_event(t2).callsite == first_event(t).callsite
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceError):
+            loads_trace("NOT A TRACE\n")
+
+    def test_truncated(self):
+        def program(mpi):
+            yield from mpi.finalize()
+
+        text = dumps_trace(traced(program, 2))
+        with pytest.raises(TraceError):
+            loads_trace(text[: len(text) // 2])
+
+    def test_bad_node_line(self):
+        with pytest.raises(TraceError):
+            loads_trace("SCALATRACE 1\nworld 2\nnodes {\nbogus line\n}\n")
+
+
+class TestIrregularFieldRoundTrip:
+    def test_rank_map_fields_survive(self):
+        """CG's butterfly peers merge into per-rank maps; serialization
+        must round-trip them losslessly."""
+        from repro.apps import make_app
+        from repro.scalatrace.rsd import EventNode
+
+        prog = make_app("cg", 8, "S")
+        hook = ScalaTraceHook()
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[hook])
+        t = hook.trace
+
+        def has_rank_map(nodes):
+            for n in nodes:
+                if isinstance(n, EventNode):
+                    if any(getattr(n, f) is not None
+                           and getattr(n, f).rank_map is not None
+                           for f in ("peer", "size", "tag", "root")):
+                        return True
+                elif has_rank_map(n.body):
+                    return True
+            return False
+
+        assert has_rank_map(t.nodes)
+        t2 = loads_trace(dumps_trace(t))
+        assert_equivalent(t, t2)
+
+    def test_first_rest_histograms_survive(self):
+        def program(mpi):
+            yield from mpi.compute(5e-3)
+            for _ in range(4):
+                yield from mpi.barrier()
+                yield from mpi.compute(1e-4)
+            yield from mpi.finalize()
+
+        t = traced(program, 2)
+        t2 = loads_trace(dumps_trace(t))
+
+        def first_event(tr):
+            from repro.scalatrace.rsd import LoopNode
+            n = tr.nodes[0]
+            while isinstance(n, LoopNode):
+                n = n.body[0]
+            return n
+
+        a, b = first_event(t), first_event(t2)
+        assert b.time_first.count == a.time_first.count
+        assert b.time_rest.count == a.time_rest.count
+        assert b.time_first.total == pytest.approx(a.time_first.total)

@@ -1,0 +1,177 @@
+"""Tests for path-aware (first vs. subsequent iteration) timing, §3.1."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.generator import generate_from_application, trace_application
+from repro.mpi import run_spmd
+from repro.scalatrace import ScalaTraceHook
+from repro.scalatrace.rsd import EventNode, LoopNode
+from repro.sim import SimpleModel
+from repro.tools.replay import replay_trace
+
+
+def traced(program, nranks):
+    hook = ScalaTraceHook()
+    run_spmd(program, nranks, model=SimpleModel(), hooks=[hook])
+    return hook.trace
+
+
+def events(trace, op):
+    def walk(nodes):
+        for n in nodes:
+            if isinstance(n, EventNode):
+                if n.op == op:
+                    yield n
+            else:
+                yield from walk(n.body)
+    return list(walk(trace.nodes))
+
+
+class TestFirstRestSplit:
+    def test_loop_first_iteration_isolated(self):
+        # 10 ms before the loop, 1 ms inside it: the barrier's first
+        # delta is 10 ms, the remaining nine are 1 ms
+        def app(mpi):
+            yield from mpi.compute(10e-3)
+            for _ in range(10):
+                yield from mpi.barrier()
+                yield from mpi.compute(1e-3)
+            yield from mpi.finalize()
+
+        trace = traced(app, 2)
+        (node,) = events(trace, "Barrier")
+        # per rank: 1 first sample + 9 rest samples
+        assert node.time_first.count == 2
+        assert node.time_rest.count == 18
+        assert node.time_first.mean == pytest.approx(10e-3, rel=0.01)
+        assert node.time_rest.mean == pytest.approx(1e-3, rel=0.01)
+
+    def test_aggregate_time_property(self):
+        def app(mpi):
+            yield from mpi.compute(5e-3)
+            for _ in range(4):
+                yield from mpi.barrier()
+                yield from mpi.compute(1e-3)
+            yield from mpi.finalize()
+
+        trace = traced(app, 2)
+        (node,) = events(trace, "Barrier")
+        assert node.time.count == node.sample_count() == 8
+        assert node.time.total == pytest.approx(
+            node.time_first.total + node.time_rest.total)
+
+    def test_nested_uniform_loops_collapse_faithfully(self):
+        # When the outer iteration consists of nothing but the inner loop,
+        # folding (correctly, like ScalaTrace) collapses the nest into one
+        # 12-iteration loop; the per-entry setup deltas then live in the
+        # subsequent-iteration histogram, order summarized away (§4.5's
+        # acknowledged information loss).
+        def app(mpi):
+            for _ in range(3):
+                yield from mpi.compute(5e-3)   # per-entry setup work
+                for _ in range(4):
+                    yield from mpi.barrier()
+                    yield from mpi.compute(1e-4)
+            yield from mpi.finalize()
+
+        trace = traced(app, 2)
+        (node,) = events(trace, "Barrier")
+        assert node.time_first.count == 2        # global firsts only
+        assert node.time_rest.count == 2 * 11
+        # totals are still exact: per rank, one 5 ms first, then two
+        # 5.1 ms re-entries (trailing inner compute + setup) and nine
+        # 0.1 ms inner deltas
+        assert node.time.total == pytest.approx(
+            2 * (5e-3 + 2 * 5.1e-3 + 9 * 1e-4), rel=0.01)
+
+    def test_first_period_when_entries_are_delimited(self):
+        # a distinct event after the inner loop (MG's norm allreduce)
+        # stops greedy absorption, so the nest survives and per-entry
+        # firsts are preserved
+        def app(mpi):
+            for _ in range(3):
+                yield from mpi.compute(5e-3)
+                for lvl in range(4):
+                    yield from mpi.bcast(128 << lvl, root=0)
+                    yield from mpi.compute(1e-4)
+                yield from mpi.allreduce(8)
+            yield from mpi.finalize()
+
+        trace = traced(app, 2)
+        (node,) = events(trace, "Bcast")
+        assert node.first_period() == 4
+        assert node.time_first.count == 2 * 3
+        # re-entry deltas include the trailing inner compute
+        assert node.time_first.mean == pytest.approx(5e-3, rel=0.05)
+
+    def test_replay_reproduces_first_rest_timing(self):
+        def app(mpi):
+            for _ in range(3):
+                yield from mpi.compute(8e-3)
+                for _ in range(5):
+                    yield from mpi.barrier()
+                    yield from mpi.compute(2e-4)
+            yield from mpi.finalize()
+
+        trace = traced(app, 2)
+        orig = run_spmd(app, 2, model=SimpleModel())
+        rep = replay_trace(trace, model=SimpleModel())
+        assert rep.total_time == pytest.approx(orig.total_time, rel=0.02)
+
+    def test_generated_benchmark_preserves_split(self):
+        def app(mpi):
+            yield from mpi.compute(20e-3)
+            for _ in range(10):
+                yield from mpi.barrier()
+                yield from mpi.compute(1e-3)
+            yield from mpi.finalize()
+
+        bench = generate_from_application(app, 2, model=SimpleModel())
+        # a conditional on the loop variable separates first from rest
+        assert "rep0 = 0" in bench.source or "rep0 >= 1" in bench.source
+        orig = run_spmd(app, 2, model=SimpleModel())
+        gen, _ = bench.program.run(2, model=SimpleModel())
+        assert gen.total_time == pytest.approx(orig.total_time, rel=0.02)
+
+    def test_zero_first_delta_guarded(self):
+        # the first barrier has no preceding compute (the loop starts
+        # immediately), so the generated COMPUTE is guarded to skip
+        # iteration 0 — and the totals still match
+        def app(mpi):
+            for _ in range(10):
+                yield from mpi.barrier()
+                yield from mpi.compute(1e-3)
+            yield from mpi.finalize()
+
+        bench = generate_from_application(app, 2, model=SimpleModel())
+        assert "IF rep0 >= 1" in bench.source
+        orig = run_spmd(app, 2, model=SimpleModel())
+        gen, _ = bench.program.run(2, model=SimpleModel())
+        assert gen.total_time == pytest.approx(orig.total_time, rel=0.02)
+
+    def test_mg_level_setup_times_survive_pipeline(self):
+        prog = make_app("mg", 8, "S")
+        bench = generate_from_application(prog, 8, model=SimpleModel())
+        orig = run_spmd(prog, 8, model=SimpleModel())
+        gen, _ = bench.program.run(8, model=SimpleModel())
+        err = abs(gen.total_time - orig.total_time) / orig.total_time
+        assert err < 0.03
+
+
+class TestFirstPeriodEdgeCases:
+    def test_no_firsts(self):
+        from repro.scalatrace.rsd import EventNode
+        from repro.util.rankset import RankSet
+        node = EventNode("Barrier", None, 0, RankSet([0]))
+        assert node.first_period() is None
+
+    def test_single_instance(self):
+        from repro.scalatrace.rsd import EventNode
+        from repro.util.histogram import TimeHistogram
+        from repro.util.rankset import RankSet
+        first = TimeHistogram()
+        first.add(1e-3)
+        node = EventNode("Barrier", None, 0, RankSet([0]),
+                         time_first=first)
+        assert node.first_period() == 1

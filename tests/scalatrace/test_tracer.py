@@ -1,0 +1,134 @@
+"""Integration tests: tracing simulated MPI applications end to end."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, run_spmd
+from repro.scalatrace import ScalaTraceHook
+from repro.sim import SimpleModel
+
+
+def trace_app(program, nranks, model=None):
+    hook = ScalaTraceHook()
+    run_spmd(program, nranks, model=model or SimpleModel(), hooks=[hook])
+    return hook.trace
+
+
+def ring_app(iterations=100, nbytes=1024):
+    def program(mpi):
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        for _ in range(iterations):
+            rreq = yield from mpi.irecv(source=left, tag=0)
+            sreq = yield from mpi.isend(dest=right, nbytes=nbytes, tag=0)
+            yield from mpi.waitall([rreq, sreq])
+        yield from mpi.finalize()
+    return program
+
+
+class TestRingTrace:
+    def test_ring_compresses_to_constant_size(self):
+        t8 = trace_app(ring_app(), 8)
+        t16 = trace_app(ring_app(), 16)
+        assert t8.node_count() == t16.node_count()
+        # loop body (3 events) + finalize, give or take boundary nodes
+        assert t8.node_count() <= 6
+
+    def test_ring_event_counts_lossless(self):
+        trace = trace_app(ring_app(iterations=50), 4)
+        # 50*(irecv+isend+waitall) + finalize per rank
+        assert trace.event_count(0) == 50 * 3 + 1
+        assert trace.event_count() == 4 * (50 * 3 + 1)
+
+    def test_ring_peers_relative(self):
+        trace = trace_app(ring_app(), 8)
+        for r in range(8):
+            evs = [e for e in trace.iter_rank(r) if e.op == "Isend"]
+            assert all(e.peer == (r + 1) % 8 for e in evs)
+
+    def test_compute_time_recorded(self):
+        def program(mpi):
+            for _ in range(10):
+                yield from mpi.compute(2e-3)
+                yield from mpi.barrier()
+            yield from mpi.finalize()
+
+        trace = trace_app(program, 2)
+        barrier_nodes = [n for n in _walk(trace.nodes) if n.op == "Barrier"]
+        total = sum(n.time.total for n in barrier_nodes)
+        # 2 ranks x 10 iterations x 2 ms
+        assert total == pytest.approx(2 * 10 * 2e-3, rel=0.05)
+
+
+def _walk(nodes):
+    from repro.scalatrace.rsd import EventNode, LoopNode
+    for n in nodes:
+        if isinstance(n, EventNode):
+            yield n
+        else:
+            yield from _walk(n.body)
+
+
+class TestWildcardTrace:
+    def test_any_source_recorded_as_wildcard(self):
+        def program(mpi):
+            if mpi.rank == 0:
+                for _ in range(5):
+                    st = yield from mpi.recv(source=ANY_SOURCE, tag=1)
+            else:
+                for _ in range(5):
+                    yield from mpi.send(dest=0, nbytes=16, tag=1)
+            yield from mpi.finalize()
+
+        trace = trace_app(program, 2)
+        recvs = [e for e in trace.iter_rank(0) if e.op == "Recv"]
+        assert len(recvs) == 5
+        assert all(e.peer == ANY_SOURCE for e in recvs)
+
+
+class TestSubcommTrace:
+    def test_comm_table_includes_subcomms(self):
+        def program(mpi):
+            sub = yield from mpi.comm_split(None, color=mpi.rank % 2,
+                                            key=mpi.rank)
+            yield from mpi.allreduce(64, comm=sub)
+            yield from mpi.finalize()
+
+        trace = trace_app(program, 4)
+        tables = set(trace.comm_table.values())
+        assert (0, 2) in tables
+        assert (1, 3) in tables
+        allreduces = [e for e in trace.iter_rank(0) if e.op == "Allreduce"]
+        assert len(allreduces) == 1
+        assert len(trace.comm_ranks(allreduces[0].comm_id)) == 2
+
+
+class TestStencilTrace:
+    def test_stencil_merges_across_ranks(self):
+        # 1-D non-periodic halo exchange: interior ranks send both ways
+        def program(mpi):
+            for _ in range(20):
+                reqs = []
+                if mpi.rank > 0:
+                    r = yield from mpi.irecv(source=mpi.rank - 1, tag=0)
+                    reqs.append(r)
+                    s = yield from mpi.isend(dest=mpi.rank - 1, nbytes=512,
+                                             tag=0)
+                    reqs.append(s)
+                if mpi.rank < mpi.size - 1:
+                    r = yield from mpi.irecv(source=mpi.rank + 1, tag=0)
+                    reqs.append(r)
+                    s = yield from mpi.isend(dest=mpi.rank + 1, nbytes=512,
+                                             tag=0)
+                    reqs.append(s)
+                yield from mpi.waitall(reqs)
+            yield from mpi.finalize()
+
+        t8 = trace_app(program, 8)
+        t32 = trace_app(program, 32)
+        # interior ranks all share structure; trace size rank-independent
+        assert t8.node_count() == t32.node_count()
+        # per-rank streams decompress correctly at the boundaries
+        first_ops = [e.op for e in t32.iter_rank(0)]
+        assert first_ops.count("Isend") == 20
+        mid_ops = [e.op for e in t32.iter_rank(5)]
+        assert mid_ops.count("Isend") == 40

@@ -1,0 +1,197 @@
+"""Unit tests for the rate-dependent congestion mechanisms that drive the
+Fig. 7 reproduction: receive-processor serialization, wire ejection
+queueing, and the leaky-bucket receiver-stack overload."""
+
+import pytest
+
+from repro.sim import (CongestionModel, Compute, Engine, LogGPModel,
+                       PostRecv, PostSend, WaitAll)
+
+
+def run2(sender, receiver, model):
+    eng = Engine(2, model)
+    eng.run([sender(), receiver()])
+    return eng
+
+
+class TestRxSerialization:
+    """A burst of messages is processed one at a time (o_recv each)."""
+
+    def _burst_finish(self, nmsgs, overhead):
+        model = LogGPModel(overhead=overhead, latency=1e-6,
+                           bandwidth=1e12)
+
+        def sender():
+            reqs = []
+            for _ in range(nmsgs):
+                r = yield PostSend(dst=1, nbytes=8)
+                reqs.append(r)
+            yield WaitAll(reqs)
+
+        def receiver():
+            reqs = []
+            for _ in range(nmsgs):
+                r = yield PostRecv(src=0)
+                reqs.append(r)
+            yield WaitAll(reqs)
+
+        eng = run2(sender, receiver, model)
+        return eng.now(1)
+
+    def test_burst_scales_with_message_count(self):
+        t4 = self._burst_finish(4, overhead=1e-5)
+        t16 = self._burst_finish(16, overhead=1e-5)
+        # 12 more messages -> at least 12 more service slots
+        assert t16 - t4 > 11 * 1e-5
+
+    def test_zero_overhead_no_serialization(self):
+        t4 = self._burst_finish(4, overhead=0.0)
+        t16 = self._burst_finish(16, overhead=0.0)
+        assert t16 - t4 < 1e-6
+
+
+class TestWireQueueing:
+    def test_simultaneous_arrivals_stretch(self):
+        # two senders inject 64 KiB to one destination at the same time;
+        # with wire queueing the second message waits for the link
+        model = CongestionModel(overload_drain_rate=None,
+                                backlog_stall_threshold=None)
+        nbytes = 48 * 1024
+        eject = model.eject_time(nbytes)
+
+        def sender():
+            req = yield PostSend(dst=2, nbytes=nbytes)
+            yield WaitAll([req])
+
+        def receiver():
+            done = []
+            for _ in range(2):
+                r = yield PostRecv(src=-1)
+                done.append(r)
+            yield WaitAll(done)
+
+        eng = Engine(3, model)
+        eng.run([sender(), sender(), receiver()])
+        # completion no earlier than two serialized ejections
+        assert eng.now(2) > 2 * eject
+
+    def test_paced_arrivals_do_not_queue(self):
+        model = CongestionModel(overload_drain_rate=None,
+                                backlog_stall_threshold=None)
+        nbytes = 48 * 1024
+        eject = model.eject_time(nbytes)
+
+        def sender(delay):
+            def prog():
+                yield Compute(delay)
+                req = yield PostSend(dst=2, nbytes=nbytes)
+                yield WaitAll([req])
+            return prog
+
+        def receiver():
+            done = []
+            for _ in range(2):
+                r = yield PostRecv(src=-1)
+                done.append(r)
+            yield WaitAll(done)
+
+        eng = Engine(3, model)
+        # second sender waits out the first ejection entirely
+        eng.run([sender(0.0)(), sender(2 * eject)(), receiver()])
+        finish_paced = eng.now(2)
+        # paced: last arrival ~ delay + eject, NOT 2x eject after delay
+        assert finish_paced < 2 * eject + eject + 5e-4
+
+
+class TestLeakyBucketOverload:
+    def test_sustained_overload_backs_off_senders(self):
+        model = CongestionModel(
+            overload_drain_rate=10e6, overload_capacity=32 * 1024,
+            overload_penalty=1e-3, backlog_stall_threshold=None)
+
+        def flooder():
+            reqs = []
+            for _ in range(50):
+                r = yield PostSend(dst=1, nbytes=16 * 1024)
+                reqs.append(r)
+            yield WaitAll(reqs)
+
+        def receiver():
+            for _ in range(50):
+                r = yield PostRecv(src=0)
+                yield WaitAll([r])
+
+        eng = Engine(2, model)
+        eng.run([flooder(), receiver()])
+        assert eng.overload_events > 0
+        # sender wall time includes the backoff penalties
+        assert eng.now(0) > eng.overload_events * 1e-3 * 0.9
+
+    def test_paced_traffic_never_overloads(self):
+        model = CongestionModel(
+            overload_drain_rate=10e6, overload_capacity=32 * 1024,
+            overload_penalty=1e-3, backlog_stall_threshold=None)
+
+        def paced():
+            reqs = []
+            for _ in range(50):
+                yield Compute(2e-3)  # 16 KiB / 2 ms = 8 MB/s < drain
+                r = yield PostSend(dst=1, nbytes=16 * 1024)
+                reqs.append(r)
+            yield WaitAll(reqs)
+
+        def receiver():
+            for _ in range(50):
+                r = yield PostRecv(src=0)
+                yield WaitAll([r])
+
+        eng = Engine(2, model)
+        eng.run([paced(), receiver()])
+        assert eng.overload_events == 0
+
+    def test_overload_disabled_by_none(self):
+        model = CongestionModel(overload_drain_rate=None)
+
+        def flooder():
+            reqs = []
+            for _ in range(50):
+                r = yield PostSend(dst=1, nbytes=16 * 1024)
+                reqs.append(r)
+            yield WaitAll(reqs)
+
+        def receiver():
+            for _ in range(50):
+                r = yield PostRecv(src=0)
+                yield WaitAll([r])
+
+        eng = Engine(2, model)
+        eng.run([flooder(), receiver()])
+        assert eng.overload_events == 0
+
+
+class TestBackpressure:
+    def test_wire_backlog_stalls_sender(self):
+        tight = CongestionModel(backlog_stall_threshold=1e-4,
+                                overload_drain_rate=None)
+        loose = CongestionModel(backlog_stall_threshold=None,
+                                overload_drain_rate=None)
+        nbytes = 32 * 1024
+
+        def sender():
+            reqs = []
+            for _ in range(20):
+                r = yield PostSend(dst=1, nbytes=nbytes)
+                reqs.append(r)
+            yield WaitAll(reqs)
+
+        def receiver():
+            for _ in range(20):
+                r = yield PostRecv(src=0)
+                yield WaitAll([r])
+
+        eng_t = Engine(2, tight)
+        eng_t.run([sender(), receiver()])
+        eng_l = Engine(2, loose)
+        eng_l.run([sender(), receiver()])
+        # with backpressure the sender's own clock absorbs the queue
+        assert eng_t.now(0) > eng_l.now(0)

@@ -1,0 +1,136 @@
+"""Collective semantics and timing of the simulation engine."""
+
+import pytest
+
+from repro.errors import MPIUsageError, SimDeadlockError
+from repro.sim import Collective, Compute, Engine, SimpleModel
+
+
+def run(nranks, programs, model=None):
+    eng = Engine(nranks, model or SimpleModel())
+    total = eng.run(programs)
+    return eng, total
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_clocks(self):
+        group = (0, 1, 2, 3)
+        after = {}
+
+        def prog(rank, eng_holder):
+            yield Compute(1e-3 * rank)
+            yield Collective(group, "barrier")
+            after[rank] = eng_holder[0].now(rank)
+
+        holder = []
+        eng = Engine(4, SimpleModel())
+        holder.append(eng)
+        eng.run([prog(r, holder) for r in range(4)])
+        assert len(set(after.values())) == 1
+        # barrier ends no earlier than the slowest arrival
+        assert after[0] >= 3e-3
+
+    def test_barrier_cost_grows_with_group(self):
+        def prog(group):
+            yield Collective(group, "barrier")
+
+        _, t2 = run(2, [prog((0, 1)) for _ in range(2)])
+        _, t16 = run(16, [prog(tuple(range(16))) for _ in range(16)])
+        assert t16 > t2 > 0
+
+    def test_sequential_barriers_accumulate(self):
+        group = (0, 1)
+
+        def prog():
+            yield Collective(group, "barrier")
+            yield Collective(group, "barrier")
+
+        _, t2 = run(2, [prog(), prog()])
+
+        def prog1():
+            yield Collective(group, "barrier")
+
+        _, t1 = run(2, [prog1(), prog1()])
+        assert t2 == pytest.approx(2 * t1)
+
+
+class TestCostModels:
+    @pytest.mark.parametrize("key", [
+        "barrier", "bcast", "reduce", "allreduce", "gather", "scatter",
+        "allgather", "alltoall", "reduce_scatter", "multicast", "finalize",
+    ])
+    def test_all_keys_runnable(self, key):
+        group = (0, 1, 2, 3)
+
+        def prog():
+            yield Collective(group, key, nbytes=4096)
+
+        _, total = run(4, [prog() for _ in range(4)])
+        assert total > 0
+
+    def test_bigger_payload_costs_more(self):
+        group = (0, 1, 2, 3)
+
+        def prog(n):
+            yield Collective(group, "allreduce", nbytes=n)
+
+        _, t_small = run(4, [prog(8) for _ in range(4)])
+        _, t_big = run(4, [prog(1 << 20) for _ in range(4)])
+        assert t_big > t_small
+
+    def test_unknown_key_raises(self):
+        group = (0, 1)
+
+        def prog():
+            yield Collective(group, "frobnicate")
+
+        with pytest.raises(ValueError):
+            run(2, [prog(), prog()])
+
+
+class TestSubgroups:
+    def test_disjoint_subgroup_collectives_run_independently(self):
+        # distinct comm_ids model two sub-communicators
+        g_a, g_b = (0, 1), (2, 3)
+
+        def prog(group, delay, comm_id):
+            yield Compute(delay)
+            yield Collective(group, "barrier", comm_id=comm_id)
+
+        # group B is much slower; group A must not be held back
+        eng = Engine(4, SimpleModel())
+        eng.run([prog(g_a, 0.0, 1), prog(g_a, 0.0, 1),
+                 prog(g_b, 1.0, 2), prog(g_b, 1.0, 2)])
+        assert eng.now(0) < 1e-3
+        assert eng.now(2) >= 1.0
+
+    def test_collective_mismatch_raises(self):
+        def prog_a():
+            yield Collective((0, 1), "barrier")
+
+        def prog_b():
+            yield Collective((0, 1), "bcast", nbytes=8)
+
+        with pytest.raises(MPIUsageError):
+            run(2, [prog_a(), prog_b()])
+
+    def test_caller_outside_group_raises(self):
+        def prog():
+            yield Collective((1,), "barrier")
+
+        with pytest.raises(MPIUsageError):
+            run(2, [prog(), iter(())])
+
+    def test_missing_participant_deadlocks(self):
+        def prog_join():
+            yield Collective((0, 1), "barrier")
+
+        def prog_skip():
+            yield Compute(1e-6)
+
+        with pytest.raises(SimDeadlockError):
+            run(2, [prog_join(), prog_skip()])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            Collective((), "barrier")

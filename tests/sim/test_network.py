@@ -1,0 +1,155 @@
+"""Network model unit tests, including the congestion effects that drive
+the paper's Fig. 7 (unexpected-message copies and flow-control stalls)."""
+
+import pytest
+
+from repro.sim import (CongestionModel, Compute, Engine, LogGPModel,
+                       PostRecv, PostSend, SimpleModel, WaitAll, make_model)
+
+
+class TestModelBasics:
+    def test_simple_transit(self):
+        m = SimpleModel(latency=2e-6, bandwidth=1e8)
+        assert m.transit_time(0) == pytest.approx(2e-6)
+        assert m.transit_time(100) == pytest.approx(2e-6 + 1e-6)
+        assert m.min_latency() == pytest.approx(2e-6)
+
+    def test_simple_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SimpleModel(latency=-1)
+        with pytest.raises(ValueError):
+            SimpleModel(bandwidth=0)
+
+    def test_loggp_overheads(self):
+        m = LogGPModel(overhead=5e-6)
+        assert m.send_overhead(100) == pytest.approx(5e-6)
+        assert m.recv_overhead(100) == pytest.approx(5e-6)
+
+    def test_make_model(self):
+        assert isinstance(make_model("simple"), SimpleModel)
+        assert isinstance(make_model("bluegene"), LogGPModel)
+        assert isinstance(make_model("ethernet"), CongestionModel)
+        with pytest.raises(ValueError):
+            make_model("quantum")
+
+    def test_congestion_copy_and_stall_positive(self):
+        m = CongestionModel()
+        assert m.unexpected_copy(4096) > 0
+        assert m.stall_penalty(4096) > 0
+        assert m.unexpected_capacity > 0
+
+    def test_collective_cost_monotone_in_group(self):
+        m = LogGPModel()
+        costs = [m.collective_cost("allreduce", p, 1024) for p in (2, 8, 64)]
+        assert costs == sorted(costs)
+
+    def test_single_rank_collective_cheap(self):
+        m = LogGPModel()
+        assert m.collective_cost("barrier", 1, 0) < m.collective_cost(
+            "barrier", 2, 0)
+
+
+class TestUnexpectedMessagePenalty:
+    """A message arriving before its receive is posted costs an extra copy."""
+
+    def _late_recv_finish(self, copy_bandwidth):
+        # recv is posted 5 ms after the message arrived, so the message
+        # sits in the unexpected queue and must be copied out on match
+        model = CongestionModel(copy_bandwidth=copy_bandwidth)
+
+        def sender():
+            req = yield PostSend(dst=1, nbytes=8192)
+            yield WaitAll([req])
+
+        def receiver():
+            yield Compute(5e-3)
+            req = yield PostRecv(src=0)
+            yield WaitAll([req])
+
+        eng = Engine(2, model)
+        eng.run([sender(), receiver()])
+        return eng.now(1)
+
+    def test_unexpected_copy_delays_completion(self):
+        fast_copy = self._late_recv_finish(copy_bandwidth=1e12)
+        slow_copy = self._late_recv_finish(copy_bandwidth=1e6)
+        # only the unexpected-queue copy cost differs between the runs
+        assert slow_copy > fast_copy
+        assert slow_copy - fast_copy == pytest.approx(8192 / 1e6, rel=0.01)
+
+
+class TestFlowControl:
+    """Filling the unexpected buffer throttles senders (Fig. 7 mechanism)."""
+
+    def _burst(self, capacity):
+        # isolate the byte-based buffer check from the wire-queueing and
+        # leaky-bucket overload mechanisms
+        model = CongestionModel(unexpected_capacity=capacity,
+                                backlog_stall_threshold=None,
+                                overload_drain_rate=None)
+        nmsg, nbytes = 16, 16 * 1024
+        send_done = {}
+
+        def sender():
+            reqs = []
+            for _ in range(nmsg):
+                r = yield PostSend(dst=1, nbytes=nbytes)
+                reqs.append(r)
+            yield WaitAll(reqs)
+            send_done["t"] = max(r.completion for r in reqs)
+
+        def receiver():
+            yield Compute(1e-2)  # receiver lags far behind
+            for _ in range(nmsg):
+                r = yield PostRecv(src=0)
+                yield WaitAll([r])
+
+        eng = Engine(2, model)
+        eng.run([sender(), receiver()])
+        return send_done["t"]
+
+    def test_small_buffer_stalls_sender(self):
+        roomy = self._burst(capacity=64 * 1024 * 1024)
+        tight = self._burst(capacity=32 * 1024)
+        # with a tight buffer the sender's last send completes only after
+        # the receiver starts draining (10 ms), versus microseconds when
+        # the buffer absorbs the whole burst
+        assert roomy < 1e-3
+        assert tight > 5e-3
+
+
+class TestRendezvous:
+    def test_large_send_couples_to_receiver(self):
+        model = LogGPModel(eager_threshold=1024)
+        nbytes = 1 << 20
+
+        def sender():
+            req = yield PostSend(dst=1, nbytes=nbytes)
+            yield WaitAll([req])
+
+        def receiver():
+            yield Compute(2e-2)
+            req = yield PostRecv(src=0)
+            yield WaitAll([req])
+
+        eng = Engine(2, model)
+        eng.run([sender(), receiver()])
+        # rendezvous: the sender cannot complete before the receive was posted
+        assert eng.now(0) > 2e-2
+
+    def test_small_send_completes_locally(self):
+        model = LogGPModel(eager_threshold=1024)
+
+        def sender():
+            req = yield PostSend(dst=1, nbytes=100)
+            yield WaitAll([req])
+
+        def receiver():
+            yield Compute(2e-2)
+            req = yield PostRecv(src=0)
+            yield WaitAll([req])
+
+        eng = Engine(2, model)
+        eng.run([sender(), receiver()])
+        # eager: sender finished long before the receiver posted
+        assert eng.now(0) < 1e-3

@@ -1,0 +1,82 @@
+"""End-to-end CLI tests (the Fig. 1 pipeline as shell steps)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestCliPipeline:
+    def test_apps_lists_suite(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for app in ("bt", "cg", "lu", "sweep3d"):
+            assert app in out
+
+    def test_full_pipeline(self, workdir, capsys):
+        assert main(["trace", "--app", "ring", "--np", "8",
+                     "--class", "S", "-o", "ring.scalatrace"]) == 0
+        assert os.path.exists("ring.scalatrace")
+        out = capsys.readouterr().out
+        assert "compression" in out
+
+        assert main(["generate", "ring.scalatrace", "-o", "ring.ncptl",
+                     "--python", "ring.py"]) == 0
+        source = open("ring.ncptl").read()
+        assert "SEND" in source
+        assert os.path.exists("ring.py")
+
+        assert main(["run", "ring.ncptl", "--np", "8", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Total time (us)" in out
+        assert "Isend" in out
+
+    def test_replay_command(self, workdir, capsys):
+        main(["trace", "--app", "ep", "--np", "4", "-o", "ep.scalatrace"])
+        assert main(["replay", "ep.scalatrace"]) == 0
+        assert "replayed" in capsys.readouterr().out
+
+    def test_compare_identical(self, workdir, capsys):
+        main(["trace", "--app", "ep", "--np", "4", "-o", "a.scalatrace"])
+        main(["trace", "--app", "ep", "--np", "4", "-o", "b.scalatrace"])
+        assert main(["compare", "a.scalatrace", "b.scalatrace"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_compare_different(self, workdir, capsys):
+        main(["trace", "--app", "ep", "--np", "4", "-o", "a.scalatrace"])
+        main(["trace", "--app", "ring", "--np", "4", "-o", "b.scalatrace"])
+        assert main(["compare", "a.scalatrace", "b.scalatrace"]) == 1
+
+    def test_generate_lu_resolves_wildcards(self, workdir, capsys):
+        main(["trace", "--app", "lu", "--np", "4", "-o", "lu.scalatrace"])
+        capsys.readouterr()
+        assert main(["generate", "lu.scalatrace", "-o", "lu.ncptl"]) == 0
+        assert "Algorithm 2" in capsys.readouterr().out
+        assert "ANY TASK" not in open("lu.ncptl").read()
+
+    def test_extrapolate_command(self, workdir, capsys):
+        for n in (4, 8):
+            main(["trace", "--app", "ring", "--np", str(n),
+                  "-o", f"ring{n}.scalatrace"])
+        capsys.readouterr()
+        assert main(["extrapolate", "ring4.scalatrace",
+                     "ring8.scalatrace", "--np", "64",
+                     "-o", "ring64.scalatrace"]) == 0
+        out = capsys.readouterr().out
+        assert "64 ranks" in out
+        # the extrapolated trace is a valid pipeline input
+        assert main(["generate", "ring64.scalatrace",
+                     "-o", "ring64.ncptl"]) == 0
+        assert main(["run", "ring64.ncptl", "--np", "64"]) == 0
+
+    def test_platform_selection(self, workdir, capsys):
+        main(["trace", "--app", "ring", "--np", "4", "-o", "r.scalatrace",
+              "--platform", "ethernet"])
+        assert "ethernet" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Tests for the communication-matrix tool."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.cli import main
+from repro.generator import generate_from_application, trace_application
+from repro.scalatrace import ScalaTraceHook
+from repro.sim import SimpleModel
+from repro.tools.matrix import (communication_matrix, hotspots,
+                                matrices_equal, render_matrix)
+
+
+def traced(name, nranks):
+    return trace_application(make_app(name, nranks, "S"), nranks,
+                             model=SimpleModel())
+
+
+class TestMatrix:
+    def test_ring_is_a_cyclic_superdiagonal(self):
+        m = communication_matrix(traced("ring", 6))
+        for r in range(6):
+            assert m[r, (r + 1) % 6] > 0
+        # only the ring edges carry traffic
+        assert np.count_nonzero(m) == 6
+
+    def test_counts_vs_bytes(self):
+        trace = traced("ring", 4)
+        mc = communication_matrix(trace, counts=True)
+        mb = communication_matrix(trace)
+        assert mc[0, 1] == 50             # iterations
+        assert mb[0, 1] == 50 * 1024      # iterations x message size
+
+    def test_collective_only_app_is_empty(self):
+        m = communication_matrix(traced("ep", 4))
+        assert m.sum() == 0
+
+    def test_jacobi_symmetry(self):
+        m = communication_matrix(traced("jacobi", 8))
+        assert np.array_equal(m, m.T)  # symmetric halo exchange
+
+    def test_subcomm_peers_resolve_to_world(self):
+        def app(mpi):
+            sub = yield from mpi.comm_split(None, color=mpi.rank % 2,
+                                            key=mpi.rank)
+            if sub.rank_of_world(mpi.rank) == 0:
+                yield from mpi.send(dest=1, nbytes=64, comm=sub)
+            else:
+                yield from mpi.recv(source=0, comm=sub)
+            yield from mpi.finalize()
+
+        hook = ScalaTraceHook()
+        from repro.mpi import run_spmd
+        run_spmd(app, 4, model=SimpleModel(), hooks=[hook])
+        m = communication_matrix(hook.trace)
+        # subcomm rank 1 of the even comm is world rank 2
+        assert m[0, 2] == 64
+        assert m[1, 3] == 64
+
+    def test_generated_benchmark_same_matrix(self):
+        prog = make_app("bt", 9, "S")
+        trace = trace_application(prog, 9, model=SimpleModel())
+        bench = generate_from_application(prog, 9, model=SimpleModel())
+        gen_hook = ScalaTraceHook()
+        bench.program.run(9, model=SimpleModel(), hooks=[gen_hook])
+        assert matrices_equal(trace, gen_hook.trace)
+
+
+class TestRendering:
+    def test_render_contains_peak(self):
+        m = communication_matrix(traced("ring", 4))
+        out = render_matrix(m)
+        assert "peak" in out
+        assert out.count("\n") >= 4
+
+    def test_hotspots_ordering(self):
+        m = np.array([[0, 10], [90, 0]])
+        assert hotspots(m, top=2) == [(1, 0, 90), (0, 1, 10)]
+
+    def test_cli_matrix(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        main(["trace", "--app", "ring", "--np", "4",
+              "-o", "r.scalatrace"])
+        capsys.readouterr()
+        assert main(["matrix", "r.scalatrace"]) == 0
+        out = capsys.readouterr().out
+        assert "peak" in out
+        assert "->" in out

@@ -1,0 +1,181 @@
+"""Tests for the mpiP profiler, ScalaReplay, and comparison tools."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.generator import (generate_from_application, resolve_wildcards,
+                             trace_application)
+from repro.mpi import ANY_SOURCE, run_spmd
+from repro.scalatrace import ScalaTraceHook
+from repro.sim import SimpleModel
+from repro.tools.compare import (compression_ratio, total_recorded_time,
+                                 traces_equivalent)
+from repro.tools.mpip import MpiPHook, stats_match
+from repro.tools.replay import replay_trace
+from repro.tools.report import render_table
+
+
+def traced(program, nranks):
+    hook = ScalaTraceHook()
+    run_spmd(program, nranks, model=SimpleModel(), hooks=[hook])
+    return hook.trace
+
+
+class TestMpiP:
+    def test_counts_and_volumes(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(dest=1, nbytes=100)
+                yield from mpi.send(dest=1, nbytes=200)
+            elif mpi.rank == 1:
+                yield from mpi.recv(source=0)
+                yield from mpi.recv(source=0)
+            yield from mpi.allreduce(8)
+            yield from mpi.finalize()
+
+        hook = MpiPHook()
+        run_spmd(app, 3, model=SimpleModel(), hooks=[hook])
+        assert hook.calls("Send") == 2
+        assert hook.bytes("Send") == 300
+        assert hook.calls("Allreduce") == 3
+        assert hook.calls("Finalize") == 0  # bookkeeping excluded
+
+    def test_per_rank_snapshot(self):
+        def app(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(dest=1, nbytes=64)
+            else:
+                yield from mpi.recv(source=0)
+            yield from mpi.finalize()
+
+        hook = MpiPHook()
+        run_spmd(app, 2, model=SimpleModel(), hooks=[hook])
+        assert hook.rank_snapshot(0) == {"Send": (1, 64)}
+        assert hook.rank_snapshot(1) == {"Recv": (1, 64)}
+
+    def test_stats_match_reports_diff(self):
+        def app_a(mpi):
+            yield from mpi.allreduce(8)
+            yield from mpi.finalize()
+
+        def app_b(mpi):
+            yield from mpi.allreduce(16)
+            yield from mpi.finalize()
+
+        a, b = MpiPHook(), MpiPHook()
+        run_spmd(app_a, 2, model=SimpleModel(), hooks=[a])
+        run_spmd(app_b, 2, model=SimpleModel(), hooks=[b])
+        ok, diff = stats_match(a, b)
+        assert not ok
+        assert "Allreduce" in diff
+
+    def test_report_renders(self):
+        def app(mpi):
+            yield from mpi.allreduce(8)
+            yield from mpi.finalize()
+
+        hook = MpiPHook()
+        run_spmd(app, 2, model=SimpleModel(), hooks=[hook])
+        assert "Allreduce" in hook.report()
+
+
+class TestReplay:
+    def test_replay_reproduces_profile(self):
+        prog = make_app("cg", 8, "S")
+        trace = traced(prog, 8)
+        orig, rep = MpiPHook(), MpiPHook()
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[orig])
+        replay_trace(trace, model=SimpleModel(), hooks=[rep])
+        ok, diff = stats_match(orig, rep)
+        assert ok, diff
+
+    def test_replay_reproduces_time(self):
+        prog = make_app("ring", 8, "S")
+        trace = traced(prog, 8)
+        orig = run_spmd(prog, 8, model=SimpleModel())
+        rep = replay_trace(trace, model=SimpleModel())
+        err = abs(rep.total_time - orig.total_time) / orig.total_time
+        assert err < 0.05
+
+    def test_replay_without_timing(self):
+        prog = make_app("ring", 4, "S")
+        trace = traced(prog, 4)
+        with_t = replay_trace(trace, model=SimpleModel(),
+                              include_timing=True)
+        without = replay_trace(trace, model=SimpleModel(),
+                               include_timing=False)
+        assert without.total_time < with_t.total_time
+
+    def test_replay_handles_subcomms(self):
+        prog = make_app("ft", 8, "S")
+        trace = traced(prog, 8)
+        orig, rep = MpiPHook(), MpiPHook()
+        run_spmd(prog, 8, model=SimpleModel(), hooks=[orig])
+        replay_trace(trace, model=SimpleModel(), hooks=[rep])
+        ok, diff = stats_match(orig, rep)
+        assert ok, diff
+
+    def test_replay_handles_wildcards(self):
+        prog = make_app("lu", 4, "S")
+        trace = traced(prog, 4)
+        rep = MpiPHook()
+        replay_trace(trace, model=SimpleModel(), hooks=[rep])
+        assert rep.calls("Recv") > 0
+
+
+class TestTraceComparison:
+    def test_retrace_of_replay_is_equivalent(self):
+        # the §5.2 methodology: trace the app, replay the trace under
+        # tracing, compare the two traces semantically
+        prog = make_app("cg", 8, "S")
+        t1 = traced(prog, 8)
+        hook = ScalaTraceHook()
+        replay_trace(t1, model=SimpleModel(), hooks=[hook])
+        t2 = hook.trace
+        ok, diff = traces_equivalent(t1, t2)
+        assert ok, diff
+
+    def test_resolved_trace_equivalent_modulo_sources(self):
+        prog = make_app("lu", 4, "S")
+        t1 = traced(prog, 4)
+        t2 = resolve_wildcards(t1)
+        ok, _ = traces_equivalent(t1, t2)
+        assert not ok  # sources differ (wildcard vs concrete)
+        ok, diff = traces_equivalent(t1, t2, check_wildcards=False)
+        assert ok, diff
+
+    def test_different_apps_not_equivalent(self):
+        t1 = traced(make_app("ring", 4, "S"), 4)
+        t2 = traced(make_app("ep", 4, "S"), 4)
+        ok, _ = traces_equivalent(t1, t2)
+        assert not ok
+
+    def test_generated_benchmark_trace_equivalent(self):
+        """The full §5.2 per-event check for a p2p+collective app."""
+        prog = make_app("ring", 8, "S")
+        t_app = traced(prog, 8)
+        bench = generate_from_application(prog, 8, model=SimpleModel())
+        hook = ScalaTraceHook()
+        bench.program.run(8, model=SimpleModel(), hooks=[hook])
+        t_gen = hook.trace
+        ok, diff = traces_equivalent(t_app, t_gen)
+        assert ok, diff
+
+    def test_metrics(self):
+        t = traced(make_app("ring", 8, "S"), 8)
+        assert compression_ratio(t) > 100
+        assert total_recorded_time(t) > 0
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["app", "time"], [["bt", 1.5], ["lu", 0.25]],
+                           title="results")
+        assert "results" in out
+        assert "bt" in out and "1.50" in out
+        assert "0.2500" in out
+
+    def test_alignment_of_numbers(self):
+        out = render_table(["n"], [[1], [100]])
+        lines = out.splitlines()
+        assert lines[-1].endswith("100")

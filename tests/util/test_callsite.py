@@ -1,0 +1,67 @@
+"""Unit tests for repro.util.callsite."""
+
+from repro.util.callsite import Callsite, capture_callsite
+
+
+def _call_from_here():
+    return capture_callsite(skip=1)
+
+
+def _nested_outer():
+    return _nested_inner()
+
+
+def _nested_inner():
+    return capture_callsite(skip=1)
+
+
+class TestCapture:
+    def test_innermost_frame_is_caller(self):
+        cs = _call_from_here()
+        fname, line, func = cs.frames[0]
+        assert fname == "test_callsite.py"
+        assert func == "_call_from_here"
+
+    def test_distinct_lines_distinct_signatures(self):
+        a = capture_callsite(skip=1)
+        b = capture_callsite(skip=1)
+        assert a != b  # different line numbers
+
+    def test_nesting_appears_in_signature(self):
+        cs = _nested_outer()
+        funcs = [f for _, _, f in cs.frames]
+        assert "_nested_inner" in funcs
+        assert "_nested_outer" in funcs
+
+    def test_max_depth_respected(self):
+        def recurse(n):
+            if n == 0:
+                return capture_callsite(max_depth=3, skip=1)
+            return recurse(n - 1)
+
+        cs = recurse(10)
+        assert len(cs.frames) == 3
+
+
+class TestSynthetic:
+    def test_synthetic_identity(self):
+        a = Callsite.synthetic("loop.body[0]", 1)
+        b = Callsite.synthetic("loop.body[0]", 1)
+        c = Callsite.synthetic("loop.body[1]", 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        cs = _nested_outer()
+        assert Callsite.parse(cs.serialize()) == cs
+
+    def test_synthetic_roundtrip(self):
+        cs = Callsite.synthetic("node", 3)
+        assert Callsite.parse(cs.serialize()) == cs
+
+    def test_repr_mentions_location(self):
+        cs = Callsite.synthetic("myprog", 7)
+        assert "myprog" in repr(cs)

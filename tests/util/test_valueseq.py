@@ -1,0 +1,113 @@
+"""Unit tests for repro.util.valueseq."""
+
+import pytest
+
+from repro.util.valueseq import ValueSeq
+
+
+class TestBuild:
+    def test_empty(self):
+        s = ValueSeq()
+        assert len(s) == 0
+        assert list(s) == []
+
+    def test_append_merges_runs(self):
+        s = ValueSeq([5, 5, 5, 7])
+        assert s.runs == [(5, 3), (7, 1)]
+        assert len(s) == 4
+
+    def test_constant_constructor(self):
+        s = ValueSeq.constant(9, 4)
+        assert s.runs == [(9, 4)]
+        assert s.is_constant()
+        assert s.value == 9
+
+    def test_constant_zero_count(self):
+        assert len(ValueSeq.constant(9, 0)) == 0
+
+    def test_from_runs_merges_adjacent(self):
+        s = ValueSeq.from_runs([(1, 2), (1, 3), (2, 1)])
+        assert s.runs == [(1, 5), (2, 1)]
+
+    def test_from_runs_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            ValueSeq.from_runs([(1, 0)])
+
+    def test_append_count(self):
+        s = ValueSeq()
+        s.append(4, count=3)
+        assert list(s) == [4, 4, 4]
+        with pytest.raises(ValueError):
+            s.append(4, count=0)
+
+
+class TestAccess:
+    def test_getitem(self):
+        s = ValueSeq([1, 1, 2, 3, 3, 3])
+        assert [s[i] for i in range(6)] == [1, 1, 2, 3, 3, 3]
+        assert s[-1] == 3
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(IndexError):
+            ValueSeq([1])[1]
+
+    def test_value_on_nonconstant_raises(self):
+        with pytest.raises(ValueError):
+            ValueSeq([1, 2]).value
+
+    def test_value_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            ValueSeq().value
+
+    def test_first(self):
+        assert ValueSeq([8, 9]).first() == 8
+
+    def test_total(self):
+        assert ValueSeq([10, 10, 5]).total() == 25
+
+
+class TestCompose:
+    def test_concat(self):
+        a, b = ValueSeq([1, 1]), ValueSeq([1, 2])
+        c = a.concat(b)
+        assert list(c) == [1, 1, 1, 2]
+        assert c.runs == [(1, 3), (2, 1)]
+        assert list(a) == [1, 1]  # unchanged
+
+    def test_tile(self):
+        s = ValueSeq([1, 2]).tile(3)
+        assert list(s) == [1, 2, 1, 2, 1, 2]
+
+    def test_tile_zero(self):
+        assert len(ValueSeq([1]).tile(0)) == 0
+
+    def test_is_tiling_of_true(self):
+        body = ValueSeq([3, 4])
+        whole = ValueSeq([3, 4, 3, 4, 3, 4])
+        assert whole.is_tiling_of(body)
+
+    def test_is_tiling_of_false_wrong_values(self):
+        assert not ValueSeq([3, 4, 3, 5]).is_tiling_of(ValueSeq([3, 4]))
+
+    def test_is_tiling_of_false_wrong_length(self):
+        assert not ValueSeq([3, 4, 3]).is_tiling_of(ValueSeq([3, 4]))
+
+    def test_is_tiling_of_empty_body(self):
+        assert ValueSeq().is_tiling_of(ValueSeq())
+        assert not ValueSeq([1]).is_tiling_of(ValueSeq())
+
+
+class TestEqualitySerialization:
+    def test_eq_hash(self):
+        assert ValueSeq([1, 1, 2]) == ValueSeq.from_runs([(1, 2), (2, 1)])
+        assert hash(ValueSeq([1, 2])) == hash(ValueSeq([1, 2]))
+
+    def test_serialize_forms(self):
+        assert ValueSeq().serialize() == "-"
+        assert ValueSeq([5]).serialize() == "5"
+        assert ValueSeq([5, 5, 5]).serialize() == "5x3"
+        assert ValueSeq([5, 5, 7]).serialize() == "5x2,7"
+
+    def test_roundtrip(self):
+        for s in (ValueSeq(), ValueSeq([1]), ValueSeq([2, 2, 3, 3, 3, 1])):
+            assert ValueSeq.parse(s.serialize()) == s
