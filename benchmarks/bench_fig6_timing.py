@@ -12,9 +12,10 @@ Run with:  pytest benchmarks/bench_fig6_timing.py --benchmark-only -s
 
 import pytest
 
-from repro.apps import PAPER_SUITE, make_app, valid_rank_counts
-from repro.generator import generate_from_application
+from repro.apps import PAPER_SUITE, valid_rank_counts
 from repro.mpi import run_spmd
+from repro.pipeline import (Pipeline, PipelineConfig, RunContext,
+                            TraceStage, generation_stages)
 from repro.sim import LogGPModel
 from repro.tools import render_table
 
@@ -34,13 +35,17 @@ _rows = []
 @pytest.mark.parametrize("app,nranks", CASES,
                          ids=[f"{a}-np{n}" for a, n in CASES])
 def test_fig6_case(benchmark, app, nranks):
-    program = make_app(app, nranks, "S")
-    model = LogGPModel()
-    bench = generate_from_application(program, nranks, model=model)
-    orig = run_spmd(program, nranks, model=model)
+    # explicit Fig. 1 pipeline: trace -> align -> resolve -> emit ->
+    # compile (execution is measured separately below)
+    ctx = RunContext(PipelineConfig(app=app, nranks=nranks, cls="S",
+                                    platform=None),
+                     model=LogGPModel())
+    Pipeline([TraceStage()] + generation_stages()).run(context=ctx)
+    generated = ctx.artifacts["benchmark"]
+    orig = run_spmd(ctx.program, nranks, model=LogGPModel())
 
     def run_generated():
-        result, _ = bench.program.run(nranks, model=LogGPModel())
+        result, _ = generated.run(nranks, model=LogGPModel())
         return result
 
     gen = benchmark.pedantic(run_generated, rounds=1, iterations=1)

@@ -18,9 +18,10 @@ Run with:  pytest benchmarks/bench_sec52_correctness.py --benchmark-only -s
 
 import pytest
 
-from repro.apps import PAPER_SUITE, make_app, valid_rank_counts
-from repro.generator import generate_from_application, trace_application
+from repro.apps import PAPER_SUITE, valid_rank_counts
 from repro.mpi import run_spmd
+from repro.pipeline import (Pipeline, PipelineConfig, RunContext,
+                            TraceStage, generation_stages)
 from repro.scalatrace import ScalaTraceHook
 from repro.sim import LogGPModel
 from repro.tools import MpiPHook, render_table, traces_equivalent
@@ -33,19 +34,25 @@ _rows = []
 @pytest.mark.parametrize("app", PAPER_SUITE)
 def test_sec52_app(benchmark, app):
     nranks = valid_rank_counts(app, [16])[0]
-    program = make_app(app, nranks, "S")
     model = LogGPModel()
+    ctx = RunContext(PipelineConfig(app=app, nranks=nranks, cls="S",
+                                    platform=None),
+                     model=model)
+    program = ctx.program
 
     def generate():
-        return generate_from_application(program, nranks, model=model)
+        # the explicit Fig. 1 pipeline, minus execution
+        return Pipeline([TraceStage()] + generation_stages()) \
+            .run(context=ctx)
 
-    bench = benchmark.pedantic(generate, rounds=1, iterations=1)
+    benchmark.pedantic(generate, rounds=1, iterations=1)
+    generated = ctx.artifacts["benchmark"]
 
     # check 1: aggregate statistics (mpiP)
     orig_prof, gen_prof = MpiPHook(), MpiPHook()
     run_spmd(program, nranks, model=model, hooks=[orig_prof])
     gen_tracer = ScalaTraceHook()
-    bench.program.run(nranks, model=model, hooks=[gen_prof, gen_tracer])
+    generated.run(nranks, model=model, hooks=[gen_prof, gen_tracer])
     stats_ok, stats_why = profiles_close(canonical_profile(orig_prof),
                                          canonical_profile(gen_prof))
     assert stats_ok, f"{app}: {stats_why}"
@@ -53,7 +60,7 @@ def test_sec52_app(benchmark, app):
     # check 2: per-event semantics (trace of generated vs processed
     # app trace; sources compare modulo wildcard resolution)
     events_ok, events_why = traces_equivalent(
-        bench.trace, gen_tracer.trace, check_wildcards=False)
+        ctx.artifacts["trace"], gen_tracer.trace, check_wildcards=False)
     # Table 1 substitutions legitimately change the event stream; skip
     # the per-event check only for apps that required substitution
     substituted = {"is"}
@@ -63,8 +70,8 @@ def test_sec52_app(benchmark, app):
     _rows.append([app, nranks, "yes" if stats_ok else "no",
                   ("substituted" if app in substituted
                    else ("yes" if events_ok else "no")),
-                  "A1" if bench.was_aligned else "-",
-                  "A2" if bench.was_resolved else "-"])
+                  "A1" if ctx.artifacts["was_aligned"] else "-",
+                  "A2" if ctx.artifacts["was_resolved"] else "-"])
 
 
 def test_sec52_summary(benchmark):

@@ -8,24 +8,35 @@ Mirrors Fig. 1 of the paper as shell steps::
     repro run lu.ncptl --np 16                    # execute the benchmark
     repro replay lu.scalatrace                    # ScalaReplay
     repro compare a.scalatrace b.scalatrace       # semantic equivalence
+    repro pipeline --app lu --np 8                # the whole flow, cached
+
+Every pipeline-shaped command is a thin shell over
+:mod:`repro.pipeline` — the one orchestrated code path — and accepts
+``--metrics FILE`` to dump the instrumentation event log (JSON lines)
+of everything the run did.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import os
 import sys
+import tempfile
 
-from repro.apps import APPS, make_app
-from repro.conceptual.compiler import ConceptualProgram
-from repro.generator import (extrapolate_trace, generate_benchmark,
-                             trace_application)
+from repro import __version__, obs
+from repro.apps import APPS
+from repro.generator import extrapolate_trace
+from repro.pipeline import (CompileStage, Pipeline, PipelineConfig,
+                            ReplayStage, RunContext, RunStage, TraceStage,
+                            full_pipeline, generation_stages)
 from repro.scalatrace.serialize import dump_trace, load_trace
-from repro.sim.network import PLATFORMS, make_model
+from repro.sim.network import PLATFORMS
 from repro.tools.compare import compression_ratio, traces_equivalent
 from repro.tools.mpip import MpiPHook
 from repro.tools.matrix import (communication_matrix, hotspots,
                                 render_matrix)
-from repro.tools.replay import replay_trace
 
 
 def _add_platform(parser):
@@ -34,16 +45,58 @@ def _add_platform(parser):
                         help="network model preset")
 
 
+def _add_metrics(parser):
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="write the instrumentation event log "
+                             "(JSON lines) to FILE")
+
+
+@contextlib.contextmanager
+def _metrics(args):
+    """Collect instrumentation for the command; dump it if requested."""
+    inst = obs.Instrumentation()
+    with obs.instrumented(inst):
+        yield inst
+    path = getattr(args, "metrics", None)
+    if path:
+        lines = inst.write_jsonl(path)
+        print(f"wrote {lines} metric records -> {path}")
+
+
+def _write_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a temp file + rename, so a failed
+    generation can never leave a truncated output behind."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                               suffix=os.path.basename(path))
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
 def cmd_apps(args):
+    if args.json:
+        listing = {name: {"description": APPS[name].description,
+                          "classes": sorted(APPS[name].classes)}
+                   for name in sorted(APPS)}
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
     for name in sorted(APPS):
         print(f"{name:10s} {APPS[name].description}")
     return 0
 
 
 def cmd_trace(args):
-    program = make_app(args.app, args.np, args.cls)
-    model = make_model(args.platform)
-    trace = trace_application(program, args.np, model=model)
+    config = PipelineConfig(app=args.app, nranks=args.np, cls=args.cls,
+                            platform=args.platform)
+    with _metrics(args):
+        result = Pipeline([TraceStage()]).run(config)
+    trace = result.trace
     dump_trace(trace, args.output)
     print(f"traced {args.app} (class {args.cls}, {args.np} ranks) on "
           f"{args.platform}: {trace.event_count()} events in "
@@ -54,22 +107,30 @@ def cmd_trace(args):
 
 def cmd_generate(args):
     trace = load_trace(args.trace)
-    bench = generate_benchmark(trace, align=not args.no_align,
-                               resolve=not args.no_resolve,
-                               include_timing=not args.no_timing)
-    with open(args.output, "w") as fh:
-        fh.write(bench.source)
+    config = PipelineConfig(nranks=trace.world_size, platform=None,
+                            align=not args.no_align,
+                            resolve=not args.no_resolve,
+                            include_timing=not args.no_timing)
+    ctx = RunContext(config)
+    ctx.artifacts["trace"] = trace
+    with _metrics(args):
+        Pipeline(generation_stages()).run(context=ctx)
+    source = ctx.artifacts["source"]
+    # generation is complete before the output file is touched
+    _write_atomic(args.output, source)
     notes = []
-    if bench.was_aligned:
+    if ctx.artifacts["was_aligned"]:
         notes.append("collectives aligned (Algorithm 1)")
-    if bench.was_resolved:
+    if ctx.artifacts["was_resolved"]:
         notes.append("wildcards resolved (Algorithm 2)")
     print(f"generated {args.output} "
-          f"({len(bench.source.splitlines())} lines"
+          f"({len(source.splitlines())} lines"
           + (", " + ", ".join(notes) if notes else "") + ")")
     if args.python:
-        with open(args.python, "w") as fh:
-            fh.write(bench.python_source())
+        from repro.generator.emit_python import emit_python
+        _write_atomic(args.python,
+                      emit_python(ctx.artifacts["benchmark"].ast,
+                                  trace.world_size))
         print(f"generated {args.python} (Python backend)")
     return 0
 
@@ -77,10 +138,14 @@ def cmd_generate(args):
 def cmd_run(args):
     with open(args.program) as fh:
         source = fh.read()
-    program = ConceptualProgram.from_source(source)
-    model = make_model(args.platform)
+    config = PipelineConfig(nranks=args.np, platform=args.platform)
     hook = MpiPHook()
-    result, logs = program.run(args.np, model=model, hooks=[hook])
+    ctx = RunContext(config, hooks=[hook])
+    ctx.artifacts["source"] = source
+    with _metrics(args):
+        Pipeline([CompileStage(), RunStage()]).run(context=ctx)
+    result = ctx.artifacts["run_result"]
+    logs = ctx.artifacts["logs"]
     print(f"ran {args.program} on {args.np} simulated ranks "
           f"({args.platform}): {result.total_time * 1e6:.1f} us total")
     print(logs.report())
@@ -91,15 +156,46 @@ def cmd_run(args):
 
 def cmd_replay(args):
     trace = load_trace(args.trace)
-    model = make_model(args.platform)
-    result = replay_trace(trace, model=model)
+    config = PipelineConfig(nranks=trace.world_size,
+                            platform=args.platform)
+    ctx = RunContext(config)
+    ctx.artifacts["trace"] = trace
+    with _metrics(args):
+        Pipeline([ReplayStage()]).run(context=ctx)
+    result = ctx.artifacts["run_result"]
     print(f"replayed {args.trace} on {trace.world_size} ranks "
           f"({args.platform}): {result.total_time * 1e6:.1f} us total, "
           f"{result.messages_sent} messages")
     return 0
 
 
+def cmd_pipeline(args):
+    """The full Fig. 1 flow in one command, with per-stage reporting."""
+    config = PipelineConfig(app=args.app, nranks=args.np, cls=args.cls,
+                            platform=args.platform,
+                            use_cache=not args.no_cache,
+                            cache_dir=args.cache_dir)
+    with _metrics(args) as inst:
+        result = full_pipeline(run=not args.no_run).run(config)
+    print(result.report())
+    hits = [r.stage + (" (generate)" if r.stage == "emit" else "")
+            for r in result.records if r.cache == "hit"]
+    if hits:
+        print(f"cache hit: {', '.join(hits)}")
+    if args.output:
+        _write_atomic(args.output, result.source)
+        print(f"wrote {args.output}")
+    if args.report:
+        print(inst.report())
+    return 0
+
+
 def cmd_extrapolate(args):
+    if len(args.traces) < 2:
+        print("error: extrapolation needs traces at two or more distinct "
+              "rank counts (three or more disambiguate scaling laws); "
+              f"got {len(args.traces)} trace(s)", file=sys.stderr)
+        return 2
     traces = [load_trace(path) for path in args.traces]
     big = extrapolate_trace(traces, args.np)
     dump_trace(big, args.output)
@@ -134,10 +230,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="automatic communication-benchmark generation "
                     "(ScalaTrace -> coNCePTuaL) on a simulated MPI")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("apps", help="list available applications") \
-        .set_defaults(func=cmd_apps)
+    p = sub.add_parser("apps", help="list available applications")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable listing")
+    p.set_defaults(func=cmd_apps)
 
     p = sub.add_parser("trace", help="trace an application")
     p.add_argument("--app", required=True, choices=sorted(APPS))
@@ -146,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="problem class (S/W/A/B/C)")
     p.add_argument("-o", "--output", required=True)
     _add_platform(p)
+    _add_metrics(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("generate",
@@ -159,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip Algorithm 2 (wildcard resolution)")
     p.add_argument("--no-timing", action="store_true",
                    help="omit COMPUTE statements")
+    _add_metrics(p)
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("run", help="run a coNCePTuaL benchmark")
@@ -167,12 +269,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print the mpiP-style profile")
     _add_platform(p)
+    _add_metrics(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("replay", help="replay a trace (ScalaReplay)")
     p.add_argument("trace")
     _add_platform(p)
+    _add_metrics(p)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("pipeline",
+                       help="run the full Fig. 1 flow (trace -> align -> "
+                            "resolve -> emit -> compile -> run) with "
+                            "per-stage timing, caching, and metrics")
+    p.add_argument("--app", required=True, choices=sorted(APPS))
+    p.add_argument("--np", type=int, required=True)
+    p.add_argument("--class", dest="cls", default="S",
+                   help="problem class (S/W/A/B/C)")
+    p.add_argument("-o", "--output",
+                   help="also write the generated benchmark here")
+    p.add_argument("--no-run", action="store_true",
+                   help="stop after compiling (skip benchmark execution)")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="artifact cache directory "
+                        "(default: .repro-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the artifact cache entirely")
+    p.add_argument("--report", action="store_true",
+                   help="also print the per-layer instrumentation report")
+    _add_platform(p)
+    _add_metrics(p)
+    p.set_defaults(func=cmd_pipeline)
 
     p = sub.add_parser("extrapolate",
                        help="extrapolate small-rank traces to a larger "

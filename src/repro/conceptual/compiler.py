@@ -42,6 +42,7 @@ from repro.conceptual.printer import print_program
 from repro.conceptual.runtime import LogDatabase, TaskCounters
 from repro.conceptual.semantics import check_program
 from repro.errors import ConceptualSemanticError
+from repro import obs
 from repro.mpi.api import ANY_SOURCE, MPIProcess
 from repro.mpi.world import SpmdResult, run_spmd
 from repro.util.callsite import Callsite
@@ -135,11 +136,13 @@ class ConceptualProgram:
     """A checked, executable coNCePTuaL program."""
 
     def __init__(self, ast: Program, name: str = "benchmark"):
-        check_program(ast)
-        self.ast = ast
-        self.name = name
-        self._sites: Dict[int, Callsite] = {}
-        self._number_statements()
+        with obs.span("conceptual.compile", program=name):
+            check_program(ast)
+            self.ast = ast
+            self.name = name
+            self._sites: Dict[int, Callsite] = {}
+            self._number_statements()
+            obs.count("conceptual.statements_compiled", len(self._sites))
 
     # -- constructors -----------------------------------------------------
     @classmethod

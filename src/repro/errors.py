@@ -60,6 +60,14 @@ class GenerationError(ReproError):
     """The benchmark generator could not convert a trace."""
 
 
+class PipelineError(ReproError):
+    """A pipeline was composed or driven incorrectly."""
+
+
+class PipelineConfigError(PipelineError):
+    """A :class:`~repro.pipeline.PipelineConfig` field is invalid."""
+
+
 class TraceDeadlockError(GenerationError):
     """Algorithm 2's deadlock detector found a potential deadlock in the
     traced application (paper, Fig. 5): the trace admits an execution in

@@ -17,6 +17,7 @@ RSD per logical collective, spanning the complete participant set.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.generator.rebuild import rebuild_trace
 from repro.generator.traversal import TraceScheduler
 from repro.mpi.hooks import COLLECTIVE_OPS
@@ -55,11 +56,13 @@ def align_collectives(trace: Trace, force: bool = False) -> Trace:
     """
     if not force and not needs_alignment(trace):
         return trace
-    result = TraceScheduler(trace, block_p2p=False).run()
-    # Rebuild without folding around collectives, merge, then recompress
-    # globally: collectives now occupy one structural slot per logical
-    # operation on every rank, so the merge unifies them, and the global
-    # pass restores the loop structure (§4.3's output-queue compression).
-    rebuilt = rebuild_trace(trace, result, fold_collectives=False)
-    rebuilt.nodes = compress_node_list(rebuilt.nodes)
-    return rebuilt
+    with obs.span("generator.align"):
+        result = TraceScheduler(trace, block_p2p=False).run()
+        obs.count("generator.rsds_aligned", len(result.collectives))
+        # Rebuild without folding around collectives, merge, then recompress
+        # globally: collectives now occupy one structural slot per logical
+        # operation on every rank, so the merge unifies them, and the global
+        # pass restores the loop structure (§4.3's output-queue compression).
+        rebuilt = rebuild_trace(trace, result, fold_collectives=False)
+        rebuilt.nodes = compress_node_list(rebuilt.nodes)
+        return rebuilt

@@ -10,6 +10,11 @@ The one-call path mirrors Figure 1 of the paper::
 or step by step: :func:`trace_application` →
 :func:`align_collectives` → :func:`resolve_wildcards` →
 :func:`generate_benchmark`.
+
+These entry points are thin wrappers over :mod:`repro.pipeline` — the
+single app→trace→benchmark→run code path — kept for API stability; new
+code that wants per-stage reports, instrumentation, or artifact caching
+should drive the pipeline directly.
 """
 
 from __future__ import annotations
@@ -20,24 +25,21 @@ from typing import Callable, Optional
 from repro.conceptual.ast_nodes import (ComputeStmt, ForEach, ForRep,
                                         IfStmt, Num, Program)
 from repro.conceptual.compiler import ConceptualProgram
-from repro.generator.align import align_collectives, needs_alignment
-from repro.generator.emit_conceptual import ConceptualEmitter
 from repro.generator.emit_python import emit_python
-from repro.generator.wildcard import has_wildcards, resolve_wildcards
-from repro.mpi.world import run_spmd
 from repro.scalatrace.rsd import Trace
-from repro.scalatrace.tracer import ScalaTraceHook
 
 
 def trace_application(program: Callable, nranks: int, model=None,
                       hooks=None, max_steps=None) -> Trace:
     """Run an application under ScalaTrace interposition; return the
     merged global trace."""
-    tracer = ScalaTraceHook()
-    all_hooks = [tracer] + list(hooks or [])
-    run_spmd(program, nranks, model=model, hooks=all_hooks,
-             max_steps=max_steps)
-    return tracer.trace
+    from repro.pipeline import (Pipeline, PipelineConfig, RunContext,
+                                TraceStage)
+    config = PipelineConfig(nranks=nranks, platform=None,
+                            max_steps=max_steps)
+    ctx = RunContext(config, program=program, model=model, hooks=hooks)
+    Pipeline([TraceStage()]).run(context=ctx)
+    return ctx.artifacts["trace"]
 
 
 @dataclass
@@ -66,27 +68,36 @@ def generate_benchmark(trace: Trace, align: bool = True,
     ``split_first_rest=False`` disables the path-aware first-iteration
     timing conditionals (an ablation of §4.5's summarization error).
     """
-    was_aligned = was_resolved = False
-    if align and needs_alignment(trace):
-        trace = align_collectives(trace)
-        was_aligned = True
-    if resolve and has_wildcards(trace):
-        trace = resolve_wildcards(trace)
-        was_resolved = True
-    emitter = ConceptualEmitter(trace, include_timing=include_timing,
-                                split_first_rest=split_first_rest)
-    ast = emitter.generate()
-    program = ConceptualProgram(ast, name=name)
+    from repro.pipeline import (Pipeline, PipelineConfig, RunContext,
+                                generation_stages)
+    config = PipelineConfig(nranks=trace.world_size, platform=None,
+                            align=align, resolve=resolve,
+                            include_timing=include_timing,
+                            split_first_rest=split_first_rest, name=name)
+    ctx = RunContext(config)
+    ctx.artifacts["trace"] = trace
+    Pipeline(generation_stages()).run(context=ctx)
+    return _bundle(ctx)
+
+
+def _bundle(ctx) -> GeneratedBenchmark:
+    """Assemble the classic output bundle from a finished context."""
+    program = ctx.artifacts["benchmark"]
     return GeneratedBenchmark(program=program, source=program.source,
-                              trace=trace, was_aligned=was_aligned,
-                              was_resolved=was_resolved)
+                              trace=ctx.artifacts["trace"],
+                              was_aligned=ctx.artifacts["was_aligned"],
+                              was_resolved=ctx.artifacts["was_resolved"])
 
 
 def generate_from_application(app_program: Callable, nranks: int,
                               model=None, **kwargs) -> GeneratedBenchmark:
     """Figure 1 in one call: trace the application, then generate."""
-    trace = trace_application(app_program, nranks, model=model)
-    return generate_benchmark(trace, **kwargs)
+    from repro.pipeline import (Pipeline, PipelineConfig, RunContext,
+                                TraceStage, generation_stages)
+    config = PipelineConfig(nranks=nranks, platform=None, **kwargs)
+    ctx = RunContext(config, program=app_program, model=model)
+    Pipeline([TraceStage()] + generation_stages()).run(context=ctx)
+    return _bundle(ctx)
 
 
 def scale_compute(program: ConceptualProgram, factor: float,

@@ -32,6 +32,7 @@ from repro.conceptual.ast_nodes import (AllTasks, AwaitStmt, BinOp,
                                         TaskSelector, Var)
 from repro.conceptual.parser import Parser
 from repro.errors import GenerationError
+from repro import obs
 from repro.generator.absolutize import absolutize_rank_field
 from repro.generator.mapping import map_collective
 from repro.mpi.hooks import COLLECTIVE_OPS, P2P_OPS, WAIT_OPS
@@ -119,12 +120,14 @@ class ConceptualEmitter:
 
     # -- top level ---------------------------------------------------------
     def generate(self) -> Program:
-        body = self._emit_nodes(self.trace.nodes, None)
-        stmts: List[Stmt] = [ResetStmt(AllTasks())]
-        stmts.extend(body)
-        stmts.append(LogStmt(AllTasks(), "FINAL", "elapsed_usecs",
-                             self.label))
-        return Program(stmts)
+        with obs.span("generator.emit"):
+            body = self._emit_nodes(self.trace.nodes, None)
+            stmts: List[Stmt] = [ResetStmt(AllTasks())]
+            stmts.extend(body)
+            stmts.append(LogStmt(AllTasks(), "FINAL", "elapsed_usecs",
+                                 self.label))
+            obs.count("generator.statements_emitted", len(stmts))
+            return Program(stmts)
 
     def _emit_nodes(self, nodes, ctx: Optional[_LoopCtx]) -> List[Stmt]:
         out: List[Stmt] = []

@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import TraceDeadlockError, TraceError
 from repro.mpi.hooks import COLLECTIVE_OPS
 from repro.scalatrace.rsd import ConcreteEvent, Trace
@@ -115,17 +116,24 @@ class TraceScheduler:
 
     # -- public ------------------------------------------------------------
     def run(self) -> TraversalResult:
-        while True:
-            progress = False
-            for rank in range(self.nranks):
-                if self._advance_rank(rank):
-                    progress = True
-            if all(self._pos[r] >= len(self._events[r])
-                   for r in range(self.nranks)):
-                self._check_unmatched()
-                return self.result
-            if not progress:
-                self._raise_deadlock()
+        iterations = 0
+        alg = "resolve" if self.block_p2p else "align"
+        with obs.span("generator.traversal", alg=alg, nranks=self.nranks):
+            try:
+                while True:
+                    iterations += 1
+                    progress = False
+                    for rank in range(self.nranks):
+                        if self._advance_rank(rank):
+                            progress = True
+                    if all(self._pos[r] >= len(self._events[r])
+                           for r in range(self.nranks)):
+                        self._check_unmatched()
+                        return self.result
+                    if not progress:
+                        self._raise_deadlock()
+            finally:
+                obs.count("generator.scheduler_iterations", iterations)
 
     # -- per-rank stepping ------------------------------------------------------
     def _advance_rank(self, rank: int) -> bool:

@@ -17,6 +17,7 @@ different execution would expose).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.generator.rebuild import rebuild_trace
 from repro.generator.traversal import TraceScheduler
 from repro.mpi.hooks import P2P_OPS
@@ -59,11 +60,13 @@ def resolve_wildcards(trace: Trace, force: bool = False) -> Trace:
     deadlocking execution."""
     if not force and not has_wildcards(trace):
         return trace
-    result = TraceScheduler(trace, block_p2p=True).run()
-    # same output-queue discipline as Algorithm 1: resolved per-rank
-    # streams may fold differently across ranks (resolved sources differ),
-    # which would split already-aligned collectives; folding around
-    # collectives is deferred to the global recompression pass
-    rebuilt = rebuild_trace(trace, result, fold_collectives=False)
-    rebuilt.nodes = compress_node_list(rebuilt.nodes)
-    return rebuilt
+    with obs.span("generator.resolve"):
+        result = TraceScheduler(trace, block_p2p=True).run()
+        obs.count("generator.wildcards_resolved", len(result.resolutions))
+        # same output-queue discipline as Algorithm 1: resolved per-rank
+        # streams may fold differently across ranks (resolved sources
+        # differ), which would split already-aligned collectives; folding
+        # around collectives is deferred to the global recompression pass
+        rebuilt = rebuild_trace(trace, result, fold_collectives=False)
+        rebuilt.nodes = compress_node_list(rebuilt.nodes)
+        return rebuilt

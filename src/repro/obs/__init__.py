@@ -1,0 +1,25 @@
+"""repro.obs — lightweight instrumentation for the pipeline's hot layers.
+
+Probe points (``obs.count`` / ``obs.span``) are compiled into the engine,
+ScalaTrace, the generator, and the coNCePTuaL compiler; they cost one
+``None`` check when no collector is installed.  Install a collector with
+:func:`instrumented` to capture counters, span begin/end events, a
+JSON-lines log, and a per-layer report."""
+
+from repro.obs.bus import (Instrumentation, Span, count, current, event,
+                           install, instrumented, layer_of, span, uninstall)
+from repro.obs.report import render_report
+
+__all__ = [
+    "Instrumentation",
+    "Span",
+    "count",
+    "current",
+    "event",
+    "install",
+    "instrumented",
+    "layer_of",
+    "render_report",
+    "span",
+    "uninstall",
+]

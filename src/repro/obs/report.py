@@ -1,0 +1,34 @@
+"""Human-readable rendering of an :class:`~repro.obs.bus.Instrumentation`
+collector: counters and span aggregates, grouped by layer."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return f"{int(value)}"
+
+
+def render_report(inst) -> str:
+    """Per-layer summary of everything the probes recorded."""
+    span_totals = inst.span_totals()
+    layers = sorted({name.split(".", 1)[0]
+                     for name in list(inst.counters) + list(span_totals)})
+    if not layers:
+        return "instrumentation: no events recorded"
+    lines: List[str] = ["instrumentation report"]
+    for layer in layers:
+        lines.append(f"  [{layer}]")
+        for name, (calls, total) in sorted(span_totals.items()):
+            if name.split(".", 1)[0] != layer:
+                continue
+            lines.append(f"    {name:<36s} {calls:>6d} span(s) "
+                         f"{total * 1e3:10.2f} ms")
+        for name, value in sorted(inst.counters.items()):
+            if name.split(".", 1)[0] != layer:
+                continue
+            lines.append(f"    {name:<36s} {_fmt_value(value):>9s}")
+    return "\n".join(lines)

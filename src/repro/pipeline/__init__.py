@@ -1,0 +1,48 @@
+"""repro.pipeline — the unified orchestration layer for the Fig. 1 flow.
+
+One ``Stage``/``Pipeline`` abstraction drives application → ScalaTrace →
+generator → coNCePTuaL → execution everywhere (CLI, public API,
+ScalaReplay, the evaluation harness), with a typed
+:class:`PipelineConfig`, a :class:`RunContext` threaded through every
+stage, and a content-addressed :class:`ArtifactCache` for the expensive
+serializable artifacts (traces and generated sources).
+
+Quick start::
+
+    from repro.pipeline import PipelineConfig, full_pipeline
+
+    config = PipelineConfig(app="lu", nranks=8, use_cache=True)
+    result = full_pipeline().run(config)
+    print(result.report())      # per-stage timing + cache hits
+    print(result.source)        # the generated benchmark
+"""
+
+from repro.pipeline.cache import ArtifactCache, cache_key
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.context import (PipelineResult, RunContext,
+                                    StageRecord)
+from repro.pipeline.core import (Pipeline, full_pipeline,
+                                 generation_stages)
+from repro.pipeline.stages import (AlignStage, CompileStage, EmitStage,
+                                   ReplayStage, ResolveStage, RunStage,
+                                   Stage, TraceStage)
+
+__all__ = [
+    "AlignStage",
+    "ArtifactCache",
+    "CompileStage",
+    "EmitStage",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "ReplayStage",
+    "ResolveStage",
+    "RunContext",
+    "RunStage",
+    "Stage",
+    "StageRecord",
+    "TraceStage",
+    "cache_key",
+    "full_pipeline",
+    "generation_stages",
+]

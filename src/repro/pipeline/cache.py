@@ -1,0 +1,86 @@
+"""Content-addressed artifact cache for pipeline stages.
+
+Layout (under the cache root, default ``.repro-cache/``)::
+
+    .repro-cache/
+      ab/
+        ab3f...e1.trace     # serialized ScalaTrace trace
+        ab91...07.ncptl     # generated coNCePTuaL source (JSON envelope)
+
+Keys are SHA-256 hashes over a JSON rendering of ``(upstream key, stage
+name, stage config)`` — a rolling chain, so a stage's key changes
+whenever *anything* upstream of it changes (application, rank count,
+problem class, platform, or any earlier stage's configuration).
+Artifacts are written atomically (temp file + rename) so a crashed or
+concurrent run can never leave a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+from repro import obs
+
+#: cache format version; bump to invalidate all previously cached entries
+CACHE_VERSION = 1
+
+
+def cache_key(*parts: Any) -> str:
+    """SHA-256 content address of ``parts`` (JSON-rendered, stable)."""
+    payload = json.dumps([CACHE_VERSION, list(parts)], sort_keys=True,
+                         default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """On-disk text-artifact store with hit/miss accounting."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, *parts: Any) -> str:
+        return cache_key(*parts)
+
+    def path(self, key: str, suffix: str = "") -> str:
+        return os.path.join(self.root, key[:2], key + suffix)
+
+    def get(self, key: str, suffix: str = "") -> Optional[str]:
+        """The cached artifact text, or None (counted as hit/miss)."""
+        path = self.path(key, suffix)
+        try:
+            with open(path) as fh:
+                text = fh.read()
+        except OSError:
+            self.misses += 1
+            obs.count("pipeline.cache_misses")
+            return None
+        self.hits += 1
+        obs.count("pipeline.cache_hits")
+        return text
+
+    def put(self, key: str, text: str, suffix: str = "") -> str:
+        """Store ``text`` under ``key`` atomically; returns the path."""
+        path = self.path(key, suffix)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-" + key[:8])
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def stats(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es)"

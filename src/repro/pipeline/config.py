@@ -1,0 +1,90 @@
+"""Typed configuration for the Fig. 1 pipeline.
+
+:class:`PipelineConfig` replaces the keyword-argument soup that used to
+be threaded through ``trace_application`` / ``generate_benchmark`` call
+chains: one frozen, validated object describes *what* to build (which
+application, how many ranks, which platform) and *how* (which generator
+passes run, whether artifacts are cached).
+
+The config's :meth:`fingerprint` is the basis of the artifact cache's
+content addressing: two configs with the same fingerprint produce
+byte-identical trace and source artifacts (the whole system is
+deterministic), so cached artifacts can be reused across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+from repro.errors import PipelineConfigError
+
+#: problem classes accepted by the application suite
+_CLASSES = ("S", "W", "A", "B", "C")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything a pipeline run needs, in one validated value object.
+
+    ``app`` names a workload from :data:`repro.apps.APPS`; leave it None
+    when the entry artifact (an SPMD program or a loaded trace) is
+    supplied directly on the :class:`~repro.pipeline.context.RunContext`.
+    ``platform`` names a :data:`repro.sim.network.PLATFORMS` preset;
+    leave it None to use a caller-supplied model (or the simulator
+    default).  Caching only ever engages for runs that are fully
+    described by the config (registry app + platform preset), because
+    only those have a stable content address.
+    """
+
+    app: Optional[str] = None          #: registry name of the workload
+    nranks: Optional[int] = None       #: simulated world size
+    cls: str = "S"                     #: problem class (S/W/A/B/C)
+    platform: Optional[str] = "bluegene"  #: network-model preset
+    align: bool = True                 #: run Algorithm 1 when needed
+    resolve: bool = True               #: run Algorithm 2 when needed
+    include_timing: bool = True        #: emit COMPUTE statements
+    split_first_rest: bool = True      #: §4.5 first-iteration conditionals
+    name: str = "generated"            #: benchmark program name
+    max_steps: Optional[int] = None    #: simulator livelock guard
+    use_cache: bool = False            #: consult/populate the artifact cache
+    cache_dir: str = ".repro-cache"    #: artifact cache root directory
+
+    def __post_init__(self):
+        from repro.apps import APPS
+        from repro.sim.network import PLATFORMS
+        if self.app is not None and self.app.lower() not in APPS:
+            raise PipelineConfigError(
+                f"unknown application {self.app!r}; choose from "
+                f"{sorted(APPS)}")
+        if self.nranks is not None and self.nranks <= 0:
+            raise PipelineConfigError(
+                f"nranks must be positive, got {self.nranks}")
+        if self.cls not in _CLASSES:
+            raise PipelineConfigError(
+                f"unknown problem class {self.cls!r}; choose from "
+                f"{_CLASSES}")
+        if self.platform is not None and self.platform not in PLATFORMS:
+            raise PipelineConfigError(
+                f"unknown platform {self.platform!r}; choose from "
+                f"{sorted(PLATFORMS)}")
+        if self.max_steps is not None and self.max_steps <= 0:
+            raise PipelineConfigError(
+                f"max_steps must be positive, got {self.max_steps}")
+        if not self.name:
+            raise PipelineConfigError("name must be non-empty")
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Stable mapping of the fields that determine artifact content
+        (cache bookkeeping fields are deliberately excluded)."""
+        out = {}
+        for f in fields(self):
+            if f.name in ("use_cache", "cache_dir"):
+                continue
+            out[f.name] = getattr(self, f.name)
+        return out
+
+    def replace(self, **changes) -> "PipelineConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)

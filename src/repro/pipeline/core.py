@@ -1,0 +1,101 @@
+"""The :class:`Pipeline` orchestrator: compose stages, thread the run
+context through them, time every stage, and satisfy cacheable stages
+from the artifact cache when the rolling content address matches.
+
+There is exactly one code path from application to executed benchmark —
+the CLI, the public API wrappers (:func:`repro.generate_benchmark` and
+friends), ScalaReplay, and the evaluation harness all build (suffixes
+of) this pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from repro import obs
+from repro.errors import PipelineError
+from repro.pipeline.cache import cache_key
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.context import PipelineResult, RunContext
+from repro.pipeline.stages import (AlignStage, CompileStage, EmitStage,
+                                   ResolveStage, RunStage, Stage,
+                                   TraceStage)
+
+
+class Pipeline:
+    """An ordered composition of :class:`~repro.pipeline.stages.Stage`."""
+
+    def __init__(self, stages: Sequence[Stage]):
+        stages = list(stages)
+        if not stages:
+            raise PipelineError("a pipeline needs at least one stage")
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise PipelineError(f"duplicate stage names: {names}")
+        self.stages: List[Stage] = stages
+
+    def run(self, config: Optional[PipelineConfig] = None, *,
+            context: Optional[RunContext] = None) -> PipelineResult:
+        """Execute every stage in order.
+
+        Pass either a config (a fresh context is built from it) or a
+        pre-populated context (entry artifacts such as a loaded trace go
+        in ``context.artifacts``).
+        """
+        if (config is None) == (context is None):
+            raise PipelineError("pass exactly one of config or context")
+        ctx = context if context is not None else RunContext(config)
+        t_start = time.perf_counter()
+        with obs.span("pipeline.run",
+                      app=ctx.config.app or ctx.config.name):
+            for stage in self.stages:
+                self._run_stage(ctx, stage)
+        return PipelineResult(config=ctx.config, records=ctx.records,
+                              artifacts=ctx.artifacts, cache=ctx.cache,
+                              seconds=time.perf_counter() - t_start)
+
+    def _run_stage(self, ctx: RunContext, stage: Stage) -> None:
+        t0 = time.perf_counter()
+        # advance the rolling content address
+        parts = stage.key_parts(ctx)
+        if parts is None:
+            ctx.key = None
+        elif ctx.key is not None:
+            ctx.key = cache_key(ctx.key, stage.name, parts)
+
+        cache = ctx.cache if ctx.config.use_cache else None
+        if cache is not None and stage.cacheable and ctx.key:
+            text = cache.get(ctx.key, stage.suffix)
+            if text is not None:
+                detail = stage.deserialize(ctx, text)
+                ctx.record(stage.name, time.perf_counter() - t0, "hit",
+                           detail)
+                return
+        with obs.span(f"pipeline.{stage.name}"):
+            out = stage.run(ctx)
+        # stages return a detail string, or (status, detail) to override
+        # the cache status (e.g. "skipped" for a pass that wasn't needed)
+        status, detail = out if isinstance(out, tuple) else (None, out)
+        if status is None:
+            status = "off"
+            if cache is not None and stage.cacheable and ctx.key:
+                cache.put(ctx.key, stage.serialize(ctx), stage.suffix)
+                status = "miss"
+        ctx.record(stage.name, time.perf_counter() - t0, status, detail)
+
+
+def generation_stages() -> List[Stage]:
+    """The trace-to-runnable-benchmark suffix (Algorithms 1 & 2, Table 1
+    emission, compilation) — what ``repro generate`` runs."""
+    return [AlignStage(), ResolveStage(), EmitStage(), CompileStage()]
+
+
+def full_pipeline(run: bool = True) -> Pipeline:
+    """The complete Fig. 1 flow: app → trace → align → resolve → emit →
+    compile (→ run)."""
+    stages: List[Stage] = [TraceStage()]
+    stages.extend(generation_stages())
+    if run:
+        stages.append(RunStage())
+    return Pipeline(stages)

@@ -1,0 +1,245 @@
+"""The pipeline stages: Fig. 1 of the paper, one class per arrow.
+
+``TraceStage → AlignStage → ResolveStage → EmitStage → CompileStage →
+RunStage`` is the full application-to-executed-benchmark flow;
+``ReplayStage`` is the ScalaReplay variant that executes a trace
+directly.  Stages communicate exclusively through the
+:class:`~repro.pipeline.context.RunContext` artifact store, so any
+suffix/prefix of the chain is a valid pipeline (the CLI's ``generate``
+command, for example, runs ``Align → Resolve → Emit → Compile`` from a
+loaded trace).
+
+Caching: every stage contributes ``key_parts`` to the rolling content
+address; the two stages whose artifacts are worth persisting (the
+serialized trace and the generated source — the expensive, serializable
+ones) additionally declare ``cacheable = True`` and implement
+``serialize``/``deserialize``.  The alignment/resolution passes are
+re-validated on every run (they are also the deadlock detector), reading
+their input from the cached trace when one was hit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+from repro.errors import PipelineError
+from repro.pipeline.context import RunContext
+
+
+class Stage:
+    """One step of the pipeline.
+
+    Subclasses set ``name`` (stable identifier, also the report row
+    label) and ``produces`` (the artifact key written to the context),
+    and implement :meth:`run` returning a one-line human detail string.
+    """
+
+    name = "stage"
+    produces: Optional[str] = None
+    cacheable = False
+    suffix = ""  # cache file suffix
+
+    def key_parts(self, ctx: RunContext) -> Optional[Tuple]:
+        """Stage configuration folded into the rolling cache key; None
+        declares the stage (and everything downstream) unkeyable."""
+        return ()
+
+    def run(self, ctx: RunContext) -> str:
+        raise NotImplementedError
+
+    def serialize(self, ctx: RunContext) -> str:
+        raise NotImplementedError(f"{self.name} is not cacheable")
+
+    def deserialize(self, ctx: RunContext, text: str) -> str:
+        """Install the cached artifact into the context; returns the
+        report detail string."""
+        raise NotImplementedError(f"{self.name} is not cacheable")
+
+
+class TraceStage(Stage):
+    """Application → merged global ScalaTrace trace (cacheable)."""
+
+    name = "trace"
+    produces = "trace"
+    cacheable = True
+    suffix = ".trace"
+
+    def key_parts(self, ctx):
+        c = ctx.config
+        return ("trace", c.app, c.nranks, c.cls, c.platform, c.max_steps)
+
+    def run(self, ctx):
+        from repro.mpi.world import run_spmd
+        from repro.scalatrace.tracer import ScalaTraceHook
+        tracer = ScalaTraceHook()
+        hooks = [tracer] + list(ctx.hooks or [])
+        nranks = ctx.config.nranks
+        if nranks is None:
+            raise PipelineError("TraceStage requires config.nranks")
+        run_spmd(ctx.program, nranks, model=ctx.model, hooks=hooks,
+                 max_steps=ctx.config.max_steps)
+        trace = tracer.trace
+        ctx.artifacts["trace"] = trace
+        return (f"{trace.event_count()} events in "
+                f"{trace.node_count()} nodes")
+
+    def serialize(self, ctx):
+        from repro.scalatrace.serialize import dumps_trace
+        return dumps_trace(ctx.artifacts["trace"])
+
+    def deserialize(self, ctx, text):
+        from repro.scalatrace.serialize import loads_trace
+        trace = loads_trace(text)
+        ctx.artifacts["trace"] = trace
+        return (f"{trace.event_count()} events in "
+                f"{trace.node_count()} nodes (cached)")
+
+
+class AlignStage(Stage):
+    """Algorithm 1: one RSD per logical collective (when needed)."""
+
+    name = "align"
+    produces = "trace"
+
+    def key_parts(self, ctx):
+        return ("align", ctx.config.align)
+
+    def run(self, ctx):
+        from repro.generator.align import align_collectives, needs_alignment
+        trace = ctx.require("trace")
+        ctx.artifacts["was_aligned"] = False
+        if not ctx.config.align:
+            return ("skipped", "disabled")
+        if not needs_alignment(trace):
+            return ("skipped", "not needed")
+        ctx.artifacts["trace"] = align_collectives(trace)
+        ctx.artifacts["was_aligned"] = True
+        return "collectives aligned (Algorithm 1)"
+
+
+class ResolveStage(Stage):
+    """Algorithm 2: bind wildcard receives; detect trace deadlocks."""
+
+    name = "resolve"
+    produces = "trace"
+
+    def key_parts(self, ctx):
+        return ("resolve", ctx.config.resolve)
+
+    def run(self, ctx):
+        from repro.generator.wildcard import has_wildcards, resolve_wildcards
+        trace = ctx.require("trace")
+        ctx.artifacts["was_resolved"] = False
+        if not ctx.config.resolve:
+            return ("skipped", "disabled")
+        if not has_wildcards(trace):
+            return ("skipped", "no wildcards")
+        ctx.artifacts["trace"] = resolve_wildcards(trace)
+        ctx.artifacts["was_resolved"] = True
+        return "wildcards resolved (Algorithm 2)"
+
+
+class EmitStage(Stage):
+    """Processed trace → coNCePTuaL source text (cacheable)."""
+
+    name = "emit"
+    produces = "source"
+    cacheable = True
+    suffix = ".ncptl"
+
+    def key_parts(self, ctx):
+        c = ctx.config
+        return ("emit", c.include_timing, c.split_first_rest, c.name)
+
+    def run(self, ctx):
+        from repro.conceptual.printer import print_program
+        from repro.generator.emit_conceptual import ConceptualEmitter
+        c = ctx.config
+        emitter = ConceptualEmitter(ctx.require("trace"),
+                                    include_timing=c.include_timing,
+                                    split_first_rest=c.split_first_rest)
+        ast = emitter.generate()
+        ctx.artifacts["ast"] = ast
+        ctx.artifacts["source"] = print_program(ast)
+        return f"{len(ctx.artifacts['source'].splitlines())} lines"
+
+    def serialize(self, ctx):
+        env = {"was_aligned": ctx.artifacts.get("was_aligned", False),
+               "was_resolved": ctx.artifacts.get("was_resolved", False),
+               "source": ctx.artifacts["source"]}
+        return json.dumps(env)
+
+    def deserialize(self, ctx, text):
+        env = json.loads(text)
+        # the generator flags ride with the source so a cache hit
+        # reconstructs the exact GeneratedBenchmark metadata
+        ctx.artifacts["was_aligned"] = env["was_aligned"]
+        ctx.artifacts["was_resolved"] = env["was_resolved"]
+        ctx.artifacts["source"] = env["source"]
+        ctx.artifacts.pop("ast", None)
+        return (f"{len(env['source'].splitlines())} lines (cached)")
+
+
+class CompileStage(Stage):
+    """Source text (or the just-emitted AST) → runnable program."""
+
+    name = "compile"
+    produces = "benchmark"
+
+    def run(self, ctx):
+        from repro.conceptual.compiler import ConceptualProgram
+        ast = ctx.artifacts.get("ast")
+        if ast is not None:
+            program = ConceptualProgram(ast, name=ctx.config.name)
+        else:
+            program = ConceptualProgram.from_source(ctx.require("source"),
+                                                    name=ctx.config.name)
+        ctx.artifacts["benchmark"] = program
+        ctx.artifacts.setdefault("source", program.source)
+        return f"{len(program._sites)} statements"
+
+
+class RunStage(Stage):
+    """Execute the compiled benchmark on the simulated platform."""
+
+    name = "run"
+    produces = "run_result"
+
+    def key_parts(self, ctx):
+        return None  # execution is never cached
+
+    def run(self, ctx):
+        program = ctx.require("benchmark")
+        nranks = ctx.config.nranks
+        if nranks is None:
+            raise PipelineError("RunStage requires config.nranks")
+        result, logs = program.run(nranks, model=ctx.model,
+                                   hooks=ctx.hooks,
+                                   max_steps=ctx.config.max_steps)
+        ctx.artifacts["run_result"] = result
+        ctx.artifacts["logs"] = logs
+        return f"{result.total_time * 1e6:.1f} us simulated"
+
+
+class ReplayStage(Stage):
+    """ScalaReplay: execute the trace itself, event by event."""
+
+    name = "replay"
+    produces = "run_result"
+
+    def key_parts(self, ctx):
+        return None
+
+    def run(self, ctx):
+        from repro.tools.replay import replay_program
+        from repro.mpi.world import run_spmd
+        trace = ctx.require("trace")
+        result = run_spmd(
+            replay_program(trace,
+                           include_timing=ctx.config.include_timing),
+            trace.world_size, model=ctx.model, hooks=ctx.hooks,
+            max_steps=ctx.config.max_steps)
+        ctx.artifacts["run_result"] = result
+        return (f"{result.total_time * 1e6:.1f} us simulated, "
+                f"{result.messages_sent} messages")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro import obs
 from repro.mpi.hooks import COLLECTIVE_OPS
 from repro.scalatrace.rsd import EventNode, LoopNode, Node, ParamField
 from repro.util.histogram import TimeHistogram
@@ -180,6 +181,7 @@ class CompressionQueue:
         if merged_body is None:
             return False
         q[-2:] = [LoopNode(a.count + b.count, merged_body, a.ranks)]
+        obs.count("scalatrace.nodes_folded", 1)
         return True
 
     def _try_absorb(self, q: List[Node]) -> bool:
@@ -196,6 +198,7 @@ class CompressionQueue:
             if merged_body is None:
                 continue
             q[-w - 1:] = [LoopNode(prev.count + 1, merged_body, prev.ranks)]
+            obs.count("scalatrace.nodes_folded", w)
             return True
         return False
 
@@ -213,6 +216,7 @@ class CompressionQueue:
             for n in first[1:]:
                 ranks = ranks | n.ranks
             q[-2 * w:] = [LoopNode(2, merged_body, ranks)]
+            obs.count("scalatrace.nodes_folded", 2 * w - 1)
             return True
         return False
 
@@ -225,11 +229,24 @@ def compress_node_list(nodes: List[Node]) -> List[Node]:
     output-queue compression (§4.3: "we apply ScalaTrace's loop
     compression algorithm to the output RSD queue").
     """
+    with obs.span("scalatrace.compress", nodes=len(nodes)):
+        queue = CompressionQueue(rank=0)
+        queue.nodes = []
+        for node in nodes:
+            if isinstance(node, LoopNode):
+                node = LoopNode(node.count, _compress_inner(node.body),
+                                node.ranks)
+            queue.append_node(node)
+        return queue.nodes
+
+
+def _compress_inner(nodes: List[Node]) -> List[Node]:
+    """Recursive body recompression without re-entering the outer span."""
     queue = CompressionQueue(rank=0)
     queue.nodes = []
     for node in nodes:
         if isinstance(node, LoopNode):
-            node = LoopNode(node.count, compress_node_list(node.body),
+            node = LoopNode(node.count, _compress_inner(node.body),
                             node.ranks)
         queue.append_node(node)
     return queue.nodes

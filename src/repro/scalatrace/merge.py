@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.scalatrace.rsd import EventNode, LoopNode, Node, Trace
 from repro.util.rankset import RankSet
 
@@ -121,6 +122,7 @@ def _lcs_pairs(xs: List[Node], ys: List[Node],
             i += 1
         else:
             j += 1
+    obs.count("scalatrace.lcs_alignments", len(pairs))
     return pairs
 
 
@@ -150,15 +152,20 @@ def merge_traces(traces: List[Trace]) -> Trace:
     for t in traces:
         comm_table.update(t.comm_table)
     level = list(traces)
-    while len(level) > 1:
-        nxt = []
-        for i in range(0, len(level) - 1, 2):
-            nodes = merge_node_lists(level[i].nodes, level[i + 1].nodes,
-                                     comm_table)
-            nxt.append(Trace(world_size, nodes, comm_table))
-        if len(level) % 2:
-            nxt.append(level[-1])
-        level = nxt
+    with obs.span("scalatrace.merge", traces=len(traces)):
+        depth = 0
+        while len(level) > 1:
+            depth += 1
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nodes = merge_node_lists(level[i].nodes, level[i + 1].nodes,
+                                         comm_table)
+                nxt.append(Trace(world_size, nodes, comm_table))
+                obs.count("scalatrace.pair_merges", 1)
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        obs.count("scalatrace.merge_depth", depth)
     result = level[0]
     result.comm_table = comm_table
     return result

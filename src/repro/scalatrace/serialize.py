@@ -23,6 +23,7 @@ from __future__ import annotations
 import io
 from typing import List, TextIO, Union
 
+from repro import obs
 from repro.errors import TraceError
 from repro.scalatrace.rsd import EventNode, LoopNode, Node, ParamField, Trace
 from repro.util.callsite import Callsite
@@ -168,6 +169,11 @@ def load_trace(source: Union[TextIO, str]) -> Trace:
     else:
         text = source.read()
     lines = text.splitlines()
+    with obs.span("scalatrace.parse", lines=len(lines)):
+        return _parse_trace(lines)
+
+
+def _parse_trace(lines: List[str]) -> Trace:
     parser = _Parser(lines)
     if parser.next_line() != _MAGIC:
         raise TraceError("not a ScalaTrace file (bad magic)")

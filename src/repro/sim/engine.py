@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import MPIUsageError, SimDeadlockError, SimulationError
 from repro.sim.network import NetworkModel
 from repro.sim.ops import (ANY_SOURCE, ANY_TAG, Collective, Compute, Op,
@@ -143,6 +144,9 @@ class Engine:
         self.steps = 0
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.matches_committed = 0
+        self.deferred_commits = 0
+        self.deadlock_checks = 0
 
     # -- public API --------------------------------------------------------
     def run(self, programs: Sequence[Generator]) -> float:
@@ -163,28 +167,46 @@ class Engine:
             self._wire_free[i] = 0.0
             self._overload[i] = (0.0, 0.0)
 
-        while True:
-            self.steps += 1
-            if self.max_steps is not None and self.steps > self.max_steps:
-                raise SimulationError(
-                    f"exceeded max_steps={self.max_steps}; likely livelock")
-            if self._deferred_dsts:
-                for dst in sorted(self._deferred_dsts):
-                    self._deferred_dsts.discard(dst)
-                    self._drain(dst, relaxed=False)
-            self._resume_resumable(relaxed=False)
-            ready = [rs for rs in self._ranks if rs.state == READY]
-            if ready:
-                rs = min(ready, key=lambda r: (r.clock, r.rank))
-                self._step(rs)
-                continue
-            if all(rs.state == DONE for rs in self._ranks):
-                break
-            # everyone blocked: try relaxed matching / resumption
-            if self._relaxed_progress():
-                continue
-            self._raise_deadlock()
+        with obs.span("engine.run", nranks=self.nranks):
+            try:
+                while True:
+                    self.steps += 1
+                    if self.max_steps is not None and \
+                            self.steps > self.max_steps:
+                        raise SimulationError(
+                            f"exceeded max_steps={self.max_steps}; "
+                            f"likely livelock")
+                    if self._deferred_dsts:
+                        for dst in sorted(self._deferred_dsts):
+                            self._deferred_dsts.discard(dst)
+                            self._drain(dst, relaxed=False)
+                    self._resume_resumable(relaxed=False)
+                    ready = [rs for rs in self._ranks if rs.state == READY]
+                    if ready:
+                        rs = min(ready, key=lambda r: (r.clock, r.rank))
+                        self._step(rs)
+                        continue
+                    if all(rs.state == DONE for rs in self._ranks):
+                        break
+                    # everyone blocked: try relaxed matching / resumption
+                    self.deadlock_checks += 1
+                    if self._relaxed_progress():
+                        continue
+                    self._raise_deadlock()
+            finally:
+                self._flush_counters()
         return self.total_time
+
+    def _flush_counters(self) -> None:
+        """Publish this run's accumulated probe totals (cheap: the hot
+        loop only bumps plain ints; the bus sees aggregates once)."""
+        obs.count("engine.steps", self.steps)
+        obs.count("engine.matches", self.matches_committed)
+        obs.count("engine.deferred_commits", self.deferred_commits)
+        obs.count("engine.deadlock_checks", self.deadlock_checks)
+        obs.count("engine.messages_sent", self.messages_sent)
+        obs.count("engine.bytes_sent", self.bytes_sent)
+        obs.count("engine.overload_events", self.overload_events)
 
     @property
     def total_time(self) -> float:
@@ -445,6 +467,7 @@ class Engine:
         return any_progress
 
     def _commit_match(self, pr: _PendingRecv, msg: _Message) -> None:
+        self.matches_committed += 1
         model = self.model
         arrival = self._arrival_est(msg, pr.post_time)
         # message processing starts when the data is here, the receive is
@@ -555,6 +578,7 @@ class Engine:
         # 1. deferred wildcard matches, earliest arrival first
         for dst in sorted(self._pending_recvs):
             if self._drain(dst, relaxed=True):
+                self.deferred_commits += 1
                 return True
         # 2. waits resumable without the safety horizon
         if self._resume_resumable(relaxed=True):

@@ -13,7 +13,7 @@ from typing import Dict, Optional
 
 from repro.errors import TraceError
 from repro.mpi.api import ANY_SOURCE, MPIProcess
-from repro.mpi.world import SpmdResult, run_spmd
+from repro.mpi.world import SpmdResult
 from repro.scalatrace.rsd import Trace
 from repro.util.expr import ANY_SOURCE as TRACE_ANY
 
@@ -143,7 +143,18 @@ def replay_program(trace: Trace, include_timing: bool = True):
 def replay_trace(trace: Trace, model=None, hooks=None,
                  include_timing: bool = True,
                  max_steps: Optional[int] = None) -> SpmdResult:
-    """Run a full replay of ``trace``; returns the simulation result."""
-    return run_spmd(replay_program(trace, include_timing=include_timing),
-                    trace.world_size, model=model, hooks=hooks,
-                    max_steps=max_steps)
+    """Run a full replay of ``trace``; returns the simulation result.
+
+    Thin wrapper over the pipeline's :class:`ReplayStage`, so replays
+    share the one orchestrated code path (context, instrumentation,
+    stage records) with the rest of the system.
+    """
+    from repro.pipeline import Pipeline, PipelineConfig, ReplayStage, \
+        RunContext
+    config = PipelineConfig(nranks=trace.world_size, platform=None,
+                            include_timing=include_timing,
+                            max_steps=max_steps)
+    ctx = RunContext(config, model=model, hooks=hooks)
+    ctx.artifacts["trace"] = trace
+    Pipeline([ReplayStage()]).run(context=ctx)
+    return ctx.artifacts["run_result"]

@@ -1,0 +1,73 @@
+"""PipelineConfig: validation, fingerprinting, replacement."""
+
+import pytest
+
+from repro.errors import PipelineConfigError, PipelineError, ReproError
+from repro.pipeline import PipelineConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        c = PipelineConfig()
+        assert c.cls == "S" and c.platform == "bluegene"
+        assert c.align and c.resolve and c.include_timing
+
+    def test_unknown_app(self):
+        with pytest.raises(PipelineConfigError, match="unknown app"):
+            PipelineConfig(app="quicksort")
+
+    def test_bad_nranks(self):
+        with pytest.raises(PipelineConfigError, match="nranks"):
+            PipelineConfig(app="ring", nranks=0)
+        with pytest.raises(PipelineConfigError, match="nranks"):
+            PipelineConfig(app="ring", nranks=-4)
+
+    def test_bad_class(self):
+        with pytest.raises(PipelineConfigError, match="class"):
+            PipelineConfig(app="lu", nranks=8, cls="X")
+
+    def test_bad_platform(self):
+        with pytest.raises(PipelineConfigError, match="platform"):
+            PipelineConfig(platform="cray")
+
+    def test_bad_max_steps(self):
+        with pytest.raises(PipelineConfigError, match="max_steps"):
+            PipelineConfig(max_steps=0)
+
+    def test_empty_name(self):
+        with pytest.raises(PipelineConfigError, match="name"):
+            PipelineConfig(name="")
+
+    def test_error_hierarchy(self):
+        # config errors are catchable as pipeline and repro errors
+        assert issubclass(PipelineConfigError, PipelineError)
+        assert issubclass(PipelineError, ReproError)
+
+    def test_none_platform_allowed(self):
+        assert PipelineConfig(platform=None).platform is None
+
+
+class TestFingerprint:
+    def test_excludes_cache_bookkeeping(self):
+        a = PipelineConfig(app="lu", nranks=8)
+        b = PipelineConfig(app="lu", nranks=8, use_cache=True,
+                           cache_dir="/elsewhere")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_differs_by_content_fields(self):
+        base = PipelineConfig(app="lu", nranks=8)
+        assert base.fingerprint() != \
+            PipelineConfig(app="lu", nranks=16).fingerprint()
+        assert base.fingerprint() != \
+            PipelineConfig(app="cg", nranks=8).fingerprint()
+        assert base.fingerprint() != \
+            PipelineConfig(app="lu", nranks=8, cls="W").fingerprint()
+
+
+class TestReplace:
+    def test_replace_revalidates(self):
+        c = PipelineConfig(app="lu", nranks=8)
+        assert c.replace(nranks=16).nranks == 16
+        assert c.nranks == 8  # frozen original untouched
+        with pytest.raises(PipelineConfigError):
+            c.replace(nranks=-1)

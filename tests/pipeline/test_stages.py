@@ -1,0 +1,136 @@
+"""Stage composition, context threading, and API-wrapper parity."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.errors import PipelineError
+from repro.generator import generate_from_application
+from repro.pipeline import (AlignStage, CompileStage, EmitStage,
+                            Pipeline, PipelineConfig, ReplayStage,
+                            ResolveStage, RunContext, RunStage, Stage,
+                            TraceStage, full_pipeline, generation_stages)
+
+
+class TestComposition:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PipelineError, match="at least one"):
+            Pipeline([])
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(PipelineError, match="duplicate"):
+            Pipeline([TraceStage(), TraceStage()])
+
+    def test_run_needs_exactly_one_of_config_or_context(self):
+        pipe = Pipeline([TraceStage()])
+        with pytest.raises(PipelineError, match="exactly one"):
+            pipe.run()
+        config = PipelineConfig(app="ring", nranks=4)
+        with pytest.raises(PipelineError, match="exactly one"):
+            pipe.run(config, context=RunContext(config))
+
+    def test_full_pipeline_shape(self):
+        names = [s.name for s in full_pipeline().stages]
+        assert names == ["trace", "align", "resolve", "emit",
+                         "compile", "run"]
+        assert [s.name for s in full_pipeline(run=False).stages] == \
+            names[:-1]
+
+    def test_generation_stages_shape(self):
+        assert [s.name for s in generation_stages()] == \
+            ["align", "resolve", "emit", "compile"]
+
+    def test_custom_stage_subclass(self):
+        class CountStage(Stage):
+            name = "count-events"
+            produces = "event_count"
+
+            def run(self, ctx):
+                n = ctx.require("trace").event_count()
+                ctx.artifacts["event_count"] = n
+                return f"{n} events"
+
+        ctx = RunContext(PipelineConfig(app="ring", nranks=4))
+        Pipeline([TraceStage(), CountStage()]).run(context=ctx)
+        assert ctx.artifacts["event_count"] > 0
+
+
+class TestStageRecords:
+    def test_every_stage_recorded(self):
+        result = full_pipeline(run=False).run(
+            PipelineConfig(app="ring", nranks=4))
+        assert [r.stage for r in result.records] == \
+            ["trace", "align", "resolve", "emit", "compile"]
+        assert all(r.seconds >= 0 for r in result.records)
+        assert result.seconds > 0
+
+    def test_skipped_passes_report_as_skipped(self):
+        # ring has no collectives to align and no wildcards
+        result = full_pipeline(run=False).run(
+            PipelineConfig(app="ring", nranks=4))
+        by_name = {r.stage: r for r in result.records}
+        assert by_name["align"].cache == "skipped"
+        assert by_name["resolve"].cache == "skipped"
+
+    def test_disabled_passes_report_as_skipped(self):
+        result = full_pipeline(run=False).run(
+            PipelineConfig(app="lu", nranks=8, align=False,
+                           resolve=False))
+        by_name = {r.stage: r for r in result.records}
+        assert by_name["align"].detail == "disabled"
+        assert by_name["resolve"].detail == "disabled"
+
+    def test_report_renders(self):
+        result = full_pipeline(run=False).run(
+            PipelineConfig(app="ring", nranks=4))
+        report = result.report()
+        assert "pipeline report: ring" in report
+        assert "total" in report
+
+
+class TestMissingInputs:
+    def test_generation_without_trace_fails_clearly(self):
+        ctx = RunContext(PipelineConfig(nranks=4, platform=None))
+        with pytest.raises(PipelineError, match="missing artifact"):
+            Pipeline(generation_stages()).run(context=ctx)
+
+    def test_trace_without_nranks_fails_clearly(self):
+        ctx = RunContext(PipelineConfig(app="ring"))
+        with pytest.raises(PipelineError, match="nranks"):
+            Pipeline([TraceStage()]).run(context=ctx)
+
+
+class TestFullFlow:
+    def test_end_to_end_artifacts(self):
+        result = full_pipeline().run(PipelineConfig(app="lu", nranks=8))
+        assert result.trace is not None
+        assert "SENDS" in result.source or "RECEIVES" in result.source
+        assert result.benchmark is not None
+        assert result.run_result.total_time > 0
+
+    def test_replay_stage(self):
+        ctx = RunContext(PipelineConfig(app="ring", nranks=4))
+        Pipeline([TraceStage(), ReplayStage()]).run(context=ctx)
+        assert ctx.artifacts["run_result"].messages_sent > 0
+
+    def test_compile_from_source_only(self):
+        # CompileStage falls back to parsing when no AST artifact exists
+        source_ctx = RunContext(PipelineConfig(app="ring", nranks=4))
+        Pipeline([TraceStage(), AlignStage(), ResolveStage(),
+                  EmitStage()]).run(context=source_ctx)
+        ctx = RunContext(PipelineConfig(nranks=4, platform=None))
+        ctx.artifacts["source"] = source_ctx.artifacts["source"]
+        Pipeline([CompileStage(), RunStage()]).run(context=ctx)
+        assert ctx.artifacts["run_result"].total_time > 0
+
+
+class TestWrapperParity:
+    """The legacy one-call API and the explicit pipeline agree."""
+
+    def test_generate_from_application_matches_pipeline(self):
+        program = make_app("lu", 8, "S")
+        bench = generate_from_application(program, 8)
+        result = full_pipeline(run=False).run(
+            PipelineConfig(app="lu", nranks=8))
+        assert bench.source == result.source
+        assert bench.was_resolved == result.artifacts["was_resolved"]
+        assert bench.was_aligned == result.artifacts["was_aligned"]

@@ -1,0 +1,165 @@
+"""CLI tests for the pipeline-era surface: the ``pipeline`` subcommand,
+``--metrics`` event logs, artifact caching, ``--version``,
+``apps --json``, extrapolation argument validation, and atomic output.
+
+The older per-subcommand flow tests live in ``tests/tools/test_cli.py``;
+this file covers everything the orchestration layer added.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestVersionAndApps:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_apps_json(self, capsys):
+        assert main(["apps", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert "lu" in listing and "jacobi" in listing
+        assert "S" in listing["lu"]["classes"]
+        assert listing["lu"]["description"]
+
+    def test_apps_plain_unchanged(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "lu" in out and "{" not in out
+
+
+class TestEverySubcommand:
+    """Each subcommand end-to-end on a tiny app via main(argv)."""
+
+    def test_flow(self, workdir, capsys):
+        assert main(["trace", "--app", "ring", "--np", "4",
+                     "-o", "r.scalatrace"]) == 0
+        assert main(["generate", "r.scalatrace", "-o", "r.ncptl"]) == 0
+        assert main(["run", "r.ncptl", "--np", "4"]) == 0
+        assert main(["replay", "r.scalatrace"]) == 0
+        assert main(["matrix", "r.scalatrace"]) == 0
+        assert main(["compare", "r.scalatrace", "r.scalatrace"]) == 0
+        assert main(["pipeline", "--app", "ring", "--np", "4",
+                     "--no-cache", "--no-run"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--app", "ring", "--np", "8",
+                     "-o", "r8.scalatrace"]) == 0
+        assert main(["extrapolate", "r.scalatrace", "r8.scalatrace",
+                     "--np", "16", "-o", "r16.scalatrace"]) == 0
+
+
+class TestExtrapolateValidation:
+    def test_single_trace_is_rejected(self, workdir, capsys):
+        main(["trace", "--app", "ring", "--np", "4",
+              "-o", "r.scalatrace"])
+        capsys.readouterr()
+        rc = main(["extrapolate", "r.scalatrace", "--np", "64",
+                   "-o", "big.scalatrace"])
+        assert rc != 0
+        err = capsys.readouterr().err
+        assert "two or more" in err
+        assert not os.path.exists("big.scalatrace")
+
+
+class TestAtomicGenerate:
+    def test_failed_generation_leaves_no_output(self, workdir):
+        with open("bogus.scalatrace", "w") as fh:
+            fh.write("not a trace\n")
+        with pytest.raises(Exception):
+            main(["generate", "bogus.scalatrace", "-o", "out.ncptl"])
+        assert not os.path.exists("out.ncptl")
+        # no temp-file droppings either
+        assert not [f for f in os.listdir(".") if f.startswith(".tmp-")]
+
+    def test_success_writes_output(self, workdir, capsys):
+        main(["trace", "--app", "ring", "--np", "4",
+              "-o", "r.scalatrace"])
+        assert main(["generate", "r.scalatrace", "-o", "r.ncptl"]) == 0
+        assert os.path.getsize("r.ncptl") > 0
+
+
+class TestPipelineSubcommand:
+    def test_report_shows_every_stage(self, workdir, capsys):
+        assert main(["pipeline", "--app", "jacobi", "--np", "4",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("trace", "align", "resolve", "emit", "compile",
+                      "run", "total"):
+            assert stage in out
+
+    def test_output_flag_writes_benchmark(self, workdir, capsys):
+        assert main(["pipeline", "--app", "ring", "--np", "4",
+                     "--no-cache", "--no-run", "-o", "ring.ncptl"]) == 0
+        with open("ring.ncptl") as fh:
+            assert "ALL TASKS" in fh.read()
+
+    def test_second_run_hits_cache(self, workdir, capsys):
+        argv = ["pipeline", "--app", "jacobi", "--np", "4",
+                "--cache-dir", "cache"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "miss" in first and "cache hit:" not in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache hit: trace, emit (generate)" in second
+
+    def test_no_cache_never_hits(self, workdir, capsys):
+        argv = ["pipeline", "--app", "jacobi", "--np", "4", "--no-cache"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "hit" not in capsys.readouterr().out
+
+    def test_metrics_spans_all_layers(self, workdir, capsys):
+        assert main(["pipeline", "--app", "lu", "--np", "8",
+                     "--no-cache", "--metrics", "m.jsonl"]) == 0
+        records = [json.loads(line) for line in open("m.jsonl")]
+        # well-formed events: monotonic seq, known kinds, layer tags
+        assert [r["seq"] for r in records] == \
+            list(range(1, len(records) + 1))
+        assert {r["kind"] for r in records} <= \
+            {"span_begin", "span_end", "counter"}
+        layers = {r["layer"] for r in records}
+        # the acceptance bar: events from every major subsystem
+        assert {"engine", "scalatrace", "generator",
+                "conceptual", "pipeline"} <= layers
+        spans = [r for r in records if r["kind"] == "span_end"]
+        assert all("dur_s" in r for r in spans)
+        counters = [r for r in records if r["kind"] == "counter"]
+        names = {r["name"] for r in counters}
+        assert "engine.steps" in names
+        assert "generator.wildcards_resolved" in names
+
+    def test_report_flag(self, workdir, capsys):
+        assert main(["pipeline", "--app", "ring", "--np", "4",
+                     "--no-cache", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "instrumentation report" in out
+        assert "[engine]" in out
+
+
+class TestMetricsOnClassicCommands:
+    def test_trace_metrics(self, workdir, capsys):
+        assert main(["trace", "--app", "ring", "--np", "4",
+                     "-o", "r.scalatrace", "--metrics", "t.jsonl"]) == 0
+        layers = {json.loads(line)["layer"] for line in open("t.jsonl")}
+        assert "engine" in layers and "scalatrace" in layers
+
+    def test_generate_metrics(self, workdir, capsys):
+        main(["trace", "--app", "lu", "--np", "4", "-o", "l.scalatrace"])
+        assert main(["generate", "l.scalatrace", "-o", "l.ncptl",
+                     "--metrics", "g.jsonl"]) == 0
+        layers = {json.loads(line)["layer"] for line in open("g.jsonl")}
+        assert "generator" in layers and "conceptual" in layers
