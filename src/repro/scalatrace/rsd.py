@@ -60,7 +60,7 @@ class ParamField:
 
     @classmethod
     def of(cls, value) -> "ParamField":
-        return cls(seq=ValueSeq([value]))
+        return cls(seq=ValueSeq.constant(value, 1))
 
     @classmethod
     def from_seq(cls, seq: ValueSeq) -> "ParamField":
@@ -228,10 +228,28 @@ class ParamField:
         return f"ParamField({self.serialize()})"
 
 
-class Node:
-    """Base class of trace nodes."""
+#: Modulus/base of the structural fingerprint space.  Fingerprints are
+#: Rabin-style rolling hashes over node structure, kept in a prime field
+#: so :class:`~repro.scalatrace.compress.CompressionQueue` can compare a
+#: whole window of nodes with one subtraction (see ``docs/PERFORMANCE.md``).
+FP_MOD = (1 << 61) - 1
+FP_BASE = 1_000_003
 
-    __slots__ = ("ranks",)
+
+class Node:
+    """Base class of trace nodes.
+
+    ``fp`` is a structural *fingerprint*: a stable hash of exactly the
+    fields :func:`~repro.scalatrace.compress.nodes_match` inspects (call
+    site identity, rank set, loop shape — never per-iteration parameters
+    or timing).  Two nodes that match always share a fingerprint, so
+    ``fp`` inequality disproves a match in O(1); equality is confirmed
+    structurally before any fold, keeping compression output independent
+    of hash collisions.  Nodes are never structurally mutated after
+    construction, so the fingerprint is computed once in ``__init__``.
+    """
+
+    __slots__ = ("ranks", "fp")
 
     def iter_events(self) -> Iterator["EventNode"]:
         raise NotImplementedError
@@ -256,7 +274,8 @@ class EventNode(Node):
     """
 
     __slots__ = ("op", "callsite", "comm_id", "instances", "peer", "size",
-                 "tag", "root", "wait_offsets", "time_first", "time_rest")
+                 "tag", "root", "wait_offsets", "time_first", "time_rest",
+                 "sig")
 
     def __init__(self, op: str, callsite, comm_id: int, ranks: RankSet,
                  instances: int = 1,
@@ -281,6 +300,9 @@ class EventNode(Node):
                            else TimeHistogram())
         self.time_rest = (time_rest if time_rest is not None
                           else TimeHistogram())
+        self.sig = ("event", op, callsite, comm_id, wait_offsets)
+        self.fp = hash(("event", op, callsite, comm_id, wait_offsets,
+                        ranks)) % FP_MOD
 
     @property
     def time(self) -> TimeHistogram:
@@ -306,9 +328,9 @@ class EventNode(Node):
 
     def signature(self) -> tuple:
         """Structural identity used to decide whether two nodes *could* be
-        the same call site (params may still differ and be merged)."""
-        return ("event", self.op, self.callsite, self.comm_id,
-                self.wait_offsets)
+        the same call site (params may still differ and be merged).
+        Cached at construction — every identity field is immutable."""
+        return self.sig
 
     def iter_events(self) -> Iterator["EventNode"]:
         yield self
@@ -334,9 +356,15 @@ class EventNode(Node):
 
 
 class LoopNode(Node):
-    """A Power-RSD: ``count`` repetitions of ``body``."""
+    """A Power-RSD: ``count`` repetitions of ``body``.
 
-    __slots__ = ("count", "body")
+    ``body_fp`` is the rolling fingerprint of the body sequence in the
+    same field the :class:`~repro.scalatrace.compress.CompressionQueue`
+    uses for its tail windows, so "does this loop's body equal that
+    w-node tail?" is a single integer comparison.
+    """
+
+    __slots__ = ("count", "body", "body_fp")
 
     def __init__(self, count: int, body: List[Node], ranks: RankSet):
         if count < 1:
@@ -344,6 +372,26 @@ class LoopNode(Node):
         self.count = count
         self.body = list(body)
         self.ranks = ranks
+        h = 0
+        for node in self.body:
+            h = (h * FP_BASE + node.fp) % FP_MOD
+        self.body_fp = h
+        self.fp = hash(("loop", count, ranks, len(self.body),
+                        h)) % FP_MOD
+
+    def bump_count(self, delta: int) -> None:
+        """Increase the iteration count in place, refreshing the cached
+        whole-node fingerprint (``body_fp`` is count-independent and
+        stays valid).
+
+        Only the compression queue may call this, and only on loops it
+        built itself — in-place absorption is what keeps streaming
+        compression O(window) per event instead of rebuilding the loop's
+        node tree for every absorbed iteration.
+        """
+        self.count += delta
+        self.fp = hash(("loop", self.count, self.ranks, len(self.body),
+                        self.body_fp)) % FP_MOD
 
     def signature(self) -> tuple:
         return ("loop", self.count, tuple(n.signature() for n in self.body))

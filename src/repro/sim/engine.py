@@ -21,10 +21,30 @@ the paper exists to remove from *generated* benchmarks.
 Timing uses the pluggable :class:`~repro.sim.network.NetworkModel`,
 including eager/rendezvous protocols, unexpected-message copy costs, and
 finite-buffer flow control (see the paper's Fig. 7 discussion).
+
+The hot paths are sub-linear in the rank/queue sizes (see
+``docs/PERFORMANCE.md``):
+
+* runnable ranks sit in a lazy-deletion **ready heap** keyed by
+  ``(clock, rank)`` instead of being rescanned every step;
+* the wildcard safety **horizon** is answered by a lazy-deletion heap over
+  live rank clocks instead of an O(ranks) sweep per check;
+* pending receives are **indexed** per ``(dst, src, comm)`` plus a
+  per-``(dst, comm)`` wildcard list, and :meth:`Engine._drain` walks a
+  post-order merge of only the index buckets that can currently match;
+* matched messages/receives are **tombstoned** and purged from queue
+  heads lazily, never removed from the middle of a deque;
+* blocked ranks are woken through a **dirty set** fed by request and
+  collective completions, instead of sweeping every rank each pass.
+
+All of this preserves the engine's observable behaviour bit-for-bit:
+commit order, tie-breaking and timing are unchanged (pinned by the golden
+tests in ``tests/sim/test_engine_determinism.py``).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
@@ -41,18 +61,18 @@ DONE = "done"
 
 _BLOCK = object()  # sentinel returned by _apply when the rank must block
 
+_INF = float("inf")
+
 
 class _Message:
     __slots__ = ("seq", "src", "dst", "tag", "comm_id", "nbytes", "post_time",
                  "inject_time", "protocol", "throttled", "charged", "sreq",
-                 "arrival")
+                 "arrival", "matched")
 
-    _next_seq = 0
-
-    def __init__(self, src, dst, tag, comm_id, nbytes, post_time, inject_time,
-                 protocol, throttled, charged, sreq, arrival=None):
-        self.seq = _Message._next_seq
-        _Message._next_seq += 1
+    def __init__(self, seq, src, dst, tag, comm_id, nbytes, post_time,
+                 inject_time, protocol, throttled, charged, sreq,
+                 arrival=None):
+        self.seq = seq                # per-engine, allocated in post order
         self.src = src
         self.dst = dst
         self.tag = tag
@@ -65,22 +85,22 @@ class _Message:
         self.charged = charged        # counted against dst's unexpected buffer
         self.sreq = sreq
         self.arrival = arrival        # fixed arrival (wire-queued eager)
+        self.matched = False          # tombstone: matched, awaiting purge
 
 
 class _PendingRecv:
-    __slots__ = ("seq", "rank", "src", "tag", "comm_id", "post_time", "rreq")
+    __slots__ = ("seq", "rank", "src", "tag", "comm_id", "post_time", "rreq",
+                 "matched")
 
-    _next_seq = 0
-
-    def __init__(self, rank, src, tag, comm_id, post_time, rreq):
-        self.seq = _PendingRecv._next_seq
-        _PendingRecv._next_seq += 1
+    def __init__(self, seq, rank, src, tag, comm_id, post_time, rreq):
+        self.seq = seq                # per-engine, allocated in post order
         self.rank = rank
         self.src = src
         self.tag = tag
         self.comm_id = comm_id
         self.post_time = post_time
         self.rreq = rreq
+        self.matched = False          # tombstone: matched, awaiting purge
 
 
 class _RankState:
@@ -109,6 +129,12 @@ class _CollInstance:
         self.completion: Optional[float] = None
 
 
+def _purge_head(dq: deque) -> None:
+    """Drop matched entries from the front of a queue (tombstone purge)."""
+    while dq and dq[0].matched:
+        dq.popleft()
+
+
 class Engine:
     """Run a set of rank generator programs to completion in virtual time."""
 
@@ -120,12 +146,23 @@ class Engine:
         self.model = model
         self.max_steps = max_steps
         self._ranks: List[_RankState] = []
-        # (src, dst, comm_id) -> deque of unmatched _Message in send order
+        # (src, dst, comm_id) -> deque of _Message in send order (matched
+        # messages are tombstoned in place and purged from the head)
         self._channels: Dict[Tuple[int, int, int], deque] = {}
+        # live (unmatched) message count per channel key
+        self._chan_live: Dict[Tuple[int, int, int], int] = {}
         # dst -> set of channel keys with unmatched messages
         self._channels_by_dst: Dict[int, set] = {}
-        # dst -> list of _PendingRecv in post order
-        self._pending_recvs: Dict[int, List[_PendingRecv]] = {}
+        # (dst, comm_id) -> set of srcs with unmatched messages
+        self._srcs_by_dst_comm: Dict[Tuple[int, int], set] = {}
+        # dst -> deque of _PendingRecv in post order (tombstoned)
+        self._pending_recvs: Dict[int, deque] = {}
+        # live (unmatched) pending-receive count per dst
+        self._pending_live: Dict[int, int] = {}
+        # (dst, src, comm_id) -> deque of directed _PendingRecv, post order
+        self._recv_index: Dict[Tuple[int, int, int], deque] = {}
+        # (dst, comm_id) -> deque of ANY_SOURCE _PendingRecv, post order
+        self._wild_index: Dict[Tuple[int, int], deque] = {}
         self._unexpected_bytes: Dict[int, int] = {}
         # receive-side message processing is serial: a rank's "receive
         # processor" finishes one message before starting the next, so a
@@ -141,6 +178,19 @@ class Engine:
         self._coll: Dict[Tuple[int, int], _CollInstance] = {}
         self._deferred_dsts: set = set()
         self._min_latency = model.min_latency()
+        # lazy-deletion scheduler heap of (clock, rank) for READY ranks
+        self._ready_heap: List[Tuple[float, int]] = []
+        # lazy-deletion heap of (clock, rank) over non-DONE ranks, one
+        # entry per live rank, powering the incremental wildcard horizon
+        self._clock_heap: List[Tuple[float, int]] = []
+        # blocked ranks whose waited-on work completed since last sweep
+        self._dirty: set = set()
+        self._done_count = 0
+        # per-engine sequence counters: two engines in one process assign
+        # identical seq-based tie-breaks for identical programs
+        self._msg_seq = 0
+        self._pr_seq = 0
+        self._ran = False
         self.steps = 0
         self.messages_sent = 0
         self.bytes_sent = 0
@@ -153,19 +203,30 @@ class Engine:
         """Drive ``programs`` (one generator per rank) to completion.
 
         Returns the simulated makespan: the maximum final rank clock.
-        Raises :class:`SimDeadlockError` if the programs deadlock.
+        Raises :class:`SimDeadlockError` if the programs deadlock.  An
+        :class:`Engine` instance drives exactly one run; reuse raises
+        :class:`SimulationError` (stale channel/collective state would
+        silently corrupt a second simulation).
         """
+        if self._ran:
+            raise SimulationError(
+                "Engine.run() called twice on the same instance; channel "
+                "and collective state is per-run — create a new Engine")
+        self._ran = True
         if len(programs) != self.nranks:
             raise ValueError(
                 f"expected {self.nranks} programs, got {len(programs)}")
         self._ranks = [_RankState(i, g) for i, g in enumerate(programs)]
         for i in range(self.nranks):
-            self._pending_recvs[i] = []
+            self._pending_recvs[i] = deque()
+            self._pending_live[i] = 0
             self._unexpected_bytes[i] = 0
             self._channels_by_dst[i] = set()
             self._rx_busy[i] = 0.0
             self._wire_free[i] = 0.0
             self._overload[i] = (0.0, 0.0)
+            heapq.heappush(self._ready_heap, (0.0, i))
+            heapq.heappush(self._clock_heap, (0.0, i))
 
         with obs.span("engine.run", nranks=self.nranks):
             try:
@@ -180,13 +241,13 @@ class Engine:
                         for dst in sorted(self._deferred_dsts):
                             self._deferred_dsts.discard(dst)
                             self._drain(dst, relaxed=False)
-                    self._resume_resumable(relaxed=False)
-                    ready = [rs for rs in self._ranks if rs.state == READY]
-                    if ready:
-                        rs = min(ready, key=lambda r: (r.clock, r.rank))
+                    if self._dirty:
+                        self._resume_dirty()
+                    rs = self._pop_ready()
+                    if rs is not None:
                         self._step(rs)
                         continue
-                    if all(rs.state == DONE for rs in self._ranks):
+                    if self._done_count == self.nranks:
                         break
                     # everyone blocked: try relaxed matching / resumption
                     self.deadlock_checks += 1
@@ -215,6 +276,57 @@ class Engine:
     def now(self, rank: int) -> float:
         return self._ranks[rank].clock
 
+    # -- scheduler ----------------------------------------------------------
+    def _pop_ready(self) -> Optional[_RankState]:
+        """Smallest-(clock, rank) READY rank via the lazy-deletion heap.
+
+        An entry is pushed whenever a rank becomes READY; it is stale if
+        the rank has since been stepped (state changed) or was re-queued
+        at a later clock.
+        """
+        heap = self._ready_heap
+        while heap:
+            clock, rank = heapq.heappop(heap)
+            rs = self._ranks[rank]
+            if rs.state == READY and rs.clock == clock:
+                return rs
+        return None
+
+    def _make_ready(self, rs: _RankState) -> None:
+        rs.state = READY
+        rs.blocked_kind = None
+        rs.blocked_data = None
+        heapq.heappush(self._ready_heap, (rs.clock, rs.rank))
+
+    def _min_live_clock_excluding(self, exclude_rank: int) -> float:
+        """Minimum clock over non-DONE ranks other than ``exclude_rank``.
+
+        The clock heap holds exactly one entry per live rank; stale
+        entries (the rank's clock advanced) are refreshed in place, DONE
+        ranks are dropped, and an excluded top entry is set aside and
+        pushed back — all O(log ranks) amortized per query.
+        """
+        heap = self._clock_heap
+        skipped = None
+        result = _INF
+        while heap:
+            clock, rank = heap[0]
+            rs = self._ranks[rank]
+            if rs.state == DONE:
+                heapq.heappop(heap)
+                continue
+            if clock != rs.clock:  # stale: clock advanced since push
+                heapq.heapreplace(heap, (rs.clock, rank))
+                continue
+            if rank == exclude_rank:
+                skipped = heapq.heappop(heap)
+                continue
+            result = clock
+            break
+        if skipped is not None:
+            heapq.heappush(heap, skipped)
+        return result
+
     # -- generator stepping -------------------------------------------------
     def _step(self, rs: _RankState) -> None:
         value = rs.pending_value
@@ -228,6 +340,7 @@ class Engine:
                 op = rs.gen.send(value)
             except StopIteration:
                 rs.state = DONE
+                self._done_count += 1
                 self._on_rank_done(rs)
                 return
             value = self._apply(rs, op)
@@ -249,6 +362,7 @@ class Engine:
                 return done
             rs.blocked_kind = "waitall"
             rs.blocked_data = op.requests
+            self._register_waiter(rs, op.requests)
             return _BLOCK
         if isinstance(op, WaitAny):
             done = self._try_waitany(rs, op.requests, relaxed=False)
@@ -256,6 +370,7 @@ class Engine:
                 return done
             rs.blocked_kind = "waitany"
             rs.blocked_data = op.requests
+            self._register_waiter(rs, op.requests)
             return _BLOCK
         if isinstance(op, Test):
             # A test succeeds only if the operation has completed by the
@@ -268,6 +383,23 @@ class Engine:
         if isinstance(op, Collective):
             return self._apply_collective(rs, op)
         raise MPIUsageError(f"rank {rs.rank} yielded non-op {op!r}")
+
+    def _register_waiter(self, rs: _RankState, requests) -> None:
+        """Route future completions of ``requests`` to the blocking rank.
+
+        A rank blocking on WaitAny with an already-complete request goes
+        straight onto the dirty set: its resumability depends on the
+        safety horizon (which moves as other ranks run), not on any new
+        completion, so it must be re-examined every scheduler pass.
+        """
+        any_complete = False
+        for req in requests:
+            if req.complete:
+                any_complete = True
+            else:
+                req.waiter = rs.rank
+        if any_complete and rs.blocked_kind == "waitany":
+            self._dirty.add(rs.rank)
 
     # -- sends ----------------------------------------------------------------
     def _apply_send(self, rs: _RankState, op: PostSend) -> Request:
@@ -327,13 +459,22 @@ class Engine:
                 self._unexpected_bytes[op.dst] += op.nbytes
             if not throttled:
                 req.completion = inject  # local completion, buffered send
-        msg = _Message(rs.rank, op.dst, op.tag, op.comm_id, op.nbytes,
-                       post_time, inject, "eager" if eager else "rdv",
-                       throttled, charged, req, arrival=arrival)
+        msg = _Message(self._msg_seq, rs.rank, op.dst, op.tag, op.comm_id,
+                       op.nbytes, post_time, inject,
+                       "eager" if eager else "rdv", throttled, charged, req,
+                       arrival=arrival)
+        self._msg_seq += 1
         req.message = msg
         key = (rs.rank, op.dst, op.comm_id)
-        self._channels.setdefault(key, deque()).append(msg)
+        chan = self._channels.get(key)
+        if chan is None:
+            chan = self._channels[key] = deque()
+            self._chan_live[key] = 0
+        chan.append(msg)
+        self._chan_live[key] += 1
         self._channels_by_dst[op.dst].add(key)
+        self._srcs_by_dst_comm.setdefault(
+            (op.dst, op.comm_id), set()).add(rs.rank)
         self.messages_sent += 1
         self.bytes_sent += op.nbytes
         self._drain(op.dst, relaxed=False)
@@ -341,14 +482,18 @@ class Engine:
 
     def _has_compatible_recv(self, dst: int, src: int, tag: int,
                              comm_id: int) -> bool:
-        for pr in self._pending_recvs[dst]:
-            if pr.comm_id != comm_id:
-                continue
-            if pr.src not in (src, ANY_SOURCE):
-                continue
-            if pr.tag not in (tag, ANY_TAG):
-                continue
-            return True
+        directed = self._recv_index.get((dst, src, comm_id))
+        if directed:
+            _purge_head(directed)
+            for pr in directed:
+                if not pr.matched and pr.tag in (tag, ANY_TAG):
+                    return True
+        wild = self._wild_index.get((dst, comm_id))
+        if wild:
+            _purge_head(wild)
+            for pr in wild:
+                if not pr.matched and pr.tag in (tag, ANY_TAG):
+                    return True
         return False
 
     # -- receives ---------------------------------------------------------------
@@ -357,8 +502,17 @@ class Engine:
             raise MPIUsageError(
                 f"rank {rs.rank} receives from nonexistent rank {op.src}")
         req = Request("recv", rs.rank)
-        pr = _PendingRecv(rs.rank, op.src, op.tag, op.comm_id, rs.clock, req)
+        pr = _PendingRecv(self._pr_seq, rs.rank, op.src, op.tag, op.comm_id,
+                          rs.clock, req)
+        self._pr_seq += 1
         self._pending_recvs[rs.rank].append(pr)
+        self._pending_live[rs.rank] += 1
+        if op.src == ANY_SOURCE:
+            self._wild_index.setdefault(
+                (rs.rank, op.comm_id), deque()).append(pr)
+        else:
+            self._recv_index.setdefault(
+                (rs.rank, op.src, op.comm_id), deque()).append(pr)
         self._drain(rs.rank, relaxed=False)
         return req
 
@@ -379,7 +533,10 @@ class Engine:
         chan = self._channels.get(key)
         if not chan:
             return None
+        _purge_head(chan)
         for msg in chan:
+            if msg.matched:
+                continue
             if tag == ANY_TAG or tag == msg.tag:
                 return msg
         return None
@@ -388,30 +545,58 @@ class Engine:
         """First tag-compatible unmatched message of each eligible channel."""
         out = []
         if pr.src == ANY_SOURCE:
-            keys = sorted(self._channels_by_dst[pr.rank])
-        else:
-            keys = [(pr.src, pr.rank, pr.comm_id)]
-        for key in keys:
-            if key[2] != pr.comm_id:
-                continue
-            chan = self._channels.get(key)
-            if not chan:
-                continue
-            for msg in chan:
-                if pr.tag in (msg.tag, ANY_TAG):
+            srcs = self._srcs_by_dst_comm.get((pr.rank, pr.comm_id))
+            if not srcs:
+                return out
+            for src in sorted(srcs):
+                msg = self._first_compatible_in_channel(
+                    (src, pr.rank, pr.comm_id), pr.tag)
+                if msg is not None:
                     out.append(msg)
-                    break
+        else:
+            msg = self._first_compatible_in_channel(
+                (pr.src, pr.rank, pr.comm_id), pr.tag)
+            if msg is not None:
+                out.append(msg)
         return out
 
     def _horizon(self, exclude_rank: int) -> float:
         """Earliest virtual time at which any rank other than
         ``exclude_rank`` could inject a new message."""
-        h = float("inf")
-        for rs in self._ranks:
-            if rs.rank == exclude_rank or rs.state == DONE:
-                continue
-            h = min(h, rs.clock)
-        return h + self._min_latency
+        return self._min_live_clock_excluding(exclude_rank) \
+            + self._min_latency
+
+    def _drain_candidates(self, dst: int):
+        """Pending receives at ``dst`` that could currently match or
+        freeze, merged in post (seq) order.
+
+        Only directed receives whose channel holds a live message and
+        wildcard receives on communicators with live messages are
+        considered — everything else provably cannot match during this
+        drain (no new messages appear mid-drain), so the full post-order
+        queue is never scanned.
+        """
+        buckets = []
+        comms = set()
+        for key in self._channels_by_dst[dst]:
+            src, _, comm_id = key
+            comms.add(comm_id)
+            directed = self._recv_index.get((dst, src, comm_id))
+            if directed:
+                _purge_head(directed)
+                if directed:
+                    buckets.append(directed)
+        for comm_id in comms:
+            wild = self._wild_index.get((dst, comm_id))
+            if wild:
+                _purge_head(wild)
+                if wild:
+                    buckets.append(wild)
+        if len(buckets) == 1:
+            return iter(buckets[0])
+        if not buckets:
+            return iter(())
+        return heapq.merge(*buckets, key=lambda pr: pr.seq)
 
     def _drain(self, dst: int, relaxed: bool) -> bool:
         """Match pending receives at ``dst`` against channel messages.
@@ -420,50 +605,47 @@ class Engine:
         first tag-compatible message in its channel immediately (FIFO order
         makes this deterministic).  A wildcard receive matches its
         earliest-arriving candidate only when that choice is *safe* (no
-        other rank could still produce an earlier arrival); unsafe wildcard
-        receives freeze matching for later receives that could steal their
-        messages.  Returns True if any match was committed.
+        other rank could still produce an earlier arrival); an unsafe (or
+        not-yet-matchable) wildcard freezes matching for later receives on
+        its communicator — the (src, comm) pairs it could take a message
+        from — while receives on other communicators keep matching.
+        Returns True if any match was committed.
+
+        One left-to-right pass is exhaustive: committing a match only ever
+        *removes* a message and a receive, so receives already passed can
+        never become matchable within the same drain, and commits happen
+        in strictly increasing post order.
         """
         any_progress = False
-        progress = True
-        while progress:
-            progress = False
-            frozen_pairs: set = set()  # (src, comm) pairs an unsafe ANY could take
-            frozen_all = False
-            for pr in list(self._pending_recvs[dst]):
-                if pr.src == ANY_SOURCE:
-                    cands = self._candidates_for(pr)
-                    cands = [m for m in cands
-                             if not frozen_all
-                             and (m.src, m.comm_id) not in frozen_pairs]
-                    if not cands:
-                        # nothing available yet; this wildcard blocks any
-                        # later recv from stealing what it might match
-                        frozen_all = True
+        frozen_comms: set = set()
+        for pr in self._drain_candidates(dst):
+            if pr.matched or pr.comm_id in frozen_comms:
+                continue
+            if pr.src == ANY_SOURCE:
+                cands = self._candidates_for(pr)
+                if not cands:
+                    # nothing available yet; this wildcard blocks any
+                    # later recv on its communicator from stealing what
+                    # it might match
+                    frozen_comms.add(pr.comm_id)
+                    continue
+                best = min(cands, key=lambda m: (
+                    self._arrival_est(m, pr.post_time), m.src, m.seq))
+                if not relaxed:
+                    arr = self._arrival_est(best, pr.post_time)
+                    if arr > self._horizon(dst):
+                        self._deferred_dsts.add(dst)
+                        frozen_comms.add(pr.comm_id)
                         continue
-                    best = min(cands, key=lambda m: (
-                        self._arrival_est(m, pr.post_time), m.src, m.seq))
-                    if not relaxed:
-                        arr = self._arrival_est(best, pr.post_time)
-                        if arr > self._horizon(dst):
-                            self._deferred_dsts.add(dst)
-                            frozen_all = True
-                            continue
-                    self._commit_match(pr, best)
-                    progress = True
-                    any_progress = True
-                    break
-                else:
-                    if frozen_all or (pr.src, pr.comm_id) in frozen_pairs:
-                        continue
-                    msg = self._first_compatible_in_channel(
-                        (pr.src, dst, pr.comm_id), pr.tag)
-                    if msg is None:
-                        continue
-                    self._commit_match(pr, msg)
-                    progress = True
-                    any_progress = True
-                    break
+                self._commit_match(pr, best)
+                any_progress = True
+            else:
+                msg = self._first_compatible_in_channel(
+                    (pr.src, dst, pr.comm_id), pr.tag)
+                if msg is None:
+                    continue
+                self._commit_match(pr, msg)
+                any_progress = True
         return any_progress
 
     def _commit_match(self, pr: _PendingRecv, msg: _Message) -> None:
@@ -481,17 +663,32 @@ class Engine:
         pr.rreq.completion = completion
         pr.rreq.status = Status(msg.src, msg.tag, msg.nbytes)
         pr.rreq.message = msg
+        if pr.rreq.waiter is not None:
+            self._dirty.add(pr.rreq.waiter)
         # sender-side completion for rendezvous / throttled sends
         if msg.sreq.completion is None:
             msg.sreq.completion = completion
             msg.sreq.status = Status(msg.src, msg.tag, msg.nbytes)
+            if msg.sreq.waiter is not None:
+                self._dirty.add(msg.sreq.waiter)
         if msg.charged:
             self._unexpected_bytes[msg.dst] -= msg.nbytes
+        # tombstone instead of deque.remove: mid-queue entries are purged
+        # lazily once they reach a queue head
+        msg.matched = True
         key = (msg.src, msg.dst, msg.comm_id)
-        self._channels[key].remove(msg)
-        if not self._channels[key]:
+        live = self._chan_live[key] - 1
+        self._chan_live[key] = live
+        chan = self._channels[key]
+        _purge_head(chan)
+        if not live:
             self._channels_by_dst[msg.dst].discard(key)
-        self._pending_recvs[pr.rank].remove(pr)
+            srcs = self._srcs_by_dst_comm.get((msg.dst, msg.comm_id))
+            if srcs is not None:
+                srcs.discard(msg.src)
+        pr.matched = True
+        self._pending_live[pr.rank] -= 1
+        _purge_head(self._pending_recvs[pr.rank])
 
     # -- waits ----------------------------------------------------------------
     def _try_waitall(self, rs: _RankState, requests, relaxed: bool):
@@ -537,7 +734,10 @@ class Engine:
             inst.completion = start + self.model.collective_cost(
                 inst.key, len(inst.group), inst.nbytes)
             # the caller resumes immediately; blocked participants are
-            # picked up by _resume_resumable on the next scheduler pass
+            # woken through the dirty set on the next scheduler pass
+            for r in inst.arrivals:
+                if r != rs.rank:
+                    self._dirty.add(r)
             rs.clock = inst.completion
             return None
         rs.blocked_kind = "collective"
@@ -545,33 +745,58 @@ class Engine:
         return _BLOCK
 
     # -- resumption -------------------------------------------------------------
+    def _try_resume(self, rs: _RankState, relaxed: bool) -> bool:
+        """Attempt to unblock one rank; True if it became READY."""
+        if rs.blocked_kind == "waitall":
+            res = self._try_waitall(rs, rs.blocked_data, relaxed)
+            if res is None:
+                return False
+            rs.pending_value = res
+        elif rs.blocked_kind == "waitany":
+            res = self._try_waitany(rs, rs.blocked_data, relaxed)
+            if res is None:
+                return False
+            rs.pending_value = res
+        elif rs.blocked_kind == "collective":
+            inst = rs.blocked_data
+            if inst.completion is None:
+                return False
+            rs.clock = inst.completion
+            rs.pending_value = None
+        else:  # pragma: no cover - defensive
+            raise AssertionError(rs.blocked_kind)
+        self._make_ready(rs)
+        return True
+
+    def _resume_dirty(self) -> None:
+        """Wake blocked ranks flagged by completions since the last pass.
+
+        A WaitAny rank holding a complete request stays dirty even when
+        it cannot resume yet: it is waiting on the safety horizon, which
+        moves whenever any other rank advances, so it must be polled.
+        Everything else leaves the dirty set until a new completion
+        re-flags it.
+        """
+        for rank in sorted(self._dirty):
+            rs = self._ranks[rank]
+            if rs.state != BLOCKED:
+                self._dirty.discard(rank)
+                continue
+            if self._try_resume(rs, relaxed=False):
+                self._dirty.discard(rank)
+            elif not (rs.blocked_kind == "waitany"
+                      and any(r.complete for r in rs.blocked_data)):
+                self._dirty.discard(rank)
+
     def _resume_resumable(self, relaxed: bool) -> bool:
+        """Full sweep over all blocked ranks (the rare all-blocked path)."""
         progress = False
         for rs in self._ranks:
             if rs.state != BLOCKED:
                 continue
-            if rs.blocked_kind == "waitall":
-                res = self._try_waitall(rs, rs.blocked_data, relaxed)
-                if res is None:
-                    continue
-                rs.pending_value = res
-            elif rs.blocked_kind == "waitany":
-                res = self._try_waitany(rs, rs.blocked_data, relaxed)
-                if res is None:
-                    continue
-                rs.pending_value = res
-            elif rs.blocked_kind == "collective":
-                inst = rs.blocked_data
-                if inst.completion is None:
-                    continue
-                rs.clock = inst.completion
-                rs.pending_value = None
-            else:  # pragma: no cover - defensive
-                raise AssertionError(rs.blocked_kind)
-            rs.state = READY
-            rs.blocked_kind = None
-            rs.blocked_data = None
-            progress = True
+            if self._try_resume(rs, relaxed):
+                self._dirty.discard(rs.rank)
+                progress = True
         return progress
 
     def _relaxed_progress(self) -> bool:
@@ -588,10 +813,10 @@ class Engine:
     # -- termination ------------------------------------------------------------
     def _on_rank_done(self, rs: _RankState) -> None:
         # A finished rank cannot post new sends; wildcard horizons improve.
-        if self._pending_recvs[rs.rank]:
+        if self._pending_live[rs.rank]:
             raise MPIUsageError(
                 f"rank {rs.rank} finished with "
-                f"{len(self._pending_recvs[rs.rank])} unmatched receives")
+                f"{self._pending_live[rs.rank]} unmatched receives")
 
     def _describe_block(self, rs: _RankState) -> str:
         if rs.blocked_kind == "collective":

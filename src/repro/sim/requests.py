@@ -32,20 +32,18 @@ class Request:
     wait/test operations.
     """
 
-    __slots__ = ("kind", "rank", "seq", "completion", "status", "message")
-
-    _next_seq = 0
+    __slots__ = ("kind", "rank", "completion", "status", "message",
+                 "waiter")
 
     def __init__(self, kind: str, rank: int):
         if kind not in ("send", "recv"):
             raise ValueError(f"bad request kind: {kind}")
         self.kind = kind
         self.rank = rank
-        self.seq = Request._next_seq
-        Request._next_seq += 1
         self.completion: Optional[float] = None
         self.status: Optional[Status] = None
         self.message = None  # the Message this request produced/consumed
+        self.waiter: Optional[int] = None  # rank blocked on this request
 
     @property
     def complete(self) -> bool:

@@ -1,0 +1,193 @@
+"""Synthetic rank-program workloads for benchmarking and property tests.
+
+Every builder returns fresh generator programs for :class:`~repro.sim.engine.
+Engine.run`.  The mixes are chosen to stress the engine's distinct hot
+paths:
+
+* :func:`stencil_programs` — directed nearest-neighbour halo exchange
+  (channel FIFO matching, waitall resumption);
+* :func:`wildcard_programs` — a master draining ANY_SOURCE receives from
+  many workers (wildcard safety-horizon checks, deferred matching);
+* :func:`collective_programs` — repeated group collectives (arrival
+  tracking, group wakeup);
+* :func:`random_mix_programs` — a seeded random interleaving of all of the
+  above plus WaitAny, used by the determinism regression tests.
+
+The random mix is built from a *global* schedule precomputed with
+``random.Random(seed)``, so the same seed always describes the same
+programs; any difference between two runs is then attributable to the
+engine, not to the workload.  Per-round tags prevent cross-round wildcard
+stealing, which keeps every schedule deadlock-free by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generator, List, Sequence, Tuple
+
+from repro.sim.ops import (ANY_SOURCE, Collective, Compute, PostRecv,
+                           PostSend, WaitAll, WaitAny)
+
+__all__ = [
+    "stencil_programs",
+    "wildcard_programs",
+    "collective_programs",
+    "random_mix_programs",
+]
+
+
+def stencil_programs(nranks: int, iters: int = 100,
+                     nbytes: int = 4096) -> List[Generator]:
+    """1-D periodic halo exchange: every rank swaps with both neighbours
+    each iteration, then computes.  Purely directed traffic."""
+
+    def program(rank: int):
+        left = (rank - 1) % nranks
+        right = (rank + 1) % nranks
+        for it in range(iters):
+            s1 = yield PostSend(dst=left, nbytes=nbytes, tag=0)
+            s2 = yield PostSend(dst=right, nbytes=nbytes, tag=1)
+            r1 = yield PostRecv(src=right, tag=0)
+            r2 = yield PostRecv(src=left, tag=1)
+            yield WaitAll([s1, s2, r1, r2])
+            yield Compute(1e-6)
+
+    return [program(r) for r in range(nranks)]
+
+
+def wildcard_programs(nranks: int, rounds: int = 50,
+                      nbytes: int = 256) -> List[Generator]:
+    """Master/worker: rank 0 posts one ANY_SOURCE receive per expected
+    message; workers send staggered bursts.  Every match is a wildcard
+    match and most require a safety-horizon decision."""
+    if nranks < 2:
+        raise ValueError("wildcard workload needs at least 2 ranks")
+
+    def master():
+        total = (nranks - 1) * rounds
+        batch = nranks - 1
+        done = 0
+        while done < total:
+            reqs = []
+            for _ in range(batch):
+                req = yield PostRecv(src=ANY_SOURCE, tag=0)
+                reqs.append(req)
+            yield WaitAll(reqs)
+            done += batch
+            yield Compute(5e-7)
+
+    def worker(rank: int):
+        for rnd in range(rounds):
+            yield Compute(1e-6 * (1 + ((rank + rnd) % 5)))
+            req = yield PostSend(dst=0, nbytes=nbytes, tag=0)
+            yield WaitAll([req])
+
+    return [master()] + [worker(r) for r in range(1, nranks)]
+
+
+def collective_programs(nranks: int, iters: int = 50,
+                        nbytes: int = 1024) -> List[Generator]:
+    """Alternating allreduce/barrier over the full world with skewed
+    compute, so arrival order varies per iteration."""
+    group = tuple(range(nranks))
+
+    def program(rank: int):
+        for it in range(iters):
+            yield Compute(1e-6 * (1 + (rank * 7 + it) % 4))
+            key = "allreduce" if it % 2 == 0 else "barrier"
+            yield Collective(group=group, key=key,
+                             nbytes=nbytes if key == "allreduce" else 0)
+
+    return [program(r) for r in range(nranks)]
+
+
+# -- seeded random mix -------------------------------------------------------
+
+def _build_schedule(nranks: int, rounds: int, seed: int) -> List[dict]:
+    """Precompute a deadlock-free global round schedule.
+
+    Each round is either a world collective or a point-to-point round
+    pairing disjoint (sender, receiver) couples.  Tags equal the round
+    number, so a wildcard posted in round *r* can only ever match a round
+    *r* message even if ranks drift out of phase.
+    """
+    rng = random.Random(seed)
+    schedule = []
+    for rnd in range(rounds):
+        if nranks >= 2 and rng.random() < 0.2:
+            key = rng.choice(["barrier", "allreduce", "bcast"])
+            schedule.append({"kind": "coll", "key": key,
+                             "nbytes": rng.choice([0, 64, 1024])})
+            continue
+        ranks = list(range(nranks))
+        rng.shuffle(ranks)
+        npairs = rng.randint(1, max(1, nranks // 2))
+        pairs = []
+        for i in range(npairs):
+            if 2 * i + 1 >= len(ranks):
+                break
+            src, dst = ranks[2 * i], ranks[2 * i + 1]
+            pairs.append({
+                "src": src, "dst": dst,
+                "nbytes": rng.choice([0, 128, 4096, 65536]),
+                "wildcard": rng.random() < 0.45,
+            })
+        schedule.append({
+            "kind": "p2p", "pairs": pairs,
+            "compute": {r: rng.random() * 2e-6 for r in range(nranks)},
+            "waitany": rng.random() < 0.3,
+        })
+    return schedule
+
+
+def random_mix_programs(nranks: int, rounds: int,
+                        seed: int) -> Tuple[List[Generator], List[tuple]]:
+    """Seeded random mix of directed/wildcard p2p, collectives, WaitAll
+    and WaitAny.
+
+    Returns ``(programs, log)``.  ``log`` is filled during the run with
+    one entry per completed receive round — ``(rank, round, statuses)``
+    tuples recording the matched source/tag/size of every receive — so a
+    digest of the log pins the engine's complete observable matching
+    behaviour, not just the makespan.
+    """
+    schedule = _build_schedule(nranks, rounds, seed)
+    group = tuple(range(nranks))
+    log: List[tuple] = []
+
+    def program(rank: int):
+        for rnd, spec in enumerate(schedule):
+            if spec["kind"] == "coll":
+                yield Collective(group=group, key=spec["key"],
+                                 nbytes=spec["nbytes"])
+                continue
+            sends = [p for p in spec["pairs"] if p["src"] == rank]
+            recvs = [p for p in spec["pairs"] if p["dst"] == rank]
+            reqs = []
+            for p in sends:
+                req = yield PostSend(dst=p["dst"], nbytes=p["nbytes"],
+                                     tag=rnd)
+                reqs.append(req)
+            rreqs = []
+            for p in recvs:
+                src = ANY_SOURCE if p["wildcard"] else p["src"]
+                req = yield PostRecv(src=src, tag=rnd)
+                rreqs.append(req)
+            if rreqs and spec["waitany"] and len(rreqs) >= 2:
+                order = []
+                remaining = list(rreqs)
+                while remaining:
+                    idx, st = yield WaitAny(remaining)
+                    order.append((st.source, st.tag, st.nbytes))
+                    remaining.pop(idx)
+                log.append((rank, rnd, tuple(order)))
+                yield WaitAll(reqs)
+            else:
+                sts = yield WaitAll(reqs + rreqs)
+                if rreqs:
+                    log.append((rank, rnd, tuple(
+                        (st.source, st.tag, st.nbytes)
+                        for st in sts[len(reqs):])))
+            yield Compute(spec["compute"][rank])
+
+    return [program(r) for r in range(nranks)], log

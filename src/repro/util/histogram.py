@@ -60,6 +60,8 @@ class TimeHistogram:
             self.max = t
 
     def merge(self, other: "TimeHistogram") -> None:
+        if not other.count:
+            return
         for idx, (c, s) in other.bins.items():
             c0, s0 = self.bins.get(idx, (0, 0.0))
             self.bins[idx] = (c0 + c, s0 + s)
