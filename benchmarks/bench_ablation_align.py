@@ -18,7 +18,7 @@ from repro.errors import GenerationError
 from repro.generator import (align_collectives, generate_benchmark,
                              needs_alignment, trace_application)
 from repro.mpi.hooks import COLLECTIVE_OPS
-from repro.scalatrace.rsd import EventNode, LoopNode
+from repro.scalatrace.rsd import EventNode
 from repro.sim import SimpleModel
 from repro.tools import render_table
 

@@ -9,7 +9,6 @@ and a 1-D stencil, and the resulting generated-source sizes.
 Run with:  pytest benchmarks/bench_ablation_compression.py --benchmark-only -s
 """
 
-import pytest
 
 from repro.apps import make_app
 from repro.generator import generate_benchmark, trace_application

@@ -1,0 +1,162 @@
+"""Fault sweep: what-if acceleration x message-loss rate (Fig. 7 style).
+
+The paper's §5.4 what-if methodology re-runs one generated communication
+specification under changed platform parameters.  This harness extends
+the axis set with *misbehaving* platforms: the Jacobi benchmark is
+generated once, its COMPUTE statements are scaled to several
+acceleration levels, and each variant is executed under fault plans of
+increasing message-loss rate (drops are retransmitted after exponential
+backoff, so loss converts into injected latency).
+
+Recorded invariants, asserted here and by CI:
+
+* fixed-seed fault runs are bit-deterministic (identical makespans on
+  repeated runs);
+* a zero-rate plan is byte-identical to the fault-free baseline;
+* makespan degrades monotonically as the loss rate rises, at every
+  acceleration level (the hash-threshold drop decisions make each loss
+  set a superset of the previous one).
+
+Results land in ``benchmarks/BENCH_fault_sweep.json``.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_fault_sweep.py
+    PYTHONPATH=src python benchmarks/bench_fault_sweep.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import generate_from_application, scale_compute  # noqa: E402
+from repro.apps import make_app  # noqa: E402
+from repro.faults import FaultInjector, FaultPlan  # noqa: E402
+from repro.sim.network import make_model  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__),
+                           "BENCH_fault_sweep.json")
+
+APP = "jacobi"
+NRANKS = 8
+CLS = "S"
+PLATFORM = "bluegene"
+SEED = 2011  # the paper's year; any fixed value works
+
+LOSS_RATES = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2]
+ACCEL_PCTS = [100, 50, 25]
+QUICK_LOSS_RATES = [0.0, 0.02, 0.1]
+QUICK_ACCEL_PCTS = [100, 50]
+
+
+def _plan(loss: float) -> FaultPlan:
+    # generous retry budget: the sweep measures degradation-by-delay, so
+    # no message may be permanently lost (which would deadlock the app)
+    return FaultPlan(seed=SEED, drop_rate=loss, max_retries=12)
+
+
+def run_sweep(loss_rates, accel_pcts) -> dict:
+    model = make_model(PLATFORM)
+    bench = generate_from_application(make_app(APP, NRANKS, CLS), NRANKS,
+                                      model=model)
+    grid: dict = {}
+    for pct in accel_pcts:
+        variant = scale_compute(bench.program, pct / 100.0)
+        row = {}
+        for loss in loss_rates:
+            faults = (FaultInjector(_plan(loss)) if loss else None)
+            result, _ = variant.run(NRANKS, model=model, faults=faults)
+            cell = {"makespan_s": result.total_time,
+                    "messages": result.messages_sent}
+            if faults is not None:
+                snap = faults.snapshot()
+                cell["retries"] = snap["retries"]
+                cell["drops"] = snap["drops"]
+                cell["lost"] = snap["lost"]
+            row[f"{loss:g}"] = cell
+        grid[f"{pct}%"] = row
+    return grid
+
+
+def check_invariants(grid: dict, loss_rates, accel_pcts) -> None:
+    model = make_model(PLATFORM)
+    bench = generate_from_application(make_app(APP, NRANKS, CLS), NRANKS,
+                                      model=model)
+
+    # zero-rate plan is byte-identical to the no-plan baseline
+    base, _ = bench.program.run(NRANKS, model=model)
+    nulled, _ = bench.program.run(NRANKS, model=model,
+                                  faults=FaultInjector(FaultPlan(seed=SEED)))
+    assert nulled.total_time == base.total_time, \
+        "all-zero fault plan must be byte-identical to the baseline"
+
+    # fixed-seed runs are bit-deterministic
+    probe = loss_rates[-1]
+    again, _ = bench.program.run(NRANKS, model=model,
+                                 faults=FaultInjector(_plan(probe)))
+    ref = grid[f"{accel_pcts[0]}%"][f"{probe:g}"]
+    assert again.total_time == ref["makespan_s"], \
+        "fixed-seed fault run must be bit-deterministic"
+
+    # monotone degradation along the loss axis, at every acceleration
+    for pct in accel_pcts:
+        row = grid[f"{pct}%"]
+        times = [row[f"{loss:g}"]["makespan_s"] for loss in loss_rates]
+        for lo, hi, t_lo, t_hi in zip(loss_rates, loss_rates[1:],
+                                      times, times[1:]):
+            assert t_hi >= t_lo, \
+                (f"accel {pct}%: makespan must not improve as loss rises "
+                 f"({lo:g}: {t_lo:.6g}s -> {hi:g}: {t_hi:.6g}s)")
+        assert all(row[f"{loss:g}"].get("lost", 0) == 0
+                   for loss in loss_rates if loss), \
+            "retry budget must cover every drop in this sweep"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI-sized grid")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="output JSON path (default benchmarks/"
+                         "BENCH_fault_sweep.json); '-' to skip writing")
+    args = ap.parse_args(argv)
+
+    loss_rates = QUICK_LOSS_RATES if args.quick else LOSS_RATES
+    accel_pcts = QUICK_ACCEL_PCTS if args.quick else ACCEL_PCTS
+
+    grid = run_sweep(loss_rates, accel_pcts)
+    check_invariants(grid, loss_rates, accel_pcts)
+
+    header = (f"loss ->   " + "".join(f"{loss:>10g}" for loss in loss_rates))
+    print(f"fault sweep: {APP} class {CLS}, np={NRANKS}, {PLATFORM} "
+          f"(seed {SEED}, makespans in us)")
+    print(header)
+    for pct in accel_pcts:
+        row = grid[f"{pct}%"]
+        cells = "".join(f"{row[f'{loss:g}']['makespan_s'] * 1e6:>10.1f}"
+                        for loss in loss_rates)
+        print(f"compute {pct:>3}% {cells}")
+
+    results = {"app": APP, "nranks": NRANKS, "cls": CLS,
+               "platform": PLATFORM, "seed": SEED,
+               "mode": "quick" if args.quick else "full",
+               "python": platform.python_version(),
+               "grid": grid}
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    print("invariants ok: deterministic, null-plan identical, "
+          "monotone degradation")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

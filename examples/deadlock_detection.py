@@ -11,12 +11,20 @@ binding — and its traversal detects that the trace admits a deadlocking
 execution, reporting the cycle instead of generating a benchmark that
 might hang (§4.4).
 
+A second flavor lives one layer down: the *simulator* detects hangs at
+run time and attaches a structured :class:`DeadlockDiagnostic` to the
+exception — per-rank blocked operations, explicit waits-on edges, and
+the extracted wait-for cycle (or the crashed/lost peers that starved
+the waiters, when faults are involved; see docs/FAULTS.md).
+
 Run:  python examples/deadlock_detection.py
 """
 
-from repro.errors import TraceDeadlockError
+from repro.errors import SimDeadlockError, TraceDeadlockError
+from repro.faults import FaultInjector, FaultPlan
 from repro.generator import generate_benchmark
 from repro.mpi import ANY_SOURCE
+from repro.mpi.world import run_spmd
 from repro.scalatrace.compress import CompressionQueue
 from repro.scalatrace.merge import merge_traces
 from repro.scalatrace.rsd import Trace
@@ -43,6 +51,45 @@ def fig5_trace() -> Trace:
     return merge_traces([t0, t1, t2])
 
 
+def ring_deadlock(mpi):
+    """Every rank posts a blocking receive from its left neighbour before
+    anyone sends: the textbook wait-for cycle over the whole ring."""
+    left = (mpi.rank - 1) % mpi.size
+    yield from mpi.recv(source=left)
+    yield from mpi.send(dest=(mpi.rank + 1) % mpi.size, nbytes=64)
+    yield from mpi.finalize()
+
+
+def fan_in(mpi):
+    """Rank 0 collects one message from every peer — correct code, which
+    a lossy network can still starve."""
+    if mpi.rank == 0:
+        for src in range(1, mpi.size):
+            yield from mpi.recv(source=src)
+    else:
+        yield from mpi.send(dest=0, nbytes=64)
+    yield from mpi.finalize()
+
+
+def simulator_diagnostics():
+    print("\n--- simulator-level diagnostics " + "-" * 35)
+    print("\nrunning a 4-rank ring where everyone receives first...")
+    try:
+        run_spmd(ring_deadlock, 4)
+    except SimDeadlockError as exc:
+        print(exc.diagnostic.render(indent="  "))
+
+    print("\nrunning a correct fan-in under a 100%-loss fault plan "
+          "(docs/FAULTS.md)...")
+    plan = FaultPlan(seed=7, drop_rate=1.0, max_retries=0)
+    try:
+        run_spmd(fan_in, 3, faults=FaultInjector(plan))
+    except SimDeadlockError as exc:
+        print(exc.diagnostic.render(indent="  "))
+        report = exc.partial.fault_report
+        print(f"  messages lost on the wire: {report.counters['lost']}")
+
+
 def main():
     trace = fig5_trace()
     print("trace of the Fig. 5 program:")
@@ -63,6 +110,7 @@ def main():
         print("\nThe detection is *sufficient*, not necessary (§4.4): it "
               "examines this trace's event\nordering, not every "
               "interleaving — unlike a full verifier such as DAMPI.")
+        simulator_diagnostics()
         return
     raise SystemExit("expected a TraceDeadlockError!")
 

@@ -171,10 +171,16 @@ def cmd_replay(args):
 
 def cmd_pipeline(args):
     """The full Fig. 1 flow in one command, with per-stage reporting."""
+    plan = None
+    if args.fault_plan:
+        from repro.faults import load_fault_plan
+        plan = load_fault_plan(args.fault_plan)
     config = PipelineConfig(app=args.app, nranks=args.np, cls=args.cls,
                             platform=args.platform,
                             use_cache=not args.no_cache,
-                            cache_dir=args.cache_dir)
+                            cache_dir=args.cache_dir,
+                            fault_plan=plan,
+                            stage_retries=args.stage_retries)
     with _metrics(args) as inst:
         result = full_pipeline(run=not args.no_run).run(config)
     print(result.report())
@@ -182,12 +188,68 @@ def cmd_pipeline(args):
             for r in result.records if r.cache == "hit"]
     if hits:
         print(f"cache hit: {', '.join(hits)}")
+    if result.fault_report is not None:
+        print(result.fault_report.render())
     if args.output:
-        _write_atomic(args.output, result.source)
-        print(f"wrote {args.output}")
+        if result.source is None:
+            print(f"no generated source to write to {args.output} "
+                  "(degraded run)", file=sys.stderr)
+        else:
+            _write_atomic(args.output, result.source)
+            print(f"wrote {args.output}")
     if args.report:
         print(inst.report())
+    return 1 if result.degraded else 0
+
+
+def cmd_faults_template(args):
+    from repro.faults import TEMPLATE
+    if args.output:
+        _write_atomic(args.output, TEMPLATE)
+        print(f"wrote {args.output}")
+    else:
+        print(TEMPLATE, end="")
     return 0
+
+
+def cmd_faults_validate(args):
+    from repro.errors import FaultPlanError
+    from repro.faults import load_fault_plan
+    try:
+        plan = load_fault_plan(args.plan)
+    except FaultPlanError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {plan.describe()} (digest {plan.digest()})")
+    return 0
+
+
+def cmd_faults_run(args):
+    from repro.apps import make_app
+    from repro.errors import SimulationError
+    from repro.faults import FaultInjector, load_fault_plan
+    from repro.mpi.world import run_spmd
+    from repro.sim.network import make_model
+    plan = load_fault_plan(args.plan)
+    faults = FaultInjector(plan)
+    program = make_app(args.app, args.np, args.cls)
+    with _metrics(args):
+        try:
+            result = run_spmd(program, args.np,
+                              model=make_model(args.platform),
+                              faults=faults)
+        except SimulationError as exc:
+            partial = getattr(exc, "partial", None)
+            if partial is None:
+                raise
+            print(f"simulation failed: {exc}")
+            print(partial.fault_report.render())
+            return 1
+    print(f"ran {args.app} (class {args.cls}, {args.np} ranks) on "
+          f"{args.platform} under plan {args.plan}: "
+          f"{result.total_time * 1e6:.1f} us total")
+    print(result.fault_report.render())
+    return 1 if result.degraded else 0
 
 
 def cmd_extrapolate(args):
@@ -297,9 +359,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bypass the artifact cache entirely")
     p.add_argument("--report", action="store_true",
                    help="also print the per-layer instrumentation report")
+    p.add_argument("--fault-plan", metavar="FILE",
+                   help="subject simulation stages to the fault plan "
+                        "(YAML/JSON; see 'repro faults template')")
+    p.add_argument("--stage-retries", type=int, default=0,
+                   help="re-run a failed stage up to N times")
     _add_platform(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("faults",
+                       help="work with fault-injection plans "
+                            "(template/validate/run)")
+    fsub = p.add_subparsers(dest="faults_command", required=True)
+
+    fp = fsub.add_parser("template",
+                         help="print a commented fault-plan template")
+    fp.add_argument("-o", "--output",
+                    help="write the template here instead of stdout")
+    fp.set_defaults(func=cmd_faults_template)
+
+    fp = fsub.add_parser("validate", help="check a fault-plan file")
+    fp.add_argument("plan")
+    fp.set_defaults(func=cmd_faults_validate)
+
+    fp = fsub.add_parser("run",
+                         help="run an application under a fault plan and "
+                              "print the fault report")
+    fp.add_argument("--app", required=True, choices=sorted(APPS))
+    fp.add_argument("--np", type=int, required=True)
+    fp.add_argument("--class", dest="cls", default="S",
+                    help="problem class (S/W/A/B/C)")
+    fp.add_argument("--plan", required=True, help="fault-plan file")
+    _add_platform(fp)
+    _add_metrics(fp)
+    fp.set_defaults(func=cmd_faults_run)
 
     p = sub.add_parser("extrapolate",
                        help="extrapolate small-rank traces to a larger "

@@ -12,7 +12,7 @@ Keyword normalization strips the plural/third-person ``S`` from verbs
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple
+from typing import List, NamedTuple
 
 from repro.errors import ConceptualSyntaxError
 

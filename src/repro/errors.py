@@ -20,17 +20,30 @@ class SimDeadlockError(SimulationError):
     """All live ranks are blocked and no operation can ever complete.
 
     Carries ``blocked``: a mapping of rank -> human-readable description of
-    the operation the rank is blocked on, for diagnostics.
+    the operation the rank is blocked on, and (when the engine built one)
+    ``diagnostic``: a structured
+    :class:`~repro.sim.diagnostics.DeadlockDiagnostic` with per-rank
+    blocked ops, waits-on edges, and the extracted wait-for cycle.
     """
 
-    def __init__(self, blocked):
+    def __init__(self, blocked, diagnostic=None):
         self.blocked = dict(blocked)
+        self.diagnostic = diagnostic
         detail = "; ".join(f"rank {r}: {d}" for r, d in sorted(self.blocked.items()))
-        super().__init__(f"simulated deadlock, all ranks blocked ({detail})")
+        message = f"simulated deadlock, all ranks blocked ({detail})"
+        if diagnostic is not None and diagnostic.cycle:
+            cycle = diagnostic.cycle + diagnostic.cycle[:1]
+            message += ("; wait-for cycle: "
+                        + " -> ".join(str(r) for r in cycle))
+        super().__init__(message)
 
 
 class MPIUsageError(SimulationError):
     """An application used the MPI layer incorrectly (bad peer, bad comm...)."""
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed: bad field, bad rate, unparsable file."""
 
 
 class TraceError(ReproError):

@@ -1,0 +1,142 @@
+"""Deterministic fault injection: every decision is a pure hash.
+
+The injector answers the engine's questions — "is this transmission
+attempt dropped?", "is this message duplicated?", "how slow is this link
+right now?" — as pure functions of ``(plan seed, decision kind, message
+identity)``.  There is no mutable RNG stream: decision *k* about message
+*n* hashes the same regardless of what was asked before it, so the fault
+pattern is independent of engine internals, identical across runs, and
+**monotone in the rates** (raising ``drop_rate`` drops a superset of the
+messages dropped at any lower rate — the property behind the benchmark's
+monotone-degradation curve).
+
+The injector also owns the fault counters (drops, retries, lost
+messages, duplicates, reorder delays, window hits) so the engine can
+flush one consistent :meth:`snapshot` to the obs bus and into fault
+reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, NamedTuple, Tuple
+
+from repro.faults.plan import FaultPlan
+
+_INF = float("inf")
+_SCALE = float(1 << 64)
+
+
+class SendFate(NamedTuple):
+    """What the messaging layer did to one logical message."""
+
+    delay: float      # extra seconds added to the message's arrival
+    retries: int      # retransmission attempts that were needed
+    lost: bool        # every attempt (1 + max_retries) was dropped
+    duplicate: bool   # a spurious second copy also hit the wire
+
+
+class FaultInjector:
+    """Stateless decisions + stateful counters for one simulation run.
+
+    One injector drives one :class:`~repro.sim.engine.Engine` run (the
+    counters are per-run); the underlying plan is immutable and can be
+    shared freely.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        #: False for null plans — the engine skips fault hooks entirely,
+        #: which is what makes the null-plan byte-identity guarantee
+        #: trivially robust instead of resting on floating-point no-ops.
+        self.active = not plan.is_null()
+        self._seed = struct.pack("<q", plan.seed)
+        self._straggler: Dict[int, float] = dict(plan.stragglers)
+        self._crash: Dict[int, float] = {}
+        for rank, t in plan.crashes:
+            self._crash[rank] = min(t, self._crash.get(rank, _INF))
+        self.counters: Dict[str, int] = {
+            "messages": 0, "drops": 0, "retries": 0, "lost": 0,
+            "duplicates": 0, "reordered": 0, "window_hits": 0,
+        }
+        self.delay_injected = 0.0
+
+    # -- the deterministic coin ---------------------------------------------
+    def _unit(self, kind: str, *ids: int) -> float:
+        """Uniform [0, 1) as a pure hash of (seed, kind, ids)."""
+        h = hashlib.blake2b(digest_size=8)
+        h.update(self._seed)
+        h.update(kind.encode("ascii"))
+        for i in ids:
+            h.update(struct.pack("<q", i))
+        return int.from_bytes(h.digest(), "little") / _SCALE
+
+    # -- message-level decisions --------------------------------------------
+    def send_fate(self, seq: int) -> SendFate:
+        """Drop/retry/duplicate/reorder outcome for message ``seq``.
+
+        Attempt ``k`` of message ``seq`` is dropped iff
+        ``unit("drop", seq, k) < drop_rate``; the first surviving attempt
+        delivers the message after the failed attempts' timeouts
+        (exponential backoff).  If all ``1 + max_retries`` attempts drop,
+        the message is lost for good.
+        """
+        plan = self.plan
+        self.counters["messages"] += 1
+        delay = 0.0
+        retries = 0
+        lost = False
+        if plan.drop_rate > 0.0:
+            timeout = plan.retry_timeout
+            attempts = plan.max_retries + 1
+            while retries < attempts and \
+                    self._unit("drop", seq, retries) < plan.drop_rate:
+                self.counters["drops"] += 1
+                delay += timeout
+                timeout *= plan.retry_backoff
+                retries += 1
+            if retries == attempts:
+                lost = True
+                self.counters["lost"] += 1
+                delay = 0.0
+            self.counters["retries"] += min(retries, plan.max_retries)
+        duplicate = False
+        if not lost:
+            if plan.duplicate_rate > 0.0 and \
+                    self._unit("dup", seq) < plan.duplicate_rate:
+                duplicate = True
+                self.counters["duplicates"] += 1
+            if plan.reorder_rate > 0.0 and plan.reorder_max_delay > 0.0 \
+                    and self._unit("reorder", seq) < plan.reorder_rate:
+                delay += self._unit("rdelay", seq) * plan.reorder_max_delay
+                self.counters["reordered"] += 1
+            self.delay_injected += delay
+        return SendFate(delay, retries, lost, duplicate)
+
+    # -- per-link / per-rank modifiers --------------------------------------
+    def window_factors(self, dst: int, t: float) -> Tuple[float, float]:
+        """Compounded (latency_factor, bandwidth_factor) for a message
+        injected at virtual time ``t`` toward rank ``dst``."""
+        lat = bw = 1.0
+        for w in self.plan.windows:
+            if w.applies(dst, t):
+                lat *= w.latency_factor
+                bw *= w.bandwidth_factor
+        if lat != 1.0 or bw != 1.0:
+            self.counters["window_hits"] += 1
+        return lat, bw
+
+    def compute_factor(self, rank: int) -> float:
+        """Multiplier applied to this rank's Compute durations."""
+        return self._straggler.get(rank, 1.0)
+
+    def crash_time(self, rank: int) -> float:
+        """Virtual time at which ``rank`` stops executing (inf = never)."""
+        return self._crash.get(rank, _INF)
+
+    # -- reporting ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = dict(self.counters)
+        out["delay_injected_s"] = self.delay_injected
+        return out

@@ -1,0 +1,77 @@
+"""Fault reports: what a faulted run actually suffered.
+
+A :class:`FaultReport` aggregates the injector's counters with the
+engine's crash/starvation record and (when the run hung) the structured
+:class:`~repro.sim.diagnostics.DeadlockDiagnostic`.  It is the artifact
+the pipeline salvages from a crashed-rank run alongside the trace
+prefix, and what ``repro faults run`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass
+class FaultReport:
+    """Outcome summary of one simulation run under a fault plan."""
+
+    plan_digest: str
+    counters: Dict[str, float] = field(default_factory=dict)
+    crashed_ranks: Tuple[int, ...] = ()
+    starved_ranks: Tuple[int, ...] = ()
+    makespan: float = 0.0
+    #: structured deadlock/starvation diagnostic, when the run hung
+    diagnostic: Optional[Any] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run did not complete cleanly on every rank."""
+        return bool(self.crashed_ranks or self.starved_ranks
+                    or self.diagnostic is not None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "plan_digest": self.plan_digest,
+            "counters": dict(self.counters),
+            "crashed_ranks": list(self.crashed_ranks),
+            "starved_ranks": list(self.starved_ranks),
+            "makespan": self.makespan,
+            "degraded": self.degraded,
+        }
+        if self.diagnostic is not None:
+            out["diagnostic"] = self.diagnostic.to_dict()
+        return out
+
+    def render(self) -> str:
+        lines = [f"fault report (plan {self.plan_digest}):"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<18s} {self.counters[name]:g}")
+        lines.append(f"  {'makespan':<18s} {self.makespan * 1e6:.1f} us")
+        if self.crashed_ranks:
+            lines.append(f"  crashed ranks      "
+                         f"{list(self.crashed_ranks)}")
+        if self.starved_ranks:
+            lines.append(f"  starved ranks      "
+                         f"{list(self.starved_ranks)} "
+                         f"(blocked on crashed/lost peers)")
+        if self.diagnostic is not None:
+            lines.append(self.diagnostic.render(indent="  "))
+        if not self.degraded:
+            lines.append("  run completed on every rank")
+        return "\n".join(lines)
+
+
+def build_fault_report(engine, injector,
+                       diagnostic=None) -> FaultReport:
+    """Assemble the report for a finished (or salvaged) engine run."""
+    return FaultReport(
+        plan_digest=injector.plan.digest(),
+        counters=injector.snapshot(),
+        crashed_ranks=tuple(engine.crashed_ranks),
+        starved_ranks=tuple(engine.starved_ranks),
+        makespan=engine.total_time,
+        diagnostic=diagnostic if diagnostic is not None
+        else engine.diagnostic,
+    )

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-from repro.scalatrace.rsd import ParamField, Trace
+from repro.scalatrace.rsd import ParamField
 from repro.util.expr import ANY_SOURCE, ParamExpr
 from repro.util.valueseq import ValueSeq
 

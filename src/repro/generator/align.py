@@ -22,7 +22,7 @@ from repro.generator.rebuild import rebuild_trace
 from repro.generator.traversal import TraceScheduler
 from repro.mpi.hooks import COLLECTIVE_OPS
 from repro.scalatrace.compress import compress_node_list
-from repro.scalatrace.rsd import EventNode, LoopNode, Trace
+from repro.scalatrace.rsd import EventNode, Trace
 
 
 def _walk_events(nodes):

@@ -27,7 +27,7 @@ Comm_split/dup  SYNCHRONIZE (parent-communicator synchronization)
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.conceptual.ast_nodes import (MulticastStmt, Num, ReduceStmt,
                                         SingleTask, Stmt, SyncStmt,

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import TraceDeadlockError, TraceError
-from repro.mpi.hooks import COLLECTIVE_OPS
+from repro.mpi.hooks import COLLECTIVE_OPS, WAIT_OPS
 from repro.scalatrace.rsd import ConcreteEvent, Trace
 from repro.util.expr import ANY_SOURCE
 
@@ -164,7 +164,7 @@ class TraceScheduler:
             return True
         if op == "Recv":
             return self._post_recv(rank, ev, blocking=True)
-        if op in ("Wait", "Waitall"):
+        if op in WAIT_OPS:
             return self._process_wait(rank, ev)
         # unknown / neutral events never block
         return True

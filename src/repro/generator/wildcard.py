@@ -20,9 +20,8 @@ from __future__ import annotations
 from repro import obs
 from repro.generator.rebuild import rebuild_trace
 from repro.generator.traversal import TraceScheduler
-from repro.mpi.hooks import P2P_OPS
 from repro.scalatrace.compress import compress_node_list
-from repro.scalatrace.rsd import EventNode, LoopNode, ParamField, Trace
+from repro.scalatrace.rsd import EventNode, Trace
 from repro.util.expr import ANY_SOURCE
 
 

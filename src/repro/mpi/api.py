@@ -20,7 +20,7 @@ ranks, as in real MPI.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import MPIUsageError
 from repro.mpi.comm import Communicator
@@ -177,6 +177,62 @@ class MPIProcess:
                    nbytes=recv_bytes)
         return [self._convert_status(st, c) if r.kind == "recv" else None
                 for r, st, c in zip(requests, statuses, comms)]
+
+    def waitany(self, requests: Sequence[Request]):
+        """MPI_Waitany: block until (at least) one of the outstanding
+        operations completes; retires exactly that one.  Returns
+        ``(index, status)`` — the index into ``requests`` of the completed
+        operation, and its status (None for sends).
+
+        The traced event's ``wait_offsets`` names only the *completed*
+        request, so a replay retires the same operation the original run
+        did (the simulator is deterministic, so the same one completes)."""
+        cs = self._callsite()
+        t0 = self.now()
+        requests = list(requests)
+        self._offsets_of(requests)  # validate up front
+        idx, st = yield WaitAny(requests)
+        req = requests[idx]
+        offsets = self._offsets_of([req])
+        self._retire([req])
+        comm = self._req_comm.pop(id(req))
+        self._emit("Waitany", comm, t0, cs, wait_offsets=offsets,
+                   nbytes=st.nbytes if req.kind == "recv" else 0,
+                   matched_source=st.source if req.kind == "recv" else None)
+        return idx, (self._convert_status(st, comm)
+                     if req.kind == "recv" else None)
+
+    def waitsome(self, requests: Sequence[Request]):
+        """MPI_Waitsome: block until at least one outstanding operation
+        completes, then retire *every* operation already complete at that
+        virtual time.  Returns ``(indices, statuses)`` sorted by index.
+
+        As with :meth:`waitany`, the traced ``wait_offsets`` lists the
+        completed requests only."""
+        cs = self._callsite()
+        t0 = self.now()
+        requests = list(requests)
+        self._offsets_of(requests)  # validate up front
+        idx, st = yield WaitAny(requests)
+        done = [(idx, st)]
+        for i, req in enumerate(requests):
+            if i == idx:
+                continue
+            flag, st2 = yield Test(req)
+            if flag:
+                done.append((i, st2))
+        done.sort(key=lambda pair: pair[0])
+        reqs = [requests[i] for i, _ in done]
+        offsets = self._offsets_of(reqs)
+        self._retire(reqs)
+        comms = [self._req_comm.pop(id(r)) for r in reqs]
+        recv_bytes = sum(s.nbytes for (_, s), r in zip(done, reqs)
+                         if r.kind == "recv")
+        self._emit("Waitsome", self.comm_world, t0, cs,
+                   wait_offsets=offsets, nbytes=recv_bytes)
+        statuses = [self._convert_status(s, c) if r.kind == "recv" else None
+                    for (_, s), r, c in zip(done, reqs, comms)]
+        return [i for i, _ in done], statuses
 
     def test(self, request: Request):
         """MPI_Test: nonblocking completion probe.  Does not emit a trace

@@ -13,7 +13,7 @@ computation time as the gap between consecutive events (§3.1).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.mpi.comm import Communicator
 from repro.util.callsite import Callsite
@@ -28,8 +28,10 @@ COLLECTIVE_OPS = frozenset({
 #: Point-to-point events.
 P2P_OPS = frozenset({"Send", "Isend", "Recv", "Irecv"})
 
-#: Completion events.
-WAIT_OPS = frozenset({"Wait", "Waitall"})
+#: Completion events.  Every member folds to one coNCePTuaL AWAITS
+#: statement in the generator, so tools that normalize traces (compare,
+#: replay) must treat the whole family as one op.
+WAIT_OPS = frozenset({"Wait", "Waitall", "Waitany", "Waitsome"})
 
 
 class MPIEvent:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import inspect
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.errors import MPIUsageError
+from repro.errors import MPIUsageError, SimulationError
 from repro.mpi.api import MPIProcess
 from repro.mpi.comm import CommRegistry
 from repro.mpi.hooks import MPIHook
@@ -19,8 +19,9 @@ class World:
 
     def __init__(self, nranks: int, model: NetworkModel,
                  hooks: Optional[Sequence[MPIHook]] = None,
-                 max_steps: Optional[int] = None):
-        self.engine = Engine(nranks, model, max_steps=max_steps)
+                 max_steps: Optional[int] = None, faults=None):
+        self.engine = Engine(nranks, model, max_steps=max_steps,
+                             faults=faults)
         self.registry = CommRegistry(nranks)
         self.hooks: List[MPIHook] = list(hooks or [])
         self.split_data: Dict[tuple, Dict[int, tuple]] = {}
@@ -39,10 +40,27 @@ class SpmdResult:
         self.per_rank_times = [world.engine.now(r) for r in range(world.size)]
         self.messages_sent = world.engine.messages_sent
         self.bytes_sent = world.engine.bytes_sent
+        self.crashed_ranks = tuple(world.engine.crashed_ranks)
+        self.starved_ranks = tuple(world.engine.starved_ranks)
+        #: FaultReport when the run was driven by a fault injector
+        self.fault_report = None
+        if world.engine.faults is not None:
+            from repro.faults.report import build_fault_report
+            self.fault_report = build_fault_report(world.engine,
+                                                   world.engine.faults)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one rank crashed or starved."""
+        return bool(self.crashed_ranks or self.starved_ranks)
 
     def __repr__(self) -> str:
+        tail = ""
+        if self.degraded:
+            tail = (f", crashed={list(self.crashed_ranks)}, "
+                    f"starved={list(self.starved_ranks)}")
         return (f"SpmdResult(time={self.total_time:.6g}s, "
-                f"messages={self.messages_sent})")
+                f"messages={self.messages_sent}{tail})")
 
 
 def _wrap(program: Callable, mpi: MPIProcess):
@@ -61,18 +79,31 @@ def _wrap(program: Callable, mpi: MPIProcess):
 def run_spmd(program: Callable, nranks: int,
              model: Optional[NetworkModel] = None,
              hooks: Optional[Sequence[MPIHook]] = None,
-             max_steps: Optional[int] = None) -> SpmdResult:
+             max_steps: Optional[int] = None,
+             faults=None) -> SpmdResult:
     """Execute ``program`` on ``nranks`` simulated ranks.
 
     ``program(mpi)`` must be a generator function taking an
     :class:`MPIProcess` and must end with ``yield from mpi.finalize()``.
     Returns an :class:`SpmdResult`; hooks observe every MPI event and are
-    told when the run ends.
+    told when the run ends.  ``faults`` (a
+    :class:`~repro.faults.FaultInjector`) subjects the run to an injected
+    fault plan; when the faulted simulation dies (deadlock/livelock) the
+    raised :class:`SimulationError` carries a ``partial`` attribute with
+    the :class:`SpmdResult` of everything that executed before the hang,
+    and hooks still observe the end of the run — that is what lets the
+    pipeline salvage a trace prefix and fault report.
     """
     world = World(nranks, model or LogGPModel(), hooks=hooks,
-                  max_steps=max_steps)
+                  max_steps=max_steps, faults=faults)
     gens = [_wrap(program, MPIProcess(world, r)) for r in range(nranks)]
-    total = world.engine.run(gens)
+    try:
+        total = world.engine.run(gens)
+    except SimulationError as exc:
+        for hook in world.hooks:
+            hook.on_run_end(world)
+        exc.partial = SpmdResult(world, world.engine.total_time)
+        raise
     for hook in world.hooks:
         hook.on_run_end(world)
     return SpmdResult(world, total)

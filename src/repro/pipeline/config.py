@@ -19,6 +19,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional
 
 from repro.errors import PipelineConfigError
+from repro.faults.plan import FaultPlan
 
 #: problem classes accepted by the application suite
 _CLASSES = ("S", "W", "A", "B", "C")
@@ -48,6 +49,9 @@ class PipelineConfig:
     split_first_rest: bool = True      #: §4.5 first-iteration conditionals
     name: str = "generated"            #: benchmark program name
     max_steps: Optional[int] = None    #: simulator livelock guard
+    fault_plan: Optional[FaultPlan] = None  #: inject faults into sim runs
+    stage_retries: int = 0             #: re-run attempts for failed stages
+    stage_retry_backoff: float = 0.0   #: seconds slept before retry k (*2^k)
     use_cache: bool = False            #: consult/populate the artifact cache
     cache_dir: str = ".repro-cache"    #: artifact cache root directory
 
@@ -74,15 +78,35 @@ class PipelineConfig:
                 f"max_steps must be positive, got {self.max_steps}")
         if not self.name:
             raise PipelineConfigError("name must be non-empty")
+        if self.fault_plan is not None and not isinstance(self.fault_plan,
+                                                          FaultPlan):
+            raise PipelineConfigError(
+                f"fault_plan must be a FaultPlan, got "
+                f"{type(self.fault_plan).__name__}")
+        if self.stage_retries < 0:
+            raise PipelineConfigError(
+                f"stage_retries must be >= 0, got {self.stage_retries}")
+        if self.stage_retry_backoff < 0:
+            raise PipelineConfigError(
+                f"stage_retry_backoff must be >= 0, got "
+                f"{self.stage_retry_backoff}")
 
     def fingerprint(self) -> Dict[str, Any]:
         """Stable mapping of the fields that determine artifact content
         (cache bookkeeping fields are deliberately excluded)."""
         out = {}
         for f in fields(self):
-            if f.name in ("use_cache", "cache_dir"):
+            # retries are execution policy, not artifact content (every
+            # stage is deterministic, so a retry reproduces the result)
+            if f.name in ("use_cache", "cache_dir", "stage_retries",
+                          "stage_retry_backoff"):
                 continue
             out[f.name] = getattr(self, f.name)
+        # a fault plan enters the fingerprint by digest: a faulted trace
+        # is different content, but the plan object itself is not JSONable
+        if self.fault_plan is not None:
+            out["fault_plan"] = (None if self.fault_plan.is_null()
+                                 else self.fault_plan.digest())
         return out
 
     def replace(self, **changes) -> "PipelineConfig":

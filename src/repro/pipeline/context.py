@@ -128,6 +128,16 @@ class PipelineResult:
     def run_result(self):
         return self.artifacts.get("run_result")
 
+    @property
+    def fault_report(self):
+        """The FaultReport of the last faulted simulation stage, if any."""
+        return self.artifacts.get("fault_report")
+
+    @property
+    def degraded(self) -> bool:
+        """True when some stage salvaged a partial (crashed/hung) run."""
+        return bool(self.artifacts.get("degraded"))
+
     def cache_hits(self) -> int:
         return sum(1 for r in self.records if r.cache == "hit")
 

@@ -14,7 +14,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro import obs
-from repro.errors import PipelineError
+from repro.errors import PipelineError, ReproError
 from repro.pipeline.cache import cache_key
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.context import PipelineResult, RunContext
@@ -56,6 +56,15 @@ class Pipeline:
                               seconds=time.perf_counter() - t_start)
 
     def _run_stage(self, ctx: RunContext, stage: Stage) -> None:
+        # graceful degradation: once a simulation stage salvaged a partial
+        # (crashed/hung) run, downstream stages cannot trust the artifact
+        # — a crashed rank's trace prefix is not a runnable program — so
+        # the rest of the pipeline is skipped, keeping the prefix and the
+        # fault report as the run's outputs
+        if ctx.artifacts.get("degraded"):
+            ctx.record(stage.name, 0.0, "skipped",
+                       "degraded upstream (salvaged prefix only)")
+            return
         t0 = time.perf_counter()
         # advance the rolling content address
         parts = stage.key_parts(ctx)
@@ -69,11 +78,14 @@ class Pipeline:
             text = cache.get(ctx.key, stage.suffix)
             if text is not None:
                 detail = stage.deserialize(ctx, text)
+                # machine-readable record (CI asserts on this instead of
+                # scraping the human report)
+                obs.event("cache_hit", "pipeline.cache", stage=stage.name,
+                          key=ctx.key)
                 ctx.record(stage.name, time.perf_counter() - t0, "hit",
                            detail)
                 return
-        with obs.span(f"pipeline.{stage.name}"):
-            out = stage.run(ctx)
+        out = self._attempt(ctx, stage)
         # stages return a detail string, or (status, detail) to override
         # the cache status (e.g. "skipped" for a pass that wasn't needed)
         status, detail = out if isinstance(out, tuple) else (None, out)
@@ -81,8 +93,34 @@ class Pipeline:
             status = "off"
             if cache is not None and stage.cacheable and ctx.key:
                 cache.put(ctx.key, stage.serialize(ctx), stage.suffix)
+                obs.event("cache_miss", "pipeline.cache", stage=stage.name,
+                          key=ctx.key)
                 status = "miss"
         ctx.record(stage.name, time.perf_counter() - t0, status, detail)
+
+    def _attempt(self, ctx: RunContext, stage: Stage):
+        """Run the stage under the config's per-stage retry policy.
+
+        A stage that raises a :class:`ReproError` is re-run up to
+        ``stage_retries`` times (with exponential backoff sleeps when
+        ``stage_retry_backoff`` is set); the final failure propagates.
+        Non-repro exceptions are programming errors and never retried.
+        """
+        attempts = 1 + ctx.config.stage_retries
+        for attempt in range(attempts):
+            try:
+                with obs.span(f"pipeline.{stage.name}", attempt=attempt):
+                    return stage.run(ctx)
+            except ReproError as exc:
+                if attempt + 1 >= attempts:
+                    raise
+                obs.count("pipeline.stage_retries")
+                obs.event("stage_retry", "pipeline.retry",
+                          stage=stage.name, attempt=attempt,
+                          error=type(exc).__name__)
+                backoff = ctx.config.stage_retry_backoff
+                if backoff > 0:
+                    time.sleep(backoff * (2 ** attempt))
 
 
 def generation_stages() -> List[Stage]:

@@ -23,8 +23,32 @@ from __future__ import annotations
 import json
 from typing import Optional, Tuple
 
-from repro.errors import PipelineError
+from repro.errors import PipelineError, SimulationError
 from repro.pipeline.context import RunContext
+
+
+def _fault_injector(ctx: RunContext):
+    """A FaultInjector for the config's plan, or None when no (effective)
+    plan is set — the fault-free path never touches the faults package."""
+    plan = ctx.config.fault_plan
+    if plan is None or plan.is_null():
+        return None
+    from repro.faults import FaultInjector
+    return FaultInjector(plan)
+
+
+def _salvage(ctx: RunContext, exc: SimulationError, faults):
+    """Partial-artifact salvage: when a faulted simulation dies, keep the
+    :class:`SpmdResult` prefix the launcher attached to the error instead
+    of propagating.  Returns the partial result, or None when the failure
+    is not salvageable (no injector, or the error carries no partial)."""
+    partial = getattr(exc, "partial", None)
+    if faults is None or partial is None:
+        return None
+    ctx.artifacts["degraded"] = True
+    ctx.artifacts["fault_report"] = partial.fault_report
+    ctx.artifacts["fault_error"] = str(exc)
+    return partial
 
 
 class Stage:
@@ -67,7 +91,13 @@ class TraceStage(Stage):
 
     def key_parts(self, ctx):
         c = ctx.config
-        return ("trace", c.app, c.nranks, c.cls, c.platform, c.max_steps)
+        plan = c.fault_plan
+        # the plan digest keys the faulted trace separately from the
+        # clean one (and from other plans) so the cache cannot serve a
+        # degraded artifact to a fault-free run or vice versa
+        fault = (None if plan is None or plan.is_null() else plan.digest())
+        return ("trace", c.app, c.nranks, c.cls, c.platform, c.max_steps,
+                fault)
 
     def run(self, ctx):
         from repro.mpi.world import run_spmd
@@ -77,12 +107,29 @@ class TraceStage(Stage):
         nranks = ctx.config.nranks
         if nranks is None:
             raise PipelineError("TraceStage requires config.nranks")
-        run_spmd(ctx.program, nranks, model=ctx.model, hooks=hooks,
-                 max_steps=ctx.config.max_steps)
+        faults = _fault_injector(ctx)
+        try:
+            result = run_spmd(ctx.program, nranks, model=ctx.model,
+                              hooks=hooks, max_steps=ctx.config.max_steps,
+                              faults=faults)
+        except SimulationError as exc:
+            if _salvage(ctx, exc, faults) is None:
+                raise
+            trace = tracer.trace
+            ctx.artifacts["trace"] = trace
+            return ("salvaged",
+                    f"{trace.event_count()} events in "
+                    f"{trace.node_count()} nodes (prefix; {exc})")
         trace = tracer.trace
         ctx.artifacts["trace"] = trace
-        return (f"{trace.event_count()} events in "
-                f"{trace.node_count()} nodes")
+        detail = (f"{trace.event_count()} events in "
+                  f"{trace.node_count()} nodes")
+        if faults is not None:
+            ctx.artifacts["fault_report"] = result.fault_report
+            if result.degraded:
+                ctx.artifacts["degraded"] = True
+                return ("degraded", detail + " (crashed-rank prefix)")
+        return detail
 
     def serialize(self, ctx):
         from repro.scalatrace.serialize import dumps_trace
@@ -214,12 +261,29 @@ class RunStage(Stage):
         nranks = ctx.config.nranks
         if nranks is None:
             raise PipelineError("RunStage requires config.nranks")
-        result, logs = program.run(nranks, model=ctx.model,
-                                   hooks=ctx.hooks,
-                                   max_steps=ctx.config.max_steps)
+        faults = _fault_injector(ctx)
+        try:
+            result, logs = program.run(nranks, model=ctx.model,
+                                       hooks=ctx.hooks,
+                                       max_steps=ctx.config.max_steps,
+                                       faults=faults)
+        except SimulationError as exc:
+            partial = _salvage(ctx, exc, faults)
+            if partial is None:
+                raise
+            ctx.artifacts["run_result"] = partial
+            return ("salvaged",
+                    f"{partial.total_time * 1e6:.1f} us simulated "
+                    f"(prefix; {exc})")
         ctx.artifacts["run_result"] = result
         ctx.artifacts["logs"] = logs
-        return f"{result.total_time * 1e6:.1f} us simulated"
+        detail = f"{result.total_time * 1e6:.1f} us simulated"
+        if faults is not None:
+            ctx.artifacts["fault_report"] = result.fault_report
+            if result.degraded:
+                ctx.artifacts["degraded"] = True
+                return ("degraded", detail + " (crashed-rank prefix)")
+        return detail
 
 
 class ReplayStage(Stage):
@@ -235,11 +299,25 @@ class ReplayStage(Stage):
         from repro.tools.replay import replay_program
         from repro.mpi.world import run_spmd
         trace = ctx.require("trace")
-        result = run_spmd(
-            replay_program(trace,
-                           include_timing=ctx.config.include_timing),
-            trace.world_size, model=ctx.model, hooks=ctx.hooks,
-            max_steps=ctx.config.max_steps)
+        faults = _fault_injector(ctx)
+        try:
+            result = run_spmd(
+                replay_program(trace,
+                               include_timing=ctx.config.include_timing),
+                trace.world_size, model=ctx.model, hooks=ctx.hooks,
+                max_steps=ctx.config.max_steps, faults=faults)
+        except SimulationError as exc:
+            partial = _salvage(ctx, exc, faults)
+            if partial is None:
+                raise
+            ctx.artifacts["run_result"] = partial
+            return ("salvaged",
+                    f"{partial.total_time * 1e6:.1f} us simulated, "
+                    f"{partial.messages_sent} messages (prefix; {exc})")
         ctx.artifacts["run_result"] = result
+        if faults is not None:
+            ctx.artifacts["fault_report"] = result.fault_report
+            if result.degraded:
+                ctx.artifacts["degraded"] = True
         return (f"{result.total_time * 1e6:.1f} us simulated, "
                 f"{result.messages_sent} messages")

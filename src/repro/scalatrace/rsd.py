@@ -18,7 +18,7 @@ of duplicating nodes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import TraceError
 from repro.util.expr import ParamExpr

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.mpi.hooks import MPIEvent, MPIHook
+from repro.mpi.hooks import MPIEvent, MPIHook, WAIT_OPS
 from repro.scalatrace.compress import CompressionQueue, DEFAULT_MAX_WINDOW
 from repro.scalatrace.merge import merge_traces
 from repro.scalatrace.rsd import Trace
@@ -48,7 +48,7 @@ class ScalaTraceHook(MPIHook):
             peer = event.peer
             tag = event.tag
             size = event.nbytes
-        elif op in ("Wait", "Waitall"):
+        elif op in WAIT_OPS:
             offsets = event.wait_offsets
         else:  # collectives (incl. Comm_split/Comm_dup/Finalize)
             size = event.nbytes

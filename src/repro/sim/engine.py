@@ -46,10 +46,12 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.errors import MPIUsageError, SimDeadlockError, SimulationError
+from repro.sim.diagnostics import (BlockedOp, DeadlockDiagnostic,
+                                   find_cycle)
 from repro.sim.network import NetworkModel
 from repro.sim.ops import (ANY_SOURCE, ANY_TAG, Collective, Compute, Op,
                            PostRecv, PostSend, Test, WaitAll, WaitAny)
@@ -67,11 +69,11 @@ _INF = float("inf")
 class _Message:
     __slots__ = ("seq", "src", "dst", "tag", "comm_id", "nbytes", "post_time",
                  "inject_time", "protocol", "throttled", "charged", "sreq",
-                 "arrival", "matched")
+                 "arrival", "matched", "fault_delay")
 
     def __init__(self, seq, src, dst, tag, comm_id, nbytes, post_time,
                  inject_time, protocol, throttled, charged, sreq,
-                 arrival=None):
+                 arrival=None, fault_delay=0.0):
         self.seq = seq                # per-engine, allocated in post order
         self.src = src
         self.dst = dst
@@ -86,6 +88,7 @@ class _Message:
         self.sreq = sreq
         self.arrival = arrival        # fixed arrival (wire-queued eager)
         self.matched = False          # tombstone: matched, awaiting purge
+        self.fault_delay = fault_delay  # injected retransmit/reorder delay
 
 
 class _PendingRecv:
@@ -139,12 +142,21 @@ class Engine:
     """Run a set of rank generator programs to completion in virtual time."""
 
     def __init__(self, nranks: int, model: NetworkModel,
-                 max_steps: Optional[int] = None):
+                 max_steps: Optional[int] = None, faults=None):
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         self.nranks = nranks
         self.model = model
         self.max_steps = max_steps
+        #: the FaultInjector driving this run, if any; a null-plan
+        #: injector deactivates itself so the no-fault path is untouched
+        self.faults = faults
+        self._faults = faults if faults is not None and faults.active \
+            else None
+        self._crash_at: Optional[List[float]] = None
+        self.crashed_ranks: List[int] = []
+        self.starved_ranks: List[int] = []
+        self.diagnostic: Optional[DeadlockDiagnostic] = None
         self._ranks: List[_RankState] = []
         # (src, dst, comm_id) -> deque of _Message in send order (matched
         # messages are tombstoned in place and purged from the head)
@@ -217,6 +229,9 @@ class Engine:
             raise ValueError(
                 f"expected {self.nranks} programs, got {len(programs)}")
         self._ranks = [_RankState(i, g) for i, g in enumerate(programs)]
+        if self._faults is not None:
+            self._crash_at = [self._faults.crash_time(i)
+                              for i in range(self.nranks)]
         for i in range(self.nranks):
             self._pending_recvs[i] = deque()
             self._pending_live[i] = 0
@@ -253,6 +268,12 @@ class Engine:
                     self.deadlock_checks += 1
                     if self._relaxed_progress():
                         continue
+                    if self.crashed_ranks:
+                        # graceful degradation: ranks waiting on a crashed
+                        # peer can never progress — record the diagnostic
+                        # and end the run so its trace prefix survives
+                        self._starve_blocked()
+                        break
                     self._raise_deadlock()
             finally:
                 self._flush_counters()
@@ -268,6 +289,13 @@ class Engine:
         obs.count("engine.messages_sent", self.messages_sent)
         obs.count("engine.bytes_sent", self.bytes_sent)
         obs.count("engine.overload_events", self.overload_events)
+        if self._faults is not None:
+            for name, value in sorted(self._faults.snapshot().items()):
+                obs.count(f"engine.fault.{name}", value)
+            obs.count("engine.fault.crashed_ranks",
+                      len(self.crashed_ranks))
+            obs.count("engine.fault.starved_ranks",
+                      len(self.starved_ranks))
 
     @property
     def total_time(self) -> float:
@@ -332,6 +360,10 @@ class Engine:
         value = rs.pending_value
         rs.pending_value = None
         while True:
+            if self._crash_at is not None and \
+                    rs.clock >= self._crash_at[rs.rank]:
+                self._crash_rank(rs)
+                return
             self.steps += 1
             if self.max_steps is not None and self.steps > self.max_steps:
                 raise SimulationError(
@@ -350,7 +382,11 @@ class Engine:
 
     def _apply(self, rs: _RankState, op: Op):
         if isinstance(op, Compute):
-            rs.clock += op.duration
+            if self._faults is not None:
+                rs.clock += op.duration * \
+                    self._faults.compute_factor(rs.rank)
+            else:
+                rs.clock += op.duration
             return None
         if isinstance(op, PostSend):
             return self._apply_send(rs, op)
@@ -408,10 +444,15 @@ class Engine:
                 f"rank {rs.rank} sends to nonexistent rank {op.dst}")
         model = self.model
         req = Request("send", rs.rank)
+        req.peer = op.dst
         post_time = rs.clock
         rs.clock += model.send_overhead(op.nbytes)
         inject = rs.clock
         eager = op.nbytes <= model.eager_threshold
+        fate = None
+        if self._faults is not None:
+            fate = self._faults.send_fate(self._msg_seq)
+        lost = fate is not None and fate.lost
         charged = False
         throttled = False
         arrival = None
@@ -447,7 +488,34 @@ class Engine:
             start = max(reach, self._wire_free[op.dst])
             arrival = start + model.eject_time(op.nbytes)
             self._wire_free[op.dst] = arrival
-        if eager:
+        fault_delay = 0.0
+        if fate is not None and not lost:
+            fault_delay = fate.delay
+            lat_f, bw_f = self._faults.window_factors(op.dst, inject)
+            if lat_f != 1.0 or bw_f != 1.0:
+                base = model.transit_time(0)
+                extra = (lat_f - 1.0) * base + (bw_f - 1.0) * \
+                    (model.transit_time(op.nbytes) - base)
+                fault_delay += extra
+                self._faults.delay_injected += extra
+            if arrival is not None and fault_delay:
+                # wire-queued eager: bake the injected delay into the
+                # fixed arrival and keep the ejection link busy until
+                # the late (retransmitted/degraded) copy lands
+                arrival += fault_delay
+                self._wire_free[op.dst] = arrival
+                fault_delay = 0.0
+            if fate.duplicate:
+                # the spurious copy consumes receive-side resources
+                if model.wire_queueing:
+                    self._wire_free[op.dst] += model.eject_time(op.nbytes)
+                else:
+                    self._rx_busy[op.dst] += model.recv_overhead(op.nbytes)
+        if eager and lost:
+            # every transmission attempt dropped: the buffered send still
+            # completes locally, but nothing ever arrives at the receiver
+            req.completion = inject
+        elif eager:
             preposted = self._has_compatible_recv(op.dst, rs.rank, op.tag,
                                                   op.comm_id)
             if not preposted:
@@ -462,9 +530,16 @@ class Engine:
         msg = _Message(self._msg_seq, rs.rank, op.dst, op.tag, op.comm_id,
                        op.nbytes, post_time, inject,
                        "eager" if eager else "rdv", throttled, charged, req,
-                       arrival=arrival)
+                       arrival=arrival, fault_delay=fault_delay)
         self._msg_seq += 1
         req.message = msg
+        if lost:
+            # a rendezvous send whose message is lost never completes —
+            # the sender's wait will block and (absent other progress)
+            # surface as a structured deadlock/starvation diagnostic
+            self.messages_sent += 1
+            self.bytes_sent += op.nbytes
+            return req
         key = (rs.rank, op.dst, op.comm_id)
         chan = self._channels.get(key)
         if chan is None:
@@ -502,6 +577,7 @@ class Engine:
             raise MPIUsageError(
                 f"rank {rs.rank} receives from nonexistent rank {op.src}")
         req = Request("recv", rs.rank)
+        req.peer = op.src
         pr = _PendingRecv(self._pr_seq, rs.rank, op.src, op.tag, op.comm_id,
                           rs.clock, req)
         self._pr_seq += 1
@@ -522,11 +598,15 @@ class Engine:
         if msg.protocol == "eager":
             t = (msg.arrival if msg.arrival is not None
                  else msg.inject_time + model.transit_time(msg.nbytes))
+            if msg.fault_delay:
+                t += msg.fault_delay
             if msg.throttled:
                 t += model.stall_penalty(msg.nbytes)
             return t
         # rendezvous: data moves once both sides are ready
         handshake = msg.inject_time + self._min_latency
+        if msg.fault_delay:
+            handshake += msg.fault_delay
         return max(handshake, recv_post) + model.transit_time(msg.nbytes)
 
     def _first_compatible_in_channel(self, key, tag) -> Optional[_Message]:
@@ -810,6 +890,30 @@ class Engine:
             return True
         return False
 
+    # -- faults ------------------------------------------------------------
+    def _crash_rank(self, rs: _RankState) -> None:
+        """Rank ``rs`` hits its plan crash time: it stops executing, its
+        generator is closed, and anything it owes other ranks is simply
+        never produced (they starve gracefully, see
+        :meth:`_starve_blocked`)."""
+        rs.state = DONE
+        self._done_count += 1
+        self.crashed_ranks.append(rs.rank)
+        rs.gen.close()
+
+    def _starve_blocked(self) -> None:
+        """End a run in which the remaining blocked ranks wait on crashed
+        peers.  Builds the structured diagnostic first (the blocked set
+        is the interesting part), then retires every blocked rank at its
+        current clock so the run terminates with a partial result."""
+        self.diagnostic = self._build_diagnostic()
+        for rs in self._ranks:
+            if rs.state == BLOCKED:
+                rs.state = DONE
+                self._done_count += 1
+                self.starved_ranks.append(rs.rank)
+                rs.gen.close()
+
     # -- termination ------------------------------------------------------------
     def _on_rank_done(self, rs: _RankState) -> None:
         # A finished rank cannot post new sends; wildcard horizons improve.
@@ -829,7 +933,42 @@ class Engine:
             return f"{rs.blocked_kind} on {len(pending)} requests ({kinds})"
         return str(rs.blocked_kind)
 
+    def _waits_on(self, rs: _RankState) -> Tuple[int, ...]:
+        """Ranks whose progress could unblock ``rs`` (wait-for edges)."""
+        waits: set = set()
+        if rs.blocked_kind == "collective":
+            inst = rs.blocked_data
+            waits.update(r for r in inst.group if r not in inst.arrivals)
+        elif rs.blocked_kind in ("waitall", "waitany"):
+            for req in rs.blocked_data:
+                if req.complete:
+                    continue
+                if req.peer == ANY_SOURCE:
+                    # a wildcard could be satisfied by any live rank
+                    waits.update(r.rank for r in self._ranks
+                                 if r.state != DONE)
+                elif req.peer is not None:
+                    waits.add(req.peer)
+        waits.discard(rs.rank)
+        return tuple(sorted(waits))
+
+    def _build_diagnostic(self) -> DeadlockDiagnostic:
+        """Structured wait-for picture of the currently blocked ranks."""
+        blocked: Dict[int, BlockedOp] = {}
+        for rs in self._ranks:
+            if rs.state != BLOCKED:
+                continue
+            blocked[rs.rank] = BlockedOp(
+                rank=rs.rank, kind=rs.blocked_kind or "?",
+                detail=self._describe_block(rs),
+                waits_on=self._waits_on(rs))
+        cycle = find_cycle({r: b.waits_on for r, b in blocked.items()})
+        return DeadlockDiagnostic(blocked=blocked, cycle=cycle,
+                                  crashed=tuple(self.crashed_ranks),
+                                  time=self.total_time)
+
     def _raise_deadlock(self) -> None:
+        self.diagnostic = self._build_diagnostic()
         blocked = {rs.rank: self._describe_block(rs)
                    for rs in self._ranks if rs.state == BLOCKED}
-        raise SimDeadlockError(blocked)
+        raise SimDeadlockError(blocked, diagnostic=self.diagnostic)

@@ -33,7 +33,7 @@ class Request:
     """
 
     __slots__ = ("kind", "rank", "completion", "status", "message",
-                 "waiter")
+                 "waiter", "peer")
 
     def __init__(self, kind: str, rank: int):
         if kind not in ("send", "recv"):
@@ -44,6 +44,9 @@ class Request:
         self.status: Optional[Status] = None
         self.message = None  # the Message this request produced/consumed
         self.waiter: Optional[int] = None  # rank blocked on this request
+        #: world rank of the other side (dst for sends, posted src for
+        #: receives, ANY_SOURCE for wildcards); wait-for edge material
+        self.peer: Optional[int] = None
 
     @property
     def complete(self) -> bool:

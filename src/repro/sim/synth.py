@@ -23,7 +23,7 @@ stealing, which keeps every schedule deadlock-free by construction.
 from __future__ import annotations
 
 import random
-from typing import Dict, Generator, List, Sequence, Tuple
+from typing import Generator, List, Tuple
 
 from repro.sim.ops import (ANY_SOURCE, Collective, Compute, PostRecv,
                            PostSend, WaitAll, WaitAny)

@@ -10,8 +10,9 @@ ScalaReplay before comparing; our normalization achieves the same).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
+from repro.mpi.hooks import WAIT_OPS
 from repro.scalatrace.rsd import Trace
 
 
@@ -22,14 +23,15 @@ _BOOKKEEPING = frozenset({"Comm_split", "Comm_dup"})
 
 def normalized_stream(trace: Trace, rank: int) -> List[tuple]:
     """Per-rank event stream with communicators canonicalized to their
-    membership (ids differ across independently collected traces),
-    MPI_Wait folded into MPI_Waitall (same completion semantics), and
+    membership (ids differ across independently collected traces), the
+    whole MPI_Wait family (Wait/Waitany/Waitsome) folded into MPI_Waitall
+    — the generator emits one AWAITS statement for any of them — and
     communicator-management bookkeeping dropped."""
     out = []
     for ev in trace.iter_rank(rank):
         if ev.op in _BOOKKEEPING:
             continue
-        op = "Waitall" if ev.op == "Wait" else ev.op
+        op = "Waitall" if ev.op in WAIT_OPS else ev.op
         comm = tuple(trace.comm_ranks(ev.comm_id))
         out.append((op, comm, ev.peer, ev.size, ev.tag, ev.root,
                     ev.wait_offsets))

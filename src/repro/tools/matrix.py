@@ -14,7 +14,6 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.scalatrace.rsd import Trace
-from repro.util.expr import ANY_SOURCE
 
 #: events counted as directed traffic, with the byte interpretation
 _P2P_SENDS = ("Send", "Isend")

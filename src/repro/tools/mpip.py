@@ -8,7 +8,7 @@ those statistics from the interposition stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.mpi.hooks import COLLECTIVE_OPS, MPIEvent, MPIHook, P2P_OPS

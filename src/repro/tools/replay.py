@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from repro.errors import TraceError
 from repro.mpi.api import ANY_SOURCE, MPIProcess
+from repro.mpi.hooks import WAIT_OPS
 from repro.mpi.world import SpmdResult
 from repro.scalatrace.rsd import Trace
 from repro.util.expr import ANY_SOURCE as TRACE_ANY
@@ -82,7 +83,11 @@ def replay_program(trace: Trace, include_timing: bool = True):
                 src = ANY_SOURCE if ev.peer == TRACE_ANY else ev.peer
                 yield from mpi.recv(source=src, tag=ev.tag,
                                     comm=comm_for(ev.comm_id))
-            elif op in ("Wait", "Waitall"):
+            elif op in WAIT_OPS:
+                # Waitany/Waitsome record the offsets of the requests
+                # that actually completed, so replaying them as a
+                # waitall over exactly those requests reproduces the
+                # original completion (the simulator is deterministic)
                 offsets = ev.wait_offsets or ()
                 reqs = [outstanding[o] for o in offsets]
                 for r in reqs:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Optional, Tuple
+from typing import Tuple
 
 #: Stack frames whose file lives under any of these package directories are
 #: framework frames, not application frames.
@@ -45,22 +45,22 @@ class Callsite:
         return self._hash
 
     def serialize(self) -> str:
-        return "|".join(f"{f}:{l}:{fn}" for f, l, fn in self.frames)
+        return "|".join(f"{f}:{ln}:{fn}" for f, ln, fn in self.frames)
 
     @classmethod
     def parse(cls, text: str) -> "Callsite":
         frames = []
         for part in text.split("|"):
-            f, l, fn = part.rsplit(":", 2)
-            frames.append((f, int(l), fn))
+            f, ln, fn = part.rsplit(":", 2)
+            frames.append((f, int(ln), fn))
         return cls(tuple(frames))
 
     def __repr__(self) -> str:
         if not self.frames:
             return "Callsite(<empty>)"
-        f, l, fn = self.frames[0]
+        f, ln, fn = self.frames[0]
         more = f" (+{len(self.frames) - 1})" if len(self.frames) > 1 else ""
-        return f"Callsite({f}:{l} in {fn}{more})"
+        return f"Callsite({f}:{ln} in {fn}{more})"
 
 
 def _is_framework_frame(filename: str) -> bool:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.conceptual import ConceptualProgram
-from repro.errors import ConceptualSemanticError, ConceptualSyntaxError
+from repro.errors import ConceptualSemanticError
 from repro.mpi import RecordingHook
 from repro.sim import SimpleModel
 

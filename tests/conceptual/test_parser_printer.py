@@ -3,12 +3,12 @@ parse(print(ast)) == ast that keeps generated programs grammatical."""
 
 import pytest
 
-from repro.conceptual import ast, parse, print_program
-from repro.conceptual.ast_nodes import (AllTasks, AwaitStmt, BinOp,
+from repro.conceptual import parse, print_program
+from repro.conceptual.ast_nodes import (AllTasks, BinOp,
                                         ComputeStmt, ForEach, ForRep, IfStmt,
-                                        IsIn, LogStmt, MulticastStmt, Num,
-                                        Program, RecvStmt, ReduceStmt,
-                                        ResetStmt, SendStmt, SingleTask,
+                                        IsIn, MulticastStmt, Num,
+                                        RecvStmt, ReduceStmt,
+                                        SendStmt, SingleTask,
                                         SuchThat, SyncStmt, Var)
 from repro.errors import ConceptualSyntaxError
 

@@ -4,7 +4,7 @@ the §5.4 phase-selective compute scaling."""
 import pytest
 
 from repro.conceptual import ConceptualProgram, LogDatabase, TaskCounters
-from repro.conceptual.ast_nodes import ComputeStmt, Num
+from repro.conceptual.ast_nodes import Num
 from repro.conceptual.runtime import _aggregate
 from repro.generator import scale_compute
 from repro.sim import SimpleModel

@@ -1,0 +1,169 @@
+"""Engine-level fault injection: timing effects, determinism, crashes,
+and the structured deadlock diagnostic."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.errors import SimDeadlockError
+from repro.faults import FaultInjector, FaultPlan, LinkWindow
+from repro.mpi.world import run_spmd
+from repro.scalatrace.serialize import dumps_trace
+from repro.scalatrace.tracer import ScalaTraceHook
+from repro.sim.network import LogGPModel
+
+NP = 8
+
+
+def _run(faults=None, hooks=None, app="jacobi", np=NP):
+    return run_spmd(make_app(app, np, "S"), np, model=LogGPModel(),
+                    faults=faults, hooks=hooks)
+
+
+def _traced(faults=None, app="jacobi", np=NP):
+    tracer = ScalaTraceHook()
+    result = _run(faults=faults, hooks=[tracer], app=app, np=np)
+    return result, dumps_trace(tracer.trace)
+
+
+class TestNullPlan:
+    def test_null_plan_byte_identical_to_no_plan(self):
+        base, base_trace = _traced()
+        nulled, nulled_trace = _traced(
+            FaultInjector(FaultPlan(seed=123, max_retries=9)))
+        assert nulled.total_time == base.total_time
+        assert nulled.per_rank_times == base.per_rank_times
+        assert nulled_trace == base_trace
+
+    def test_null_plan_still_reports(self):
+        result = _run(FaultInjector(FaultPlan(seed=1)))
+        assert result.fault_report is not None
+        assert not result.fault_report.degraded
+        assert result.fault_report.counters["messages"] == 0
+
+
+class TestDeterminism:
+    def test_fixed_seed_runs_bit_identical(self):
+        plan = FaultPlan(seed=7, drop_rate=0.1, duplicate_rate=0.05,
+                         reorder_rate=0.2, reorder_max_delay=5e-5,
+                         max_retries=8)
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            result, trace = _traced(inj)
+            runs.append((result.total_time, tuple(result.per_rank_times),
+                         trace, tuple(sorted(inj.snapshot().items()))))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_outcome(self):
+        times = set()
+        for seed in (1, 2, 3):
+            plan = FaultPlan(seed=seed, drop_rate=0.1, max_retries=8)
+            times.add(_run(FaultInjector(plan)).total_time)
+        assert len(times) > 1
+
+
+class TestDegradationMechanisms:
+    def test_drops_slow_the_run_monotonically(self):
+        prev = _run().total_time
+        for rate in (0.05, 0.15, 0.3):
+            plan = FaultPlan(seed=7, drop_rate=rate, max_retries=10)
+            t = _run(FaultInjector(plan)).total_time
+            assert t >= prev
+            prev = t
+
+    def test_retry_counters_flow_to_report(self):
+        plan = FaultPlan(seed=7, drop_rate=0.2, max_retries=10)
+        result = _run(FaultInjector(plan))
+        rep = result.fault_report
+        assert rep.counters["drops"] > 0
+        assert rep.counters["retries"] > 0
+        assert rep.counters["lost"] == 0
+        assert rep.plan_digest == plan.digest()
+
+    def test_straggler_slows_everyone_behind_it(self):
+        base = _run().total_time
+        plan = FaultPlan(stragglers=((0, 20.0),))
+        slowed = _run(FaultInjector(plan)).total_time
+        assert slowed > base
+
+    def test_link_window_slows_messages_inside_it(self):
+        base = _run().total_time
+        plan = FaultPlan(windows=(
+            LinkWindow(0.0, 1.0, latency_factor=50.0,
+                       bandwidth_factor=10.0),))
+        inj = FaultInjector(plan)
+        slowed = _run(inj).total_time
+        assert slowed > base
+        assert inj.counters["window_hits"] > 0
+
+    def test_window_after_the_run_changes_nothing(self):
+        base = _run().total_time
+        plan = FaultPlan(windows=(
+            LinkWindow(10.0, 20.0, latency_factor=50.0),))
+        assert _run(FaultInjector(plan)).total_time == base
+
+    def test_duplicates_consume_wire_time(self):
+        base = _run().total_time
+        plan = FaultPlan(seed=3, duplicate_rate=1.0)
+        inj = FaultInjector(plan)
+        dup = _run(inj).total_time
+        assert inj.counters["duplicates"] > 0
+        assert dup >= base
+
+
+class TestCrashes:
+    def test_crash_starves_peers_but_run_completes(self):
+        plan = FaultPlan(crashes=((3, 1e-4),))
+        result = _run(FaultInjector(plan))
+        assert result.crashed_ranks == (3,)
+        assert result.degraded
+        assert 3 not in result.starved_ranks
+        assert result.starved_ranks  # everyone else eventually starves
+        rep = result.fault_report
+        assert rep.degraded
+        assert rep.crashed_ranks == (3,)
+        assert "crashed ranks" in rep.render()
+
+    def test_crash_at_zero_stops_rank_immediately(self):
+        tracer = ScalaTraceHook()
+        plan = FaultPlan(crashes=((0, 0.0),))
+        result = _run(FaultInjector(plan), hooks=[tracer])
+        assert result.crashed_ranks == (0,)
+        # the trace still carries the surviving ranks' prefix
+        assert tracer.trace.event_count() > 0
+
+    def test_crash_diagnostic_names_starved_waiters(self):
+        plan = FaultPlan(crashes=((3, 1e-4),))
+        result = _run(FaultInjector(plan))
+        diag = result.fault_report.diagnostic
+        assert diag is not None
+        assert diag.crashed == (3,)
+        assert diag.blocked  # per-rank blocked ops recorded
+        for op in diag.blocked.values():
+            assert op.kind
+        assert "rank" in diag.render()
+
+
+class TestDeadlockDiagnostic:
+    def test_lost_message_deadlock_carries_cycle_and_partial(self):
+        # rank 1's only send is always dropped with no retry budget:
+        # rank 0 blocks on the recv forever, rank 1 blocks in Finalize
+        # waiting for rank 0 -> a genuine 0 <-> 1 wait-for cycle.
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.recv(source=1)
+            else:
+                yield from mpi.send(dest=0, nbytes=64)
+            yield from mpi.finalize()
+
+        plan = FaultPlan(seed=1, drop_rate=1.0, max_retries=0)
+        with pytest.raises(SimDeadlockError) as e:
+            run_spmd(prog, 2, model=LogGPModel(),
+                     faults=FaultInjector(plan))
+        exc = e.value
+        assert exc.diagnostic is not None
+        assert exc.diagnostic.cycle == (0, 1)
+        assert "wait-for cycle" in str(exc)
+        # partial-result salvage rides on the exception
+        assert exc.partial is not None
+        assert exc.partial.fault_report.counters["lost"] == 1

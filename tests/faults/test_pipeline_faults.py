@@ -1,0 +1,161 @@
+"""Pipeline-layer faults: config plumbing, cache keying by plan digest,
+per-stage retry policy, and partial-artifact salvage."""
+
+import pytest
+
+from repro import obs
+from repro.errors import PipelineConfigError, PipelineError
+from repro.faults import FaultPlan
+from repro.pipeline import (Pipeline, PipelineConfig, RunContext,
+                            TraceStage, full_pipeline)
+from repro.pipeline.stages import Stage
+
+
+class TestConfig:
+    def test_fault_plan_field_accepts_plan(self):
+        plan = FaultPlan(seed=1, drop_rate=0.1)
+        config = PipelineConfig(app="jacobi", nranks=4, fault_plan=plan)
+        assert config.fault_plan is plan
+
+    def test_fault_plan_field_rejects_non_plan(self):
+        with pytest.raises(PipelineConfigError):
+            PipelineConfig(app="jacobi", nranks=4,
+                           fault_plan={"drop_rate": 0.1})
+
+    def test_stage_retries_validated(self):
+        with pytest.raises(PipelineConfigError):
+            PipelineConfig(app="jacobi", nranks=4, stage_retries=-1)
+        with pytest.raises(PipelineConfigError):
+            PipelineConfig(app="jacobi", nranks=4,
+                           stage_retry_backoff=-0.5)
+
+    def test_fingerprint_carries_plan_digest_not_object(self):
+        plan = FaultPlan(seed=1, drop_rate=0.1)
+        fp = PipelineConfig(app="jacobi", nranks=4,
+                            fault_plan=plan).fingerprint()
+        assert fp["fault_plan"] == plan.digest()
+
+    def test_fingerprint_ignores_retry_policy_and_null_plans(self):
+        base = PipelineConfig(app="jacobi", nranks=4).fingerprint()
+        tuned = PipelineConfig(app="jacobi", nranks=4, stage_retries=3,
+                               stage_retry_backoff=0.1,
+                               fault_plan=FaultPlan(seed=9)).fingerprint()
+        assert base == tuned
+
+
+class TestCacheKeying:
+    def test_trace_key_differs_per_plan(self):
+        stage = TraceStage()
+        base = stage.key_parts(RunContext(
+            PipelineConfig(app="jacobi", nranks=4)))
+        faulted = stage.key_parts(RunContext(
+            PipelineConfig(app="jacobi", nranks=4,
+                           fault_plan=FaultPlan(seed=1, drop_rate=0.1))))
+        other = stage.key_parts(RunContext(
+            PipelineConfig(app="jacobi", nranks=4,
+                           fault_plan=FaultPlan(seed=2, drop_rate=0.1))))
+        assert len({base, faulted, other}) == 3
+
+    def test_null_plan_keys_like_no_plan(self):
+        stage = TraceStage()
+        base = stage.key_parts(RunContext(
+            PipelineConfig(app="jacobi", nranks=4)))
+        nulled = stage.key_parts(RunContext(
+            PipelineConfig(app="jacobi", nranks=4,
+                           fault_plan=FaultPlan(seed=77))))
+        assert base == nulled
+
+
+class _FlakyStage(Stage):
+    name = "flaky"
+
+    def __init__(self, fail_times):
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def run(self, ctx):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise PipelineError(f"transient failure #{self.calls}")
+        return "recovered"
+
+
+class TestStageRetries:
+    def test_retry_recovers_transient_failure(self):
+        stage = _FlakyStage(fail_times=2)
+        config = PipelineConfig(app="jacobi", nranks=4, stage_retries=2)
+        result = Pipeline([stage]).run(config)
+        assert stage.calls == 3
+        assert result.records[0].detail == "recovered"
+
+    def test_exhausted_retries_propagate(self):
+        stage = _FlakyStage(fail_times=5)
+        config = PipelineConfig(app="jacobi", nranks=4, stage_retries=2)
+        with pytest.raises(PipelineError):
+            Pipeline([stage]).run(config)
+        assert stage.calls == 3
+
+    def test_no_retries_by_default(self):
+        stage = _FlakyStage(fail_times=1)
+        with pytest.raises(PipelineError):
+            Pipeline([stage]).run(PipelineConfig(app="jacobi", nranks=4))
+        assert stage.calls == 1
+
+    def test_retries_counted_on_obs_bus(self):
+        stage = _FlakyStage(fail_times=1)
+        config = PipelineConfig(app="jacobi", nranks=4, stage_retries=1)
+        with obs.instrumented() as inst:
+            Pipeline([stage]).run(config)
+        assert inst.counters["pipeline.stage_retries"] == 1
+        retries = [e for e in inst.events if e["kind"] == "stage_retry"]
+        assert retries and retries[0]["stage"] == "flaky"
+
+
+class TestFaultedPipeline:
+    def test_clean_faulted_run_carries_report(self):
+        plan = FaultPlan(seed=7, drop_rate=0.05, max_retries=10)
+        config = PipelineConfig(app="jacobi", nranks=4, fault_plan=plan)
+        result = full_pipeline(run=True).run(config)
+        assert not result.degraded
+        assert result.fault_report is not None
+        assert result.fault_report.plan_digest == plan.digest()
+        assert result.run_result is not None
+
+    def test_crash_salvages_prefix_and_skips_downstream(self):
+        plan = FaultPlan(crashes=((1, 5e-5),))
+        config = PipelineConfig(app="jacobi", nranks=4, fault_plan=plan)
+        result = full_pipeline(run=True).run(config)
+        assert result.degraded
+        assert result.trace is not None  # the salvaged prefix
+        assert result.trace.event_count() > 0
+        assert result.fault_report.crashed_ranks == (1,)
+        by_stage = {r.stage: r for r in result.records}
+        assert by_stage["trace"].cache == "degraded"
+        for stage in ("align", "resolve", "emit", "compile", "run"):
+            assert by_stage[stage].cache == "skipped"
+        assert result.source is None and result.run_result is None
+
+    def test_cache_hit_emits_event(self, tmp_path):
+        config = PipelineConfig(app="jacobi", nranks=4, use_cache=True,
+                                cache_dir=str(tmp_path))
+        pipe = full_pipeline(run=False)
+        pipe.run(config)
+        with obs.instrumented() as inst:
+            result = pipe.run(config)
+        assert result.cache_hits() > 0
+        hits = [e for e in inst.events if e["kind"] == "cache_hit"]
+        assert {e["stage"] for e in hits} == {"trace", "emit"}
+        assert all(e["name"] == "pipeline.cache" for e in hits)
+        assert inst.counters["pipeline.cache_hits"] == len(hits)
+
+    def test_faulted_run_does_not_poison_clean_cache(self, tmp_path):
+        clean = PipelineConfig(app="jacobi", nranks=4, use_cache=True,
+                               cache_dir=str(tmp_path))
+        plan = FaultPlan(seed=7, drop_rate=0.2, max_retries=10)
+        faulted = clean.replace(fault_plan=plan)
+        pipe = full_pipeline(run=False)
+        base = pipe.run(clean).trace.event_count()
+        pipe.run(faulted)
+        again = pipe.run(clean)
+        assert again.cache_hits() > 0
+        assert again.trace.event_count() == base

@@ -1,6 +1,5 @@
 """Unit tests for absolute-rank conversion (§4.2)."""
 
-import pytest
 
 from repro.generator.absolutize import (absolutize_rank_field,
                                         absolutize_value)

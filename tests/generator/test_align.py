@@ -1,11 +1,9 @@
 """Tests for Algorithm 1: combining per-node collectives (§4.3, Fig. 3)."""
 
-import pytest
 
 from repro.generator import (align_collectives, generate_from_application,
                              needs_alignment, trace_application)
-from repro.mpi.hooks import COLLECTIVE_OPS
-from repro.scalatrace.rsd import EventNode, LoopNode
+from repro.scalatrace.rsd import EventNode
 from repro.sim import SimpleModel
 
 

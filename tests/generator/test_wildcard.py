@@ -7,7 +7,6 @@ from repro.errors import TraceDeadlockError
 from repro.generator import (generate_from_application, has_wildcards,
                              resolve_wildcards, trace_application)
 from repro.mpi import ANY_SOURCE
-from repro.scalatrace.rsd import EventNode
 from repro.sim import SimpleModel
 
 

@@ -8,7 +8,7 @@ from repro.errors import (ConceptualSemanticError, ConceptualSyntaxError,
                           MPIUsageError, SimDeadlockError, SimulationError,
                           TraceError)
 from repro.generator import generate_benchmark, trace_application
-from repro.mpi import ANY_SOURCE, run_spmd
+from repro.mpi import run_spmd
 from repro.scalatrace.serialize import dumps_trace, loads_trace
 from repro.sim import SimpleModel
 from repro.tools.replay import replay_trace
@@ -96,7 +96,7 @@ class TestTraceCorruption:
         trace = trace_application(app, 2, model=SimpleModel())
 
         # corrupt the wait offsets to point past the outstanding list
-        from repro.scalatrace.rsd import EventNode, LoopNode
+        from repro.scalatrace.rsd import EventNode
 
         def walk(nodes):
             for n in nodes:

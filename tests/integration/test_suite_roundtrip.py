@@ -12,7 +12,7 @@ trace → generate → execute and checks the §5.2/§5.3 claims:
 
 import pytest
 
-from repro.apps import APPS, PAPER_SUITE, make_app, valid_rank_counts
+from repro.apps import APPS, make_app, valid_rank_counts
 from repro.conceptual import parse
 from repro.generator import generate_from_application
 from repro.mpi import run_spmd

@@ -72,7 +72,7 @@ class TestOutput:
                 obs.count("scalatrace.nodes_folded", 7)
         buf = io.StringIO()
         n = inst.dump_jsonl(buf)
-        lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
         assert len(lines) == n == 3  # begin, end, counter total
         assert [r["seq"] for r in lines] == [1, 2, 3]
 

@@ -2,7 +2,7 @@
 
 import itertools
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.util.expr import ParamExpr

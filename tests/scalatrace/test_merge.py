@@ -4,7 +4,7 @@ import pytest
 
 from repro.scalatrace.compress import CompressionQueue
 from repro.scalatrace.merge import merge_traces
-from repro.scalatrace.rsd import EventNode, LoopNode, Trace
+from repro.scalatrace.rsd import LoopNode, Trace
 from repro.util.callsite import Callsite
 
 

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.apps import make_app
-from repro.generator import generate_from_application, trace_application
+from repro.generator import generate_from_application
 from repro.mpi import run_spmd
 from repro.scalatrace import ScalaTraceHook
-from repro.scalatrace.rsd import EventNode, LoopNode
+from repro.scalatrace.rsd import EventNode
 from repro.sim import SimpleModel
 from repro.tools.replay import replay_trace
 

@@ -60,7 +60,7 @@ class TestRingTrace:
 
 
 def _walk(nodes):
-    from repro.scalatrace.rsd import EventNode, LoopNode
+    from repro.scalatrace.rsd import EventNode
     for n in nodes:
         if isinstance(n, EventNode):
             yield n

@@ -2,7 +2,6 @@
 Fig. 7 reproduction: receive-processor serialization, wire ejection
 queueing, and the leaky-bucket receiver-stack overload."""
 
-import pytest
 
 from repro.sim import (CongestionModel, Compute, Engine, LogGPModel,
                        PostRecv, PostSend, WaitAll)

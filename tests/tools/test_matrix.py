@@ -1,7 +1,6 @@
 """Tests for the communication-matrix tool."""
 
 import numpy as np
-import pytest
 
 from repro.apps import make_app
 from repro.cli import main

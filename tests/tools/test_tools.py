@@ -1,11 +1,9 @@
 """Tests for the mpiP profiler, ScalaReplay, and comparison tools."""
 
-import pytest
 
 from repro.apps import make_app
-from repro.generator import (generate_from_application, resolve_wildcards,
-                             trace_application)
-from repro.mpi import ANY_SOURCE, run_spmd
+from repro.generator import (generate_from_application, resolve_wildcards)
+from repro.mpi import run_spmd
 from repro.scalatrace import ScalaTraceHook
 from repro.sim import SimpleModel
 from repro.tools.compare import (compression_ratio, total_recorded_time,

@@ -1,0 +1,77 @@
+"""Regression: the compare normalization folds the *whole* MPI wait
+family into Waitall — the generator emits one AWAITS statement for any
+of Wait/Waitall/Waitany/Waitsome, so two traces differing only in which
+completion call they used are semantically equivalent (§5.2)."""
+
+from repro.mpi.hooks import WAIT_OPS
+from repro.mpi.world import run_spmd
+from repro.scalatrace.tracer import ScalaTraceHook
+from repro.tools.compare import normalized_stream, traces_equivalent
+from repro.tools.replay import replay_program
+
+
+def _trace(program, nranks):
+    tracer = ScalaTraceHook()
+    run_spmd(program, nranks, hooks=[tracer])
+    return tracer.trace
+
+
+def _exchange(wait_style):
+    """Rank 0 gathers one message from every other rank, completing the
+    receives with the given wait flavor; peers just send."""
+
+    def program(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            for src in range(1, mpi.size):
+                r = yield from mpi.irecv(source=src, tag=src)
+                reqs.append(r)
+            if wait_style == "waitall":
+                yield from mpi.waitall(reqs)
+            elif wait_style == "wait":
+                for r in list(reqs):
+                    yield from mpi.wait(r)
+            elif wait_style == "waitany":
+                while reqs:
+                    idx, _ = yield from mpi.waitany(reqs)
+                    reqs.pop(idx)
+            elif wait_style == "waitsome":
+                while reqs:
+                    idxs, _ = yield from mpi.waitsome(reqs)
+                    for i in reversed(idxs):
+                        reqs.pop(i)
+        else:
+            yield from mpi.compute(mpi.rank * 1e-6)
+            yield from mpi.send(dest=0, nbytes=256, tag=mpi.rank)
+        yield from mpi.finalize()
+
+    return program
+
+
+class TestWaitFamilyFold:
+    def test_wait_ops_cover_the_family(self):
+        assert WAIT_OPS == {"Wait", "Waitall", "Waitany", "Waitsome"}
+
+    def test_waitany_folds_to_waitall(self):
+        trace = _trace(_exchange("waitany"), 4)
+        ops = {ev[0] for ev in normalized_stream(trace, 0)}
+        assert "Waitany" not in ops and "Waitall" in ops
+
+    def test_waitsome_folds_to_waitall(self):
+        trace = _trace(_exchange("waitsome"), 4)
+        ops = {ev[0] for ev in normalized_stream(trace, 0)}
+        assert "Waitsome" not in ops and "Waitall" in ops
+
+    def test_raw_trace_preserves_the_distinction(self):
+        trace = _trace(_exchange("waitany"), 4)
+        raw_ops = {ev.op for ev in trace.iter_rank(0)}
+        assert "Waitany" in raw_ops  # fold is a compare-time view only
+
+
+class TestWaitVariantsReplay:
+    def test_each_variant_replays_equivalently(self):
+        for style in ("waitall", "wait", "waitany", "waitsome"):
+            trace = _trace(_exchange(style), 4)
+            replayed = _trace(replay_program(trace), 4)
+            ok, detail = traces_equivalent(trace, replayed)
+            assert ok, f"{style}: {detail}"

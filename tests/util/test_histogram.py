@@ -1,7 +1,6 @@
 """Unit tests for repro.util.histogram."""
 
 import itertools
-import math
 
 import pytest
 
