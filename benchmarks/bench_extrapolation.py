@@ -6,17 +6,26 @@ benchmark — for much larger machines, then validate against real runs of
 the application at those scales (affordable here because the "machine"
 is a simulator).
 
+The small-scale input traces are produced by a ``mode="trace"`` sweep
+(:func:`repro.sweep.run_sweep`) that fans the app x rank grid across
+workers into one shared artifact cache; each test then loads its traces
+through the cached pipeline (every load is a cache hit).  Set
+``REPRO_SWEEP_WORKERS`` to override the host-sized worker default.
+
 Run with:  pytest benchmarks/bench_extrapolation.py --benchmark-only -s
 """
+
+import os
 
 import pytest
 
 from repro.apps import make_app
-from repro.generator import (extrapolate_trace, generate_benchmark,
-                             trace_application)
+from repro.generator import extrapolate_trace, generate_benchmark
 from repro.generator.extrap import ExtrapolationError
 from repro.mpi import run_spmd
+from repro.pipeline import Pipeline, PipelineConfig, TraceStage
 from repro.sim import LogGPModel
+from repro.sweep import SweepPlan, default_workers, run_sweep
 from repro.tools import MpiPHook, render_table, traces_equivalent
 from repro.tools.mpip import stats_match
 
@@ -24,19 +33,46 @@ from _util import emit, reset_results
 
 SMALL = [4, 8, 16]
 CASES = [("ring", 64), ("ep", 128), ("ft", 64), ("is", 64)]
+LIMIT_CASE = ("cg", [4, 8])  # refused: no closed form in p
+PLATFORM = "bluegene"  # the LogGP preset
+WORKERS = (int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+           or default_workers())
 
 _rows = []
 
 
-def _traces(app):
-    return [trace_application(make_app(app, n, "S"), n,
-                              model=LogGPModel()) for n in SMALL]
+@pytest.fixture(scope="module")
+def trace_cache(tmp_path_factory):
+    """Warm one shared cache with every small-scale trace, in parallel."""
+    cache_dir = str(tmp_path_factory.mktemp("extrap-traces"))
+    plan = SweepPlan(
+        name="extrap-traces", mode="trace",
+        base={"cls": "S", "platform": PLATFORM},
+        axes=[{"field": "app", "values": [app for app, _ in CASES]},
+              {"field": "nranks", "values": SMALL}],
+        extra_points=[{"app": LIMIT_CASE[0], "nranks": n}
+                      for n in LIMIT_CASE[1]])
+    result = run_sweep(plan, workers=WORKERS, cache_dir=cache_dir)
+    assert not result.failed, [p.error for p in result.failed]
+    return cache_dir
+
+
+def _trace(app, nranks, cache_dir):
+    """One small-scale trace, served from the sweep-warmed cache."""
+    config = PipelineConfig(app=app, nranks=nranks, cls="S",
+                            platform=PLATFORM, use_cache=True,
+                            cache_dir=cache_dir)
+    return Pipeline([TraceStage()]).run(config).artifacts["trace"]
+
+
+def _traces(app, cache_dir):
+    return [_trace(app, n, cache_dir) for n in SMALL]
 
 
 @pytest.mark.parametrize("app,target", CASES,
                          ids=[f"{a}-to-{t}" for a, t in CASES])
-def test_extrapolate_and_validate(benchmark, app, target):
-    traces = _traces(app)
+def test_extrapolate_and_validate(benchmark, app, target, trace_cache):
+    traces = _traces(app, trace_cache)
 
     def extrapolate():
         return extrapolate_trace(traces, target)
@@ -52,8 +88,7 @@ def test_extrapolate_and_validate(benchmark, app, target):
     ok, diff = stats_match(real_prof, gen_prof)
     err = abs(gen.total_time - real.total_time) / real.total_time * 100
     equiv, _ = traces_equivalent(
-        big, trace_application(make_app(app, target, "S"), target,
-                               model=LogGPModel()))
+        big, _trace(app, target, trace_cache))
     _rows.append([app, f"{SMALL}", target,
                   "yes" if ok else "no",
                   "yes" if equiv else "close", f"{err:.1f}"])
@@ -65,10 +100,10 @@ def test_extrapolate_and_validate(benchmark, app, target):
         assert err < 10
 
 
-def test_extrapolation_limits(benchmark):
+def test_extrapolation_limits(benchmark, trace_cache):
     """Irregular topologies are refused, not silently mangled."""
-    traces = [trace_application(make_app("cg", n, "S"), n,
-                                model=LogGPModel()) for n in (4, 8)]
+    app, ranks = LIMIT_CASE
+    traces = [_trace(app, n, trace_cache) for n in ranks]
 
     def attempt():
         try:

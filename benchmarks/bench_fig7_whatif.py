@@ -12,14 +12,19 @@ ARC-like Ethernet model.  The paper's qualitative findings to reproduce:
 * at 0% compute (infinitely fast processors) there is essentially no
   speedup over the unmodified execution.
 
+The grid is expressed as a :class:`repro.sweep.SweepPlan` and executed
+by :func:`repro.sweep.run_sweep`, so the eleven variants share one
+cached BT trace and fan across workers (set ``REPRO_SWEEP_WORKERS`` to
+override the host-sized default).
+
 Run with:  pytest benchmarks/bench_fig7_whatif.py --benchmark-only -s
 """
 
+import os
+
 import pytest
 
-from repro import generate_from_application, scale_compute
-from repro.apps import make_app
-from repro.sim import arc_model
+from repro.sweep import SweepPlan, default_workers, run_sweep
 from repro.tools import render_table
 
 from _util import emit, reset_results
@@ -27,28 +32,41 @@ from _util import emit, reset_results
 NRANKS = 16
 CLS = "B"
 PERCENTS = list(range(100, -1, -10))
+WORKERS = (int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+           or default_workers())
+
+BASE = {"app": "bt", "nranks": NRANKS, "cls": CLS, "platform": "arc"}
+
+
+def _plan(percents):
+    return SweepPlan(
+        name="fig7-whatif", base=BASE,
+        axes=[{"field": "compute_scale",
+               "values": [pct / 100 for pct in percents]}])
 
 
 @pytest.fixture(scope="module")
-def bt_benchmark():
-    app = make_app("bt", NRANKS, CLS)
-    return generate_from_application(app, NRANKS, model=arc_model())
+def cache_dir(tmp_path_factory):
+    # one shared artifact cache: both tests reuse the same BT trace
+    return str(tmp_path_factory.mktemp("fig7-cache"))
 
 
-def test_fig7_sweep(benchmark, bt_benchmark):
-    times = {}
+def _sweep_times(percents, cache_dir, workers=WORKERS):
+    result = run_sweep(_plan(percents), workers=workers,
+                       cache_dir=cache_dir)
+    assert not result.failed, [p.error for p in result.failed]
+    return {pct: point.metrics["makespan_s"]
+            for pct, point in zip(percents, result.points)}
 
-    def run_sweep():
-        for pct in PERCENTS:
-            variant = scale_compute(bt_benchmark.program, pct / 100.0)
-            result, _ = variant.run(NRANKS, model=arc_model())
-            times[pct] = result.total_time
-        return times
 
-    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+def test_fig7_sweep(benchmark, cache_dir):
+    times = benchmark.pedantic(
+        lambda: _sweep_times(PERCENTS, cache_dir),
+        rounds=1, iterations=1)
 
     reset_results("Figure 7: BT what-if acceleration sweep "
-                  f"(class {CLS}, {NRANKS} ranks, ARC Ethernet model)")
+                  f"(class {CLS}, {NRANKS} ranks, ARC Ethernet model, "
+                  f"{WORKERS} sweep worker(s))")
     rows = [[f"{p}%", times[p] * 1e3, times[100] / times[p]]
             for p in PERCENTS]
     emit(render_table(["compute", "total time (ms)", "speedup"], rows))
@@ -69,18 +87,14 @@ def test_fig7_sweep(benchmark, bt_benchmark):
     assert t0 > 0.80 * t100, "0% compute should show little net speedup"
 
 
-def test_fig7_monotone_region(benchmark, bt_benchmark):
+def test_fig7_monotone_region(benchmark, cache_dir):
     """The 100%..40% region is the well-behaved regime: monotone but
     sublinear gains (Amdahl + overlap)."""
-    def measure():
-        out = []
-        for pct in (100, 80, 60, 40):
-            variant = scale_compute(bt_benchmark.program, pct / 100.0)
-            result, _ = variant.run(NRANKS, model=arc_model())
-            out.append(result.total_time)
-        return out
-
-    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    percents = [100, 80, 60, 40]
+    sweep = benchmark.pedantic(
+        lambda: _sweep_times(percents, cache_dir),
+        rounds=1, iterations=1)
+    times = [sweep[p] for p in percents]
     assert times == sorted(times, reverse=True)
     # sublinear: removing 60% of compute saves far less than 60% of time
     assert times[-1] > 0.5 * times[0]

@@ -1,0 +1,165 @@
+"""Sweep engine scaling: workers vs. wall-clock on the Fig. 7 grid.
+
+The parallel sweep engine promises two things at once: *speed* (points
+fan out across worker processes, sharing one content-addressed artifact
+cache) and *exactness* (the canonical result is byte-identical no
+matter how many workers raced for it).  This harness measures both on
+the Figure 7 what-if grid — NPB BT, 16 ranks, COMPUTE scaled from 100%
+down to 0% on the ARC Ethernet model:
+
+* run the identical plan at 1, 2 and 4 workers, each from a cold cache,
+  and record the wall-clock per worker count;
+* assert every run's canonical JSON is byte-identical to the serial
+  reference (the engine's core guarantee — checked unconditionally);
+* re-run serially against the now-warm cache to record the cache
+  economy (every trace/emit artifact hits);
+* when the host actually has >= 4 CPUs, assert the 4-worker run is at
+  least 2.5x faster than serial.  The speedup numbers are always
+  *recorded* with the host's CPU count so a reader can judge them — a
+  single-core host executes the "parallel" pool sequentially and no
+  honest harness can assert a speedup there.
+
+Results land in ``benchmarks/BENCH_sweep.json``.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+    PYTHONPATH=src python benchmarks/bench_sweep.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sweep import SweepPlan, run_sweep  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "BENCH_sweep.json")
+
+WORKER_COUNTS = [1, 2, 4]
+SPEEDUP_FLOOR = 2.5  # required of 4 workers on a >=4-CPU host
+
+FIG7_PLAN = SweepPlan(
+    name="fig7-whatif",
+    base={"app": "bt", "nranks": 16, "cls": "B", "platform": "arc"},
+    axes=[{"field": "compute_scale",
+           "values": [pct / 100 for pct in range(100, -1, -10)]}])
+
+QUICK_PLAN = SweepPlan(
+    name="quick-whatif",
+    base={"app": "jacobi", "nranks": 8, "cls": "S",
+          "platform": "bluegene"},
+    axes=[{"field": "compute_scale",
+           "values": [1.0, 0.75, 0.5, 0.25, 0.0]}])
+
+
+def timed_sweep(plan: SweepPlan, workers: int, cache_dir: str):
+    t0 = time.perf_counter()
+    result = run_sweep(plan, workers=workers, cache_dir=cache_dir)
+    return result, time.perf_counter() - t0
+
+
+def run_scaling(plan: SweepPlan) -> dict:
+    """The identical plan at each worker count, cold cache each time."""
+    runs = {}
+    reference = None
+    tmp = tempfile.mkdtemp(prefix="bench-sweep-")
+    try:
+        for workers in WORKER_COUNTS:
+            cache_dir = os.path.join(tmp, f"cache-w{workers}")
+            result, seconds = timed_sweep(plan, workers, cache_dir)
+            assert not result.failed, \
+                f"workers={workers}: {[p.error for p in result.failed]}"
+            canonical = result.canonical_json()
+            if reference is None:
+                reference = canonical
+            assert canonical == reference, \
+                (f"workers={workers} diverged from the serial canonical "
+                 f"result — determinism broken")
+            runs[workers] = {
+                "seconds": round(seconds, 3),
+                "cache_hits": result.cache_hits,
+                "cache_misses": result.cache_misses,
+            }
+        # warm re-run: every cacheable artifact must hit
+        warm_dir = os.path.join(tmp, f"cache-w{WORKER_COUNTS[0]}")
+        warm, warm_seconds = timed_sweep(plan, 1, warm_dir)
+        assert warm.canonical_json() == reference, \
+            "warm-cache run diverged from the cold canonical result"
+        assert warm.cache_misses == 0, \
+            f"warm cache still missed {warm.cache_misses} artifact(s)"
+        runs["warm"] = {"seconds": round(warm_seconds, 3),
+                        "cache_hits": warm.cache_hits,
+                        "cache_misses": 0}
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    serial = runs[1]["seconds"]
+    for workers in WORKER_COUNTS:
+        runs[workers]["speedup"] = round(serial / runs[workers]["seconds"],
+                                         2)
+    return runs
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI-sized grid")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="output JSON path (default benchmarks/"
+                         "BENCH_sweep.json); '-' to skip writing")
+    args = ap.parse_args(argv)
+
+    plan = QUICK_PLAN if args.quick else FIG7_PLAN
+    cpus = os.cpu_count() or 1
+    print(f"sweep scaling: plan {plan.name} ({plan.check()} point(s), "
+          f"digest {plan.digest()}), host has {cpus} CPU(s)")
+
+    runs = run_scaling(plan)
+    for workers in WORKER_COUNTS:
+        row = runs[workers]
+        print(f"  workers={workers}: {row['seconds']:>7.3f}s  "
+              f"speedup x{row['speedup']:<5g} cache "
+              f"{row['cache_hits']} hit(s) / {row['cache_misses']} "
+              f"miss(es)")
+    print(f"  warm:      {runs['warm']['seconds']:>7.3f}s  "
+          f"(all {runs['warm']['cache_hits']} artifact(s) hit)")
+
+    if cpus >= max(WORKER_COUNTS):
+        top = runs[max(WORKER_COUNTS)]["speedup"]
+        assert top >= SPEEDUP_FLOOR, \
+            (f"{max(WORKER_COUNTS)} workers on a {cpus}-CPU host managed "
+             f"only x{top} (need x{SPEEDUP_FLOOR})")
+        print(f"scaling ok: x{top} at {max(WORKER_COUNTS)} workers "
+              f"(floor x{SPEEDUP_FLOOR})")
+    else:
+        print(f"scaling floor not asserted: host has {cpus} CPU(s) < "
+              f"{max(WORKER_COUNTS)} workers (numbers recorded as-is)")
+
+    results = {"plan": plan.name, "plan_digest": plan.digest(),
+               "points": plan.check(),
+               "mode": "quick" if args.quick else "full",
+               "host_cpus": cpus,
+               "speedup_floor": SPEEDUP_FLOOR,
+               "speedup_asserted": cpus >= max(WORKER_COUNTS),
+               "python": platform.python_version(),
+               "runs": {str(k): v for k, v in runs.items()}}
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    print("parity ok: canonical results byte-identical at every worker "
+          "count (and warm vs cold cache)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Docs link checker: every relative markdown link must resolve.
+
+Scans ``README.md`` and ``docs/*.md`` (plus any extra paths given on
+the command line) for inline markdown links/images and verifies that
+relative targets exist in the repository.  External (``http(s)://``,
+``mailto:``) and pure-anchor links are skipped; a ``path#anchor``
+target is checked for the path part only.
+
+Used by the CI ``docs`` step and mirrored by ``tests/test_docs.py`` so
+the tier-1 suite catches broken cross-references too.
+
+Usage::
+
+    python scripts/check_docs_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+#: inline markdown links and images: [text](target) / ![alt](target)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: schemes that are not filesystem paths
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(text: str):
+    """Yield link targets, skipping fenced code blocks."""
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield match.group(1)
+
+
+def check_file(path: str) -> list:
+    """Broken relative link targets in one markdown file."""
+    with open(path) as fh:
+        text = fh.read()
+    base = os.path.dirname(os.path.abspath(path))
+    broken = []
+    for target in iter_links(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not os.path.exists(os.path.join(base, rel)):
+            broken.append((path, target))
+    return broken
+
+
+def default_files(root: str) -> list:
+    """README.md + docs/*.md under ``root``."""
+    files = [os.path.join(root, "README.md")]
+    files += sorted(glob.glob(os.path.join(root, "docs", "*.md")))
+    return [f for f in files if os.path.exists(f)]
+
+
+def main(argv=None) -> int:
+    """Check the given files (default: README.md + docs/*.md)."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = args or default_files(root)
+    broken = []
+    for path in files:
+        broken.extend(check_file(path))
+    for path, target in broken:
+        print(f"BROKEN LINK: {path}: ({target})", file=sys.stderr)
+    if not broken:
+        print(f"docs links OK ({len(files)} file(s) checked)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -252,6 +252,51 @@ def cmd_faults_run(args):
     return 1 if result.degraded else 0
 
 
+def cmd_sweep_template(args):
+    from repro.sweep import TEMPLATE as SWEEP_TEMPLATE
+    if args.output:
+        _write_atomic(args.output, SWEEP_TEMPLATE)
+        print(f"wrote {args.output}")
+    else:
+        print(SWEEP_TEMPLATE, end="")
+    return 0
+
+
+def cmd_sweep_validate(args):
+    from repro.errors import SweepPlanError
+    from repro.sweep import load_sweep_plan
+    try:
+        plan = load_sweep_plan(args.plan)
+        plan.check()
+    except SweepPlanError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {plan.describe()}")
+    return 0
+
+
+def cmd_sweep_run(args):
+    from repro.sweep import default_workers, load_sweep_plan, run_sweep
+    plan = load_sweep_plan(args.plan)
+    workers = args.workers if args.workers > 0 else default_workers()
+    with _metrics(args) as inst:
+        result = run_sweep(plan, workers=workers,
+                           use_cache=not args.no_cache,
+                           cache_dir=args.cache_dir)
+    print(result.report())
+    if args.output:
+        _write_atomic(args.output,
+                      json.dumps(result.to_dict(), indent=2,
+                                 sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    if args.jsonl:
+        _write_atomic(args.jsonl, result.canonical_jsonl())
+        print(f"wrote {args.jsonl} ({len(result.points)} point lines)")
+    if args.report:
+        print(inst.report())
+    return 1 if result.failed else 0
+
+
 def cmd_extrapolate(args):
     if len(args.traces) < 2:
         print("error: extrapolation needs traces at two or more distinct "
@@ -394,6 +439,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform(fp)
     _add_metrics(fp)
     fp.set_defaults(func=cmd_faults_run)
+
+    p = sub.add_parser("sweep",
+                       help="batched what-if studies: run a plan's whole "
+                            "configuration grid, in parallel "
+                            "(template/validate/run)")
+    ssub = p.add_subparsers(dest="sweep_command", required=True)
+
+    sp = ssub.add_parser("template",
+                         help="print a commented sweep-plan template "
+                              "(the Fig. 7 grid)")
+    sp.add_argument("-o", "--output",
+                    help="write the template here instead of stdout")
+    sp.set_defaults(func=cmd_sweep_template)
+
+    sp = ssub.add_parser("validate",
+                         help="check a sweep-plan file and every point "
+                              "config it expands to")
+    sp.add_argument("plan")
+    sp.set_defaults(func=cmd_sweep_validate)
+
+    sp = ssub.add_parser("run",
+                         help="execute every point of a sweep plan; "
+                              "failed points are isolated, results merge "
+                              "deterministically")
+    sp.add_argument("plan", help="sweep-plan file (YAML/JSON; see "
+                                 "'repro sweep template')")
+    sp.add_argument("--workers", type=int, default=1,
+                    help="worker processes (0 = one per CPU; default 1)")
+    sp.add_argument("-o", "--output",
+                    help="write the full sweep result (JSON) here")
+    sp.add_argument("--jsonl", metavar="FILE",
+                    help="write canonical per-point JSON lines here "
+                         "(byte-identical for any --workers value)")
+    sp.add_argument("--cache-dir", default=".repro-cache",
+                    help="shared artifact cache directory "
+                         "(default: .repro-cache)")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="bypass the artifact cache entirely")
+    sp.add_argument("--report", action="store_true",
+                    help="also print the per-layer instrumentation report")
+    _add_metrics(sp)
+    sp.set_defaults(func=cmd_sweep_run)
 
     p = sub.add_parser("extrapolate",
                        help="extrapolate small-rank traces to a larger "

@@ -81,6 +81,14 @@ class PipelineConfigError(PipelineError):
     """A :class:`~repro.pipeline.PipelineConfig` field is invalid."""
 
 
+class SweepError(ReproError):
+    """A sweep could not be driven (bad worker setup, empty plan...)."""
+
+
+class SweepPlanError(SweepError):
+    """A sweep plan is malformed: bad axis, bad field, unparsable file."""
+
+
 class TraceDeadlockError(GenerationError):
     """Algorithm 2's deadlock detector found a potential deadlock in the
     traced application (paper, Fig. 5): the trace admits an execution in

@@ -17,13 +17,19 @@ concurrent run can never leave a truncated entry behind.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
 from repro import obs
+
+try:  # POSIX advisory file locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 #: cache format version; bump to invalidate all previously cached entries
 CACHE_VERSION = 1
@@ -45,24 +51,69 @@ class ArtifactCache:
         self.misses = 0
 
     def key(self, *parts: Any) -> str:
+        """Content address of ``parts`` (see :func:`cache_key`)."""
         return cache_key(*parts)
 
     def path(self, key: str, suffix: str = "") -> str:
+        """Sharded on-disk location of ``key``'s artifact."""
         return os.path.join(self.root, key[:2], key + suffix)
 
-    def get(self, key: str, suffix: str = "") -> Optional[str]:
-        """The cached artifact text, or None (counted as hit/miss)."""
+    def get(self, key: str, suffix: str = "",
+            record: bool = True) -> Optional[str]:
+        """The cached artifact text, or None (counted as hit/miss).
+
+        ``record=False`` reads without touching the hit/miss accounting
+        — used by the double-checked read under :meth:`lock`, whose
+        outcome is accounted for explicitly by the caller.
+        """
         path = self.path(key, suffix)
         try:
             with open(path) as fh:
                 text = fh.read()
         except OSError:
-            self.misses += 1
-            obs.count("pipeline.cache_misses")
+            if record:
+                self.misses += 1
+                obs.count("pipeline.cache_misses")
             return None
+        if record:
+            self.hits += 1
+            obs.count("pipeline.cache_hits")
+        return text
+
+    def record_hit(self) -> None:
+        """Account one cache hit (for reads done with ``record=False``)."""
         self.hits += 1
         obs.count("pipeline.cache_hits")
-        return text
+
+    def record_miss(self) -> None:
+        """Account one cache miss (for reads done with ``record=False``)."""
+        self.misses += 1
+        obs.count("pipeline.cache_misses")
+
+    @contextlib.contextmanager
+    def lock(self, key: str) -> Iterator[None]:
+        """Cross-process advisory lock on ``key``.
+
+        Serializes the *computation* of one artifact across concurrent
+        pipeline runs (e.g. parallel sweep workers): the first worker to
+        reach a missing key computes it while the others block here,
+        re-check the cache, and hit.  Lock files live under
+        ``<root>/locks/`` so artifact shards stay clean.  On platforms
+        without ``fcntl`` the lock degrades to a no-op — writes are
+        still safe (atomic rename), only duplicate work is possible.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        lock_dir = os.path.join(self.root, "locks")
+        os.makedirs(lock_dir, exist_ok=True)
+        lock_path = os.path.join(lock_dir, key + ".lock")
+        with open(lock_path, "w") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
 
     def put(self, key: str, text: str, suffix: str = "") -> str:
         """Store ``text`` under ``key`` atomically; returns the path."""
@@ -83,4 +134,5 @@ class ArtifactCache:
         return path
 
     def stats(self) -> str:
+        """One-line hit/miss summary for reports."""
         return f"{self.hits} hit(s), {self.misses} miss(es)"

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import PipelineConfigError
 from repro.faults.plan import FaultPlan
@@ -50,6 +50,15 @@ class PipelineConfig:
     name: str = "generated"            #: benchmark program name
     max_steps: Optional[int] = None    #: simulator livelock guard
     fault_plan: Optional[FaultPlan] = None  #: inject faults into sim runs
+    #: §5.4 what-if axes: these vary how the *generated benchmark is
+    #: executed* without touching the trace/emit artifacts, so a sweep
+    #: over them shares the expensive cached artifacts across points.
+    compute_scale: float = 1.0         #: scale COMPUTE stmts at run time
+    run_platform: Optional[str] = None  #: execution platform (default:
+    #:                                     same preset as ``platform``)
+    run_platform_params: Optional[Tuple[Tuple[str, Any], ...]] = None
+    #: keyword overrides for the execution-stage network model (a
+    #: mapping is accepted and normalized to a sorted tuple of pairs)
     stage_retries: int = 0             #: re-run attempts for failed stages
     stage_retry_backoff: float = 0.0   #: seconds slept before retry k (*2^k)
     use_cache: bool = False            #: consult/populate the artifact cache
@@ -90,6 +99,36 @@ class PipelineConfig:
             raise PipelineConfigError(
                 f"stage_retry_backoff must be >= 0, got "
                 f"{self.stage_retry_backoff}")
+        if self.compute_scale < 0:
+            raise PipelineConfigError(
+                f"compute_scale must be >= 0, got {self.compute_scale}")
+        if self.run_platform is not None and \
+                self.run_platform not in PLATFORMS:
+            raise PipelineConfigError(
+                f"unknown run_platform {self.run_platform!r}; choose "
+                f"from {sorted(PLATFORMS)}")
+        if self.run_platform_params is not None:
+            params = self.run_platform_params
+            if isinstance(params, Mapping):
+                items = params.items()
+            else:
+                try:
+                    items = [(k, v) for k, v in params]
+                except (TypeError, ValueError):
+                    raise PipelineConfigError(
+                        "run_platform_params must be a mapping or a "
+                        "sequence of (name, value) pairs, got "
+                        f"{params!r}") from None
+            norm = []
+            for k, v in items:
+                if not isinstance(k, str) or not k:
+                    raise PipelineConfigError(
+                        f"run_platform_params keys must be non-empty "
+                        f"strings, got {k!r}")
+                norm.append((k, v))
+            object.__setattr__(
+                self, "run_platform_params",
+                tuple(sorted(norm, key=lambda kv: kv[0])) or None)
 
     def fingerprint(self) -> Dict[str, Any]:
         """Stable mapping of the fields that determine artifact content

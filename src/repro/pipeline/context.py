@@ -86,14 +86,44 @@ class RunContext:
             self._model_resolved = True
         return self._model
 
+    @property
+    def run_model(self):
+        """The network model the *execution* stages run under.
+
+        Identical to :attr:`model` unless the config carries a
+        ``run_platform`` / ``run_platform_params`` what-if override —
+        the paper's §5.4 methodology of re-running one generated
+        specification on a changed platform.  Trace and generation
+        stages never see this model, so their cached artifacts are
+        shared across a platform-parameter sweep.
+        """
+        c = self.config
+        if c.run_platform is None and c.run_platform_params is None:
+            return self.model
+        from repro.sim.network import make_model
+        preset = c.run_platform or c.platform
+        if preset is None:
+            raise PipelineError(
+                "run_platform_params given but neither run_platform nor "
+                "platform names a preset to parameterize")
+        try:
+            return make_model(preset, **dict(c.run_platform_params or ()))
+        except TypeError as exc:
+            raise PipelineError(
+                f"bad run_platform_params for platform {preset!r}: "
+                f"{exc}") from None
+
     # -- bookkeeping -------------------------------------------------------
     def record(self, stage: str, seconds: float, cache: str,
                detail: str = "") -> StageRecord:
+        """Append one per-stage report row (timing + cache status)."""
         rec = StageRecord(stage, seconds, cache, detail)
         self.records.append(rec)
         return rec
 
     def require(self, artifact: str) -> Any:
+        """The named artifact, or a :class:`PipelineError` naming what
+        *is* available — the error a stage raises when run out of order."""
         try:
             return self.artifacts[artifact]
         except KeyError:
@@ -114,18 +144,22 @@ class PipelineResult:
 
     @property
     def trace(self):
+        """The (possibly aligned/resolved) ScalaTrace trace, if produced."""
         return self.artifacts.get("trace")
 
     @property
     def source(self) -> Optional[str]:
+        """The generated coNCePTuaL source text, if produced."""
         return self.artifacts.get("source")
 
     @property
     def benchmark(self):
+        """The compiled ``ConceptualProgram``, if produced."""
         return self.artifacts.get("benchmark")
 
     @property
     def run_result(self):
+        """The execution stage's ``SpmdResult``, if the pipeline ran one."""
         return self.artifacts.get("run_result")
 
     @property
@@ -139,6 +173,7 @@ class PipelineResult:
         return bool(self.artifacts.get("degraded"))
 
     def cache_hits(self) -> int:
+        """How many stages were served from the artifact cache."""
         return sum(1 for r in self.records if r.cache == "hit")
 
     def report(self) -> str:

@@ -75,15 +75,7 @@ class Pipeline:
 
         cache = ctx.cache if ctx.config.use_cache else None
         if cache is not None and stage.cacheable and ctx.key:
-            text = cache.get(ctx.key, stage.suffix)
-            if text is not None:
-                detail = stage.deserialize(ctx, text)
-                # machine-readable record (CI asserts on this instead of
-                # scraping the human report)
-                obs.event("cache_hit", "pipeline.cache", stage=stage.name,
-                          key=ctx.key)
-                ctx.record(stage.name, time.perf_counter() - t0, "hit",
-                           detail)
+            if self._run_cached_stage(ctx, stage, cache, t0):
                 return
         out = self._attempt(ctx, stage)
         # stages return a detail string, or (status, detail) to override
@@ -91,12 +83,48 @@ class Pipeline:
         status, detail = out if isinstance(out, tuple) else (None, out)
         if status is None:
             status = "off"
-            if cache is not None and stage.cacheable and ctx.key:
-                cache.put(ctx.key, stage.serialize(ctx), stage.suffix)
-                obs.event("cache_miss", "pipeline.cache", stage=stage.name,
-                          key=ctx.key)
-                status = "miss"
         ctx.record(stage.name, time.perf_counter() - t0, status, detail)
+
+    def _run_cached_stage(self, ctx: RunContext, stage: Stage, cache,
+                          t0: float) -> bool:
+        """Satisfy a cacheable stage from/through the artifact cache.
+
+        Misses are computed under the cache's per-key cross-process
+        lock, with a second cache read once the lock is held: when
+        several workers (a parallel sweep) reach the same missing key,
+        exactly one computes the artifact while the rest block, re-read,
+        and record a hit.  Returns True when the stage was fully handled
+        (the non-cacheable fallthrough in :meth:`_run_stage` handles the
+        rest).
+        """
+        text = cache.get(ctx.key, stage.suffix, record=False)
+        if text is None:
+            with cache.lock(ctx.key):
+                text = cache.get(ctx.key, stage.suffix, record=False)
+                if text is None:
+                    cache.record_miss()
+                    out = self._attempt(ctx, stage)
+                    status, detail = (out if isinstance(out, tuple)
+                                      else (None, out))
+                    if status is None:
+                        # machine-readable record (CI asserts on this
+                        # instead of scraping the human report)
+                        cache.put(ctx.key, stage.serialize(ctx),
+                                  stage.suffix)
+                        obs.event("cache_miss", "pipeline.cache",
+                                  stage=stage.name, key=ctx.key)
+                        status = "miss"
+                    ctx.record(stage.name, time.perf_counter() - t0,
+                               status, detail)
+                    return True
+        # served from cache (either immediately or after waiting out
+        # another worker's computation of the same artifact)
+        cache.record_hit()
+        detail = stage.deserialize(ctx, text)
+        obs.event("cache_hit", "pipeline.cache", stage=stage.name,
+                  key=ctx.key)
+        ctx.record(stage.name, time.perf_counter() - t0, "hit", detail)
+        return True
 
     def _attempt(self, ctx: RunContext, stage: Stage):
         """Run the stage under the config's per-stage retry policy.

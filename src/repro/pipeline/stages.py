@@ -70,9 +70,11 @@ class Stage:
         return ()
 
     def run(self, ctx: RunContext) -> str:
+        """Execute the stage against ``ctx``; returns the report detail."""
         raise NotImplementedError
 
     def serialize(self, ctx: RunContext) -> str:
+        """Render the produced artifact as cacheable text."""
         raise NotImplementedError(f"{self.name} is not cacheable")
 
     def deserialize(self, ctx: RunContext, text: str) -> str:
@@ -90,6 +92,7 @@ class TraceStage(Stage):
     suffix = ".trace"
 
     def key_parts(self, ctx):
+        """Everything that determines the trace bytes."""
         c = ctx.config
         plan = c.fault_plan
         # the plan digest keys the faulted trace separately from the
@@ -100,6 +103,7 @@ class TraceStage(Stage):
                 fault)
 
     def run(self, ctx):
+        """Run the application under ScalaTrace on the simulator."""
         from repro.mpi.world import run_spmd
         from repro.scalatrace.tracer import ScalaTraceHook
         tracer = ScalaTraceHook()
@@ -132,10 +136,12 @@ class TraceStage(Stage):
         return detail
 
     def serialize(self, ctx):
+        """The trace's text serialization."""
         from repro.scalatrace.serialize import dumps_trace
         return dumps_trace(ctx.artifacts["trace"])
 
     def deserialize(self, ctx, text):
+        """Install a cached trace into the context."""
         from repro.scalatrace.serialize import loads_trace
         trace = loads_trace(text)
         ctx.artifacts["trace"] = trace
@@ -150,9 +156,11 @@ class AlignStage(Stage):
     produces = "trace"
 
     def key_parts(self, ctx):
+        """Alignment toggles the artifact; fold the switch in."""
         return ("align", ctx.config.align)
 
     def run(self, ctx):
+        """Apply Algorithm 1 when enabled and the trace needs it."""
         from repro.generator.align import align_collectives, needs_alignment
         trace = ctx.require("trace")
         ctx.artifacts["was_aligned"] = False
@@ -172,9 +180,11 @@ class ResolveStage(Stage):
     produces = "trace"
 
     def key_parts(self, ctx):
+        """Resolution toggles the artifact; fold the switch in."""
         return ("resolve", ctx.config.resolve)
 
     def run(self, ctx):
+        """Apply Algorithm 2 when enabled and the trace has wildcards."""
         from repro.generator.wildcard import has_wildcards, resolve_wildcards
         trace = ctx.require("trace")
         ctx.artifacts["was_resolved"] = False
@@ -196,10 +206,12 @@ class EmitStage(Stage):
     suffix = ".ncptl"
 
     def key_parts(self, ctx):
+        """The emitter settings that shape the generated source."""
         c = ctx.config
         return ("emit", c.include_timing, c.split_first_rest, c.name)
 
     def run(self, ctx):
+        """Emit the processed trace as coNCePTuaL source."""
         from repro.conceptual.printer import print_program
         from repro.generator.emit_conceptual import ConceptualEmitter
         c = ctx.config
@@ -212,12 +224,14 @@ class EmitStage(Stage):
         return f"{len(ctx.artifacts['source'].splitlines())} lines"
 
     def serialize(self, ctx):
+        """JSON envelope: the source plus the generator flags."""
         env = {"was_aligned": ctx.artifacts.get("was_aligned", False),
                "was_resolved": ctx.artifacts.get("was_resolved", False),
                "source": ctx.artifacts["source"]}
         return json.dumps(env)
 
     def deserialize(self, ctx, text):
+        """Install a cached source envelope into the context."""
         env = json.loads(text)
         # the generator flags ride with the source so a cache hit
         # reconstructs the exact GeneratedBenchmark metadata
@@ -235,6 +249,7 @@ class CompileStage(Stage):
     produces = "benchmark"
 
     def run(self, ctx):
+        """Compile the source (or the freshly emitted AST)."""
         from repro.conceptual.compiler import ConceptualProgram
         ast = ctx.artifacts.get("ast")
         if ast is not None:
@@ -254,16 +269,24 @@ class RunStage(Stage):
     produces = "run_result"
 
     def key_parts(self, ctx):
-        return None  # execution is never cached
+        """None: execution is never cached."""
+        return None
 
     def run(self, ctx):
+        """Run the benchmark under the execution-stage model, applying
+        the §5.4 what-if knobs (compute scaling, platform overrides)."""
         program = ctx.require("benchmark")
         nranks = ctx.config.nranks
         if nranks is None:
             raise PipelineError("RunStage requires config.nranks")
+        if ctx.config.compute_scale != 1.0:
+            # §5.4 what-if: scale the benchmark's COMPUTE statements at
+            # the last moment, so the cached trace/source stay pristine
+            from repro.generator.api import scale_compute
+            program = scale_compute(program, ctx.config.compute_scale)
         faults = _fault_injector(ctx)
         try:
-            result, logs = program.run(nranks, model=ctx.model,
+            result, logs = program.run(nranks, model=ctx.run_model,
                                        hooks=ctx.hooks,
                                        max_steps=ctx.config.max_steps,
                                        faults=faults)
@@ -278,6 +301,8 @@ class RunStage(Stage):
         ctx.artifacts["run_result"] = result
         ctx.artifacts["logs"] = logs
         detail = f"{result.total_time * 1e6:.1f} us simulated"
+        if ctx.config.compute_scale != 1.0:
+            detail += f" (compute x{ctx.config.compute_scale:g})"
         if faults is not None:
             ctx.artifacts["fault_report"] = result.fault_report
             if result.degraded:
@@ -293,9 +318,11 @@ class ReplayStage(Stage):
     produces = "run_result"
 
     def key_parts(self, ctx):
+        """None: replays are never cached."""
         return None
 
     def run(self, ctx):
+        """Re-execute the trace event by event under the run model."""
         from repro.tools.replay import replay_program
         from repro.mpi.world import run_spmd
         trace = ctx.require("trace")
@@ -304,7 +331,7 @@ class ReplayStage(Stage):
             result = run_spmd(
                 replay_program(trace,
                                include_timing=ctx.config.include_timing),
-                trace.world_size, model=ctx.model, hooks=ctx.hooks,
+                trace.world_size, model=ctx.run_model, hooks=ctx.hooks,
                 max_steps=ctx.config.max_steps, faults=faults)
         except SimulationError as exc:
             partial = _salvage(ctx, exc, faults)

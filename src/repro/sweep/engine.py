@@ -1,0 +1,296 @@
+"""The parallel sweep engine: fan a plan's grid across worker processes.
+
+Executing a :class:`~repro.sweep.plan.SweepPlan` means running one
+pipeline per grid point.  Points are independent, so they parallelize
+across a ``ProcessPoolExecutor``; three properties make the parallel
+execution safe and exactly reproducible:
+
+* **Determinism** — every point's outcome is a pure function of its
+  config (the whole system is deterministic), so a point computes the
+  same result in any process, in any order.
+* **Shared cache** — workers share the content-addressed artifact
+  cache; the per-key cross-process lock in
+  :class:`~repro.pipeline.cache.ArtifactCache` means N workers sweeping
+  the same application trace it *once* while the rest block briefly and
+  hit.
+* **Order-independent merge** — results are collected keyed by point
+  index and canonicalized without any scheduling-dependent data (wall
+  times and cache hit/miss status are reported separately), so
+  :meth:`SweepResult.canonical_json` is byte-identical for
+  ``workers=1`` and ``workers=N``.
+
+A point that fails (deadlock, livelock guard, invalid config) is
+*isolated*: it reports ``status="failed"`` with the error, and the rest
+of the sweep proceeds.  Degraded runs (crashed-rank salvage under a
+fault plan, PR 3 semantics) report ``status="degraded"`` with their
+fault report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.errors import ReproError, SweepError
+from repro.sweep.plan import SweepPlan, build_config
+
+#: schema version of serialized sweep results
+RESULT_VERSION = 1
+
+
+@dataclass
+class PointResult:
+    """Outcome of one grid point.
+
+    ``status`` is ``ok``, ``degraded`` (salvaged faulted run), or
+    ``failed`` (isolated error).  ``metrics`` holds the deterministic
+    simulation outcomes; ``execution`` holds scheduling-dependent
+    bookkeeping (wall seconds, per-stage cache status) that is excluded
+    from the canonical rendering.
+    """
+
+    index: int                      #: position in plan expansion order
+    params: Dict[str, Any]          #: the fields this point varies
+    status: str                     #: ok | degraded | failed
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    fault: Optional[Dict[str, Any]] = None  #: FaultReport.to_dict()
+    error: Optional[str] = None     #: failure description (failed only)
+    execution: Dict[str, Any] = field(default_factory=dict)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The deterministic, order-independent part of the result."""
+        return {"index": self.index, "params": self.params,
+                "status": self.status, "metrics": self.metrics,
+                "fault": self.fault, "error": self.error}
+
+
+@dataclass
+class SweepResult:
+    """Everything one executed sweep produced.
+
+    The canonical renderings (:meth:`canonical_dict`,
+    :meth:`canonical_json`, :meth:`canonical_jsonl`) contain only
+    deterministic data and are byte-identical across worker counts;
+    :meth:`to_dict` adds the execution metadata (wall time, worker
+    count, cache accounting).
+    """
+
+    plan: SweepPlan                 #: the executed plan
+    points: List[PointResult]       #: per-point outcomes, index order
+    workers: int = 1                #: worker processes used
+    seconds: float = 0.0            #: sweep wall-clock time
+    cache_hits: int = 0             #: artifact-cache hits, all points
+    cache_misses: int = 0           #: artifact-cache misses, all points
+
+    def counts(self) -> Dict[str, int]:
+        """Point totals by status (``ok``/``degraded``/``failed``)."""
+        out = {"ok": 0, "degraded": 0, "failed": 0}
+        for p in self.points:
+            out[p.status] = out.get(p.status, 0) + 1
+        return out
+
+    @property
+    def failed(self) -> List[PointResult]:
+        """The isolated failed points (empty on a clean sweep)."""
+        return [p for p in self.points if p.status == "failed"]
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Deterministic sweep outcome: plan identity + point results."""
+        return {"version": RESULT_VERSION,
+                "name": self.plan.name,
+                "mode": self.plan.mode,
+                "plan_digest": self.plan.digest(),
+                "points": [p.canonical_dict() for p in self.points]}
+
+    def canonical_json(self) -> str:
+        """Canonical JSON: byte-identical for any worker count."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+
+    def canonical_jsonl(self) -> str:
+        """One canonical JSON line per point (CI parity checks)."""
+        return "".join(
+            json.dumps(p.canonical_dict(), sort_keys=True,
+                       separators=(",", ":")) + "\n"
+            for p in self.points)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full rendering: canonical outcome + execution metadata."""
+        out = self.canonical_dict()
+        out["execution"] = {
+            "workers": self.workers,
+            "seconds": round(self.seconds, 6),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "points": [dict(p.execution, index=p.index)
+                       for p in self.points],
+        }
+        return out
+
+    def report(self) -> str:
+        """The per-point table printed by ``repro sweep run``."""
+        counts = self.counts()
+        lines = [f"sweep report: {self.plan.name} "
+                 f"({len(self.points)} point(s), mode={self.plan.mode}, "
+                 f"{self.workers} worker(s), digest {self.plan.digest()})",
+                 f"  {'point':<6s} {'status':<9s} "
+                 f"{'makespan':>12s}  parameters"]
+        for p in self.points:
+            makespan = p.metrics.get("makespan_s")
+            shown = (f"{makespan * 1e6:>10.1f}us" if makespan is not None
+                     else f"{'-':>12s}")
+            label = ", ".join(f"{k}={v}" for k, v in
+                              sorted(p.params.items())) or "(base)"
+            if p.error:
+                label += f"  [{p.error}]"
+            lines.append(f"  {p.index:<6d} {p.status:<9s} {shown}  {label}")
+        tail = (f"  total  {self.seconds:.2f}s wall; "
+                f"{counts['ok']} ok, {counts['degraded']} degraded, "
+                f"{counts['failed']} failed; cache {self.cache_hits} "
+                f"hit(s), {self.cache_misses} miss(es)")
+        lines.append(tail)
+        return "\n".join(lines)
+
+
+def _point_pipeline(mode: str):
+    """The pipeline a plan mode executes per point."""
+    from repro.pipeline import Pipeline, TraceStage, full_pipeline
+    if mode == "run":
+        return full_pipeline(run=True)
+    if mode == "generate":
+        return full_pipeline(run=False)
+    if mode == "trace":
+        return Pipeline([TraceStage()])
+    raise SweepError(f"unknown sweep mode {mode!r}")
+
+
+def _execute_point(payload) -> Dict[str, Any]:
+    """Worker entry: run one point, return a picklable outcome record.
+
+    Runs in a pool process (or inline for ``workers=1`` — the code path
+    is identical either way).  Every :class:`ReproError` is caught and
+    converted into a ``failed`` record so one bad point cannot take the
+    sweep down; non-repro exceptions are programming errors and
+    propagate.
+    """
+    index, mode, overrides, params, use_cache, cache_dir = payload
+    t0 = time.perf_counter()
+    record: Dict[str, Any] = {"index": index, "params": params,
+                              "status": "ok", "metrics": {},
+                              "fault": None, "error": None}
+    try:
+        config = build_config(overrides, use_cache=use_cache,
+                              cache_dir=cache_dir)
+        result = _point_pipeline(mode).run(config)
+    except ReproError as exc:
+        record["status"] = "failed"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["execution"] = {"seconds": round(time.perf_counter() - t0,
+                                                6)}
+        return record
+    metrics = record["metrics"]
+    trace = result.artifacts.get("trace")
+    if trace is not None:
+        metrics["trace_events"] = trace.event_count()
+        metrics["trace_nodes"] = trace.node_count()
+    if result.source is not None:
+        metrics["source_lines"] = len(result.source.splitlines())
+    run_result = result.run_result
+    if run_result is not None:
+        metrics["makespan_s"] = run_result.total_time
+        metrics["messages"] = run_result.messages_sent
+    if result.degraded:
+        record["status"] = "degraded"
+    if result.fault_report is not None:
+        record["fault"] = result.fault_report.to_dict()
+    cache = result.cache
+    record["execution"] = {
+        "seconds": round(time.perf_counter() - t0, 6),
+        "stages": [[r.stage, r.cache] for r in result.records],
+        "cache_hits": cache.hits if cache is not None else 0,
+        "cache_misses": cache.misses if cache is not None else 0,
+    }
+    return record
+
+
+def _to_point_result(record: Dict[str, Any]) -> PointResult:
+    """A :class:`PointResult` from a worker's outcome record."""
+    return PointResult(index=record["index"], params=record["params"],
+                       status=record["status"],
+                       metrics=record.get("metrics", {}),
+                       fault=record.get("fault"),
+                       error=record.get("error"),
+                       execution=record.get("execution", {}))
+
+
+def run_sweep(plan: SweepPlan, workers: int = 1, *,
+              use_cache: bool = True, cache_dir: str = ".repro-cache",
+              progress=None) -> SweepResult:
+    """Execute every point of ``plan``; returns the merged result.
+
+    ``workers`` > 1 fans the points across a ``ProcessPoolExecutor``;
+    the merged :class:`SweepResult` is canonically byte-identical to a
+    serial run.  ``use_cache``/``cache_dir`` configure the shared
+    artifact cache (on by default: cache sharing across points is the
+    engine's main economy).  ``progress``, when given, is called as
+    ``progress(point_record)`` after each point completes, in completion
+    order.
+    """
+    if workers < 1:
+        raise SweepError(f"workers must be >= 1, got {workers}")
+    points = plan.points()
+    payloads = [(p.index, plan.mode, p.overrides, p.params,
+                 use_cache, cache_dir) for p in points]
+    t0 = time.perf_counter()
+    records: List[Optional[Dict[str, Any]]] = [None] * len(points)
+    with obs.span("sweep.run", plan=plan.name, points=len(points),
+                  workers=workers):
+        if workers == 1 or len(points) <= 1:
+            for payload in payloads:
+                rec = _execute_point(payload)
+                records[rec["index"]] = rec
+                _account_point(rec, progress)
+        else:
+            workers = min(workers, len(points))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pending = {pool.submit(_execute_point, payload)
+                           for payload in payloads}
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        rec = fut.result()
+                        records[rec["index"]] = rec
+                        _account_point(rec, progress)
+    results = [_to_point_result(rec) for rec in records
+               if rec is not None]
+    return SweepResult(
+        plan=plan, points=results, workers=workers,
+        seconds=time.perf_counter() - t0,
+        cache_hits=sum(p.execution.get("cache_hits", 0) for p in results),
+        cache_misses=sum(p.execution.get("cache_misses", 0)
+                         for p in results))
+
+
+def _account_point(rec: Dict[str, Any], progress) -> None:
+    """Per-point observability: counters + a machine-readable event."""
+    obs.count("sweep.points")
+    obs.count(f"sweep.points_{rec['status']}")
+    execution = rec.get("execution", {})
+    obs.count("sweep.cache_hits", execution.get("cache_hits", 0))
+    obs.count("sweep.cache_misses", execution.get("cache_misses", 0))
+    obs.event("point_done", "sweep.point", index=rec["index"],
+              status=rec["status"],
+              dur_s=execution.get("seconds", 0.0))
+    if progress is not None:
+        progress(rec)
+
+
+def default_workers() -> int:
+    """A sensible worker count for this host (CLI ``--workers 0``)."""
+    return max(1, os.cpu_count() or 1)

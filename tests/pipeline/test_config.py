@@ -71,3 +71,67 @@ class TestReplace:
         assert c.nranks == 8  # frozen original untouched
         with pytest.raises(PipelineConfigError):
             c.replace(nranks=-1)
+
+
+class TestWhatIfFields:
+    """The §5.4 what-if hooks: compute_scale, run_platform[_params]."""
+
+    def test_defaults(self):
+        config = PipelineConfig(app="jacobi", nranks=4)
+        assert config.compute_scale == 1.0
+        assert config.run_platform is None
+        assert config.run_platform_params is None
+
+    def test_negative_compute_scale_rejected(self):
+        with pytest.raises(PipelineConfigError, match="compute_scale"):
+            PipelineConfig(app="jacobi", nranks=4, compute_scale=-0.1)
+
+    def test_zero_compute_scale_allowed(self):
+        PipelineConfig(app="jacobi", nranks=4, compute_scale=0.0)
+
+    def test_unknown_run_platform_rejected(self):
+        with pytest.raises(PipelineConfigError, match="run_platform"):
+            PipelineConfig(app="jacobi", nranks=4, run_platform="mars")
+
+    def test_params_mapping_normalized_to_sorted_tuple(self):
+        config = PipelineConfig(app="jacobi", nranks=4,
+                                run_platform_params={"latency": 1e-5,
+                                                     "bandwidth": 1e8})
+        assert config.run_platform_params == (("bandwidth", 1e8),
+                                              ("latency", 1e-5))
+
+    def test_params_bad_key_rejected(self):
+        with pytest.raises(PipelineConfigError, match="keys"):
+            PipelineConfig(app="jacobi", nranks=4,
+                           run_platform_params={3: 1.0})
+
+    def test_whatif_fields_enter_fingerprint(self):
+        base = PipelineConfig(app="jacobi", nranks=4).fingerprint()
+        scaled = PipelineConfig(app="jacobi", nranks=4,
+                                compute_scale=0.5).fingerprint()
+        assert base != scaled
+
+    def test_run_model_resolves_override(self):
+        from repro.pipeline import RunContext
+        from repro.sim.network import CongestionModel, LogGPModel
+        ctx = RunContext(PipelineConfig(app="jacobi", nranks=4,
+                                        run_platform="ethernet"))
+        assert isinstance(ctx.model, LogGPModel)
+        assert isinstance(ctx.run_model, CongestionModel)
+
+    def test_run_model_params_applied(self):
+        from repro.pipeline import RunContext
+        ctx = RunContext(PipelineConfig(
+            app="jacobi", nranks=4,
+            run_platform_params={"latency": 0.25}))
+        assert ctx.run_model.latency == 0.25
+        assert ctx.model.latency != 0.25
+
+    def test_bad_param_name_raises_pipeline_error(self):
+        from repro.errors import PipelineError
+        from repro.pipeline import RunContext
+        ctx = RunContext(PipelineConfig(
+            app="jacobi", nranks=4,
+            run_platform_params={"warp": 9.0}))
+        with pytest.raises(PipelineError, match="run_platform_params"):
+            ctx.run_model

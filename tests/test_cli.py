@@ -163,3 +163,67 @@ class TestMetricsOnClassicCommands:
                      "--metrics", "g.jsonl"]) == 0
         layers = {json.loads(line)["layer"] for line in open("g.jsonl")}
         assert "generator" in layers and "conceptual" in layers
+
+
+TINY_SWEEP = """\
+name: tiny
+mode: run
+base: {app: jacobi, nranks: 4}
+axes:
+  - field: compute_scale
+    values: [1.0, 0.5]
+"""
+
+
+class TestSweepSubcommand:
+    def test_template_validates(self, workdir, capsys):
+        assert main(["sweep", "template", "-o", "plan.yaml"]) == 0
+        assert main(["sweep", "validate", "plan.yaml"]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out and "11 point(s)" in out
+
+    def test_validate_rejects_bad_plan(self, workdir, capsys):
+        with open("bad.yaml", "w") as fh:
+            fh.write("name: bad\naxes:\n  - field: warp\n    values: [1]\n")
+        assert main(["sweep", "validate", "bad.yaml"]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_run_writes_result_and_jsonl(self, workdir, capsys):
+        with open("plan.yaml", "w") as fh:
+            fh.write(TINY_SWEEP)
+        assert main(["sweep", "run", "plan.yaml", "--workers", "1",
+                     "-o", "result.json", "--jsonl", "points.jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep report: tiny" in out
+        result = json.loads(open("result.json").read())
+        assert len(result["points"]) == 2
+        assert result["execution"]["workers"] == 1
+        lines = [json.loads(line) for line in open("points.jsonl")]
+        assert [rec["index"] for rec in lines] == [0, 1]
+        assert all(rec["status"] == "ok" for rec in lines)
+
+    def test_workers_parity_from_cli(self, workdir, capsys):
+        with open("plan.yaml", "w") as fh:
+            fh.write(TINY_SWEEP)
+        assert main(["sweep", "run", "plan.yaml", "--workers", "1",
+                     "--jsonl", "a.jsonl", "--cache-dir", "c1"]) == 0
+        assert main(["sweep", "run", "plan.yaml", "--workers", "2",
+                     "--jsonl", "b.jsonl", "--cache-dir", "c2"]) == 0
+        assert open("a.jsonl").read() == open("b.jsonl").read()
+
+    def test_failed_point_sets_exit_code(self, workdir, capsys):
+        with open("plan.yaml", "w") as fh:
+            fh.write("name: sad\nbase: {app: jacobi, nranks: 4}\n"
+                     "axes:\n  - field: max_steps\n    values: [null, 1]\n")
+        assert main(["sweep", "run", "plan.yaml", "--workers", "1"]) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_metrics_cover_sweep_layer(self, workdir, capsys):
+        with open("plan.yaml", "w") as fh:
+            fh.write(TINY_SWEEP)
+        assert main(["sweep", "run", "plan.yaml", "--workers", "1",
+                     "--metrics", "m.jsonl"]) == 0
+        records = [json.loads(line) for line in open("m.jsonl")]
+        assert {r["layer"] for r in records} >= {"sweep"}
+        names = {r["name"] for r in records if r["kind"] == "counter"}
+        assert "sweep.points" in names

@@ -1,0 +1,93 @@
+"""Documentation hygiene: links resolve, the architecture doc is the
+hub, and the docs mention what the code actually ships."""
+
+import importlib.util
+import os
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS = os.path.join(ROOT, "docs")
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_links",
+        os.path.join(ROOT, "scripts", "check_docs_links.py"))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _read(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def _doc_files():
+    return sorted(f for f in os.listdir(DOCS) if f.endswith(".md"))
+
+
+class TestLinkChecker:
+    def test_all_relative_links_resolve(self):
+        checker = _load_checker()
+        broken = []
+        for path in checker.default_files(ROOT):
+            broken.extend(checker.check_file(path))
+        assert not broken, f"broken doc links: {broken}"
+
+    def test_checker_catches_a_broken_link(self, tmp_path):
+        checker = _load_checker()
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](no-such-file.md)\n")
+        assert checker.check_file(str(bad)) == [
+            (str(bad), "no-such-file.md")]
+
+    def test_checker_skips_external_and_fenced(self, tmp_path):
+        checker = _load_checker()
+        ok = tmp_path / "ok.md"
+        ok.write_text("[x](https://example.com) [y](#anchor)\n"
+                      "```\n[z](inside-fence.md)\n```\n")
+        assert checker.check_file(str(ok)) == []
+
+
+class TestArchitectureHub:
+    def test_architecture_doc_exists(self):
+        assert os.path.exists(os.path.join(DOCS, "ARCHITECTURE.md"))
+
+    def test_readme_links_architecture(self):
+        assert "docs/ARCHITECTURE.md" in _read(
+            os.path.join(ROOT, "README.md"))
+
+    @pytest.mark.parametrize("doc", [f for f in
+                                     ["FAULTS.md", "LANGUAGE.md",
+                                      "PERFORMANCE.md", "PIPELINE.md",
+                                      "SWEEPS.md"]])
+    def test_every_doc_links_architecture(self, doc):
+        assert "ARCHITECTURE.md" in _read(os.path.join(DOCS, doc)), \
+            f"docs/{doc} does not cross-link ARCHITECTURE.md"
+
+    def test_architecture_maps_every_package(self):
+        text = _read(os.path.join(DOCS, "ARCHITECTURE.md"))
+        src = os.path.join(ROOT, "src", "repro")
+        packages = sorted(
+            name for name in os.listdir(src)
+            if os.path.isdir(os.path.join(src, name))
+            and not name.startswith("_") and name != "util")
+        missing = [p for p in packages if f"repro.{p}" not in text]
+        assert not missing, \
+            f"packages absent from the architecture module map: {missing}"
+
+
+class TestSweepDocs:
+    def test_sweeps_doc_covers_the_contract(self):
+        text = _read(os.path.join(DOCS, "SWEEPS.md"))
+        for needle in ("byte-identical", "workers", "compute_scale",
+                       "fault_plan", "repro sweep template",
+                       "repro sweep run"):
+            assert needle in text, f"SWEEPS.md missing {needle!r}"
+
+    def test_readme_documents_the_sweep_cli(self):
+        text = _read(os.path.join(ROOT, "README.md"))
+        assert "repro sweep run" in text
+        assert "docs/SWEEPS.md" in text
