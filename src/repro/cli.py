@@ -51,6 +51,39 @@ def _add_metrics(parser):
                              "(JSON lines) to FILE")
 
 
+def _add_topology(parser):
+    from repro.topology import TOPOLOGIES
+    parser.add_argument("--topology", choices=sorted(TOPOLOGIES),
+                        help="route messages over a fabric topology with "
+                             "per-link contention (default: flat wire)")
+    parser.add_argument("--placement", default="block",
+                        help="rank-to-node placement: block, roundrobin, "
+                             "random[:seed], map:<file> (default: block)")
+    parser.add_argument("--topology-param", action="append", default=[],
+                        metavar="KEY=VALUE", dest="topology_params",
+                        help="topology/fabric parameter (repeatable), "
+                             "e.g. nodes=4, arity=8, hop_latency=1e-6, "
+                             "'dims=[2,2,2]'")
+
+
+def _topology_kwargs(args) -> dict:
+    """PipelineConfig keyword args for the ``--topology`` flag family."""
+    params = {}
+    for item in getattr(args, "topology_params", None) or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --topology-param needs KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    out = {"topology": args.topology, "placement": args.placement}
+    if params:
+        out["topology_params"] = params
+    return out
+
+
 @contextlib.contextmanager
 def _metrics(args):
     """Collect instrumentation for the command; dump it if requested."""
@@ -138,7 +171,8 @@ def cmd_generate(args):
 def cmd_run(args):
     with open(args.program) as fh:
         source = fh.read()
-    config = PipelineConfig(nranks=args.np, platform=args.platform)
+    config = PipelineConfig(nranks=args.np, platform=args.platform,
+                            **_topology_kwargs(args))
     hook = MpiPHook()
     ctx = RunContext(config, hooks=[hook])
     ctx.artifacts["source"] = source
@@ -157,7 +191,8 @@ def cmd_run(args):
 def cmd_replay(args):
     trace = load_trace(args.trace)
     config = PipelineConfig(nranks=trace.world_size,
-                            platform=args.platform)
+                            platform=args.platform,
+                            **_topology_kwargs(args))
     ctx = RunContext(config)
     ctx.artifacts["trace"] = trace
     with _metrics(args):
@@ -180,7 +215,8 @@ def cmd_pipeline(args):
                             use_cache=not args.no_cache,
                             cache_dir=args.cache_dir,
                             fault_plan=plan,
-                            stage_retries=args.stage_retries)
+                            stage_retries=args.stage_retries,
+                            **_topology_kwargs(args))
     with _metrics(args) as inst:
         result = full_pipeline(run=not args.no_run).run(config)
     print(result.report())
@@ -376,12 +412,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print the mpiP-style profile")
     _add_platform(p)
+    _add_topology(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("replay", help="replay a trace (ScalaReplay)")
     p.add_argument("trace")
     _add_platform(p)
+    _add_topology(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_replay)
 
@@ -410,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stage-retries", type=int, default=0,
                    help="re-run a failed stage up to N times")
     _add_platform(p)
+    _add_topology(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_pipeline)
 

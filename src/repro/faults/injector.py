@@ -115,12 +115,15 @@ class FaultInjector:
         return SendFate(delay, retries, lost, duplicate)
 
     # -- per-link / per-rank modifiers --------------------------------------
-    def window_factors(self, dst: int, t: float) -> Tuple[float, float]:
+    def window_factors(self, dst: int, t: float,
+                       links: Tuple[str, ...] = ()) -> Tuple[float, float]:
         """Compounded (latency_factor, bandwidth_factor) for a message
-        injected at virtual time ``t`` toward rank ``dst``."""
+        injected at virtual time ``t`` toward rank ``dst``; ``links`` is
+        the message's route on a routed fabric (empty when flat), used
+        by windows that target named fabric links."""
         lat = bw = 1.0
         for w in self.plan.windows:
-            if w.applies(dst, t):
+            if w.applies(dst, t, links):
                 lat *= w.latency_factor
                 bw *= w.bandwidth_factor
         if lat != 1.0 or bw != 1.0:

@@ -40,6 +40,13 @@ class LinkWindow:
     the latency portion of their transit and ``bandwidth_factor`` on the
     serialization portion.  Factors are multiplicative; overlapping
     windows compound.
+
+    On a routed fabric (``--topology``) a window can instead target
+    named fabric links (e.g. ``"x+:0,0,0"`` on a torus, ``"up:1:2"`` on
+    a fat-tree — see ``docs/TOPOLOGY.md``): the window then applies
+    only to messages whose route traverses one of those links.  The
+    ``ranks`` and ``links`` filters compound (both must pass); on a
+    flat fabric a ``links`` filter never matches (no named links).
     """
 
     t_start: float
@@ -47,6 +54,7 @@ class LinkWindow:
     latency_factor: float = 1.0
     bandwidth_factor: float = 1.0
     ranks: Optional[Tuple[int, ...]] = None
+    links: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self):
         if self.t_end < self.t_start:
@@ -60,16 +68,24 @@ class LinkWindow:
         if self.ranks is not None:
             object.__setattr__(self, "ranks",
                                tuple(sorted(int(r) for r in self.ranks)))
+        if self.links is not None:
+            object.__setattr__(self, "links",
+                               tuple(sorted(str(n) for n in self.links)))
 
     def is_null(self) -> bool:
         return (self.latency_factor == 1.0
                 and self.bandwidth_factor == 1.0) or \
             self.t_end == self.t_start
 
-    def applies(self, dst: int, t: float) -> bool:
+    def applies(self, dst: int, t: float,
+                route: Tuple[str, ...] = ()) -> bool:
         if not (self.t_start <= t < self.t_end):
             return False
-        return self.ranks is None or dst in self.ranks
+        if self.ranks is not None and dst not in self.ranks:
+            return False
+        if self.links is not None:
+            return any(link in self.links for link in route)
+        return True
 
 
 def _rate(name: str, value: float) -> float:
@@ -182,7 +198,8 @@ class FaultPlan:
         if "windows" in kw:
             kw["windows"] = tuple(
                 w if isinstance(w, LinkWindow) else LinkWindow(**{
-                    k: (tuple(v) if k == "ranks" and v is not None else v)
+                    k: (tuple(v) if k in ("ranks", "links")
+                        and v is not None else v)
                     for k, v in w.items()})
                 for w in kw["windows"])
         if "stragglers" in kw:
@@ -249,6 +266,7 @@ windows: []               # transient link degradation, e.g.
 #    latency_factor: 4.0
 #    bandwidth_factor: 2.0
 #    ranks: [0, 1]        # destination ranks affected (omit for all)
+#    links: ["x+:0,0,0"]  # named fabric links (routed fabrics only)
 stragglers: []            # per-rank compute slowdowns, e.g.
 #  - {rank: 2, factor: 3.0}
 crashes: []               # rank stops executing at a virtual time, e.g.

@@ -42,6 +42,8 @@ class SpmdResult:
         self.bytes_sent = world.engine.bytes_sent
         self.crashed_ranks = tuple(world.engine.crashed_ranks)
         self.starved_ranks = tuple(world.engine.starved_ranks)
+        #: per-link contention accounting (routed fabrics only; {} flat)
+        self.link_stats = world.engine.link_stats
         #: FaultReport when the run was driven by a fault injector
         self.fault_report = None
         if world.engine.faults is not None:

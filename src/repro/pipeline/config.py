@@ -59,6 +59,15 @@ class PipelineConfig:
     run_platform_params: Optional[Tuple[Tuple[str, Any], ...]] = None
     #: keyword overrides for the execution-stage network model (a
     #: mapping is accepted and normalized to a sorted tuple of pairs)
+    topology: Optional[str] = None     #: routed-fabric topology for the
+    #:                                    execution stage (None = flat)
+    topology_params: Optional[Tuple[Tuple[str, Any], ...]] = None
+    #: topology/fabric keyword overrides (``dims``, ``arity``, ``nodes``,
+    #: ``hop_latency``, ``link_bandwidth``); normalized like
+    #: ``run_platform_params``
+    placement: str = "block"           #: rank→node placement spec
+    #:                                    ("block", "roundrobin",
+    #:                                    "random[:seed]", "map:<file>")
     stage_retries: int = 0             #: re-run attempts for failed stages
     stage_retry_backoff: float = 0.0   #: seconds slept before retry k (*2^k)
     use_cache: bool = False            #: consult/populate the artifact cache
@@ -107,28 +116,75 @@ class PipelineConfig:
             raise PipelineConfigError(
                 f"unknown run_platform {self.run_platform!r}; choose "
                 f"from {sorted(PLATFORMS)}")
+        self._normalize_params("run_platform_params")
         if self.run_platform_params is not None:
-            params = self.run_platform_params
-            if isinstance(params, Mapping):
-                items = params.items()
-            else:
+            # satellite guard: a typoed or preset-incompatible parameter
+            # (e.g. eager_threshold on SimpleModel) fails here — at
+            # `repro sweep validate` time — not mid-fan-out in a worker
+            preset = self.run_platform or self.platform
+            if preset is not None:
+                from repro.sim.network import validate_platform_params
                 try:
-                    items = [(k, v) for k, v in params]
-                except (TypeError, ValueError):
+                    validate_platform_params(
+                        preset, [k for k, _ in self.run_platform_params])
+                except ValueError as exc:
                     raise PipelineConfigError(
-                        "run_platform_params must be a mapping or a "
-                        "sequence of (name, value) pairs, got "
-                        f"{params!r}") from None
-            norm = []
-            for k, v in items:
-                if not isinstance(k, str) or not k:
-                    raise PipelineConfigError(
-                        f"run_platform_params keys must be non-empty "
-                        f"strings, got {k!r}")
-                norm.append((k, v))
-            object.__setattr__(
-                self, "run_platform_params",
-                tuple(sorted(norm, key=lambda kv: kv[0])) or None)
+                        f"bad run_platform_params: {exc}") from None
+        if self.topology is not None:
+            from repro.topology import TOPOLOGIES
+            if self.topology not in TOPOLOGIES:
+                raise PipelineConfigError(
+                    f"unknown topology {self.topology!r}; choose from "
+                    f"{sorted(TOPOLOGIES)}")
+        self._normalize_params("topology_params")
+        if self.topology_params is not None:
+            if self.topology is None:
+                raise PipelineConfigError(
+                    "topology_params given without a topology")
+            from repro.topology import validate_topology_params
+            try:
+                validate_topology_params(
+                    self.topology, [k for k, _ in self.topology_params])
+            except ValueError as exc:
+                raise PipelineConfigError(
+                    f"bad topology_params: {exc}") from None
+        if not isinstance(self.placement, str) or not self.placement:
+            raise PipelineConfigError(
+                f"placement must be a non-empty spec string, got "
+                f"{self.placement!r}")
+        if self.placement != "block":
+            from repro.topology import parse_placement_spec
+            try:
+                parse_placement_spec(self.placement)
+            except ValueError as exc:
+                raise PipelineConfigError(f"bad placement: {exc}") \
+                    from None
+
+    def _normalize_params(self, field_name: str) -> None:
+        """Normalize a params field (mapping or pair sequence) to a
+        sorted tuple of ``(name, value)`` pairs, in place."""
+        params = getattr(self, field_name)
+        if params is None:
+            return
+        if isinstance(params, Mapping):
+            items = list(params.items())
+        else:
+            try:
+                items = [(k, v) for k, v in params]
+            except (TypeError, ValueError):
+                raise PipelineConfigError(
+                    f"{field_name} must be a mapping or a sequence of "
+                    f"(name, value) pairs, got {params!r}") from None
+        norm = []
+        for k, v in items:
+            if not isinstance(k, str) or not k:
+                raise PipelineConfigError(
+                    f"{field_name} keys must be non-empty strings, "
+                    f"got {k!r}")
+            norm.append((k, v))
+        object.__setattr__(
+            self, field_name,
+            tuple(sorted(norm, key=lambda kv: kv[0])) or None)
 
     def fingerprint(self) -> Dict[str, Any]:
         """Stable mapping of the fields that determine artifact content

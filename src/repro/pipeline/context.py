@@ -99,19 +99,40 @@ class RunContext:
         """
         c = self.config
         if c.run_platform is None and c.run_platform_params is None:
-            return self.model
-        from repro.sim.network import make_model
-        preset = c.run_platform or c.platform
-        if preset is None:
+            base = self.model
+        else:
+            from repro.sim.network import make_model
+            preset = c.run_platform or c.platform
+            if preset is None:
+                raise PipelineError(
+                    "run_platform_params given but neither run_platform "
+                    "nor platform names a preset to parameterize")
+            try:
+                base = make_model(preset,
+                                  **dict(c.run_platform_params or ()))
+            except (TypeError, ValueError) as exc:
+                raise PipelineError(
+                    f"bad run_platform_params for platform {preset!r}: "
+                    f"{exc}") from None
+        if c.topology is None:
+            return base
+        if c.nranks is None:
             raise PipelineError(
-                "run_platform_params given but neither run_platform nor "
-                "platform names a preset to parameterize")
+                "config.nranks is required to place ranks on a "
+                f"{c.topology!r} topology")
+        if base is None:
+            from repro.sim.network import LogGPModel
+            base = LogGPModel()
+        from repro.topology import make_topology_model
         try:
-            return make_model(preset, **dict(c.run_platform_params or ()))
-        except TypeError as exc:
+            return make_topology_model(
+                base, c.topology, c.nranks,
+                topology_params=dict(c.topology_params or ()),
+                placement=c.placement)
+        except ValueError as exc:
             raise PipelineError(
-                f"bad run_platform_params for platform {preset!r}: "
-                f"{exc}") from None
+                f"bad topology configuration ({c.topology!r}, placement "
+                f"{c.placement!r}): {exc}") from None
 
     # -- bookkeeping -------------------------------------------------------
     def record(self, stage: str, seconds: float, cache: str,

@@ -2,8 +2,11 @@
 and the deterministic min-clock engine."""
 
 from repro.sim.engine import Engine
-from repro.sim.network import (CongestionModel, LogGPModel, NetworkModel,
-                               PLATFORMS, SimpleModel, arc_model, make_model)
+from repro.sim.network import (CongestionModel, Fabric, FlatFabric,
+                               LogGPModel, NetworkModel, PLATFORMS,
+                               ProtocolModel, SimpleModel, arc_model,
+                               make_model, preset_params,
+                               validate_platform_params)
 from repro.sim.ops import (ANY_SOURCE, ANY_TAG, Collective, Compute, Op,
                            PostRecv, PostSend, Test, WaitAll, WaitAny)
 from repro.sim.requests import Request, Status
@@ -16,12 +19,15 @@ __all__ = [
     "Compute",
     "CongestionModel",
     "Engine",
+    "Fabric",
+    "FlatFabric",
     "LogGPModel",
     "NetworkModel",
     "Op",
     "PLATFORMS",
     "PostRecv",
     "PostSend",
+    "ProtocolModel",
     "Request",
     "SimpleModel",
     "Status",
@@ -29,4 +35,6 @@ __all__ = [
     "WaitAll",
     "WaitAny",
     "make_model",
+    "preset_params",
+    "validate_platform_params",
 ]

@@ -184,6 +184,15 @@ class Engine:
         # the ejection link to each rank is also serial (wire queueing):
         # simultaneous arrivals stretch, paced arrivals do not
         self._wire_free: Dict[int, float] = {}
+        # routed-fabric mode: eager messages fold through every named
+        # link on their route instead of just the destination's ejection
+        # queue — _link_free generalizes _wire_free from per-destination
+        # to per-link (see repro.topology.fabric.RoutedFabric)
+        self._routed = bool(getattr(model, "routed", False))
+        self._link_free: Dict[str, float] = {}
+        self._link_msgs: Dict[str, int] = {}
+        self._link_busy: Dict[str, float] = {}
+        self._link_wait: Dict[str, float] = {}
         # leaky-bucket overload accounting: (last update time, level bytes)
         self._overload: Dict[int, Tuple[float, float]] = {}
         self.overload_events = 0
@@ -289,6 +298,23 @@ class Engine:
         obs.count("engine.messages_sent", self.messages_sent)
         obs.count("engine.bytes_sent", self.bytes_sent)
         obs.count("engine.overload_events", self.overload_events)
+        if self._routed and self._link_msgs:
+            span = self.total_time
+            for name in sorted(self._link_msgs):
+                obs.count(f"engine.link.{name}.msgs",
+                          self._link_msgs[name])
+                obs.count(f"engine.link.{name}.busy_s",
+                          self._link_busy.get(name, 0.0))
+                obs.count(f"engine.link.{name}.wait_s",
+                          self._link_wait.get(name, 0.0))
+            obs.count("engine.links_used", len(self._link_msgs))
+            obs.count("engine.link_busy_s_total",
+                      sum(self._link_busy.values()))
+            obs.count("engine.link_wait_s_total",
+                      sum(self._link_wait.values()))
+            if span > 0.0:
+                obs.count("engine.link_util_max",
+                          max(self._link_busy.values()) / span)
         if self._faults is not None:
             for name, value in sorted(self._faults.snapshot().items()):
                 obs.count(f"engine.fault.{name}", value)
@@ -300,6 +326,19 @@ class Engine:
     @property
     def total_time(self) -> float:
         return max((rs.clock for rs in self._ranks), default=0.0)
+
+    @property
+    def link_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-link contention accounting for routed fabrics.
+
+        ``{link_name: {"msgs": count, "busy_s": occupied seconds,
+        "wait_s": seconds messages queued for the link}}`` — empty for
+        flat fabrics (no named links).
+        """
+        return {name: {"msgs": self._link_msgs[name],
+                       "busy_s": self._link_busy.get(name, 0.0),
+                       "wait_s": self._link_wait.get(name, 0.0)}
+                for name in sorted(self._link_msgs)}
 
     def now(self, rank: int) -> float:
         return self._ranks[rank].clock
@@ -471,7 +510,11 @@ class Engine:
                             * model.overload_drain_rate)
             level += op.nbytes
             self._overload[op.dst] = (inject, level)
-        if eager and model.wire_queueing:
+        route_links: Tuple[str, ...] = ()
+        if eager and self._routed:
+            route_links, inject, arrival = self._routed_arrival(
+                rs, op, inject)
+        elif eager and model.wire_queueing:
             # the destination's ejection link is serial: this message's
             # data starts landing when the link frees up
             reach = inject + model.transit_time(0)
@@ -491,7 +534,13 @@ class Engine:
         fault_delay = 0.0
         if fate is not None and not lost:
             fault_delay = fate.delay
-            lat_f, bw_f = self._faults.window_factors(op.dst, inject)
+            if self._routed and not route_links:
+                # rendezvous in routed mode: the route was not folded
+                # through the links, but link-targeted degradation
+                # windows still need to see which links the data crosses
+                route_links = model.fabric.route(rs.rank, op.dst)
+            lat_f, bw_f = self._faults.window_factors(op.dst, inject,
+                                                      links=route_links)
             if lat_f != 1.0 or bw_f != 1.0:
                 base = model.transit_time(0)
                 extra = (lat_f - 1.0) * base + (bw_f - 1.0) * \
@@ -503,11 +552,18 @@ class Engine:
                 # fixed arrival and keep the ejection link busy until
                 # the late (retransmitted/degraded) copy lands
                 arrival += fault_delay
-                self._wire_free[op.dst] = arrival
+                if self._routed:
+                    self._link_free[route_links[-1]] = arrival
+                else:
+                    self._wire_free[op.dst] = arrival
                 fault_delay = 0.0
             if fate.duplicate:
                 # the spurious copy consumes receive-side resources
-                if model.wire_queueing:
+                if self._routed:
+                    self._link_free[route_links[-1]] = \
+                        self._link_free.get(route_links[-1], 0.0) + \
+                        model.eject_time(op.nbytes)
+                elif model.wire_queueing:
                     self._wire_free[op.dst] += model.eject_time(op.nbytes)
                 else:
                     self._rx_busy[op.dst] += model.recv_overhead(op.nbytes)
@@ -555,6 +611,55 @@ class Engine:
         self._drain(op.dst, relaxed=False)
         return req
 
+    def _routed_arrival(self, rs: _RankState, op: PostSend,
+                        inject: float) -> Tuple[Tuple[str, ...], float,
+                                                float]:
+        """Fold an eager message through its route's per-link FIFOs.
+
+        Store-and-forward over named links: the message reaches link *i*
+        one hop latency after clearing link *i-1*, waits for the link to
+        free (FIFO), then occupies it for the serialization time.  The
+        final link is the destination node's ejection link, so endpoint
+        delivery serializes exactly like the flat fabric's per-
+        destination wire queue.  Flow control (``backlog_stall_threshold``)
+        is checked against the ejection link's standing backlog, same as
+        the flat path.  Returns ``(route_links, inject, arrival)`` —
+        ``inject`` may have advanced if the sender was stalled.
+        """
+        model = self.model
+        fabric = model.fabric
+        links = fabric.route(rs.rank, op.dst)
+        hop = fabric.hop_latency
+        ser = fabric.serialize_time(op.nbytes)
+        free = self._link_free
+        threshold = model.backlog_stall_threshold
+        if threshold is not None:
+            reach = inject + len(links) * hop
+            backlog = free.get(links[-1], 0.0) - reach
+            if backlog > threshold:
+                # flow control: stall the sender until the destination's
+                # ejection queue drains back to the window
+                rs.clock += (backlog - threshold
+                             + model.stall_penalty(op.nbytes))
+                inject = rs.clock
+        t = inject
+        msgs = self._link_msgs
+        busy = self._link_busy
+        for link in links:
+            reach = t + hop
+            avail = free.get(link, 0.0)
+            if avail > reach:
+                self._link_wait[link] = \
+                    self._link_wait.get(link, 0.0) + (avail - reach)
+                start = avail
+            else:
+                start = reach
+            t = start + ser
+            free[link] = t
+            msgs[link] = msgs.get(link, 0) + 1
+            busy[link] = busy.get(link, 0.0) + ser
+        return links, inject, t
+
     def _has_compatible_recv(self, dst: int, src: int, tag: int,
                              comm_id: int) -> bool:
         directed = self._recv_index.get((dst, src, comm_id))
@@ -597,7 +702,8 @@ class Engine:
         model = self.model
         if msg.protocol == "eager":
             t = (msg.arrival if msg.arrival is not None
-                 else msg.inject_time + model.transit_time(msg.nbytes))
+                 else msg.inject_time
+                 + model.transit_time(msg.nbytes, msg.src, msg.dst))
             if msg.fault_delay:
                 t += msg.fault_delay
             if msg.throttled:
@@ -607,7 +713,8 @@ class Engine:
         handshake = msg.inject_time + self._min_latency
         if msg.fault_delay:
             handshake += msg.fault_delay
-        return max(handshake, recv_post) + model.transit_time(msg.nbytes)
+        return max(handshake, recv_post) \
+            + model.transit_time(msg.nbytes, msg.src, msg.dst)
 
     def _first_compatible_in_channel(self, key, tag) -> Optional[_Message]:
         chan = self._channels.get(key)

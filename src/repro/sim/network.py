@@ -1,11 +1,26 @@
-"""Network performance models.
+"""Network performance models: endpoint protocol costs + wire fabrics.
 
 The engine asks a :class:`NetworkModel` for every timing quantity it needs;
 swapping models changes the simulated platform without touching application
 code — our analogue of the paper running the same generated benchmark on
 Blue Gene/L and on the ARC Ethernet cluster.
 
-Three models are provided:
+A model is a composition of two orthogonal layers:
+
+* a :class:`ProtocolModel` — everything *endpoint-side*: per-message
+  send/receive CPU overheads, the eager/rendezvous protocol switch,
+  unexpected-message copies, finite-buffer flow control, and receiver
+  stack overload.  These are properties of the MPI/messaging software,
+  not of the wires.
+* a :class:`Fabric` — everything *wire-side*: transit latency and
+  serialization.  :class:`FlatFabric` is the classic single-number
+  fabric (every pair of ranks is one latency + bandwidth away);
+  :class:`repro.topology.RoutedFabric` routes messages hop by hop over
+  a real topology graph (torus, fat-tree) with per-link contention.
+
+Three flat-fabric presets are provided (all byte-identical to the
+pre-split monolithic models — pinned by the goldens in
+``tests/sim/golden/flat_fabric.json``):
 
 * :class:`SimpleModel` — latency + bandwidth only; good for unit tests
   because times are easy to compute by hand.
@@ -20,40 +35,136 @@ Three models are provided:
 
 from __future__ import annotations
 
+import inspect
 import math
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 
 def _log2ceil(p: int) -> int:
     return max(1, math.ceil(math.log2(p))) if p > 1 else 0
 
 
+class ProtocolModel:
+    """Endpoint-side messaging-layer costs, independent of the fabric.
+
+    Captures what the MPI library and NIC driver charge per message:
+    CPU overheads, the eager threshold, the unexpected-message copy,
+    flow-control stalls, and the leaky-bucket receiver-overload model.
+    A single :class:`ProtocolModel` can be composed with any
+    :class:`Fabric` (flat or routed) without changing meaning.
+    """
+
+    def __init__(self,
+                 send_overhead: float = 0.0,
+                 recv_overhead: float = 0.0,
+                 eager_threshold: int = 16 * 1024,
+                 unexpected_capacity: Optional[int] = None,
+                 copy_overhead: float = 0.0,
+                 copy_bandwidth: Optional[float] = None,
+                 stall_latency: float = 0.0,
+                 backlog_stall_threshold: Optional[float] = None,
+                 overload_drain_rate: Optional[float] = None,
+                 overload_capacity: int = 0,
+                 overload_penalty: float = 0.0,
+                 wire_queueing: bool = False):
+        if send_overhead < 0 or recv_overhead < 0:
+            raise ValueError("overheads must be >= 0")
+        self.send_overhead = send_overhead
+        self.recv_overhead = recv_overhead
+        self.eager_threshold = eager_threshold
+        self.unexpected_capacity = unexpected_capacity
+        self.copy_overhead = copy_overhead
+        self.copy_bandwidth = copy_bandwidth
+        self.stall_latency = stall_latency
+        self.backlog_stall_threshold = backlog_stall_threshold
+        self.overload_drain_rate = overload_drain_rate
+        self.overload_capacity = overload_capacity
+        self.overload_penalty = overload_penalty
+        self.wire_queueing = wire_queueing
+
+    def send_cost(self, nbytes: int) -> float:
+        """CPU time the sender spends posting a message."""
+        return self.send_overhead
+
+    def recv_cost(self, nbytes: int) -> float:
+        """CPU time the receiver spends completing a matched message."""
+        return self.recv_overhead
+
+    def unexpected_copy(self, nbytes: int) -> float:
+        """Extra receiver time to copy an unexpected message out of the
+        unexpected-message queue (zero when the model has no copy cost)."""
+        if self.copy_bandwidth is None:
+            return 0.0
+        return self.copy_overhead + nbytes / self.copy_bandwidth
+
+    def stall_penalty(self, nbytes: int) -> float:
+        """Extra latency paid by a sender resumed after a flow-control
+        stall."""
+        return self.stall_latency
+
+
+class Fabric:
+    """Wire-timing half of a network model.
+
+    A fabric answers "how long does the wire take" questions; it knows
+    nothing about MPI protocols.  The optional ``src``/``dst`` arguments
+    let routed fabrics price a specific rank pair; flat fabrics ignore
+    them (every pair is equidistant).
+    """
+
+    #: True when messages traverse named links that can contend (the
+    #: engine then folds sends through the per-link FIFO machinery)
+    routed = False
+
+    def transit_time(self, nbytes: int, src: Optional[int] = None,
+                     dst: Optional[int] = None) -> float:
+        """Uncontended wire time from injection to arrival."""
+        raise NotImplementedError
+
+    def min_latency(self) -> float:
+        """Lower bound on any message's transit (safety-horizon input)."""
+        return self.transit_time(0)
+
+    def eject_time(self, nbytes: int) -> float:
+        """Serialization time on the receiver's ejection link."""
+        return self.transit_time(nbytes) - self.transit_time(0)
+
+
+class FlatFabric(Fabric):
+    """The classic single-number fabric: one latency, one bandwidth,
+    every rank pair equidistant, contention only on the per-destination
+    ejection link (when the composed protocol enables wire queueing)."""
+
+    def __init__(self, latency: float = 1e-6, bandwidth: float = 1e9):
+        if latency < 0 or bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        self.latency = latency
+        self.bandwidth = bandwidth
+
+    def transit_time(self, nbytes: int, src: Optional[int] = None,
+                     dst: Optional[int] = None) -> float:
+        """Latency plus serialization at the flat bandwidth."""
+        return self.latency + nbytes / self.bandwidth
+
+
 class NetworkModel:
-    """Interface consumed by the engine.  All times in seconds."""
+    """Interface consumed by the engine.  All times in seconds.
+
+    A :class:`NetworkModel` composes a :class:`ProtocolModel` (endpoint
+    costs) with a :class:`Fabric` (wire timing) and exposes the flat
+    query surface the engine's hot path reads.  The endpoint knobs are
+    mirrored onto instance attributes at construction so the engine
+    never pays an extra indirection per message.
+    """
+
+    #: True when the fabric routes over named, contended links
+    routed = False
 
     #: messages at or below this size use the eager protocol
     eager_threshold: int = 16 * 1024
     #: receive-side buffer space for unexpected eager data (bytes);
     #: ``None`` disables flow control entirely
     unexpected_capacity: Optional[int] = None
-
-    def send_overhead(self, nbytes: int) -> float:
-        """CPU time the sender spends posting a message."""
-        raise NotImplementedError
-
-    def recv_overhead(self, nbytes: int) -> float:
-        """CPU time the receiver spends completing a matched message."""
-        raise NotImplementedError
-
-    def transit_time(self, nbytes: int) -> float:
-        """Wire time from injection to arrival (latency + serialization)."""
-        raise NotImplementedError
-
-    def min_latency(self) -> float:
-        """Lower bound on any message's transit; used by the engine's
-        conservative wildcard-matching horizon."""
-        return self.transit_time(0)
-
     #: model the receiver's ejection link as a serial resource: messages
     #: to the same destination queue for the wire (absolute-time effect —
     #: overlapping bursts stretch, paced traffic does not)
@@ -62,11 +173,6 @@ class NetworkModel:
     #: queue longer than this (seconds) is stalled by flow control;
     #: None disables the check
     backlog_stall_threshold: Optional[float] = None
-
-    def eject_time(self, nbytes: int) -> float:
-        """Serialization time on the receiver's ejection link."""
-        return self.transit_time(nbytes) - self.transit_time(0)
-
     #: receiver-stack overload modeling (commodity Ethernet/TCP): each
     #: destination's protocol stack is a leaky bucket that drains at
     #: ``overload_drain_rate`` bytes/s.  Arriving eager bytes fill it;
@@ -80,16 +186,54 @@ class NetworkModel:
     overload_capacity: int = 0
     overload_penalty: float = 0.0
 
+    def __init__(self, protocol: Optional[ProtocolModel] = None,
+                 fabric: Optional[Fabric] = None):
+        self.protocol = protocol if protocol is not None else ProtocolModel()
+        self.fabric = fabric if fabric is not None else FlatFabric()
+        p = self.protocol
+        self.eager_threshold = p.eager_threshold
+        self.unexpected_capacity = p.unexpected_capacity
+        self.wire_queueing = p.wire_queueing
+        self.backlog_stall_threshold = p.backlog_stall_threshold
+        self.overload_drain_rate = p.overload_drain_rate
+        self.overload_capacity = p.overload_capacity
+        self.overload_penalty = p.overload_penalty
+
+    # -- protocol delegation -------------------------------------------------
+    def send_overhead(self, nbytes: int) -> float:
+        """CPU time the sender spends posting a message."""
+        return self.protocol.send_cost(nbytes)
+
+    def recv_overhead(self, nbytes: int) -> float:
+        """CPU time the receiver spends completing a matched message."""
+        return self.protocol.recv_cost(nbytes)
+
     def unexpected_copy(self, nbytes: int) -> float:
         """Extra receiver time to copy an unexpected message out of the
         unexpected-message queue.  Zero unless the model supports it."""
-        return 0.0
+        return self.protocol.unexpected_copy(nbytes)
 
     def stall_penalty(self, nbytes: int) -> float:
         """Extra latency paid by a sender that was stalled by flow control
         and must be resumed."""
-        return 0.0
+        return self.protocol.stall_penalty(nbytes)
 
+    # -- fabric delegation ---------------------------------------------------
+    def transit_time(self, nbytes: int, src: Optional[int] = None,
+                     dst: Optional[int] = None) -> float:
+        """Wire time from injection to arrival (latency + serialization)."""
+        return self.fabric.transit_time(nbytes, src, dst)
+
+    def min_latency(self) -> float:
+        """Lower bound on any message's transit; used by the engine's
+        conservative wildcard-matching horizon."""
+        return self.fabric.min_latency()
+
+    def eject_time(self, nbytes: int) -> float:
+        """Serialization time on the receiver's ejection link."""
+        return self.fabric.eject_time(nbytes)
+
+    # -- collectives ---------------------------------------------------------
     def collective_cost(self, key: str, group_size: int, nbytes: int) -> float:
         """Cost of a collective with per-rank payload ``nbytes``.
 
@@ -130,18 +274,10 @@ class SimpleModel(NetworkModel):
     def __init__(self, latency: float = 1e-6, bandwidth: float = 1e9):
         if latency < 0 or bandwidth <= 0:
             raise ValueError("latency must be >= 0 and bandwidth > 0")
+        super().__init__(ProtocolModel(eager_threshold=1 << 62),
+                         FlatFabric(latency, bandwidth))
         self.latency = latency
         self.bandwidth = bandwidth
-        self.eager_threshold = 1 << 62  # everything eager
-
-    def send_overhead(self, nbytes: int) -> float:
-        return 0.0
-
-    def recv_overhead(self, nbytes: int) -> float:
-        return 0.0
-
-    def transit_time(self, nbytes: int) -> float:
-        return self.latency + nbytes / self.bandwidth
 
 
 class LogGPModel(NetworkModel):
@@ -152,20 +288,16 @@ class LogGPModel(NetworkModel):
     """
 
     def __init__(self, latency: float = 3e-6, bandwidth: float = 150e6,
-                 overhead: float = 1e-6, eager_threshold: int = 16 * 1024):
+                 overhead: float = 1e-6, eager_threshold: int = 16 * 1024,
+                 protocol: Optional[ProtocolModel] = None):
+        if protocol is None:
+            protocol = ProtocolModel(send_overhead=overhead,
+                                     recv_overhead=overhead,
+                                     eager_threshold=eager_threshold)
+        super().__init__(protocol, FlatFabric(latency, bandwidth))
         self.latency = latency
         self.bandwidth = bandwidth
         self.overhead = overhead
-        self.eager_threshold = eager_threshold
-
-    def send_overhead(self, nbytes: int) -> float:
-        return self.overhead
-
-    def recv_overhead(self, nbytes: int) -> float:
-        return self.overhead
-
-    def transit_time(self, nbytes: int) -> float:
-        return self.latency + nbytes / self.bandwidth
 
 
 class CongestionModel(LogGPModel):
@@ -188,21 +320,22 @@ class CongestionModel(LogGPModel):
                  overload_drain_rate: Optional[float] = 30e6,
                  overload_capacity: int = 64 * 1024,
                  overload_penalty: float = 5e-4):
-        super().__init__(latency, bandwidth, overhead, eager_threshold)
-        self.unexpected_capacity = unexpected_capacity
+        protocol = ProtocolModel(
+            send_overhead=overhead, recv_overhead=overhead,
+            eager_threshold=eager_threshold,
+            unexpected_capacity=unexpected_capacity,
+            # fixed queue-management cost plus the extra memcpy
+            copy_overhead=1e-6, copy_bandwidth=copy_bandwidth,
+            stall_latency=stall_latency,
+            backlog_stall_threshold=backlog_stall_threshold,
+            overload_drain_rate=overload_drain_rate,
+            overload_capacity=overload_capacity,
+            overload_penalty=overload_penalty,
+            wire_queueing=True)
+        super().__init__(latency, bandwidth, overhead, eager_threshold,
+                         protocol=protocol)
         self.copy_bandwidth = copy_bandwidth
         self.stall_latency = stall_latency
-        self.backlog_stall_threshold = backlog_stall_threshold
-        self.overload_drain_rate = overload_drain_rate
-        self.overload_capacity = overload_capacity
-        self.overload_penalty = overload_penalty
-
-    def unexpected_copy(self, nbytes: int) -> float:
-        # fixed queue-management cost plus the extra memcpy
-        return 1e-6 + nbytes / self.copy_bandwidth
-
-    def stall_penalty(self, nbytes: int) -> float:
-        return self.stall_latency
 
 
 def arc_model(**overrides) -> "CongestionModel":
@@ -217,8 +350,13 @@ def arc_model(**overrides) -> "CongestionModel":
     return CongestionModel(**params)
 
 
+#: ``arc_model`` forwards its ``**overrides`` verbatim; advertise the
+#: wrapped constructor so signature introspection sees the real params
+arc_model.param_source = CongestionModel  # type: ignore[attr-defined]
+
+
 #: Named platform presets used by the CLI, apps, and benchmarks.
-PLATFORMS: Dict[str, object] = {
+PLATFORMS: Dict[str, Callable[..., NetworkModel]] = {
     "simple": SimpleModel,
     "bluegene": LogGPModel,
     "ethernet": CongestionModel,
@@ -226,12 +364,56 @@ PLATFORMS: Dict[str, object] = {
 }
 
 
+def preset_params(name: str) -> Tuple[str, ...]:
+    """Keyword parameters accepted by the named platform preset.
+
+    Presets that forward ``**kwargs`` (like :func:`arc_model`) advertise
+    the constructor they wrap via a ``param_source`` attribute.
+    """
+    try:
+        ctor = PLATFORMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}"
+        ) from None
+    target = getattr(ctor, "param_source", ctor)
+    sig = inspect.signature(target)
+    return tuple(
+        p.name for p in sig.parameters.values()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                      inspect.Parameter.KEYWORD_ONLY)
+        and p.name not in ("self", "protocol"))
+
+
+def validate_platform_params(name: str, keys) -> None:
+    """Raise :class:`ValueError` naming the preset and its accepted
+    parameters when any of ``keys`` is not a constructor parameter."""
+    accepted = preset_params(name)
+    bad = sorted(k for k in keys if k not in accepted)
+    if bad:
+        raise ValueError(
+            f"platform {name!r} does not accept parameter(s) {bad}; "
+            f"accepted parameters: {sorted(accepted)}")
+
+
 def make_model(name: str, **kwargs) -> NetworkModel:
-    """Instantiate a named platform preset."""
+    """Instantiate a named platform preset.
+
+    Unknown names and unknown/invalid constructor parameters both raise
+    a :class:`ValueError` naming the preset and what it accepts, so a
+    typo in ``run_platform_params`` fails with a readable message
+    instead of a raw ``TypeError`` from deep inside a worker process.
+    """
     try:
         cls = PLATFORMS[name]
     except KeyError:
         raise ValueError(
             f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}"
         ) from None
-    return cls(**kwargs)
+    validate_platform_params(name, kwargs)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for platform {name!r}: {exc}; accepted "
+            f"parameters: {sorted(preset_params(name))}") from None

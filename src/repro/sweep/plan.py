@@ -284,6 +284,12 @@ axes:                     # cartesian product, listed order, last fastest
 # more axes compound, e.g. sweep the run-time network too:
 #  - field: run_platform_params
 #    values: [{latency: 3.0e-5}, {latency: 1.0e-4}]
+# topology and placement are execution-only: every point still shares
+# the cached trace/emit artifacts (docs/TOPOLOGY.md):
+#  - field: topology
+#    values: [null, torus3d, fattree]
+#  - field: placement
+#    values: [block, roundrobin, "random:1"]
 points: []                # explicit extra points, e.g.
 #  - {nranks: 64, compute_scale: 0.5}
 # a fault_plan axis takes inline plans (docs/FAULTS.md schema):

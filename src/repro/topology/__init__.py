@@ -1,0 +1,58 @@
+"""Topology-aware fabrics: graphs, routing, placement, link contention.
+
+This package supplies the wire-side half of a topology-aware network
+model (see :mod:`repro.sim.network` for the protocol/fabric split):
+
+* :mod:`repro.topology.graph` — topology shapes (flat crossbar, 3D
+  torus, fat-tree) with deterministic routing over named links;
+* :mod:`repro.topology.placement` — rank→node placement policies
+  (block, round-robin, seeded-random, explicit map file);
+* :mod:`repro.topology.fabric` — :class:`RoutedFabric`, which prices
+  messages by their route and names every link for the engine's
+  per-link FIFO contention fold;
+* :mod:`repro.topology.model` — :func:`make_topology_model`, composing
+  a flat platform preset's protocol stack with a routed fabric.
+"""
+
+from repro.topology.fabric import RoutedFabric
+from repro.topology.graph import (
+    FABRIC_PARAMS,
+    FatTree,
+    FlatTopology,
+    TOPOLOGIES,
+    Topology,
+    Torus3D,
+    make_topology,
+    topology_params,
+    validate_topology_params,
+)
+from repro.topology.model import TopologyModel, make_topology_model
+from repro.topology.placement import (
+    PLACEMENTS,
+    block_placement,
+    make_placement,
+    parse_placement_spec,
+    random_placement,
+    roundrobin_placement,
+)
+
+__all__ = [
+    "FABRIC_PARAMS",
+    "FatTree",
+    "FlatTopology",
+    "PLACEMENTS",
+    "RoutedFabric",
+    "TOPOLOGIES",
+    "Topology",
+    "TopologyModel",
+    "Torus3D",
+    "block_placement",
+    "make_placement",
+    "make_topology",
+    "make_topology_model",
+    "parse_placement_spec",
+    "random_placement",
+    "roundrobin_placement",
+    "topology_params",
+    "validate_topology_params",
+]

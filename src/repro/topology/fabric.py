@@ -1,0 +1,127 @@
+"""The routed fabric: topology + placement + link timing.
+
+A :class:`RoutedFabric` is the wire-side half of a topology-aware
+network model.  It prices messages by the route between their
+endpoints' *nodes* (placement maps ranks to nodes) and names every
+link on the way, so the engine can fold each eager message through the
+per-link FIFO queues — the generalization of the flat fabric's
+per-destination ejection queue to a whole path of serial resources.
+
+Timing model (deterministic, cut-through):
+
+* uncontended transit of a ``h``-hop route is
+  ``h * hop_latency + nbytes / link_bandwidth`` — each hop pays the
+  switch/wire latency, serialization is paid once at the (uniform)
+  link bandwidth;
+* under contention the engine charges each link in route order:
+  a message reaches link *i* one ``hop_latency`` after clearing link
+  *i-1*, waits for the link to free, then occupies it for the
+  serialization time (see ``Engine._routed_arrival``);
+* every route ends with the destination node's ejection link
+  (``"eject:<node>"``), so endpoint delivery serializes exactly like
+  the flat fabric's per-destination wire queue.
+
+``transit_time`` without endpoints (how collectives and the matching
+horizon ask) uses the placement-weighted mean hop count, so collective
+costs rise on topologies with longer average routes; ``min_latency``
+is a single ``hop_latency`` — a true lower bound, keeping the engine's
+conservative wildcard horizon safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.sim.network import Fabric
+from repro.topology.graph import Topology
+
+
+class RoutedFabric(Fabric):
+    """Wire timing over a topology graph with named, contended links."""
+
+    routed = True
+
+    def __init__(self, topology: Topology, placement: Sequence[int],
+                 hop_latency: float = 1e-6,
+                 link_bandwidth: float = 1e9):
+        if hop_latency < 0 or link_bandwidth <= 0:
+            raise ValueError(
+                "hop_latency must be >= 0 and link_bandwidth > 0")
+        self.topology = topology
+        self.placement = tuple(int(n) for n in placement)
+        bad = sorted({n for n in self.placement
+                      if not 0 <= n < topology.num_nodes})
+        if bad:
+            raise ValueError(
+                f"placement names node(s) {bad} outside "
+                f"[0, {topology.num_nodes})")
+        self.hop_latency = hop_latency
+        self.link_bandwidth = link_bandwidth
+        self._routes: Dict[Tuple[int, int], Tuple[str, ...]] = {}
+        self._mean_hops: Optional[float] = None
+
+    # -- routing -------------------------------------------------------------
+    def route(self, src: int, dst: int) -> Tuple[str, ...]:
+        """Directed link names from rank ``src`` to rank ``dst``,
+        ending with the destination node's ejection link (cached)."""
+        key = (src, dst)
+        links = self._routes.get(key)
+        if links is None:
+            a = self.placement[src]
+            b = self.placement[dst]
+            links = self.topology.node_route(a, b) + (f"eject:{b}",)
+            self._routes[key] = links
+        return links
+
+    def serialize_time(self, nbytes: int) -> float:
+        """Time one message occupies one link."""
+        return nbytes / self.link_bandwidth
+
+    @property
+    def mean_hops(self) -> float:
+        """Placement-weighted mean route length over ordered rank pairs."""
+        if self._mean_hops is None:
+            nranks = len(self.placement)
+            if nranks <= 1:
+                self._mean_hops = 1.0
+            else:
+                total = 0
+                pairs = 0
+                for s in range(nranks):
+                    for d in range(nranks):
+                        if s == d:
+                            continue
+                        total += len(self.route(s, d))
+                        pairs += 1
+                self._mean_hops = total / pairs
+        return self._mean_hops
+
+    # -- Fabric interface ----------------------------------------------------
+    def transit_time(self, nbytes: int, src: Optional[int] = None,
+                     dst: Optional[int] = None) -> float:
+        """Uncontended transit: per-hop latency plus one serialization.
+
+        With endpoints, the route's exact hop count is used; without
+        (collective costing, generic queries), the placement-weighted
+        mean hop count stands in.
+        """
+        if src is None or dst is None:
+            hops: float = self.mean_hops
+        else:
+            hops = len(self.route(src, dst))
+        return hops * self.hop_latency + nbytes / self.link_bandwidth
+
+    def min_latency(self) -> float:
+        """One hop — a lower bound over every route (safety horizon)."""
+        return self.hop_latency
+
+    def eject_time(self, nbytes: int) -> float:
+        """Serialization time on the final (ejection) link."""
+        return self.serialize_time(nbytes)
+
+    def describe(self) -> str:
+        """One-line human summary of topology, placement, and timing."""
+        nodes = self.topology.num_nodes
+        return (f"{self.topology.describe()}, {len(self.placement)} "
+                f"rank(s) on {nodes} node(s), hop {self.hop_latency:g}s, "
+                f"link {self.link_bandwidth:g} B/s")

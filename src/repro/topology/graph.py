@@ -1,0 +1,282 @@
+"""Topology graphs with deterministic routing.
+
+A :class:`Topology` is a pure, immutable description of a machine's
+interconnect: a set of nodes and, for every ordered node pair, the
+sequence of *directed, named links* a message traverses between them.
+Routing is deterministic and oblivious (a function of the endpoints
+only), so two identical simulations see identical link schedules —
+the property every byte-identity guarantee in this codebase rests on.
+
+Three shapes are provided:
+
+* :class:`FlatTopology` — a full crossbar: every pair of nodes has a
+  dedicated path, so the only shared resource is each node's ejection
+  link (exactly the pre-topology per-destination model).
+* :class:`Torus3D` — a 3D torus à la Blue Gene/L with dimension-order
+  (x, then y, then z) routing and shortest-direction wraparound.
+* :class:`FatTree` — a k-ary switch tree with up/down (least common
+  ancestor) routing; upper links are shared and contend.
+
+Link names are stable strings (``"x+:1,0,0"``, ``"up:0:3"``) so fault
+plans and per-link metrics can target them by name.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class Topology:
+    """Base class: a node set plus deterministic inter-node routing."""
+
+    #: registry key / display name (set by subclasses)
+    name = "topology"
+
+    def __init__(self, num_nodes: int):
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+
+    def node_route(self, a: int, b: int) -> Tuple[str, ...]:
+        """Directed link names traversed from node ``a`` to node ``b``,
+        excluding the final ejection link (the fabric appends that)."""
+        raise NotImplementedError
+
+    def link_names(self) -> Tuple[str, ...]:
+        """Every inter-node link name, sorted (for docs and validation)."""
+        names = set()
+        for a in range(self.num_nodes):
+            for b in range(self.num_nodes):
+                if a != b:
+                    names.update(self.node_route(a, b))
+        return tuple(sorted(names))
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return f"{self.name}({self.num_nodes} nodes)"
+
+
+class FlatTopology(Topology):
+    """Full crossbar: no shared inter-node links at all.
+
+    Every message goes straight to its destination's ejection link, so
+    composing this topology with a routed fabric reproduces the flat
+    fabric's contention structure (per-destination serialization).
+    """
+
+    name = "flat"
+
+    def node_route(self, a: int, b: int) -> Tuple[str, ...]:
+        """No shared hops: the ejection link is the whole path."""
+        return ()
+
+
+def _near_cubic_dims(n: int) -> Tuple[int, int, int]:
+    """Factor ``n`` into three near-equal dimensions (largest first is
+    not required; the split minimizes the largest dimension)."""
+    best: Optional[Tuple[int, int, int]] = None
+    for x in range(1, int(round(n ** (1 / 3))) + 2):
+        if n % x:
+            continue
+        rest = n // x
+        for y in range(x, int(math.isqrt(rest)) + 1):
+            if rest % y:
+                continue
+            cand = (x, y, rest // y)
+            if best is None or max(cand) < max(best):
+                best = cand
+    if best is None:  # prime n: degenerate ring
+        best = (1, 1, n)
+    return best
+
+
+class Torus3D(Topology):
+    """3D torus with deterministic dimension-order routing.
+
+    Nodes live at integer coordinates of a ``dims = (X, Y, Z)`` grid
+    with wraparound in every dimension.  A message corrects x first,
+    then y, then z, always travelling the shorter way around the ring
+    (ties break toward the positive direction).  Each traversed hop is
+    a directed link named ``"<axis><sign>:<x>,<y>,<z>"`` — the link
+    *leaving* that coordinate in that direction — so opposing
+    directions and different axes never contend with each other,
+    exactly like a real torus's unidirectional channels.
+    """
+
+    name = "torus3d"
+
+    def __init__(self, num_nodes: int,
+                 dims: Optional[Tuple[int, int, int]] = None):
+        if dims is not None:
+            dims = tuple(int(d) for d in dims)  # type: ignore[assignment]
+            if len(dims) != 3 or any(d <= 0 for d in dims):
+                raise ValueError(
+                    f"dims must be three positive integers, got {dims!r}")
+            if num_nodes != dims[0] * dims[1] * dims[2]:
+                raise ValueError(
+                    f"dims {dims} hold {dims[0] * dims[1] * dims[2]} "
+                    f"nodes, but {num_nodes} were requested")
+        else:
+            dims = _near_cubic_dims(num_nodes)
+        super().__init__(num_nodes)
+        self.dims = dims
+
+    # -- coordinates ---------------------------------------------------------
+    def coords(self, node: int) -> Tuple[int, int, int]:
+        """The (x, y, z) coordinate of a node id (x fastest)."""
+        x_dim, y_dim, _ = self.dims
+        return (node % x_dim, (node // x_dim) % y_dim,
+                node // (x_dim * y_dim))
+
+    def node_at(self, x: int, y: int, z: int) -> int:
+        """The node id at coordinate (x, y, z)."""
+        x_dim, y_dim, _ = self.dims
+        return x + x_dim * (y + y_dim * z)
+
+    # -- routing -------------------------------------------------------------
+    def node_route(self, a: int, b: int) -> Tuple[str, ...]:
+        """Dimension-order route: correct x, then y, then z."""
+        pos = list(self.coords(a))
+        dst = self.coords(b)
+        links: List[str] = []
+        for axis, axis_name in enumerate("xyz"):
+            size = self.dims[axis]
+            delta = (dst[axis] - pos[axis]) % size
+            if delta == 0:
+                continue
+            # shorter way around the ring; ties go positive
+            if delta <= size - delta:
+                step, sign, count = 1, "+", delta
+            else:
+                step, sign, count = -1, "-", size - delta
+            for _ in range(count):
+                links.append(f"{axis_name}{sign}:"
+                             f"{pos[0]},{pos[1]},{pos[2]}")
+                pos[axis] = (pos[axis] + step) % size
+        return tuple(links)
+
+    def describe(self) -> str:
+        """One-line human summary including the grid dimensions."""
+        return (f"{self.name}({self.dims[0]}x{self.dims[1]}x"
+                f"{self.dims[2]})")
+
+
+class FatTree(Topology):
+    """k-ary switch tree with deterministic up/down routing.
+
+    Compute nodes are the leaves of a complete ``arity``-way tree of
+    switches.  A message climbs from its source leaf to the least
+    common ancestor and descends to the destination leaf.  Each tree
+    edge is two directed links, ``"up:<level>:<index>"`` (toward the
+    root, leaving the level-``level`` vertex ``index``) and
+    ``"down:<level>:<index>"`` (toward the leaves, arriving at that
+    vertex) — so all leaves under one subtree share, and contend for,
+    that subtree's uplink, the classic fat-tree bottleneck.
+    """
+
+    name = "fattree"
+
+    def __init__(self, num_nodes: int, arity: int = 4):
+        super().__init__(num_nodes)
+        if arity < 2:
+            raise ValueError(f"arity must be >= 2, got {arity}")
+        self.arity = arity
+        levels = 0
+        span = 1
+        while span < num_nodes:
+            span *= arity
+            levels += 1
+        #: tree height: number of up hops from a leaf to the root
+        self.levels = max(levels, 1)
+
+    def node_route(self, a: int, b: int) -> Tuple[str, ...]:
+        """Up to the least common ancestor, then down to the leaf."""
+        if a == b:
+            return ()
+        k = self.arity
+        up: List[str] = []
+        ai, bi = a, b
+        level = 0
+        down_rev: List[str] = []
+        while ai != bi:
+            up.append(f"up:{level}:{ai}")
+            down_rev.append(f"down:{level}:{bi}")
+            ai //= k
+            bi //= k
+            level += 1
+        return tuple(up + list(reversed(down_rev)))
+
+    def describe(self) -> str:
+        """One-line human summary including arity and height."""
+        return (f"{self.name}({self.num_nodes} leaves, arity "
+                f"{self.arity}, {self.levels} level(s))")
+
+
+#: Named topology registry used by the pipeline config, CLI, and sweeps.
+TOPOLOGIES: Dict[str, Callable[..., Topology]] = {
+    "flat": FlatTopology,
+    "torus3d": Torus3D,
+    "fattree": FatTree,
+}
+
+#: fabric-level parameters accepted alongside any topology's own
+#: constructor parameters (consumed by the routed-fabric factory)
+FABRIC_PARAMS = ("hop_latency", "link_bandwidth", "nodes")
+
+
+def topology_params(name: str) -> Tuple[str, ...]:
+    """Parameters accepted in ``topology_params`` for the named topology
+    (constructor keywords plus the shared fabric-level knobs)."""
+    import inspect
+    try:
+        ctor = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; choose from {sorted(TOPOLOGIES)}"
+        ) from None
+    sig = inspect.signature(ctor)
+    own = tuple(
+        p.name for p in sig.parameters.values()
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                      inspect.Parameter.KEYWORD_ONLY)
+        and p.name not in ("self", "num_nodes"))
+    return own + FABRIC_PARAMS
+
+
+def validate_topology_params(name: str, keys) -> None:
+    """Raise :class:`ValueError` naming the topology and its accepted
+    parameters when any of ``keys`` is unknown."""
+    accepted = topology_params(name)
+    bad = sorted(k for k in keys if k not in accepted)
+    if bad:
+        raise ValueError(
+            f"topology {name!r} does not accept parameter(s) {bad}; "
+            f"accepted parameters: {sorted(accepted)}")
+
+
+def make_topology(name: str, num_nodes: int, **kwargs) -> Topology:
+    """Instantiate a named topology over ``num_nodes`` nodes.
+
+    Mirrors :func:`repro.sim.network.make_model`: unknown names and
+    unknown/invalid parameters raise a :class:`ValueError` naming what
+    is accepted.
+    """
+    try:
+        ctor = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; choose from {sorted(TOPOLOGIES)}"
+        ) from None
+    bad = sorted(k for k in kwargs if k in FABRIC_PARAMS)
+    if bad:
+        raise ValueError(
+            f"parameter(s) {bad} belong to the fabric, not the "
+            f"{name!r} topology; pass them through make_routed_fabric")
+    validate_topology_params(name, kwargs)
+    try:
+        return ctor(num_nodes, **kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for topology {name!r}: {exc}; accepted "
+            f"parameters: {sorted(topology_params(name))}") from None

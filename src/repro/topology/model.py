@@ -1,0 +1,79 @@
+"""Composing a base platform preset with a routed fabric.
+
+:func:`make_topology_model` is the one entry point the pipeline, CLI,
+and sweeps use: it takes an already-built flat preset (which supplies
+the *protocol* half — overheads, eager threshold, flow control) and
+re-homes it on a :class:`~repro.topology.fabric.RoutedFabric` built
+from a topology name, fabric parameters, and a placement spec.  The
+fabric's hop latency and link bandwidth default to the flat preset's
+own latency/bandwidth, so ``--topology torus3d`` on ``bluegene`` means
+"the same NIC and software stack, but messages actually route over a
+torus".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.sim.network import NetworkModel
+from repro.topology.fabric import RoutedFabric
+from repro.topology.graph import FABRIC_PARAMS, make_topology
+from repro.topology.placement import make_placement
+
+
+class TopologyModel(NetworkModel):
+    """A platform preset's protocol stack over a routed fabric.
+
+    ``wire_queueing`` is forced on: a routed fabric without link
+    contention would be indistinguishable from a flat one with a
+    longer latency, and the per-link FIFO fold is the whole point.
+    """
+
+    routed = True
+
+    def __init__(self, base: NetworkModel, fabric: RoutedFabric):
+        super().__init__(base.protocol, fabric)
+        self.base = base
+        self.wire_queueing = True
+
+    def describe(self) -> str:
+        """One-line human summary of protocol source + fabric."""
+        assert isinstance(self.fabric, RoutedFabric)
+        return (f"{type(self.base).__name__} protocol over "
+                f"{self.fabric.describe()}")
+
+
+def make_topology_model(base: NetworkModel, topology_name: str,
+                        nranks: int,
+                        topology_params: Optional[Mapping[str, object]]
+                        = None,
+                        placement: str = "block") -> TopologyModel:
+    """Build a :class:`TopologyModel` from a flat preset and a topology.
+
+    ``topology_params`` may mix topology-constructor keywords (e.g.
+    ``dims``, ``arity``) with the fabric-level knobs in
+    :data:`~repro.topology.graph.FABRIC_PARAMS`:
+
+    * ``nodes`` — node count (default: one node per rank);
+    * ``hop_latency`` — per-hop wire latency (default: the base
+      preset's flat latency, or 1 µs when the base has none);
+    * ``link_bandwidth`` — per-link bandwidth (default: the base
+      preset's flat bandwidth, or 1 GB/s).
+
+    ``placement`` is a spec string for
+    :func:`~repro.topology.placement.make_placement`.
+    """
+    params = dict(topology_params or {})
+    nodes = int(params.pop("nodes", nranks))
+    base_fabric = getattr(base, "fabric", None)
+    hop_latency = params.pop(
+        "hop_latency", getattr(base_fabric, "latency", 1e-6))
+    link_bandwidth = params.pop(
+        "link_bandwidth", getattr(base_fabric, "bandwidth", 1e9))
+    assert not any(k in params for k in FABRIC_PARAMS)
+    topo = make_topology(topology_name, nodes, **params)
+    assignment = make_placement(placement, nranks, nodes)
+    fabric = RoutedFabric(topo, assignment,
+                          hop_latency=float(hop_latency),
+                          link_bandwidth=float(link_bandwidth))
+    return TopologyModel(base, fabric)

@@ -127,11 +127,89 @@ class TestWhatIfFields:
         assert ctx.run_model.latency == 0.25
         assert ctx.model.latency != 0.25
 
-    def test_bad_param_name_raises_pipeline_error(self):
-        from repro.errors import PipelineError
+    def test_bad_param_name_rejected_at_construction(self):
+        # an unknown parameter fails when the config is *built* (so
+        # `repro sweep validate` catches it), not mid-fan-out when a
+        # worker first resolves the run model
+        with pytest.raises(PipelineConfigError,
+                           match="run_platform_params"):
+            PipelineConfig(app="jacobi", nranks=4,
+                           run_platform_params={"warp": 9.0})
+
+    def test_preset_incompatible_param_rejected(self):
+        # SimpleModel takes no eager_threshold; the other presets do
+        with pytest.raises(PipelineConfigError, match="simple"):
+            PipelineConfig(app="jacobi", nranks=4, run_platform="simple",
+                           run_platform_params={"eager_threshold": 1})
+        PipelineConfig(app="jacobi", nranks=4, run_platform="bluegene",
+                       run_platform_params={"eager_threshold": 1})
+
+
+class TestTopologyFields:
+    """The routed-fabric what-if hooks: topology, topology_params,
+    placement (all execution-only)."""
+
+    def test_defaults(self):
+        c = PipelineConfig(app="jacobi", nranks=4)
+        assert c.topology is None
+        assert c.topology_params is None
+        assert c.placement == "block"
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(PipelineConfigError, match="topology"):
+            PipelineConfig(app="jacobi", nranks=4, topology="hypercube")
+
+    def test_params_without_topology_rejected(self):
+        with pytest.raises(PipelineConfigError, match="without"):
+            PipelineConfig(app="jacobi", nranks=4,
+                           topology_params={"nodes": 2})
+
+    def test_bad_topology_param_rejected_at_construction(self):
+        with pytest.raises(PipelineConfigError, match="torus3d"):
+            PipelineConfig(app="jacobi", nranks=4, topology="torus3d",
+                           topology_params={"arity": 4})
+
+    def test_params_normalized_to_sorted_tuple(self):
+        c = PipelineConfig(app="jacobi", nranks=4, topology="fattree",
+                           topology_params={"nodes": 2, "arity": 2})
+        assert c.topology_params == (("arity", 2), ("nodes", 2))
+
+    def test_bad_placement_spec_rejected(self):
+        with pytest.raises(PipelineConfigError, match="placement"):
+            PipelineConfig(app="jacobi", nranks=4, placement="scatter")
+        with pytest.raises(PipelineConfigError, match="placement"):
+            PipelineConfig(app="jacobi", nranks=4, placement="")
+
+    def test_topology_enters_fingerprint(self):
+        base = PipelineConfig(app="jacobi", nranks=4).fingerprint()
+        topo = PipelineConfig(app="jacobi", nranks=4,
+                              topology="torus3d").fingerprint()
+        assert base != topo
+
+    def test_run_model_is_routed(self):
+        from repro.pipeline import RunContext
+        from repro.topology import TopologyModel
+        ctx = RunContext(PipelineConfig(app="jacobi", nranks=4,
+                                        topology="torus3d"))
+        assert not getattr(ctx.model, "routed", False)
+        assert isinstance(ctx.run_model, TopologyModel)
+
+    def test_run_model_composes_with_run_platform(self):
+        from repro.pipeline import RunContext
+        from repro.sim.network import CongestionModel
+        ctx = RunContext(PipelineConfig(
+            app="jacobi", nranks=4, run_platform="ethernet",
+            topology="fattree", topology_params={"arity": 2}))
+        model = ctx.run_model
+        assert model.routed
+        assert isinstance(model.base, CongestionModel)
+
+    def test_bad_map_file_raises_pipeline_error_lazily(self):
+        # the spec parses (so the config builds — sweep plans validate
+        # without touching the filesystem) but resolution fails
         from repro.pipeline import RunContext
         ctx = RunContext(PipelineConfig(
-            app="jacobi", nranks=4,
-            run_platform_params={"warp": 9.0}))
-        with pytest.raises(PipelineError, match="run_platform_params"):
+            app="jacobi", nranks=4, topology="torus3d",
+            placement="map:/nonexistent/nodes.json"))
+        with pytest.raises(PipelineError, match="topology config"):
             ctx.run_model

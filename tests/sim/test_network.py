@@ -3,8 +3,10 @@ the paper's Fig. 7 (unexpected-message copies and flow-control stalls)."""
 
 import pytest
 
-from repro.sim import (CongestionModel, Compute, Engine, LogGPModel,
-                       PostRecv, PostSend, SimpleModel, WaitAll, make_model)
+from repro.sim import (CongestionModel, Compute, Engine, FlatFabric,
+                       LogGPModel, NetworkModel, PLATFORMS, PostRecv,
+                       PostSend, ProtocolModel, SimpleModel, WaitAll,
+                       make_model, preset_params, validate_platform_params)
 
 
 class TestModelBasics:
@@ -47,6 +49,98 @@ class TestModelBasics:
         m = LogGPModel()
         assert m.collective_cost("barrier", 1, 0) < m.collective_cost(
             "barrier", 2, 0)
+
+
+_COLLECTIVE_KEYS = ("barrier", "finalize", "bcast", "multicast", "reduce",
+                    "allreduce", "gather", "scatter", "allgather",
+                    "reduce_scatter", "alltoall")
+
+
+class TestCollectiveCost:
+    """collective_cost contract across every preset: error handling,
+    degenerate groups, and monotonicity in both payload and group."""
+
+    @pytest.mark.parametrize("preset", sorted(PLATFORMS))
+    def test_unknown_key_raises(self, preset):
+        with pytest.raises(ValueError, match="unknown collective"):
+            make_model(preset).collective_cost("allscatter", 8, 1024)
+
+    @pytest.mark.parametrize("preset", sorted(PLATFORMS))
+    @pytest.mark.parametrize("group_size", (0, 1))
+    def test_trivial_group_is_overheads_only(self, preset, group_size):
+        m = make_model(preset)
+        cost = m.collective_cost("allreduce", group_size, 4096)
+        assert cost == pytest.approx(m.send_overhead(4096)
+                                     + m.recv_overhead(4096))
+        # the degenerate path ignores the key entirely, even unknown ones
+        assert m.collective_cost("allscatter", 1, 4096) == cost
+
+    @pytest.mark.parametrize("preset", sorted(PLATFORMS))
+    @pytest.mark.parametrize("key", _COLLECTIVE_KEYS)
+    def test_monotone_in_nbytes(self, preset, key):
+        m = make_model(preset)
+        costs = [m.collective_cost(key, 8, n)
+                 for n in (0, 64, 4096, 1 << 20)]
+        assert costs == sorted(costs), \
+            f"{preset}/{key}: cost decreased as payload grew"
+
+    @pytest.mark.parametrize("preset", sorted(PLATFORMS))
+    @pytest.mark.parametrize("key", _COLLECTIVE_KEYS)
+    def test_monotone_in_group_size(self, preset, key):
+        m = make_model(preset)
+        costs = [m.collective_cost(key, p, 2048)
+                 for p in (1, 2, 4, 16, 128)]
+        assert costs == sorted(costs), \
+            f"{preset}/{key}: cost decreased as the group grew"
+
+
+class TestProtocolFabricSplit:
+    """The NetworkModel = ProtocolModel + Fabric composition surface."""
+
+    def test_presets_compose_protocol_and_flat_fabric(self):
+        for preset in sorted(PLATFORMS):
+            m = make_model(preset)
+            assert isinstance(m.protocol, ProtocolModel)
+            assert isinstance(m.fabric, FlatFabric)
+            assert not m.routed
+
+    def test_endpoint_knobs_mirrored_from_protocol(self):
+        m = make_model("ethernet")
+        p = m.protocol
+        assert m.eager_threshold == p.eager_threshold
+        assert m.unexpected_capacity == p.unexpected_capacity
+        assert m.wire_queueing == p.wire_queueing is True
+        assert m.overload_drain_rate == p.overload_drain_rate
+
+    def test_same_protocol_different_fabric_changes_wire_only(self):
+        proto = ProtocolModel(send_overhead=1e-6, recv_overhead=1e-6)
+        fast = NetworkModel(proto, FlatFabric(1e-6, 1e9))
+        slow = NetworkModel(proto, FlatFabric(1e-4, 1e6))
+        assert fast.send_overhead(64) == slow.send_overhead(64)
+        assert fast.transit_time(64) < slow.transit_time(64)
+
+    def test_preset_params_and_validation(self):
+        assert "latency" in preset_params("simple")
+        assert "eager_threshold" not in preset_params("simple")
+        assert "eager_threshold" in preset_params("bluegene")
+        # arc_model forwards **overrides: param_source advertises the
+        # wrapped CongestionModel signature
+        assert "overload_penalty" in preset_params("arc")
+        validate_platform_params("bluegene", ["latency", "overhead"])
+        with pytest.raises(ValueError, match="simple"):
+            validate_platform_params("simple", ["eager_threshold"])
+
+    def test_make_model_names_preset_on_bad_param(self):
+        with pytest.raises(ValueError) as exc:
+            make_model("simple", warp=9)
+        msg = str(exc.value)
+        assert "simple" in msg and "warp" in msg and "latency" in msg
+
+    def test_make_model_wraps_constructor_type_error(self):
+        # a well-named parameter with an unusable value still surfaces
+        # as a readable ValueError, not a raw TypeError
+        with pytest.raises(ValueError, match="simple"):
+            make_model("simple", latency=None)
 
 
 class TestUnexpectedMessagePenalty:

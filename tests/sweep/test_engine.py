@@ -135,6 +135,27 @@ class TestModes:
         assert result.cache_misses == 2  # trace + emit
         assert result.cache_hits == 2
 
+    def test_topology_placement_axis(self, tmp_path):
+        # topology/placement are execution-only: the torus points share
+        # one cached trace+emit with the flat baseline, and the routed
+        # points pay per-hop latency the flat point does not
+        plan = tiny_plan(
+            base={"app": "jacobi", "nranks": 4,
+                  "topology_params": {"nodes": 2}},
+            axes=[{"field": "topology", "values": ["flat", "torus3d"]},
+                  {"field": "placement",
+                   "values": ["block", "roundrobin"]}])
+        result = run_sweep(plan, workers=1,
+                           cache_dir=str(tmp_path / "c"))
+        assert all(p.error is None for p in result.points)
+        by_key = {(p.params["topology"], p.params["placement"]):
+                  p.metrics["makespan_s"] for p in result.points}
+        assert len(by_key) == 4
+        assert by_key[("torus3d", "block")] > by_key[("flat", "block")]
+        # four points, one shared trace + emit
+        assert result.cache_misses == 2
+        assert result.cache_hits == 6
+
 
 class TestEngineSurface:
     def test_bad_worker_count(self):

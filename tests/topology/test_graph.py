@@ -1,0 +1,115 @@
+"""Topology graphs: shapes, deterministic routing, link naming."""
+
+import pytest
+
+from repro.topology import (FatTree, FlatTopology, TOPOLOGIES, Torus3D,
+                            make_topology, topology_params,
+                            validate_topology_params)
+
+
+class TestFlat:
+    def test_no_shared_links(self):
+        t = FlatTopology(8)
+        assert t.node_route(0, 7) == ()
+        assert t.link_names() == ()
+
+
+class TestTorus3D:
+    def test_dims_inferred_near_cubic(self):
+        assert Torus3D(8).dims == (2, 2, 2)
+        assert Torus3D(64).dims == (4, 4, 4)
+        assert Torus3D(12).dims in ((2, 2, 3), (2, 3, 2))
+
+    def test_explicit_dims_validated(self):
+        assert Torus3D(12, dims=(3, 2, 2)).dims == (3, 2, 2)
+        with pytest.raises(ValueError, match="12"):
+            Torus3D(12, dims=(2, 2, 2))
+        with pytest.raises(ValueError):
+            Torus3D(8, dims=(2, 2))
+
+    def test_coords_roundtrip(self):
+        t = Torus3D(24, dims=(2, 3, 4))
+        for node in range(24):
+            assert t.node_at(*t.coords(node)) == node
+
+    def test_dimension_order_routing(self):
+        t = Torus3D(8, dims=(2, 2, 2))
+        # 0=(0,0,0) -> 7=(1,1,1): x first, then y, then z
+        assert t.node_route(0, 7) == ("x+:0,0,0", "y+:1,0,0", "z+:1,1,0")
+        assert t.node_route(3, 3) == ()
+
+    def test_shortest_wraparound(self):
+        t = Torus3D(5, dims=(5, 1, 1))
+        # 0 -> 4 is one hop the negative way, not four positive hops
+        assert t.node_route(0, 4) == ("x-:0,0,0",)
+        # ties (distance 2 in a 4-ring) break positive
+        t4 = Torus3D(4, dims=(4, 1, 1))
+        assert t4.node_route(0, 2) == ("x+:0,0,0", "x+:1,0,0")
+
+    def test_hop_count_matches_manhattan_ring_distance(self):
+        t = Torus3D(27, dims=(3, 3, 3))
+        for a in range(27):
+            for b in range(27):
+                ca, cb = t.coords(a), t.coords(b)
+                want = sum(min((cb[i] - ca[i]) % 3, (ca[i] - cb[i]) % 3)
+                           for i in range(3))
+                assert len(t.node_route(a, b)) == want
+
+
+class TestFatTree:
+    def test_up_down_routing(self):
+        t = FatTree(8, arity=2)
+        assert t.levels == 3
+        # siblings meet at their immediate parent
+        assert t.node_route(0, 1) == ("up:0:0", "down:0:1")
+        # opposite halves traverse the root
+        route = t.node_route(0, 7)
+        assert route[:3] == ("up:0:0", "up:1:0", "up:2:0")
+        assert route[3:] == ("down:2:1", "down:1:3", "down:0:7")
+
+    def test_subtree_shares_uplink(self):
+        t = FatTree(8, arity=2)
+        # both leaves under switch 0 use the same level-1 uplink to
+        # cross the tree — the classic shared-bottleneck structure
+        r0 = t.node_route(0, 5)
+        r1 = t.node_route(1, 6)
+        assert "up:1:0" in r0 and "up:1:0" in r1
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError, match="arity"):
+            FatTree(8, arity=1)
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(TOPOLOGIES) == {"flat", "torus3d", "fattree"}
+
+    def test_make_topology(self):
+        t = make_topology("torus3d", 8, dims=(2, 2, 2))
+        assert isinstance(t, Torus3D)
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology("hypercube", 8)
+
+    def test_fabric_params_rejected_from_topology_ctor(self):
+        with pytest.raises(ValueError, match="fabric"):
+            make_topology("torus3d", 8, hop_latency=1e-6)
+
+    def test_topology_params_listing(self):
+        assert "dims" in topology_params("torus3d")
+        assert "arity" in topology_params("fattree")
+        for name in TOPOLOGIES:
+            assert "hop_latency" in topology_params(name)
+            assert "nodes" in topology_params(name)
+
+    def test_validate_topology_params(self):
+        validate_topology_params("fattree", ["arity", "nodes"])
+        with pytest.raises(ValueError, match="torus3d"):
+            validate_topology_params("torus3d", ["arity"])
+
+    def test_routing_is_deterministic(self):
+        for name, nodes in (("torus3d", 12), ("fattree", 9)):
+            a = make_topology(name, nodes)
+            b = make_topology(name, nodes)
+            for s in range(nodes):
+                for d in range(nodes):
+                    assert a.node_route(s, d) == b.node_route(s, d)

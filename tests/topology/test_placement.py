@@ -1,0 +1,69 @@
+"""Rank→node placement policies and spec parsing."""
+
+import json
+
+import pytest
+
+from repro.topology import (block_placement, make_placement,
+                            parse_placement_spec, random_placement,
+                            roundrobin_placement)
+
+
+class TestPolicies:
+    def test_block(self):
+        assert block_placement(8, 4) == (0, 0, 1, 1, 2, 2, 3, 3)
+        assert block_placement(5, 2) == (0, 0, 0, 1, 1)
+        assert block_placement(4, 8) == (0, 1, 2, 3)
+
+    def test_roundrobin(self):
+        assert roundrobin_placement(8, 4) == (0, 1, 2, 3, 0, 1, 2, 3)
+
+    def test_random_is_seeded_and_deterministic(self):
+        a = random_placement(16, 4, seed=7)
+        b = random_placement(16, 4, seed=7)
+        assert a == b
+        assert sorted(a) == sorted(block_placement(16, 4))
+        assert random_placement(16, 4, seed=8) != a
+
+    def test_map_file_list_and_mapping(self, tmp_path):
+        path = tmp_path / "nodes.json"
+        path.write_text(json.dumps([1, 0, 1, 0]))
+        assert make_placement(f"map:{path}", 4, 2) == (1, 0, 1, 0)
+        path.write_text(json.dumps({"placement": [0, 0, 1, 1]}))
+        assert make_placement(f"map:{path}", 4, 2) == (0, 0, 1, 1)
+
+    def test_map_file_errors(self, tmp_path):
+        path = tmp_path / "nodes.json"
+        path.write_text(json.dumps([0, 1]))
+        with pytest.raises(ValueError, match="assigns 2 rank"):
+            make_placement(f"map:{path}", 4, 2)
+        path.write_text(json.dumps([0, 5, 0, 1]))
+        with pytest.raises(ValueError, match="outside"):
+            make_placement(f"map:{path}", 4, 2)
+        with pytest.raises(ValueError, match="cannot read"):
+            make_placement(f"map:{tmp_path}/absent.json", 4, 2)
+
+
+class TestSpecParsing:
+    def test_specs(self):
+        assert parse_placement_spec("block") == ("block", None)
+        assert parse_placement_spec("random") == ("random", None)
+        assert parse_placement_spec("random:7") == ("random", "7")
+        assert parse_placement_spec("map:n.json") == ("map", "n.json")
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            parse_placement_spec("scatter")
+        with pytest.raises(ValueError, match="seed"):
+            parse_placement_spec("random:xyz")
+        with pytest.raises(ValueError, match="no argument"):
+            parse_placement_spec("block:3")
+        with pytest.raises(ValueError, match="file"):
+            parse_placement_spec("map")
+
+    def test_make_placement_dispatch(self):
+        assert make_placement("roundrobin", 6, 3) == (0, 1, 2, 0, 1, 2)
+        assert make_placement("random:7", 8, 4) == \
+            random_placement(8, 4, seed=7)
+        with pytest.raises(ValueError, match="positive"):
+            make_placement("block", 0, 4)
