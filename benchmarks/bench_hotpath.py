@@ -60,13 +60,24 @@ _BUILDERS = {
 }
 
 
-def bench_engine(name: str, params: dict, repeats: int = 3) -> dict:
-    """Best-of-N wall time for one engine workload."""
+#: PR 2 committed batch=N/A baseline (scalar engine, same workloads,
+#: same machine class) — the reference the cohort-batched executor's
+#: speedups are quoted against.
+PR2_BASELINE_STEPS_PER_SEC = {
+    "stencil": 204313.8,
+    "wildcard": 79628.1,
+    "collective": 647992.1,
+}
+
+
+def bench_engine_mode(name: str, params: dict, mode: str,
+                      repeats: int) -> dict:
+    """Best-of-N wall time for one engine workload in one engine mode."""
     model = LogGPModel() if name != "wildcard" else SimpleModel()
     best = None
     for _ in range(repeats):
         programs = _BUILDERS[name](**params)
-        eng = Engine(len(programs), model)
+        eng = Engine(len(programs), model, mode=mode)
         t0 = time.perf_counter()
         makespan = eng.run(programs)
         dt = time.perf_counter() - t0
@@ -74,13 +85,31 @@ def bench_engine(name: str, params: dict, repeats: int = 3) -> dict:
             best = (dt, eng, makespan)
     dt, eng, makespan = best
     return {
-        "params": params,
         "seconds": round(dt, 6),
         "steps": eng.steps,
         "matches": eng.matches_committed,
         "steps_per_sec": round(eng.steps / dt, 1),
         "matches_per_sec": round(eng.matches_committed / dt, 1),
         "makespan": makespan,
+    }
+
+
+def bench_engine(name: str, params: dict, repeats: int = 5) -> dict:
+    """Scalar and batch rows for one workload, plus the batch/scalar
+    speedup.  Both rows must agree on the makespan — the bit-determinism
+    contract — so the benchmark doubles as a coarse equivalence check."""
+    scalar = bench_engine_mode(name, params, "scalar", repeats)
+    batch = bench_engine_mode(name, params, "batch", repeats)
+    if repr(scalar["makespan"]) != repr(batch["makespan"]):
+        raise AssertionError(
+            f"engine.{name}: scalar/batch makespan mismatch "
+            f"({scalar['makespan']!r} vs {batch['makespan']!r})")
+    return {
+        "params": params,
+        "scalar": scalar,
+        "batch": batch,
+        "batch_speedup": round(
+            batch["steps_per_sec"] / scalar["steps_per_sec"], 2),
     }
 
 
@@ -121,13 +150,14 @@ def bench_compression(outer: int, inner: int, repeats: int = 3) -> dict:
     }
 
 
-def run_suite(mode: str) -> dict:
+def run_suite(mode: str, repeats: int = 5) -> dict:
     sizes = WORKLOADS[mode]
     results = {"mode": mode,
                "python": platform.python_version(),
+               "pr2_baseline_steps_per_sec": PR2_BASELINE_STEPS_PER_SEC,
                "engine": {}, "compression": {}}
     for name in ("stencil", "wildcard", "collective"):
-        results["engine"][name] = bench_engine(name, sizes[name])
+        results["engine"][name] = bench_engine(name, sizes[name], repeats)
     comp = dict(outer=400, inner=20) if mode == "full" \
         else dict(outer=80, inner=20)
     results["compression"]["loop_heavy"] = bench_compression(**comp)
@@ -136,16 +166,21 @@ def run_suite(mode: str) -> dict:
 
 def check_against(results: dict, baseline_path: str, floor: float) -> int:
     """Fail (non-zero) if any throughput fell more than ``floor``× below
-    the committed baseline."""
+    the committed baseline, per engine mode."""
     with open(baseline_path) as fh:
         base = json.load(fh)
     failures = []
     for name, res in results["engine"].items():
-        ref = base["engine"][name]["steps_per_sec"]
-        cur = res["steps_per_sec"]
-        if cur * floor < ref:
-            failures.append(f"engine.{name}: {cur:.0f} steps/s vs "
-                            f"baseline {ref:.0f} (floor {floor}x)")
+        for emode in ("scalar", "batch"):
+            ref_row = base["engine"][name].get(emode)
+            if ref_row is None:
+                continue
+            ref = ref_row["steps_per_sec"]
+            cur = res[emode]["steps_per_sec"]
+            if cur * floor < ref:
+                failures.append(
+                    f"engine.{name}.{emode}: {cur:.0f} steps/s vs "
+                    f"baseline {ref:.0f} (floor {floor}x)")
     ref = base["compression"]["loop_heavy"]["events_per_sec"]
     cur = results["compression"]["loop_heavy"]["events_per_sec"]
     if cur * floor < ref:
@@ -172,13 +207,22 @@ def main(argv=None) -> int:
                          "on a >floor regression")
     ap.add_argument("--floor", type=float, default=5.0,
                     help="regression floor multiplier (default 5)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="best-of-N repeats per workload/mode (default 5)")
     args = ap.parse_args(argv)
 
-    results = run_suite("quick" if args.quick else "full")
+    results = run_suite("quick" if args.quick else "full", args.repeats)
     for name, res in results["engine"].items():
-        print(f"engine.{name:<10} {res['steps_per_sec']:>12.0f} steps/s "
-              f"{res['matches_per_sec']:>12.0f} matches/s "
-              f"({res['seconds']:.3f}s, {res['steps']} steps)")
+        for emode in ("scalar", "batch"):
+            row = res[emode]
+            print(f"engine.{name:<10} {emode:<6} "
+                  f"{row['steps_per_sec']:>12.0f} steps/s "
+                  f"({row['seconds']:.3f}s, {row['steps']} steps)")
+        pr2 = PR2_BASELINE_STEPS_PER_SEC.get(name)
+        vs_pr2 = (f", {res['batch']['steps_per_sec'] / pr2:.2f}x vs PR2"
+                  if pr2 and results["mode"] == "full" else "")
+        print(f"engine.{name:<10} batch/scalar speedup "
+              f"{res['batch_speedup']:.2f}x{vs_pr2}")
     comp = results["compression"]["loop_heavy"]
     print(f"compression      {comp['events_per_sec']:>12.0f} events/s "
           f"({comp['seconds']:.3f}s, {comp['events']} events -> "

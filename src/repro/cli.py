@@ -216,6 +216,7 @@ def cmd_pipeline(args):
                             cache_dir=args.cache_dir,
                             fault_plan=plan,
                             stage_retries=args.stage_retries,
+                            profile=args.profile,
                             **_topology_kwargs(args))
     with _metrics(args) as inst:
         result = full_pipeline(run=not args.no_run).run(config)
@@ -233,6 +234,19 @@ def cmd_pipeline(args):
         else:
             _write_atomic(args.output, result.source)
             print(f"wrote {args.output}")
+    if args.profile:
+        phases = {name[len("engine.profile."):-len("_s")]: value
+                  for name, value in sorted(inst.counters.items())
+                  if name.startswith("engine.profile.")
+                  and name.endswith("_s")}
+        if phases:
+            total = sum(phases.values())
+            print("engine phase profile (all simulation stages):")
+            for phase, secs in phases.items():
+                share = 100.0 * secs / total if total else 0.0
+                print(f"  {phase:<10} {secs * 1e3:9.2f} ms  {share:5.1f}%")
+        else:
+            print("engine phase profile: no simulation stage executed")
     if args.report:
         print(inst.report())
     return 1 if result.degraded else 0
@@ -447,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(YAML/JSON; see 'repro faults template')")
     p.add_argument("--stage-retries", type=int, default=0,
                    help="re-run a failed stage up to N times")
+    p.add_argument("--profile", action="store_true",
+                   help="attribute engine wall time to phases "
+                        "(schedule/match/execute/fabric) and print a "
+                        "summary at exit")
     _add_platform(p)
     _add_topology(p)
     _add_metrics(p)

@@ -19,9 +19,10 @@ class World:
 
     def __init__(self, nranks: int, model: NetworkModel,
                  hooks: Optional[Sequence[MPIHook]] = None,
-                 max_steps: Optional[int] = None, faults=None):
+                 max_steps: Optional[int] = None, faults=None,
+                 profile: bool = False):
         self.engine = Engine(nranks, model, max_steps=max_steps,
-                             faults=faults)
+                             faults=faults, profile=profile)
         self.registry = CommRegistry(nranks)
         self.hooks: List[MPIHook] = list(hooks or [])
         self.split_data: Dict[tuple, Dict[int, tuple]] = {}
@@ -82,7 +83,7 @@ def run_spmd(program: Callable, nranks: int,
              model: Optional[NetworkModel] = None,
              hooks: Optional[Sequence[MPIHook]] = None,
              max_steps: Optional[int] = None,
-             faults=None) -> SpmdResult:
+             faults=None, profile: bool = False) -> SpmdResult:
     """Execute ``program`` on ``nranks`` simulated ranks.
 
     ``program(mpi)`` must be a generator function taking an
@@ -97,7 +98,7 @@ def run_spmd(program: Callable, nranks: int,
     pipeline salvage a trace prefix and fault report.
     """
     world = World(nranks, model or LogGPModel(), hooks=hooks,
-                  max_steps=max_steps, faults=faults)
+                  max_steps=max_steps, faults=faults, profile=profile)
     gens = [_wrap(program, MPIProcess(world, r)) for r in range(nranks)]
     try:
         total = world.engine.run(gens)

@@ -70,6 +70,9 @@ class PipelineConfig:
     #:                                    "random[:seed]", "map:<file>")
     stage_retries: int = 0             #: re-run attempts for failed stages
     stage_retry_backoff: float = 0.0   #: seconds slept before retry k (*2^k)
+    profile: bool = False              #: per-phase engine wall-time
+    #:                                    attribution (``engine.profile.*``
+    #:                                    counters via repro.obs)
     use_cache: bool = False            #: consult/populate the artifact cache
     cache_dir: str = ".repro-cache"    #: artifact cache root directory
 
@@ -191,10 +194,11 @@ class PipelineConfig:
         (cache bookkeeping fields are deliberately excluded)."""
         out = {}
         for f in fields(self):
-            # retries are execution policy, not artifact content (every
-            # stage is deterministic, so a retry reproduces the result)
+            # retries and profiling are execution policy, not artifact
+            # content (every stage is deterministic, so a retry
+            # reproduces the result, and profiling only adds timers)
             if f.name in ("use_cache", "cache_dir", "stage_retries",
-                          "stage_retry_backoff"):
+                          "stage_retry_backoff", "profile"):
                 continue
             out[f.name] = getattr(self, f.name)
         # a fault plan enters the fingerprint by digest: a faulted trace

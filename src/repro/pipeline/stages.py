@@ -115,7 +115,7 @@ class TraceStage(Stage):
         try:
             result = run_spmd(ctx.program, nranks, model=ctx.model,
                               hooks=hooks, max_steps=ctx.config.max_steps,
-                              faults=faults)
+                              faults=faults, profile=ctx.config.profile)
         except SimulationError as exc:
             if _salvage(ctx, exc, faults) is None:
                 raise
@@ -289,7 +289,8 @@ class RunStage(Stage):
             result, logs = program.run(nranks, model=ctx.run_model,
                                        hooks=ctx.hooks,
                                        max_steps=ctx.config.max_steps,
-                                       faults=faults)
+                                       faults=faults,
+                                       profile=ctx.config.profile)
         except SimulationError as exc:
             partial = _salvage(ctx, exc, faults)
             if partial is None:
@@ -332,7 +333,8 @@ class ReplayStage(Stage):
                 replay_program(trace,
                                include_timing=ctx.config.include_timing),
                 trace.world_size, model=ctx.run_model, hooks=ctx.hooks,
-                max_steps=ctx.config.max_steps, faults=faults)
+                max_steps=ctx.config.max_steps, faults=faults,
+                profile=ctx.config.profile)
         except SimulationError as exc:
             partial = _salvage(ctx, exc, faults)
             if partial is None:

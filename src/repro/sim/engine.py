@@ -22,88 +22,47 @@ Timing uses the pluggable :class:`~repro.sim.network.NetworkModel`,
 including eager/rendezvous protocols, unexpected-message copy costs, and
 finite-buffer flow control (see the paper's Fig. 7 discussion).
 
-The hot paths are sub-linear in the rank/queue sizes (see
-``docs/PERFORMANCE.md``):
+The core is layered (see ``docs/ARCHITECTURE.md``):
 
-* runnable ranks sit in a lazy-deletion **ready heap** keyed by
-  ``(clock, rank)`` instead of being rescanned every step;
-* the wildcard safety **horizon** is answered by a lazy-deletion heap over
-  live rank clocks instead of an O(ranks) sweep per check;
-* pending receives are **indexed** per ``(dst, src, comm)`` plus a
-  per-``(dst, comm)`` wildcard list, and :meth:`Engine._drain` walks a
-  post-order merge of only the index buckets that can currently match;
-* matched messages/receives are **tombstoned** and purged from queue
-  heads lazily, never removed from the middle of a deque;
-* blocked ranks are woken through a **dirty set** fed by request and
-  collective completions, instead of sweeping every rank each pass.
+* :mod:`repro.sim.sched` — ready/clock heaps, the wildcard safety
+  horizon, dirty-set wakeup, deferred destinations;
+* :mod:`repro.sim.matching` — per-(src, dst, comm) channels, indexed
+  pending receives, cached arrival estimates, wildcard candidate heaps;
+* :mod:`repro.sim.exec_batch` — the cohort-batched executor (default),
+  which flattens dispatch and inlines the hot handlers;
+* this module — protocol semantics (send/receive/collective timing
+  arithmetic, flow control, faults) and the *scalar* reference loop.
 
-All of this preserves the engine's observable behaviour bit-for-bit:
-commit order, tie-breaking and timing are unchanged (pinned by the golden
-tests in ``tests/sim/test_engine_determinism.py``).
+``Engine.run()`` picks the executor from the ``mode`` constructor
+argument, defaulting to the ``REPRO_ENGINE_MODE`` environment variable
+(``batch`` when unset; ``scalar`` selects the reference loop).  Both
+modes are bit-identical by contract: commit order, tie-breaking, timing
+and counters are pinned by the golden suites in ``tests/sim/golden/``
+and the Hypothesis equivalence tests.  Runs with crash faults or
+``--profile`` instrumentation always use the reference loop structure.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
+import os
+from types import MethodType
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.errors import MPIUsageError, SimDeadlockError, SimulationError
 from repro.sim.diagnostics import (BlockedOp, DeadlockDiagnostic,
                                    find_cycle)
+from repro.sim.exec_batch import (_BLOCK, _CollInstance, run_batch,
+                                  run_profiled)
+from repro.sim.matching import (MatchIndex, _Message, _PendingRecv,
+                                arrival_est, drain_batch)
 from repro.sim.network import NetworkModel
-from repro.sim.ops import (ANY_SOURCE, ANY_TAG, Collective, Compute, Op,
-                           PostRecv, PostSend, Test, WaitAll, WaitAny)
+from repro.sim.ops import (ANY_SOURCE, Collective, Compute, Op, PostRecv,
+                           PostSend, Test, WaitAll, WaitAny)
 from repro.sim.requests import Request, Status
+from repro.sim.sched import BLOCKED, DONE, READY, Scheduler
 
-READY = "ready"
-BLOCKED = "blocked"
-DONE = "done"
-
-_BLOCK = object()  # sentinel returned by _apply when the rank must block
-
-_INF = float("inf")
-
-
-class _Message:
-    __slots__ = ("seq", "src", "dst", "tag", "comm_id", "nbytes", "post_time",
-                 "inject_time", "protocol", "throttled", "charged", "sreq",
-                 "arrival", "matched", "fault_delay")
-
-    def __init__(self, seq, src, dst, tag, comm_id, nbytes, post_time,
-                 inject_time, protocol, throttled, charged, sreq,
-                 arrival=None, fault_delay=0.0):
-        self.seq = seq                # per-engine, allocated in post order
-        self.src = src
-        self.dst = dst
-        self.tag = tag
-        self.comm_id = comm_id
-        self.nbytes = nbytes
-        self.post_time = post_time
-        self.inject_time = inject_time
-        self.protocol = protocol      # "eager" or "rdv"
-        self.throttled = throttled
-        self.charged = charged        # counted against dst's unexpected buffer
-        self.sreq = sreq
-        self.arrival = arrival        # fixed arrival (wire-queued eager)
-        self.matched = False          # tombstone: matched, awaiting purge
-        self.fault_delay = fault_delay  # injected retransmit/reorder delay
-
-
-class _PendingRecv:
-    __slots__ = ("seq", "rank", "src", "tag", "comm_id", "post_time", "rreq",
-                 "matched")
-
-    def __init__(self, seq, rank, src, tag, comm_id, post_time, rreq):
-        self.seq = seq                # per-engine, allocated in post order
-        self.rank = rank
-        self.src = src
-        self.tag = tag
-        self.comm_id = comm_id
-        self.post_time = post_time
-        self.rreq = rreq
-        self.matched = False          # tombstone: matched, awaiting purge
+_MODES = ("scalar", "batch")
 
 
 class _RankState:
@@ -121,33 +80,35 @@ class _RankState:
         self.coll_seq: Dict[int, int] = {}        # comm_id -> collective counter
 
 
-class _CollInstance:
-    __slots__ = ("key", "group", "nbytes", "arrivals", "completion")
-
-    def __init__(self, key, group, nbytes):
-        self.key = key
-        self.group = group
-        self.nbytes = nbytes
-        self.arrivals: Dict[int, float] = {}
-        self.completion: Optional[float] = None
-
-
-def _purge_head(dq: deque) -> None:
-    """Drop matched entries from the front of a queue (tombstone purge)."""
-    while dq and dq[0].matched:
-        dq.popleft()
+def resolve_mode(mode: Optional[str] = None) -> str:
+    """Resolve an engine mode: explicit argument, else the
+    ``REPRO_ENGINE_MODE`` environment variable, else ``batch``."""
+    if mode is None:
+        mode = os.environ.get("REPRO_ENGINE_MODE", "batch")
+    if mode not in _MODES:
+        raise ValueError(
+            f"unknown engine mode {mode!r}: expected one of {_MODES} "
+            f"(set via REPRO_ENGINE_MODE or Engine(mode=...))")
+    return mode
 
 
 class Engine:
     """Run a set of rank generator programs to completion in virtual time."""
 
     def __init__(self, nranks: int, model: NetworkModel,
-                 max_steps: Optional[int] = None, faults=None):
+                 max_steps: Optional[int] = None, faults=None,
+                 mode: Optional[str] = None, profile: bool = False):
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         self.nranks = nranks
         self.model = model
         self.max_steps = max_steps
+        #: executor selection: "batch" (cohort executor, default) or
+        #: "scalar" (reference loop); both are bit-identical
+        self.mode = resolve_mode(mode)
+        #: per-phase wall-time attribution (``repro pipeline --profile``)
+        self.profile = bool(profile)
+        self.profile_phases: Optional[Dict[str, float]] = None
         #: the FaultInjector driving this run, if any; a null-plan
         #: injector deactivates itself so the no-fault path is untouched
         self.faults = faults
@@ -158,24 +119,30 @@ class Engine:
         self.starved_ranks: List[int] = []
         self.diagnostic: Optional[DeadlockDiagnostic] = None
         self._ranks: List[_RankState] = []
-        # (src, dst, comm_id) -> deque of _Message in send order (matched
-        # messages are tombstoned in place and purged from the head)
-        self._channels: Dict[Tuple[int, int, int], deque] = {}
-        # live (unmatched) message count per channel key
-        self._chan_live: Dict[Tuple[int, int, int], int] = {}
-        # dst -> set of channel keys with unmatched messages
-        self._channels_by_dst: Dict[int, set] = {}
-        # (dst, comm_id) -> set of srcs with unmatched messages
-        self._srcs_by_dst_comm: Dict[Tuple[int, int], set] = {}
-        # dst -> deque of _PendingRecv in post order (tombstoned)
-        self._pending_recvs: Dict[int, deque] = {}
-        # live (unmatched) pending-receive count per dst
-        self._pending_live: Dict[int, int] = {}
-        # (dst, src, comm_id) -> deque of directed _PendingRecv, post order
-        self._recv_index: Dict[Tuple[int, int, int], deque] = {}
-        # (dst, comm_id) -> deque of ANY_SOURCE _PendingRecv, post order
-        self._wild_index: Dict[Tuple[int, int], deque] = {}
-        self._unexpected_bytes: Dict[int, int] = {}
+        self._min_latency = model.min_latency()
+        # -- layered core: matching + scheduling state ----------------------
+        m = self._match = MatchIndex()
+        s = self._sched = Scheduler(self._min_latency)
+        # hot-path aliases: the engine's protocol methods address the
+        # matcher's and scheduler's containers directly (same objects)
+        self._channels = m.channels
+        self._chan_live = m.chan_live
+        self._channels_by_dst = m.channels_by_dst
+        self._srcs_by_dst_comm = m.srcs_by_dst_comm
+        self._pending_recvs = m.pending_recvs
+        self._pending_live = m.pending_live
+        self._recv_index = m.recv_index
+        self._wild_index = m.wild_index
+        self._unexpected_bytes = m.unexpected_bytes
+        self._has_compatible_recv = m.has_compatible_recv
+        self._ready_heap = s.ready_heap
+        self._clock_heap = s.clock_heap
+        self._dirty = s.dirty
+        self._deferred_dsts = s.deferred_dsts
+        self._pop_ready = s.pop_ready
+        self._make_ready = s.make_ready
+        self._horizon = s.horizon
+        # -- protocol-side per-rank state -----------------------------------
         # receive-side message processing is serial: a rank's "receive
         # processor" finishes one message before starting the next, so a
         # burst arriving faster than recv_overhead can drain queues up —
@@ -197,15 +164,6 @@ class Engine:
         self._overload: Dict[int, Tuple[float, float]] = {}
         self.overload_events = 0
         self._coll: Dict[Tuple[int, int], _CollInstance] = {}
-        self._deferred_dsts: set = set()
-        self._min_latency = model.min_latency()
-        # lazy-deletion scheduler heap of (clock, rank) for READY ranks
-        self._ready_heap: List[Tuple[float, int]] = []
-        # lazy-deletion heap of (clock, rank) over non-DONE ranks, one
-        # entry per live rank, powering the incremental wildcard horizon
-        self._clock_heap: List[Tuple[float, int]] = []
-        # blocked ranks whose waited-on work completed since last sweep
-        self._dirty: set = set()
         self._done_count = 0
         # per-engine sequence counters: two engines in one process assign
         # identical seq-based tie-breaks for identical programs
@@ -241,87 +199,115 @@ class Engine:
         if self._faults is not None:
             self._crash_at = [self._faults.crash_time(i)
                               for i in range(self.nranks)]
+        self._match.seed(self.nranks)
+        self._sched.seed(self._ranks)
         for i in range(self.nranks):
-            self._pending_recvs[i] = deque()
-            self._pending_live[i] = 0
-            self._unexpected_bytes[i] = 0
-            self._channels_by_dst[i] = set()
             self._rx_busy[i] = 0.0
             self._wire_free[i] = 0.0
             self._overload[i] = (0.0, 0.0)
-            heapq.heappush(self._ready_heap, (0.0, i))
-            heapq.heappush(self._clock_heap, (0.0, i))
 
+        # executor selection: the cohort executor covers the batch mode;
+        # crash-fault runs need the reference loop's per-op crash check,
+        # and --profile uses the instrumented reference structure.  The
+        # batch drain (candidate heaps) is bound whenever mode is batch.
+        use_batch = self.mode == "batch" and self._crash_at is None
+        if self.mode == "batch":
+            self._drain = MethodType(drain_batch, self)
         with obs.span("engine.run", nranks=self.nranks):
             try:
-                while True:
-                    self.steps += 1
-                    if self.max_steps is not None and \
-                            self.steps > self.max_steps:
-                        raise SimulationError(
-                            f"exceeded max_steps={self.max_steps}; "
-                            f"likely livelock")
-                    if self._deferred_dsts:
-                        for dst in sorted(self._deferred_dsts):
-                            self._deferred_dsts.discard(dst)
-                            self._drain(dst, relaxed=False)
-                    if self._dirty:
-                        self._resume_dirty()
-                    rs = self._pop_ready()
-                    if rs is not None:
-                        self._step(rs)
-                        continue
-                    if self._done_count == self.nranks:
-                        break
-                    # everyone blocked: try relaxed matching / resumption
-                    self.deadlock_checks += 1
-                    if self._relaxed_progress():
-                        continue
-                    if self.crashed_ranks:
-                        # graceful degradation: ranks waiting on a crashed
-                        # peer can never progress — record the diagnostic
-                        # and end the run so its trace prefix survives
-                        self._starve_blocked()
-                        break
-                    self._raise_deadlock()
+                if self.profile:
+                    run_profiled(self)
+                elif use_batch:
+                    run_batch(self)
+                else:
+                    self._run_scalar()
             finally:
                 self._flush_counters()
         return self.total_time
 
+    def _run_scalar(self) -> None:
+        """The reference main loop: one generator step at a time through
+        :meth:`_step`/:meth:`_apply`.  The cohort executor
+        (:func:`repro.sim.exec_batch.run_batch`) must stay bit-identical
+        to this loop."""
+        while True:
+            self.steps += 1
+            if self.max_steps is not None and \
+                    self.steps > self.max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={self.max_steps}; "
+                    f"likely livelock")
+            if self._deferred_dsts:
+                for dst in sorted(self._deferred_dsts):
+                    self._deferred_dsts.discard(dst)
+                    self._drain(dst, relaxed=False)
+            if self._dirty:
+                self._resume_dirty()
+            rs = self._pop_ready()
+            if rs is not None:
+                self._step(rs)
+                continue
+            if self._done_count == self.nranks:
+                break
+            # everyone blocked: try relaxed matching / resumption
+            self.deadlock_checks += 1
+            if self._relaxed_progress():
+                continue
+            if self.crashed_ranks:
+                # graceful degradation: ranks waiting on a crashed
+                # peer can never progress — record the diagnostic
+                # and end the run so its trace prefix survives
+                self._starve_blocked()
+                break
+            self._raise_deadlock()
+
     def _flush_counters(self) -> None:
         """Publish this run's accumulated probe totals (cheap: the hot
-        loop only bumps plain ints; the bus sees aggregates once)."""
-        obs.count("engine.steps", self.steps)
-        obs.count("engine.matches", self.matches_committed)
-        obs.count("engine.deferred_commits", self.deferred_commits)
-        obs.count("engine.deadlock_checks", self.deadlock_checks)
-        obs.count("engine.messages_sent", self.messages_sent)
-        obs.count("engine.bytes_sent", self.bytes_sent)
-        obs.count("engine.overload_events", self.overload_events)
+        loop only bumps plain ints; the bus sees aggregates once).
+
+        Counters are emitted in sorted-name order — deterministic
+        regardless of link discovery order or fault-counter insertion
+        order, so JSONL metrics output is byte-stable across runs and
+        engine modes.
+        """
+        pairs = [
+            ("engine.steps", self.steps),
+            ("engine.matches", self.matches_committed),
+            ("engine.deferred_commits", self.deferred_commits),
+            ("engine.deadlock_checks", self.deadlock_checks),
+            ("engine.messages_sent", self.messages_sent),
+            ("engine.bytes_sent", self.bytes_sent),
+            ("engine.overload_events", self.overload_events),
+        ]
         if self._routed and self._link_msgs:
             span = self.total_time
-            for name in sorted(self._link_msgs):
-                obs.count(f"engine.link.{name}.msgs",
-                          self._link_msgs[name])
-                obs.count(f"engine.link.{name}.busy_s",
-                          self._link_busy.get(name, 0.0))
-                obs.count(f"engine.link.{name}.wait_s",
-                          self._link_wait.get(name, 0.0))
-            obs.count("engine.links_used", len(self._link_msgs))
-            obs.count("engine.link_busy_s_total",
-                      sum(self._link_busy.values()))
-            obs.count("engine.link_wait_s_total",
-                      sum(self._link_wait.values()))
+            for name in self._link_msgs:
+                pairs.append((f"engine.link.{name}.msgs",
+                              self._link_msgs[name]))
+                pairs.append((f"engine.link.{name}.busy_s",
+                              self._link_busy.get(name, 0.0)))
+                pairs.append((f"engine.link.{name}.wait_s",
+                              self._link_wait.get(name, 0.0)))
+            pairs.append(("engine.links_used", len(self._link_msgs)))
+            pairs.append(("engine.link_busy_s_total",
+                          sum(self._link_busy.values())))
+            pairs.append(("engine.link_wait_s_total",
+                          sum(self._link_wait.values())))
             if span > 0.0:
-                obs.count("engine.link_util_max",
-                          max(self._link_busy.values()) / span)
+                pairs.append(("engine.link_util_max",
+                              max(self._link_busy.values()) / span))
         if self._faults is not None:
-            for name, value in sorted(self._faults.snapshot().items()):
-                obs.count(f"engine.fault.{name}", value)
-            obs.count("engine.fault.crashed_ranks",
-                      len(self.crashed_ranks))
-            obs.count("engine.fault.starved_ranks",
-                      len(self.starved_ranks))
+            for name, value in self._faults.snapshot().items():
+                pairs.append((f"engine.fault.{name}", value))
+            pairs.append(("engine.fault.crashed_ranks",
+                          len(self.crashed_ranks)))
+            pairs.append(("engine.fault.starved_ranks",
+                          len(self.starved_ranks)))
+        if self.profile_phases is not None:
+            for phase, secs in self.profile_phases.items():
+                pairs.append((f"engine.profile.{phase}_s", secs))
+        for name, value in sorted(pairs):
+            obs.count(name, value)
 
     @property
     def total_time(self) -> float:
@@ -342,57 +328,6 @@ class Engine:
 
     def now(self, rank: int) -> float:
         return self._ranks[rank].clock
-
-    # -- scheduler ----------------------------------------------------------
-    def _pop_ready(self) -> Optional[_RankState]:
-        """Smallest-(clock, rank) READY rank via the lazy-deletion heap.
-
-        An entry is pushed whenever a rank becomes READY; it is stale if
-        the rank has since been stepped (state changed) or was re-queued
-        at a later clock.
-        """
-        heap = self._ready_heap
-        while heap:
-            clock, rank = heapq.heappop(heap)
-            rs = self._ranks[rank]
-            if rs.state == READY and rs.clock == clock:
-                return rs
-        return None
-
-    def _make_ready(self, rs: _RankState) -> None:
-        rs.state = READY
-        rs.blocked_kind = None
-        rs.blocked_data = None
-        heapq.heappush(self._ready_heap, (rs.clock, rs.rank))
-
-    def _min_live_clock_excluding(self, exclude_rank: int) -> float:
-        """Minimum clock over non-DONE ranks other than ``exclude_rank``.
-
-        The clock heap holds exactly one entry per live rank; stale
-        entries (the rank's clock advanced) are refreshed in place, DONE
-        ranks are dropped, and an excluded top entry is set aside and
-        pushed back — all O(log ranks) amortized per query.
-        """
-        heap = self._clock_heap
-        skipped = None
-        result = _INF
-        while heap:
-            clock, rank = heap[0]
-            rs = self._ranks[rank]
-            if rs.state == DONE:
-                heapq.heappop(heap)
-                continue
-            if clock != rs.clock:  # stale: clock advanced since push
-                heapq.heapreplace(heap, (rs.clock, rank))
-                continue
-            if rank == exclude_rank:
-                skipped = heapq.heappop(heap)
-                continue
-            result = clock
-            break
-        if skipped is not None:
-            heapq.heappush(heap, skipped)
-        return result
 
     # -- generator stepping -------------------------------------------------
     def _step(self, rs: _RankState) -> None:
@@ -596,16 +531,27 @@ class Engine:
             self.messages_sent += 1
             self.bytes_sent += op.nbytes
             return req
-        key = (rs.rank, op.dst, op.comm_id)
-        chan = self._channels.get(key)
-        if chan is None:
-            chan = self._channels[key] = deque()
-            self._chan_live[key] = 0
-        chan.append(msg)
-        self._chan_live[key] += 1
-        self._channels_by_dst[op.dst].add(key)
-        self._srcs_by_dst_comm.setdefault(
-            (op.dst, op.comm_id), set()).add(rs.rank)
+        # cache the arrival estimate: every input (inject time, fixed
+        # arrival, fault delay, throttle stall) is immutable once the
+        # message is in a channel, and the operation order below matches
+        # the original per-query arithmetic exactly — see
+        # repro.sim.matching.arrival_est
+        if eager:
+            t = (arrival if arrival is not None
+                 else inject + model.transit_time(op.nbytes, rs.rank,
+                                                  op.dst))
+            if fault_delay:
+                t += fault_delay
+            if throttled:
+                t += model.stall_penalty(op.nbytes)
+            msg.est = t
+        else:
+            handshake = inject + self._min_latency
+            if fault_delay:
+                handshake += fault_delay
+            msg.rdv_ready = handshake
+            msg.rdv_transit = model.transit_time(op.nbytes, rs.rank, op.dst)
+        self._match.add_message(msg)
         self.messages_sent += 1
         self.bytes_sent += op.nbytes
         self._drain(op.dst, relaxed=False)
@@ -625,6 +571,11 @@ class Engine:
         is checked against the ejection link's standing backlog, same as
         the flat path.  Returns ``(route_links, inject, arrival)`` —
         ``inject`` may have advanced if the sender was stalled.
+
+        The fold is deliberately sequential: per-link FIFO order is part
+        of the defined semantics (each start time depends on the
+        previous link's), so it cannot be vectorized without changing
+        results.
         """
         model = self.model
         fabric = model.fabric
@@ -660,22 +611,6 @@ class Engine:
             busy[link] = busy.get(link, 0.0) + ser
         return links, inject, t
 
-    def _has_compatible_recv(self, dst: int, src: int, tag: int,
-                             comm_id: int) -> bool:
-        directed = self._recv_index.get((dst, src, comm_id))
-        if directed:
-            _purge_head(directed)
-            for pr in directed:
-                if not pr.matched and pr.tag in (tag, ANY_TAG):
-                    return True
-        wild = self._wild_index.get((dst, comm_id))
-        if wild:
-            _purge_head(wild)
-            for pr in wild:
-                if not pr.matched and pr.tag in (tag, ANY_TAG):
-                    return True
-        return False
-
     # -- receives ---------------------------------------------------------------
     def _apply_recv(self, rs: _RankState, op: PostRecv) -> Request:
         if op.src != ANY_SOURCE and op.src >= self.nranks:
@@ -686,107 +621,22 @@ class Engine:
         pr = _PendingRecv(self._pr_seq, rs.rank, op.src, op.tag, op.comm_id,
                           rs.clock, req)
         self._pr_seq += 1
-        self._pending_recvs[rs.rank].append(pr)
-        self._pending_live[rs.rank] += 1
-        if op.src == ANY_SOURCE:
-            self._wild_index.setdefault(
-                (rs.rank, op.comm_id), deque()).append(pr)
-        else:
-            self._recv_index.setdefault(
-                (rs.rank, op.src, op.comm_id), deque()).append(pr)
+        self._match.add_recv(pr)
         self._drain(rs.rank, relaxed=False)
         return req
 
     # -- matching ------------------------------------------------------------
-    def _arrival_est(self, msg: _Message, recv_post: float) -> float:
-        model = self.model
-        if msg.protocol == "eager":
-            t = (msg.arrival if msg.arrival is not None
-                 else msg.inject_time
-                 + model.transit_time(msg.nbytes, msg.src, msg.dst))
-            if msg.fault_delay:
-                t += msg.fault_delay
-            if msg.throttled:
-                t += model.stall_penalty(msg.nbytes)
-            return t
-        # rendezvous: data moves once both sides are ready
-        handshake = msg.inject_time + self._min_latency
-        if msg.fault_delay:
-            handshake += msg.fault_delay
-        return max(handshake, recv_post) \
-            + model.transit_time(msg.nbytes, msg.src, msg.dst)
-
-    def _first_compatible_in_channel(self, key, tag) -> Optional[_Message]:
-        chan = self._channels.get(key)
-        if not chan:
-            return None
-        _purge_head(chan)
-        for msg in chan:
-            if msg.matched:
-                continue
-            if tag == ANY_TAG or tag == msg.tag:
-                return msg
-        return None
-
-    def _candidates_for(self, pr: _PendingRecv) -> List[_Message]:
-        """First tag-compatible unmatched message of each eligible channel."""
-        out = []
-        if pr.src == ANY_SOURCE:
-            srcs = self._srcs_by_dst_comm.get((pr.rank, pr.comm_id))
-            if not srcs:
-                return out
-            for src in sorted(srcs):
-                msg = self._first_compatible_in_channel(
-                    (src, pr.rank, pr.comm_id), pr.tag)
-                if msg is not None:
-                    out.append(msg)
-        else:
-            msg = self._first_compatible_in_channel(
-                (pr.src, pr.rank, pr.comm_id), pr.tag)
-            if msg is not None:
-                out.append(msg)
-        return out
-
-    def _horizon(self, exclude_rank: int) -> float:
-        """Earliest virtual time at which any rank other than
-        ``exclude_rank`` could inject a new message."""
-        return self._min_live_clock_excluding(exclude_rank) \
-            + self._min_latency
-
-    def _drain_candidates(self, dst: int):
-        """Pending receives at ``dst`` that could currently match or
-        freeze, merged in post (seq) order.
-
-        Only directed receives whose channel holds a live message and
-        wildcard receives on communicators with live messages are
-        considered — everything else provably cannot match during this
-        drain (no new messages appear mid-drain), so the full post-order
-        queue is never scanned.
-        """
-        buckets = []
-        comms = set()
-        for key in self._channels_by_dst[dst]:
-            src, _, comm_id = key
-            comms.add(comm_id)
-            directed = self._recv_index.get((dst, src, comm_id))
-            if directed:
-                _purge_head(directed)
-                if directed:
-                    buckets.append(directed)
-        for comm_id in comms:
-            wild = self._wild_index.get((dst, comm_id))
-            if wild:
-                _purge_head(wild)
-                if wild:
-                    buckets.append(wild)
-        if len(buckets) == 1:
-            return iter(buckets[0])
-        if not buckets:
-            return iter(())
-        return heapq.merge(*buckets, key=lambda pr: pr.seq)
+    #: arrival estimation reads the estimate cached at send time (see
+    #: ``_apply_send``); kept as a static method for the scalar drain's
+    #: tie-break lambda and external callers
+    _arrival_est = staticmethod(arrival_est)
 
     def _drain(self, dst: int, relaxed: bool) -> bool:
         """Match pending receives at ``dst`` against channel messages.
+
+        This is the *reference* (scalar-mode) drain; batch mode rebinds
+        ``self._drain`` to :func:`repro.sim.matching.drain_batch`, which
+        must commit the same matches in the same order.
 
         Receives are scanned in post order.  A directed receive matches the
         first tag-compatible message in its channel immediately (FIFO order
@@ -803,23 +653,25 @@ class Engine:
         never become matchable within the same drain, and commits happen
         in strictly increasing post order.
         """
+        m = self._match
         any_progress = False
         frozen_comms: set = set()
-        for pr in self._drain_candidates(dst):
+        it, _ = m.drain_buckets(dst)
+        for pr in it:
             if pr.matched or pr.comm_id in frozen_comms:
                 continue
             if pr.src == ANY_SOURCE:
-                cands = self._candidates_for(pr)
+                cands = m.candidates_for(pr)
                 if not cands:
                     # nothing available yet; this wildcard blocks any
                     # later recv on its communicator from stealing what
                     # it might match
                     frozen_comms.add(pr.comm_id)
                     continue
-                best = min(cands, key=lambda m: (
-                    self._arrival_est(m, pr.post_time), m.src, m.seq))
+                best = min(cands, key=lambda msg: (
+                    arrival_est(msg, pr.post_time), msg.src, msg.seq))
                 if not relaxed:
-                    arr = self._arrival_est(best, pr.post_time)
+                    arr = arrival_est(best, pr.post_time)
                     if arr > self._horizon(dst):
                         self._deferred_dsts.add(dst)
                         frozen_comms.add(pr.comm_id)
@@ -827,7 +679,7 @@ class Engine:
                 self._commit_match(pr, best)
                 any_progress = True
             else:
-                msg = self._first_compatible_in_channel(
+                msg = m.first_compatible_in_channel(
                     (pr.src, dst, pr.comm_id), pr.tag)
                 if msg is None:
                     continue
@@ -838,7 +690,7 @@ class Engine:
     def _commit_match(self, pr: _PendingRecv, msg: _Message) -> None:
         self.matches_committed += 1
         model = self.model
-        arrival = self._arrival_est(msg, pr.post_time)
+        arrival = arrival_est(msg, pr.post_time)
         # message processing starts when the data is here, the receive is
         # posted, and the receiver's (serial) message processor is free
         start = max(pr.post_time, arrival, self._rx_busy[pr.rank])
@@ -860,22 +712,9 @@ class Engine:
                 self._dirty.add(msg.sreq.waiter)
         if msg.charged:
             self._unexpected_bytes[msg.dst] -= msg.nbytes
-        # tombstone instead of deque.remove: mid-queue entries are purged
-        # lazily once they reach a queue head
-        msg.matched = True
-        key = (msg.src, msg.dst, msg.comm_id)
-        live = self._chan_live[key] - 1
-        self._chan_live[key] = live
-        chan = self._channels[key]
-        _purge_head(chan)
-        if not live:
-            self._channels_by_dst[msg.dst].discard(key)
-            srcs = self._srcs_by_dst_comm.get((msg.dst, msg.comm_id))
-            if srcs is not None:
-                srcs.discard(msg.src)
-        pr.matched = True
-        self._pending_live[pr.rank] -= 1
-        _purge_head(self._pending_recvs[pr.rank])
+        m = self._match
+        m.retire_message(msg)
+        m.retire_recv(pr)
 
     # -- waits ----------------------------------------------------------------
     def _try_waitall(self, rs: _RankState, requests, relaxed: bool):
@@ -916,6 +755,7 @@ class Engine:
                     f"{inst.key}/{inst.group} vs {op.key}/{op.group}")
             inst.nbytes = max(inst.nbytes, op.nbytes)
         inst.arrivals[rs.rank] = rs.clock
+        inst.nleft -= 1  # kept in step for the batch executor's countdown
         if len(inst.arrivals) == len(inst.group):
             start = max(inst.arrivals.values())
             inst.completion = start + self.model.collective_cost(

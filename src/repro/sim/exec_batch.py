@@ -1,0 +1,633 @@
+"""Execution layer of the engine core: the cohort-batched main loop.
+
+The reference (scalar) executor dispatches one yielded op at a time
+through ``Engine._step`` / ``Engine._apply`` — two Python calls plus an
+``isinstance`` chain per op.  :func:`run_batch` replaces that with a
+single flattened loop that processes each runnable rank's *op cohort*
+(the run of operations it issues before blocking — all at the same
+scheduler timestamp) in one frame:
+
+* class-identity dispatch on the concrete op classes with every hot
+  container and model query bound to a local;
+* the fast-path send/receive handlers inline the protocol arithmetic
+  for the common regime (no fault injection, flat fabric, no wire
+  queueing, no overload accounting) and cache each message's fixed
+  arrival estimate for the matching layer; any other regime falls back
+  to the engine's reference handlers mid-loop;
+* collective completion evaluates ``max`` over the whole
+  ``_CollInstance`` arrival cohort at once (numpy-reduced for large
+  groups — float ``max`` is associative, so the reduction order cannot
+  change the result);
+* dirty-set wakeup is folded into the loop top with the per-kind
+  resume arithmetic inlined.
+
+Byte-identity discipline: every float operation happens in the same
+order as the reference executor, counters (``steps`` etc.) are bumped
+at the same program points, and anything the fast path cannot mirror
+exactly (fault fates, routed fabrics, wire queueing, overload) is
+delegated to the very same reference code.  Runs with crash faults use
+the reference loop outright (the per-op crash check is structural).
+The golden suites under ``tests/sim/golden/`` and the Hypothesis
+equivalence tests pin this bit-for-bit.
+
+:func:`run_profiled` is the instrumented variant behind
+``repro pipeline --profile``: the reference loop structure with
+per-phase (schedule/match/execute/fabric) wall-time attribution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, Optional
+
+from repro.errors import MPIUsageError, SimulationError
+from repro.sim.matching import _Message, _PendingRecv
+from repro.sim.network import FlatFabric, NetworkModel
+from repro.sim.ops import (ANY_SOURCE, Collective, Compute, PostRecv,
+                           PostSend, Test, WaitAll, WaitAny)
+from repro.sim.requests import Request, Status
+from repro.sim.sched import BLOCKED, DONE, READY
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is part of the toolchain
+    _np = None
+
+#: sentinel returned by the generic ``Engine._apply`` when a rank blocks
+_BLOCK = object()
+
+#: group size at which the numpy reduction overtakes builtin ``max``
+#: (measured: ``np.fromiter`` over dict values carries ~4-5us of fixed
+#: overhead, so the builtin left fold wins until about a thousand ranks)
+_NP_GROUP_MIN = 1024
+
+
+class _CollInstance:
+    __slots__ = ("key", "group", "nbytes", "arrivals", "completion",
+                 "nleft")
+
+    def __init__(self, key, group, nbytes):
+        self.key = key
+        self.group = group
+        self.nbytes = nbytes
+        self.arrivals: Dict[int, float] = {}
+        self.completion: Optional[float] = None
+        #: countdown of group members yet to arrive; both executors
+        #: decrement it, so ``nleft == len(group) - len(arrivals)``
+        #: holds regardless of which path handled each arrival
+        self.nleft = len(group)
+
+
+def _group_start(arrivals: Dict[int, float]) -> float:
+    """Latest arrival clock of a completed collective cohort.
+
+    Vectorized for large groups: float ``max`` is associative and
+    commutative (rank clocks are never NaN), so the numpy reduction is
+    bit-identical to the builtin left fold.
+    """
+    if _np is not None and len(arrivals) >= _NP_GROUP_MIN:
+        return float(_np.max(_np.fromiter(arrivals.values(),
+                                          dtype=_np.float64,
+                                          count=len(arrivals))))
+    return max(arrivals.values())
+
+
+def run_batch(eng) -> None:
+    """Drive ``eng`` (an :class:`repro.sim.engine.Engine`) to completion
+    with the cohort-batched executor.  Caller holds the run span and
+    flushes counters; this function owns the loop."""
+    ranks = eng._ranks
+    nranks = eng.nranks
+    sched = eng._sched
+    ready = sched.ready_heap
+    dirty = sched.dirty
+    dirty_add = dirty.add
+    dirty_discard = dirty.discard
+    deferred = sched.deferred_dsts
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    max_steps = eng.max_steps
+    # int sentinel instead of +inf keeps the per-op limit check an
+    # int/int compare; no run gets anywhere near 2**62 steps
+    step_limit = max_steps if max_steps is not None else (1 << 62)
+    faults = eng._faults
+    no_faults = faults is None
+
+    model = eng.model
+    match = eng._match
+    drain = eng._drain
+    # deferral-memo fast path, inlined from the top of drain_batch: a
+    # valid memo still past the horizon means the drain would be a
+    # no-op re-defer, so skip the call outright
+    defer_memo = match.defer_memo
+    defer_version = match.defer_version
+    horizon = eng._horizon
+    deferred_add = deferred.add
+    add_message = match.add_message
+    add_recv = match.add_recv
+    has_recv = match.has_compatible_recv
+    unexpected = match.unexpected_bytes
+    send_overhead = model.send_overhead
+    stall_penalty = model.stall_penalty
+    transit = model.transit_time
+    coll_cost = model.collective_cost
+    eager_threshold = model.eager_threshold
+    unexpected_capacity = model.unexpected_capacity
+    min_latency = eng._min_latency
+    colls = eng._coll
+
+    # fast sends only in the regime whose arithmetic the inline path
+    # mirrors exactly; everything else goes through the reference handler
+    fast_send = (no_faults and not eng._routed and not model.wire_queueing
+                 and model.overload_drain_rate is None)
+    fabric = getattr(model, "fabric", None)
+    flat = (type(fabric) is FlatFabric
+            and type(model).transit_time is NetworkModel.transit_time)
+    if flat:
+        fab_lat = fabric.latency
+        fab_bw = fabric.bandwidth
+
+    steps = 0
+    messages_sent = 0
+    bytes_sent = 0
+    msg_seq = eng._msg_seq
+    pr_seq = eng._pr_seq
+
+    # membership memo for iterative collectives: programs yield the same
+    # group tuple every iteration (ops.Collective memoizes the sorted
+    # form by identity), so the O(|group|) `rank in tuple` scan collapses
+    # to one frozenset lookup after the first instance
+    memo_group = None
+    memo_member = frozenset()
+
+    # resume queue: dirty-set resumes arrive in ascending rank order, and
+    # for a completed collective all 63 peers resume at the same clock —
+    # already sorted by the heap's (clock, rank) key.  Appending them to
+    # a plain list consumed by index skips ~two heap sifts per resume;
+    # the pop below merges the queue front against the heap's valid top,
+    # so pop order is exactly the reference heap order.  Any resume that
+    # would break the queue's sortedness goes to the heap instead.
+    rq = []
+    rq_append = rq.append
+    rq_i = 0
+
+    try:
+        while True:
+            steps += 1
+            if steps > step_limit:
+                raise SimulationError(
+                    f"exceeded max_steps={max_steps}; likely livelock")
+            if deferred:
+                for dst in sorted(deferred):
+                    memo = defer_memo.get(dst)
+                    if memo is not None and \
+                            memo[1] == defer_version[dst] and \
+                            memo[0] > horizon(dst):
+                        continue  # still futile; stays deferred
+                    deferred.discard(dst)
+                    drain(dst, False)
+            if dirty:
+                # inline _resume_dirty: same sorted order, same per-kind
+                # resume arithmetic as Engine._try_resume/_make_ready.
+                # Nothing inside a resume mutates the dirty set, so the
+                # per-rank discards collapse into one clear at the end
+                # (waitany ranks that must stay dirty are re-added).
+                stays = None
+                for rank in sorted(dirty):
+                    r = ranks[rank]
+                    if r.state != BLOCKED:
+                        continue
+                    bk = r.blocked_kind
+                    if bk == "collective":
+                        comp = r.blocked_data.completion
+                        if comp is not None:
+                            r.clock = comp
+                            r.pending_value = None
+                            r.state = READY
+                            r.blocked_kind = None
+                            r.blocked_data = None
+                            entry = (comp, rank)
+                            if not rq or rq[-1] <= entry:
+                                rq_append(entry)
+                            else:
+                                heappush(ready, entry)
+                    elif bk == "waitall":
+                        reqs = r.blocked_data
+                        for q in reqs:
+                            if q.completion is None:
+                                break
+                        else:
+                            if reqs:
+                                mx = max(q.completion for q in reqs)
+                                if mx > r.clock:
+                                    r.clock = mx
+                            r.pending_value = [q.status for q in reqs]
+                            r.state = READY
+                            r.blocked_kind = None
+                            r.blocked_data = None
+                            entry = (r.clock, rank)
+                            if not rq or rq[-1] <= entry:
+                                rq_append(entry)
+                            else:
+                                heappush(ready, entry)
+                    else:
+                        # waitany needs the safety horizon: use the
+                        # reference resume, with its stay-dirty rule
+                        if not eng._try_resume(r, False) and \
+                                r.blocked_kind == "waitany" and \
+                                any(q.completion is not None
+                                    for q in r.blocked_data):
+                            if stays is None:
+                                stays = [rank]
+                            else:
+                                stays.append(rank)
+                dirty.clear()
+                if stays is not None:
+                    dirty.update(stays)
+            # inline pop_ready: two-way merge of the resume queue's valid
+            # front and the lazy-deletion heap's valid top — identical
+            # (clock, rank) order to the reference single-heap pop
+            rs = None
+            qe = None
+            qlen = len(rq)
+            while rq_i < qlen:
+                qe = rq[rq_i]
+                qr = ranks[qe[1]]
+                if qr.state == READY and qr.clock == qe[0]:
+                    break
+                rq_i += 1
+            else:
+                qe = None
+                if qlen:
+                    del rq[:]
+                    rq_i = 0
+            while ready:
+                he = ready[0]
+                hr = ranks[he[1]]
+                if hr.state == READY and hr.clock == he[0]:
+                    break
+                heappop(ready)
+            if qe is not None and (not ready or qe <= ready[0]):
+                rs = qr
+                rq_i += 1
+                if rq_i == len(rq):
+                    del rq[:]
+                    rq_i = 0
+            elif ready:
+                heappop(ready)
+                rs = hr
+            if rs is None:
+                if eng._done_count == nranks:
+                    break
+                eng.deadlock_checks += 1
+                if eng._relaxed_progress():
+                    continue
+                if eng.crashed_ranks:
+                    eng._starve_blocked()
+                    break
+                eng._raise_deadlock()
+            # -- op cohort: run this rank's generator until it blocks ----
+            # Consecutive PostRecv drains coalesce into one flush: no
+            # clock moves and no other rank observes state mid-cohort,
+            # and one drain walks the same receives in the same post
+            # order with the same horizon, so the flush is bit-identical
+            # to draining after every post.  The flush must land before
+            # anything that reads completion state: WaitAll / WaitAny /
+            # Test evaluation, a send to self (its unexpected-buffer
+            # charge checks our own receive queue), the generic
+            # fallback, and rank completion.
+            gen_send = rs.gen.send
+            value = rs.pending_value
+            rs.pending_value = None
+            recv_pending = False
+            while True:
+                steps += 1
+                if steps > step_limit:
+                    raise SimulationError(
+                        f"exceeded max_steps={max_steps}; likely livelock")
+                try:
+                    op = gen_send(value)
+                except StopIteration:
+                    if recv_pending:
+                        recv_pending = False
+                        drain(rs.rank, False)
+                    rs.state = DONE
+                    eng._done_count += 1
+                    eng._on_rank_done(rs)
+                    break
+                cls = op.__class__
+                if cls is Compute:
+                    if no_faults:
+                        rs.clock += op.duration
+                    else:
+                        rs.clock += op.duration * \
+                            faults.compute_factor(rs.rank)
+                    value = None
+                    continue
+                if cls is PostSend:
+                    if recv_pending and op.dst == rs.rank:
+                        recv_pending = False
+                        drain(rs.rank, False)
+                    if not fast_send:
+                        value = eng._apply_send(rs, op)
+                        continue
+                    dst = op.dst
+                    if dst >= nranks:
+                        raise MPIUsageError(
+                            f"rank {rs.rank} sends to nonexistent "
+                            f"rank {dst}")
+                    nbytes = op.nbytes
+                    req = Request("send", rs.rank)
+                    req.peer = dst
+                    post_time = rs.clock
+                    inject = post_time + send_overhead(nbytes)
+                    rs.clock = inject
+                    if nbytes <= eager_threshold:
+                        throttled = False
+                        charged = False
+                        if not has_recv(dst, rs.rank, op.tag, op.comm_id):
+                            if unexpected_capacity is not None and \
+                                    unexpected[dst] + nbytes > \
+                                    unexpected_capacity:
+                                throttled = True
+                            charged = True
+                            unexpected[dst] += nbytes
+                        if not throttled:
+                            req.completion = inject
+                        msg = _Message(msg_seq, rs.rank, dst, op.tag,
+                                       op.comm_id, nbytes, post_time,
+                                       inject, "eager", throttled,
+                                       charged, req)
+                        if flat:
+                            t = inject + (fab_lat + nbytes / fab_bw)
+                        else:
+                            t = inject + transit(nbytes, rs.rank, dst)
+                        if throttled:
+                            t += stall_penalty(nbytes)
+                        msg.est = t
+                    else:
+                        msg = _Message(msg_seq, rs.rank, dst, op.tag,
+                                       op.comm_id, nbytes, post_time,
+                                       inject, "rdv", False, False, req)
+                        msg.rdv_ready = inject + min_latency
+                        msg.rdv_transit = (fab_lat + nbytes / fab_bw) \
+                            if flat else transit(nbytes, rs.rank, dst)
+                    msg_seq += 1
+                    req.message = msg
+                    add_message(msg)
+                    messages_sent += 1
+                    bytes_sent += nbytes
+                    memo = defer_memo.get(dst)
+                    if memo is not None and \
+                            memo[1] == defer_version[dst] and \
+                            memo[0] > horizon(dst):
+                        deferred_add(dst)
+                    else:
+                        drain(dst, False)
+                    value = req
+                    continue
+                if cls is PostRecv:
+                    src = op.src
+                    if src != ANY_SOURCE and src >= nranks:
+                        raise MPIUsageError(
+                            f"rank {rs.rank} receives from nonexistent "
+                            f"rank {src}")
+                    req = Request("recv", rs.rank)
+                    req.peer = src
+                    pr = _PendingRecv(pr_seq, rs.rank, src, op.tag,
+                                      op.comm_id, rs.clock, req)
+                    pr_seq += 1
+                    add_recv(pr)
+                    recv_pending = True
+                    value = req
+                    continue
+                if cls is WaitAll:
+                    if recv_pending:
+                        recv_pending = False
+                        drain(rs.rank, False)
+                    reqs = op.requests
+                    for q in reqs:
+                        if q.completion is None:
+                            break
+                    else:
+                        if reqs:
+                            mx = max(q.completion for q in reqs)
+                            if mx > rs.clock:
+                                rs.clock = mx
+                        value = [q.status for q in reqs]
+                        continue
+                    rs.blocked_kind = "waitall"
+                    rs.blocked_data = reqs
+                    for q in reqs:
+                        if q.completion is None:
+                            q.waiter = rs.rank
+                    rs.state = BLOCKED
+                    break
+                if cls is Collective:
+                    if recv_pending:
+                        recv_pending = False
+                        drain(rs.rank, False)
+                    group = op.group
+                    rank = rs.rank
+                    if group is not memo_group:
+                        memo_group = group
+                        memo_member = frozenset(group)
+                    if rank not in memo_member:
+                        raise MPIUsageError(
+                            f"rank {rank} called collective on group "
+                            f"excluding it")
+                    cseq = rs.coll_seq
+                    seq = cseq.get(op.comm_id, 0)
+                    cseq[op.comm_id] = seq + 1
+                    ckey = (op.comm_id, seq)
+                    inst = colls.get(ckey)
+                    if inst is None:
+                        inst = _CollInstance(op.key, group, op.nbytes)
+                        colls[ckey] = inst
+                    else:
+                        if (inst.group is not group
+                                and inst.group != group) \
+                                or inst.key != op.key:
+                            raise MPIUsageError(
+                                f"collective mismatch on comm "
+                                f"{op.comm_id} seq {seq}: "
+                                f"{inst.key}/{inst.group} vs "
+                                f"{op.key}/{op.group}")
+                        if op.nbytes > inst.nbytes:
+                            inst.nbytes = op.nbytes
+                    arrivals = inst.arrivals
+                    arrivals[rank] = rs.clock
+                    nleft = inst.nleft - 1
+                    inst.nleft = nleft
+                    if not nleft:
+                        comp = _group_start(arrivals) + coll_cost(
+                            inst.key, len(inst.group), inst.nbytes)
+                        inst.completion = comp
+                        # blocked participants wake through the dirty
+                        # set on the next loop top (same as reference:
+                        # resuming them here would advance their clocks
+                        # early and shift wildcard horizons).  Bulk
+                        # update, preserving any prior membership of
+                        # the completing rank itself.
+                        had = rank in dirty
+                        dirty.update(arrivals)
+                        if not had:
+                            dirty_discard(rank)
+                        rs.clock = comp
+                        value = None
+                        continue
+                    rs.blocked_kind = "collective"
+                    rs.blocked_data = inst
+                    rs.state = BLOCKED
+                    break
+                if cls is WaitAny:
+                    if recv_pending:
+                        recv_pending = False
+                        drain(rs.rank, False)
+                    reqs = op.requests
+                    done = [(q.completion, i)
+                            for i, q in enumerate(reqs)
+                            if q.completion is not None]
+                    if done:
+                        t, i = min(done)
+                        if len(done) == len(reqs) or \
+                                t <= eng._horizon(rs.rank):
+                            if t > rs.clock:
+                                rs.clock = t
+                            value = (i, reqs[i].status)
+                            continue
+                    rs.blocked_kind = "waitany"
+                    rs.blocked_data = reqs
+                    any_complete = False
+                    for q in reqs:
+                        if q.completion is None:
+                            q.waiter = rs.rank
+                        else:
+                            any_complete = True
+                    if any_complete:
+                        dirty_add(rs.rank)
+                    rs.state = BLOCKED
+                    break
+                if cls is Test:
+                    if recv_pending:
+                        recv_pending = False
+                        drain(rs.rank, False)
+                    q = op.request
+                    comp = q.completion
+                    if comp is not None and comp <= rs.clock:
+                        value = (True, q.status)
+                    else:
+                        value = (False, None)
+                    continue
+                # unknown concrete class: op subclasses and junk go
+                # through the reference dispatcher (isinstance checks,
+                # usage errors).  Sync the locally-tracked counters so
+                # the reference handlers see and leave consistent state.
+                if recv_pending:
+                    recv_pending = False
+                    drain(rs.rank, False)
+                if fast_send:
+                    eng._msg_seq = msg_seq
+                eng._pr_seq = pr_seq
+                eng.messages_sent += messages_sent
+                eng.bytes_sent += bytes_sent
+                messages_sent = 0
+                bytes_sent = 0
+                value = eng._apply(rs, op)
+                if fast_send:
+                    msg_seq = eng._msg_seq
+                pr_seq = eng._pr_seq
+                if value is _BLOCK:
+                    rs.state = BLOCKED
+                    break
+    finally:
+        eng.steps += steps
+        eng.messages_sent += messages_sent
+        eng.bytes_sent += bytes_sent
+        if fast_send:
+            eng._msg_seq = msg_seq
+        eng._pr_seq = pr_seq
+
+
+def run_profiled(eng) -> None:
+    """Reference-structured loop with per-phase wall-time attribution.
+
+    Phases (wall seconds, exposed as ``engine.profile.<phase>_s``):
+
+    * ``schedule`` — deferred-drain bookkeeping, dirty-set wakeup and
+      ready-heap pops at the loop top (minus nested match time);
+    * ``match`` — every ``Engine._drain`` call (candidate enumeration,
+      horizon checks, commits), wherever it is triggered from;
+    * ``fabric`` — routed per-link FIFO folds (``_routed_arrival``);
+    * ``execute`` — generator stepping and op handling, minus the
+      nested match/fabric time.
+
+    Timer placement is the only difference from the reference loop:
+    the same ``_step``/``_drain`` code runs, so results stay
+    byte-identical.  Totals land on ``eng.profile_phases`` and are
+    published by ``Engine._flush_counters``.
+    """
+    perf = time.perf_counter
+    acc = {"schedule": 0.0, "match": 0.0, "execute": 0.0, "fabric": 0.0}
+    nested = [0.0]
+
+    real_drain = eng._drain
+
+    def timed_drain(dst, relaxed):
+        t0 = perf()
+        try:
+            return real_drain(dst, relaxed)
+        finally:
+            dt = perf() - t0
+            acc["match"] += dt
+            nested[0] += dt
+
+    eng._drain = timed_drain
+
+    real_routed = eng._routed_arrival
+
+    def timed_routed(rs, op, inject):
+        t0 = perf()
+        try:
+            return real_routed(rs, op, inject)
+        finally:
+            dt = perf() - t0
+            acc["fabric"] += dt
+            nested[0] += dt
+
+    eng._routed_arrival = timed_routed
+
+    try:
+        while True:
+            eng.steps += 1
+            if eng.max_steps is not None and eng.steps > eng.max_steps:
+                raise SimulationError(
+                    f"exceeded max_steps={eng.max_steps}; likely livelock")
+            t0 = perf()
+            nested[0] = 0.0
+            if eng._deferred_dsts:
+                for dst in sorted(eng._deferred_dsts):
+                    eng._deferred_dsts.discard(dst)
+                    eng._drain(dst, False)
+            if eng._dirty:
+                eng._resume_dirty()
+            rs = eng._pop_ready()
+            acc["schedule"] += perf() - t0 - nested[0]
+            if rs is not None:
+                t1 = perf()
+                nested[0] = 0.0
+                eng._step(rs)
+                acc["execute"] += perf() - t1 - nested[0]
+                continue
+            if eng._done_count == eng.nranks:
+                break
+            eng.deadlock_checks += 1
+            if eng._relaxed_progress():
+                continue
+            if eng.crashed_ranks:
+                eng._starve_blocked()
+                break
+            eng._raise_deadlock()
+    finally:
+        eng.profile_phases = dict(acc)

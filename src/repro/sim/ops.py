@@ -47,7 +47,8 @@ class Compute(Op):
     def __init__(self, duration: float):
         if duration < 0:
             raise ValueError(f"negative compute duration: {duration}")
-        self.duration = float(duration)
+        self.duration = duration if duration.__class__ is float \
+            else float(duration)
 
     def __repr__(self) -> str:
         return f"Compute({self.duration:.6g})"
@@ -63,10 +64,10 @@ class PostSend(Op):
             raise ValueError(f"bad destination: {dst}")
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
-        self.dst = int(dst)
-        self.nbytes = int(nbytes)
-        self.tag = int(tag)
-        self.comm_id = int(comm_id)
+        self.dst = dst if dst.__class__ is int else int(dst)
+        self.nbytes = nbytes if nbytes.__class__ is int else int(nbytes)
+        self.tag = tag if tag.__class__ is int else int(tag)
+        self.comm_id = comm_id if comm_id.__class__ is int else int(comm_id)
 
     def __repr__(self) -> str:
         return f"PostSend(dst={self.dst}, nbytes={self.nbytes}, tag={self.tag})"
@@ -82,10 +83,11 @@ class PostRecv(Op):
                  comm_id: int = 0, nbytes: int = 0):
         if src < ANY_SOURCE:
             raise ValueError(f"bad source: {src}")
-        self.src = int(src)
-        self.tag = int(tag)
-        self.comm_id = int(comm_id)
-        self.nbytes = int(nbytes)  # advisory; matched message sets actual
+        self.src = src if src.__class__ is int else int(src)
+        self.tag = tag if tag.__class__ is int else int(tag)
+        self.comm_id = comm_id if comm_id.__class__ is int else int(comm_id)
+        # nbytes is advisory; the matched message sets the actual size
+        self.nbytes = nbytes if nbytes.__class__ is int else int(nbytes)
 
     def __repr__(self) -> str:
         return f"PostRecv(src={self.src}, tag={self.tag})"
@@ -141,14 +143,31 @@ class Collective(Op):
 
     __slots__ = ("group", "key", "nbytes", "comm_id")
 
+    # programs yield the same group tuple every iteration (hot path for
+    # iterative collectives); memoize its sorted form by object identity.
+    # The memo keeps a strong reference to the key tuple, so the identity
+    # test can never hit a recycled id.  Only exact tuples are cached —
+    # a list could be mutated between yields, so anything else is
+    # normalized per call.
+    _group_memo: Tuple[Tuple[int, ...], Tuple[int, ...]] = ((), ())
+
     def __init__(self, group: Tuple[int, ...], key: str, nbytes: int = 0,
                  comm_id: int = 0):
         if not group:
             raise ValueError("collective over empty group")
-        self.group = tuple(sorted(group))
+        if type(group) is tuple:
+            memo_key, memo_sorted = Collective._group_memo
+            if memo_key is group:
+                self.group = memo_sorted
+            else:
+                srt = tuple(sorted(group))
+                Collective._group_memo = (group, srt)
+                self.group = srt
+        else:
+            self.group = tuple(sorted(group))
         self.key = key
-        self.nbytes = int(nbytes)
-        self.comm_id = int(comm_id)
+        self.nbytes = nbytes if nbytes.__class__ is int else int(nbytes)
+        self.comm_id = comm_id if comm_id.__class__ is int else int(comm_id)
 
     def __repr__(self) -> str:
         return (f"Collective({self.key}, |group|={len(self.group)}, "

@@ -1,0 +1,120 @@
+"""Scheduling layer of the engine core: clocks, readiness, wakeup.
+
+This module owns the *when does who run next* half of the simulator,
+split out of the monolithic engine (see ``docs/ARCHITECTURE.md``):
+
+* a lazy-deletion **ready heap** of ``(clock, rank)`` entries — the
+  runnable rank with the smallest virtual clock always runs next;
+* a lazy-deletion **clock heap** over all non-DONE ranks powering the
+  conservative wildcard safety **horizon** (minimum live clock plus the
+  fabric's minimum latency);
+* the **dirty set** of blocked ranks whose waited-on work completed
+  since the last scheduler pass (request and collective completions
+  land here instead of triggering a sweep over every rank);
+* the **deferred destination set**: receivers whose wildcard match was
+  horizon-unsafe and must be re-drained at the top of the next pass.
+
+The scheduler knows nothing about messages or matching; it sees only
+rank states (:class:`repro.sim.engine._RankState`) and clocks.  Both
+engine modes (``scalar`` and ``batch``) share one scheduler instance —
+its containers are plain heaps/sets so the batch executor can bind them
+as locals in its hot loop without changing semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+READY = "ready"
+BLOCKED = "blocked"
+DONE = "done"
+
+_INF = float("inf")
+
+
+class Scheduler:
+    """Ready/clock heaps, dirty-set wakeup, and the safety horizon."""
+
+    __slots__ = ("ranks", "ready_heap", "clock_heap", "dirty",
+                 "deferred_dsts", "min_latency")
+
+    def __init__(self, min_latency: float):
+        #: bound to the engine's rank-state list at run start
+        self.ranks: List = []
+        #: lazy-deletion heap of (clock, rank) for READY ranks
+        self.ready_heap: List[Tuple[float, int]] = []
+        #: lazy-deletion heap of (clock, rank) over non-DONE ranks, one
+        #: live entry per rank, powering the incremental horizon
+        self.clock_heap: List[Tuple[float, int]] = []
+        #: blocked ranks whose waited-on work completed since last sweep
+        self.dirty: set = set()
+        #: receivers with a horizon-deferred wildcard to re-drain
+        self.deferred_dsts: set = set()
+        self.min_latency = min_latency
+
+    def seed(self, ranks: List) -> None:
+        """Bind the rank-state list and enqueue every rank at clock 0."""
+        self.ranks = ranks
+        push = heapq.heappush
+        for rs in ranks:
+            push(self.ready_heap, (0.0, rs.rank))
+            push(self.clock_heap, (0.0, rs.rank))
+
+    def pop_ready(self) -> Optional[object]:
+        """Smallest-(clock, rank) READY rank via the lazy-deletion heap.
+
+        An entry is pushed whenever a rank becomes READY; it is stale if
+        the rank has since been stepped (state changed) or was re-queued
+        at a later clock.
+        """
+        heap = self.ready_heap
+        ranks = self.ranks
+        while heap:
+            clock, rank = heapq.heappop(heap)
+            rs = ranks[rank]
+            if rs.state == READY and rs.clock == clock:
+                return rs
+        return None
+
+    def make_ready(self, rs) -> None:
+        rs.state = READY
+        rs.blocked_kind = None
+        rs.blocked_data = None
+        heapq.heappush(self.ready_heap, (rs.clock, rs.rank))
+
+    def min_live_clock_excluding(self, exclude_rank: int) -> float:
+        """Minimum clock over non-DONE ranks other than ``exclude_rank``.
+
+        The clock heap holds exactly one entry per live rank; stale
+        entries (the rank's clock advanced) are refreshed in place, DONE
+        ranks are dropped, and an excluded top entry is set aside and
+        pushed back — all O(log ranks) amortized per query.
+        """
+        heap = self.clock_heap
+        ranks = self.ranks
+        skipped = None
+        result = _INF
+        while heap:
+            clock, rank = heap[0]
+            rs = ranks[rank]
+            if rs.state == DONE:
+                heapq.heappop(heap)
+                continue
+            if clock != rs.clock:  # stale: clock advanced since push
+                heapq.heapreplace(heap, (rs.clock, rank))
+                continue
+            if rank == exclude_rank:
+                skipped = heapq.heappop(heap)
+                continue
+            result = clock
+            break
+        if skipped is not None:
+            heapq.heappush(heap, skipped)
+        return result
+
+    def horizon(self, exclude_rank: int) -> float:
+        """Earliest virtual time at which any rank other than
+        ``exclude_rank`` could inject a new message."""
+        return self.min_live_clock_excluding(exclude_rank) \
+            + self.min_latency

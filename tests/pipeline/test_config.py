@@ -186,6 +186,14 @@ class TestTopologyFields:
                               topology="torus3d").fingerprint()
         assert base != topo
 
+    def test_profile_excluded_from_fingerprint(self):
+        # profiling is execution policy: it must not invalidate cached
+        # trace/source artifacts
+        base = PipelineConfig(app="jacobi", nranks=4).fingerprint()
+        prof = PipelineConfig(app="jacobi", nranks=4,
+                              profile=True).fingerprint()
+        assert base == prof
+
     def test_run_model_is_routed(self):
         from repro.pipeline import RunContext
         from repro.topology import TopologyModel

@@ -144,3 +144,34 @@ class TestPerCommWildcardFreeze:
         assert log == {"direct_src": 2, "wild_src": 1, "wild_tag": 9}
         assert eng.matches_committed == 3
         assert eng.messages_sent == 4
+
+
+class TestCounterFlushOrder:
+    def test_flush_emits_counters_in_sorted_name_order(self):
+        """`_flush_counters` calls ``obs.count`` in sorted-name order:
+        the collector's counter dict (and anything streaming per-call)
+        sees a byte-stable sequence regardless of link discovery order,
+        fault-counter insertion order, or engine mode."""
+        from repro import obs
+        from repro.apps import make_app
+        from repro.mpi.world import run_spmd
+        from repro.topology import make_topology_model
+
+        class CallOrder(obs.Instrumentation):
+            def __init__(self):
+                super().__init__()
+                self.calls = []
+
+            def count(self, name, value=1):
+                self.calls.append(name)
+                super().count(name, value)
+
+        model = make_topology_model(LogGPModel(), "torus3d", 8)
+        inst = CallOrder()
+        with obs.instrumented(inst):
+            run_spmd(make_app("halo3d", 8, "S"), 8, model=model)
+        engine_names = [n for n in inst.calls if n.startswith("engine.")]
+        assert engine_names, "engine counters were not flushed"
+        assert engine_names == sorted(engine_names)
+        # routed runs publish per-link counters through the same flush
+        assert any(n.startswith("engine.link.") for n in engine_names)

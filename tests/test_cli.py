@@ -149,6 +149,35 @@ class TestPipelineSubcommand:
         assert "instrumentation report" in out
         assert "[engine]" in out
 
+    def test_profile_flag_prints_phase_summary(self, workdir, capsys):
+        assert main(["pipeline", "--app", "jacobi", "--np", "4",
+                     "--no-cache", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "engine phase profile" in out
+        for phase in ("schedule", "match", "execute", "fabric"):
+            assert phase in out
+
+    def test_profile_counters_reach_metrics(self, workdir, capsys):
+        assert main(["pipeline", "--app", "ring", "--np", "4",
+                     "--no-cache", "--profile",
+                     "--metrics", "m.jsonl"]) == 0
+        records = [json.loads(line) for line in open("m.jsonl")]
+        names = {r["name"] for r in records if r["kind"] == "counter"}
+        assert {"engine.profile.schedule_s", "engine.profile.match_s",
+                "engine.profile.execute_s",
+                "engine.profile.fabric_s"} <= names
+
+    def test_profile_does_not_change_makespan(self, workdir, capsys):
+        def sim_us(out):
+            return [line.split("us simulated")[0].split()[-1]
+                    for line in out.splitlines() if "us simulated" in line]
+
+        base = ["pipeline", "--app", "jacobi", "--np", "4", "--no-cache"]
+        assert main(base) == 0
+        plain = sim_us(capsys.readouterr().out)
+        assert main(base + ["--profile"]) == 0
+        assert plain and plain == sim_us(capsys.readouterr().out)
+
 
 class TestMetricsOnClassicCommands:
     def test_trace_metrics(self, workdir, capsys):
