@@ -1,0 +1,361 @@
+"""Trace-pipeline scale benchmark: streaming ingest at a million events,
+bounded-memory peaks, and the tree-merge fingerprint fast path.
+
+Three claims from the streaming rewrite, measured rather than asserted:
+
+* **ingest throughput** — events/second through the full hook path
+  (``MPIEvent`` construction, compression, incremental rank flush) on a
+  64-rank ring driven round-robin, >=1M events in full mode;
+* **bounded memory** — ``tracemalloc`` peak recorded at 1/4x, 1/2x and
+  1x the raw event count.  The peak tracks *compressed* size (flat),
+  not raw event count (4x growth across the sweep);
+* **merge fast path** — wall time of ``merge_traces`` on P structurally
+  identical multi-phase SPMD ranks with the fingerprint fast path on
+  vs. off.  The off run pays the O(n^2) LCS DP per pair merge; the on
+  run splices after an O(n) identity walk.  Outputs are asserted
+  byte-identical, so the benchmark doubles as an equivalence check.
+
+Results land in ``benchmarks/BENCH_trace_scale.json``; CI runs
+``--quick --check-against`` as a coarse regression floor plus
+``--max-peak-mib`` / ``--min-speedup`` as absolute gates.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_trace_scale.py
+    PYTHONPATH=src python benchmarks/bench_trace_scale.py --quick \\
+        --check-against benchmarks/BENCH_trace_scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+import tracemalloc
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import obs  # noqa: E402
+from repro.mpi.comm import Communicator  # noqa: E402
+from repro.mpi.hooks import MPIEvent  # noqa: E402
+from repro.scalatrace import (CompressionQueue, ScalaTraceHook,  # noqa: E402
+                              Trace, dumps_trace, loads_trace,
+                              merge_traces, set_merge_fastpath)
+from repro.util.callsite import Callsite  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__),
+                           "BENCH_trace_scale.json")
+
+#: Full mode ingests 64*(5300*3+1) = 1,017,664 events — the >=1M bar.
+#: The merge workload (phases/loop_iters) is identical in both modes so
+#: per-rank-count timings stay comparable across quick and full runs.
+WORKLOADS = {
+    "full": {
+        "ingest": dict(nranks=64, iters=5300),
+        "merge_ranks": [8, 16, 32, 64],
+    },
+    "quick": {
+        "ingest": dict(nranks=8, iters=400),
+        "merge_ranks": [4, 8],
+    },
+}
+
+#: Merge workload shape: an iterative SPMD app whose outer loop body has
+#: ``3 * MERGE_PHASES`` distinct call sites — wide enough that the pair
+#: merge's LCS DP is the dominant cost when the fast path is disabled.
+MERGE_PHASES = 100
+MERGE_LOOP_ITERS = 4
+
+
+# -- ingest: streaming hook driven directly with synthetic events ----------
+
+def _drive_ingest(nranks: int, iters: int):
+    """Round-robin ring traffic through a fresh ScalaTraceHook: every
+    rank interleaves (so all per-rank queues are live at once — the
+    worst case for the memory high-water mark), then finalizes."""
+    hook = ScalaTraceHook()
+    comm = Communicator(0, tuple(range(nranks)))
+    cs = [Callsite.synthetic(f"ring{i}") for i in range(4)]
+    clock = [0.0] * nranks
+    events = 0
+    for _ in range(iters):
+        for r in range(nranks):
+            t = clock[r]
+            hook.on_event(MPIEvent(r, "Isend", comm, peer=(r + 1) % nranks,
+                                   tag=0, nbytes=4096, t_start=t,
+                                   t_end=t + 1e-6, callsite=cs[0]))
+            hook.on_event(MPIEvent(r, "Irecv", comm, peer=(r - 1) % nranks,
+                                   tag=0, t_start=t + 2e-6, t_end=t + 3e-6,
+                                   callsite=cs[1]))
+            hook.on_event(MPIEvent(r, "Waitall", comm, wait_offsets=(0, 1),
+                                   t_start=t + 4e-6, t_end=t + 5e-6,
+                                   callsite=cs[2]))
+            clock[r] = t + 6e-6
+            events += 3
+    for r in range(nranks):
+        t = clock[r]
+        hook.on_event(MPIEvent(r, "Finalize", comm, t_start=t,
+                               t_end=t + 1e-6, callsite=cs[3]))
+        events += 1
+    trace = hook.finalize_trace(nranks)
+    return hook, trace, events
+
+
+def bench_ingest_memory(nranks: int, iters: int) -> list:
+    """tracemalloc peak at 1/4x, 1/2x and 1x the iteration count; the
+    raw event count quadruples across the sweep, the peak must not."""
+    rows = []
+    for scaled in (max(iters // 4, 1), max(iters // 2, 1), iters):
+        tracemalloc.start()
+        hook, trace, events = _drive_ingest(nranks, scaled)
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        rows.append({
+            "iters": scaled,
+            "events": events,
+            "peak_kib": round(peak / 1024, 1),
+            "nodes_live_peak": hook.nodes_live_peak,
+            "trace_nodes": trace.node_count(),
+        })
+    return rows
+
+
+def bench_ingest_throughput(nranks: int, iters: int, repeats: int) -> dict:
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        hook, trace, events = _drive_ingest(nranks, iters)
+        dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, trace, events)
+    dt, trace, events = best
+    return {
+        "params": {"nranks": nranks, "iters": iters},
+        "seconds": round(dt, 6),
+        "events": events,
+        "events_per_sec": round(events / dt, 1),
+        "trace_nodes": trace.node_count(),
+    }
+
+
+# -- merge: fingerprint fast path vs. the full LCS DP ----------------------
+
+def build_merge_dumps(nranks: int) -> list:
+    """Serialized per-rank traces of a multi-phase iterative SPMD app:
+    identical call-site structure on every rank, rank-dependent peers.
+    Serialized (not shared) because merging mutates nodes in place —
+    each timed run reloads a fresh copy."""
+    body_width = 3 * MERGE_PHASES
+    cs = [Callsite.synthetic(f"phase{i}") for i in range(body_width + 2)]
+    comm_table = {0: tuple(range(nranks))}
+    dumps = []
+    for r in range(nranks):
+        q = CompressionQueue(r, max_window=body_width + 8)
+        for _ in range(MERGE_LOOP_ITERS):
+            for p in range(MERGE_PHASES):
+                q.append_event("Isend", cs[3 * p], 0,
+                               peer=(r + p + 1) % nranks,
+                               size=1024 + 8 * p, tag=p, delta_t=1e-6)
+                q.append_event("Irecv", cs[3 * p + 1], 0,
+                               peer=(r - p - 1) % nranks,
+                               size=0, tag=p, delta_t=1e-6)
+                q.append_event("Waitall", cs[3 * p + 2], 0,
+                               wait_offsets=(0, 1), delta_t=1e-6)
+        q.append_event("Allreduce", cs[body_width], 0, size=8, delta_t=1e-6)
+        q.append_event("Finalize", cs[body_width + 1], 0, size=0,
+                       delta_t=1e-6)
+        dumps.append(dumps_trace(Trace(nranks, q.nodes, dict(comm_table))))
+    return dumps
+
+
+def _timed_merge(dumps: list, fastpath: bool, repeats: int):
+    best = None
+    for _ in range(repeats):
+        traces = [loads_trace(text) for text in dumps]
+        prev = set_merge_fastpath(fastpath)
+        try:
+            t0 = time.perf_counter()
+            merged = merge_traces(traces)
+            dt = time.perf_counter() - t0
+        finally:
+            set_merge_fastpath(prev)
+        if best is None or dt < best[0]:
+            best = (dt, merged)
+    return best
+
+
+def _merge_counters(dumps: list, fastpath: bool) -> dict:
+    with obs.instrumented() as inst:
+        prev = set_merge_fastpath(fastpath)
+        try:
+            merge_traces([loads_trace(text) for text in dumps])
+        finally:
+            set_merge_fastpath(prev)
+    totals: dict = {}
+    for rec in inst.counter_records():
+        totals[rec["name"]] = totals.get(rec["name"], 0) + rec["value"]
+    return totals
+
+
+def bench_merge(nranks: int, repeats: int) -> dict:
+    dumps = build_merge_dumps(nranks)
+    slow_dt, slow_merged = _timed_merge(dumps, False, repeats)
+    fast_dt, fast_merged = _timed_merge(dumps, True, repeats)
+    if dumps_trace(fast_merged) != dumps_trace(slow_merged):
+        raise AssertionError(
+            f"merge.{nranks}: fast-path output differs from baseline")
+    slow_counts = _merge_counters(dumps, False)
+    fast_counts = _merge_counters(dumps, True)
+    return {
+        "nranks": nranks,
+        "baseline": {
+            "seconds": round(slow_dt, 6),
+            "lcs_cells": slow_counts.get("scalatrace.lcs_cells", 0),
+        },
+        "fastpath": {
+            "seconds": round(fast_dt, 6),
+            "hits": fast_counts.get("scalatrace.merge_fastpath_hits", 0),
+            "lcs_cells": fast_counts.get("scalatrace.lcs_cells", 0),
+        },
+        "speedup": round(slow_dt / fast_dt, 2),
+        "merged_nodes": fast_merged.node_count(),
+    }
+
+
+def run_suite(mode: str, repeats: int) -> dict:
+    sizes = WORKLOADS[mode]
+    ing = sizes["ingest"]
+    memory = bench_ingest_memory(**ing)
+    results = {
+        "mode": mode,
+        "python": platform.python_version(),
+        "ingest": {
+            "throughput": bench_ingest_throughput(repeats=repeats, **ing),
+            "memory": memory,
+            # raw events quadruple across the memory sweep; the peak
+            # ratio is the bounded-memory claim in one number
+            "events_growth": round(memory[-1]["events"]
+                                   / memory[0]["events"], 2),
+            "peak_growth": round(memory[-1]["peak_kib"]
+                                 / memory[0]["peak_kib"], 2),
+        },
+        "merge": {
+            "params": {"phases": MERGE_PHASES,
+                       "loop_iters": MERGE_LOOP_ITERS},
+            "ranks": [bench_merge(p, repeats) for p in sizes["merge_ranks"]],
+        },
+    }
+    return results
+
+
+# -- gates -----------------------------------------------------------------
+
+def check_against(results: dict, baseline_path: str, floor: float) -> list:
+    """Rate/time comparisons against the committed baseline: ingest
+    events/s must stay within ``floor``x of the recorded rate, and the
+    fast-path merge time per shared rank count within ``floor``x slower
+    (the merge workload is mode-independent, so times compare)."""
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    failures = []
+    ref = base["ingest"]["throughput"]["events_per_sec"]
+    cur = results["ingest"]["throughput"]["events_per_sec"]
+    if cur * floor < ref:
+        failures.append(f"ingest: {cur:.0f} events/s vs baseline "
+                        f"{ref:.0f} (floor {floor}x)")
+    base_merge = {row["nranks"]: row for row in base["merge"]["ranks"]}
+    for row in results["merge"]["ranks"]:
+        ref_row = base_merge.get(row["nranks"])
+        if ref_row is None:
+            continue
+        ref_t = ref_row["fastpath"]["seconds"]
+        cur_t = row["fastpath"]["seconds"]
+        if cur_t > ref_t * floor:
+            failures.append(
+                f"merge.{row['nranks']}: fastpath {cur_t:.4f}s vs "
+                f"baseline {ref_t:.4f}s (floor {floor}x)")
+    return failures
+
+
+def absolute_gates(results: dict, max_peak_mib, min_speedup) -> list:
+    failures = []
+    if max_peak_mib is not None:
+        worst = max(row["peak_kib"] for row in results["ingest"]["memory"])
+        if worst > max_peak_mib * 1024:
+            failures.append(f"ingest peak {worst / 1024:.1f} MiB exceeds "
+                            f"ceiling {max_peak_mib} MiB")
+    if min_speedup is not None:
+        last = results["merge"]["ranks"][-1]
+        if last["speedup"] < min_speedup:
+            failures.append(
+                f"merge.{last['nranks']}: speedup {last['speedup']:.2f}x "
+                f"below required {min_speedup}x")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI-sized workloads")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="output JSON path (default benchmarks/"
+                         "BENCH_trace_scale.json); '-' to skip writing")
+    ap.add_argument("--check-against", metavar="JSON",
+                    help="compare against a committed baseline and fail "
+                         "on a >floor regression")
+    ap.add_argument("--floor", type=float, default=5.0,
+                    help="regression floor multiplier (default 5)")
+    ap.add_argument("--max-peak-mib", type=float, default=None,
+                    help="fail if any tracemalloc peak exceeds this many "
+                         "MiB (absolute memory ceiling)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail if the fast-path speedup at the largest "
+                         "rank count falls below this multiplier")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of-N repeats per timed section (default 3)")
+    args = ap.parse_args(argv)
+
+    results = run_suite("quick" if args.quick else "full", args.repeats)
+
+    thr = results["ingest"]["throughput"]
+    print(f"ingest    {thr['events_per_sec']:>12.0f} events/s "
+          f"({thr['seconds']:.3f}s, {thr['events']} events, "
+          f"{thr['params']['nranks']} ranks -> {thr['trace_nodes']} nodes)")
+    for row in results["ingest"]["memory"]:
+        print(f"memory    {row['events']:>10} events  "
+              f"peak {row['peak_kib']:>9.1f} KiB  "
+              f"live nodes {row['nodes_live_peak']}")
+    print(f"memory    peak growth {results['ingest']['peak_growth']:.2f}x "
+          f"over {results['ingest']['events_growth']:.2f}x more raw events")
+    for row in results["merge"]["ranks"]:
+        print(f"merge     P={row['nranks']:<3} "
+              f"baseline {row['baseline']['seconds']:.4f}s "
+              f"({row['baseline']['lcs_cells']} DP cells)  "
+              f"fastpath {row['fastpath']['seconds']:.4f}s "
+              f"({row['fastpath']['hits']} hits)  "
+              f"speedup {row['speedup']:.2f}x")
+
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    failures = absolute_gates(results, args.max_peak_mib, args.min_speedup)
+    if args.check_against:
+        failures += check_against(results, args.check_against, args.floor)
+    if failures:
+        print("PERF REGRESSION:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    if args.check_against or args.max_peak_mib or args.min_speedup:
+        print("perf gates ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

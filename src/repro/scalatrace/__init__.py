@@ -2,10 +2,14 @@
 tracing with RSD/PRSD structure, inter-rank merging, and histogram timing."""
 
 from repro.scalatrace.compress import CompressionQueue, nodes_match
-from repro.scalatrace.merge import merge_node_lists, merge_traces
+from repro.scalatrace.merge import (TraceMergeAccumulator, merge_node_lists,
+                                    merge_traces, set_merge_fastpath)
 from repro.scalatrace.rsd import (ConcreteEvent, EventNode, LoopNode, Node,
-                                  ParamField, Trace)
-from repro.scalatrace.tracer import ScalaTraceHook
+                                  ParamField, Trace, count_nodes)
+from repro.scalatrace.serialize import (dump_trace, dumps_trace,
+                                        iter_trace_lines, load_trace,
+                                        loads_trace)
+from repro.scalatrace.tracer import ScalaTraceHook, ingest_event
 
 __all__ = [
     "CompressionQueue",
@@ -16,7 +20,16 @@ __all__ = [
     "ParamField",
     "ScalaTraceHook",
     "Trace",
+    "TraceMergeAccumulator",
+    "count_nodes",
+    "dump_trace",
+    "dumps_trace",
+    "ingest_event",
+    "iter_trace_lines",
+    "load_trace",
+    "loads_trace",
     "merge_node_lists",
     "merge_traces",
     "nodes_match",
+    "set_merge_fastpath",
 ]

@@ -26,7 +26,7 @@ from typing import List, Optional
 from repro import obs
 from repro.mpi.hooks import COLLECTIVE_OPS
 from repro.scalatrace.rsd import (FP_BASE, FP_MOD, EventNode, LoopNode, Node,
-                                  ParamField)
+                                  ParamField, count_nodes)
 from repro.util.histogram import TimeHistogram
 from repro.util.rankset import RankSet
 from repro.util.valueseq import ValueSeq
@@ -358,6 +358,13 @@ class CompressionQueue:
         if self._cloop is not None:
             self._flush_pending()
         return self._nodes
+
+    def live_node_count(self) -> int:
+        """Nodes this queue currently holds: compressed output plus any
+        rows the replay cursor is still buffering.  Unlike :attr:`nodes`
+        this never flushes the cursor, so the streaming tracer can
+        sample its memory high-water mark without perturbing state."""
+        return count_nodes(self._nodes) + len(self._pending)
 
     # -- fingerprint table ---------------------------------------------------
     def _push_fp(self, node: Node) -> None:

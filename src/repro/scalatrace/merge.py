@@ -12,6 +12,23 @@ per-rank tables — never discarding information.  Nodes that do not align
 are interleaved in an order preserving both inputs' program orders, each
 keeping its own rank set (this is how e.g. "rank 0 sends, ranks 1..N-1
 receive" coexists inside one merged loop body).
+
+Two throughput mechanisms sit on top of the pairwise LCS merge:
+
+* an **identical-sequence fast path** — in the common SPMD case every
+  rank records the same call structure, so the pairwise merge is gated
+  by a rolling Rabin hash over rank-agnostic node fingerprints
+  (:attr:`~repro.scalatrace.rsd.Node.mfp`) and, once structural identity
+  is confirmed exactly, spliced position-by-position without running the
+  O(n·m) LCS DP.  The splice is only taken when the diagonal alignment
+  is *provably* what the DP would pick (see :func:`_diagonal_safe`), so
+  output bytes never depend on which path ran;
+* a **streaming accumulator** (:class:`TraceMergeAccumulator`) — a
+  binomial binary counter over per-rank node lists that keeps at most
+  ``log2(P)+1`` partial merges live while producing the exact same merge
+  association tree as the level-order pairwise reduction it replaced.
+  Ranks can be fed (in rank order) as they finish and their queues
+  dropped immediately, which is what bounds the tracer's peak memory.
 """
 
 from __future__ import annotations
@@ -23,6 +40,24 @@ from repro.scalatrace.rsd import EventNode, LoopNode, Node, Trace
 from repro.util.rankset import RankSet
 
 _PARAM_FIELDS = ("peer", "size", "tag", "root")
+
+#: Process-wide toggle for the identical-sequence fast path; flipped by
+#: :func:`set_merge_fastpath` (benchmarks and the byte-identity
+#: regression tests use it to time/compare the pure-LCS baseline).
+_FASTPATH = True
+
+
+def set_merge_fastpath(enabled: bool) -> bool:
+    """Enable/disable the identical-sequence merge fast path.
+
+    Returns the previous setting so callers can restore it in a
+    ``try/finally``.  The fast path never changes merge output — this
+    exists so baselines and regression tests can exercise the LCS path
+    on inputs the splice would otherwise shortcut."""
+    global _FASTPATH
+    prev = _FASTPATH
+    _FASTPATH = bool(enabled)
+    return prev
 
 
 def _try_merge_nodes(a: Node, b: Node,
@@ -87,11 +122,108 @@ def _match_weight(node: Node) -> int:
     return sum(_match_weight(n) for n in node.body)
 
 
+def _seq_mfp(nodes: List[Node]) -> int:
+    """Rolling Rabin hash of a node sequence's rank-agnostic merge
+    fingerprints (same field as the compressor's window hashes)."""
+    from repro.scalatrace.rsd import FP_BASE, FP_MOD
+    h = 0
+    for n in nodes:
+        h = (h * FP_BASE + n.mfp) % FP_MOD
+    return h
+
+
+def _identical_structure(a: Node, b: Node) -> bool:
+    """Exact structural identity as the merge fast path requires it.
+
+    For events this is precisely the precondition under which
+    :func:`_try_merge_nodes` succeeds unconditionally (``merge_ranks``
+    never fails): same signature, same instance count, same parameter
+    presence pattern.  For loops: same count, same body length, and
+    pairwise identical bodies.  Fingerprints got us here cheaply; this
+    walk is what makes the fast path collision-proof."""
+    if isinstance(a, EventNode):
+        return (isinstance(b, EventNode)
+                and a.sig == b.sig
+                and a.instances == b.instances
+                and (a.peer is None) == (b.peer is None)
+                and (a.size is None) == (b.size is None)
+                and (a.tag is None) == (b.tag is None)
+                and (a.root is None) == (b.root is None))
+    if not isinstance(b, LoopNode):
+        return False
+    assert isinstance(a, LoopNode)
+    return (a.count == b.count
+            and len(a.body) == len(b.body)
+            and all(_identical_structure(x, y)
+                    for x, y in zip(a.body, b.body)))
+
+
+def _event_keys(node: Node) -> set:
+    """(signature, instances) of every event in a node's subtree."""
+    keys = set()
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if isinstance(n, EventNode):
+            keys.add((n.sig, n.instances))
+        else:
+            stack.extend(n.body)
+    return keys
+
+
+def _diagonal_safe(nodes: List[Node]) -> bool:
+    """True when the all-diagonal alignment of ``nodes`` against a
+    structurally identical copy is provably the alignment the weighted
+    LCS DP picks — the condition for the splice to be byte-identical.
+
+    Event↔event cross matches are weight-conserving (the merged node
+    weighs exactly what each side weighs), so any alignment built from
+    them totals at most the diagonal's weight, and the traceback's
+    match-first tie-break then yields the diagonal.  The only way an
+    off-diagonal alignment can *out-weigh* the diagonal is a loop↔loop
+    cross merge, whose supersequence body can weigh more than either
+    side.  Such a merge needs equal counts and at least one shared body
+    node — so the fast path is safe whenever no two distinct loops in
+    the list have equal counts and overlapping event sets.  Compressed
+    SPMD traces almost never trip this (distinct phases use distinct
+    call sites); when they do we conservatively fall back to the DP."""
+    loops = [n for n in nodes if isinstance(n, LoopNode)]
+    if len(loops) < 2:
+        return True
+    by_count: Dict[int, List[LoopNode]] = {}
+    for n in loops:
+        by_count.setdefault(n.count, []).append(n)
+    for group in by_count.values():
+        if len(group) < 2:
+            continue
+        keysets = [_event_keys(n) for n in group]
+        for i in range(len(keysets)):
+            for j in range(i + 1, len(keysets)):
+                if keysets[i] & keysets[j]:
+                    return False
+    return True
+
+
+def _splice_identical(xs: List[Node], ys: List[Node],
+                      comm_table) -> Optional[List[Node]]:
+    """Position-wise merge of structurally identical sequences; None if
+    any pair refuses (cannot happen per `_identical_structure`'s
+    contract, kept as a defensive fallback to the DP)."""
+    out: List[Node] = []
+    for x, y in zip(xs, ys):
+        merged = _try_merge_nodes(x, y, comm_table)
+        if merged is None:
+            return None
+        out.append(merged)
+    return out
+
+
 def _lcs_pairs(xs: List[Node], ys: List[Node],
                comm_table) -> List[Tuple[int, int, Node]]:
     """Maximum-weight common subsequence of mergeable nodes; returns
     matched index pairs with their pre-computed merged node."""
     n, m = len(xs), len(ys)
+    obs.count("scalatrace.lcs_cells", n * m)
     merged_cache: Dict[Tuple[int, int], Optional[Node]] = {}
 
     def mergeable(i, j):
@@ -129,7 +261,22 @@ def _lcs_pairs(xs: List[Node], ys: List[Node],
 def merge_node_lists(xs: List[Node], ys: List[Node],
                      comm_table) -> List[Node]:
     """Order-preserving merge (shortest common supersequence around the
-    LCS of mergeable nodes)."""
+    LCS of mergeable nodes).
+
+    Identical-sequence fast path: when both sides have the same length
+    and the same rolling merge fingerprint, an exact structural walk
+    confirms pairwise identity and the sequences are spliced
+    position-by-position, skipping the O(n·m) DP.  Gated further by
+    :func:`_diagonal_safe` so the splice is byte-identical to what the
+    DP's traceback would produce; any doubt falls through to the DP."""
+    if _FASTPATH and xs and len(xs) == len(ys) \
+            and _seq_mfp(xs) == _seq_mfp(ys) \
+            and all(_identical_structure(x, y) for x, y in zip(xs, ys)) \
+            and _diagonal_safe(xs):
+        out = _splice_identical(xs, ys, comm_table)
+        if out is not None:
+            obs.count("scalatrace.merge_fastpath_hits", 1)
+            return out
     pairs = _lcs_pairs(xs, ys, comm_table)
     out: List[Node] = []
     xi = yi = 0
@@ -143,29 +290,103 @@ def merge_node_lists(xs: List[Node], ys: List[Node],
     return out
 
 
+class TraceMergeAccumulator:
+    """Streaming binary-counter merge of per-rank node lists.
+
+    Feed node lists one rank at a time, **in rank order**, and read the
+    merged result off :meth:`result`.  Internally this is a binomial
+    binary counter: singleton lists merge into span-2 partials, equal
+    span partials merge on arrival, so at most ``log2(P)+1`` partial
+    merges are ever live — the seam that lets the tracer drop each
+    rank's compression queue the moment that rank finalizes, instead of
+    holding all P per-rank traces until run end.
+
+    Byte-identity contract: finalizing the counter by folding the
+    remaining partials smallest-first produces *exactly* the merge
+    association tree of the level-order pairwise reduction this class
+    replaced (the tie-off of an incomplete binary tree is the same
+    either way; ``tests/scalatrace/test_merge.py`` pins this against a
+    reference reduction on every app preset), so results are
+    byte-identical to the pre-streaming merge for any rank count.
+    """
+
+    def __init__(self, world_size: Optional[int] = None,
+                 comm_table: Optional[Dict[int, Tuple[int, ...]]] = None):
+        self.world_size = world_size
+        #: comm_id -> ordered world ranks; grows as rank tables arrive.
+        #: Any comm referenced by a fed node list must already be
+        #: present (callers feed each rank's table alongside its nodes).
+        self.comm_table: Dict[int, Tuple[int, ...]] = dict(comm_table or {})
+        #: (span, nodes) partial merges, largest span first.
+        self._partials: List[Tuple[int, List[Node]]] = []
+        #: How many per-rank lists have been fed.
+        self.fed = 0
+
+    def add(self, trace: Trace) -> None:
+        """Feed one per-rank trace (nodes + comm table)."""
+        if self.world_size is None:
+            self.world_size = trace.world_size
+        self.comm_table.update(trace.comm_table)
+        self.add_nodes(trace.nodes)
+
+    def add_nodes(self, nodes: List[Node],
+                  comm_table: Optional[Dict[int, Tuple[int, ...]]] = None
+                  ) -> None:
+        """Feed one rank's node list (the Trace-free seam the streaming
+        tracer uses); merges equal-span partials immediately."""
+        if comm_table:
+            self.comm_table.update(comm_table)
+        span = 1
+        while self._partials and self._partials[-1][0] == span:
+            _, prev = self._partials.pop()
+            nodes = merge_node_lists(prev, nodes, self.comm_table)
+            obs.count("scalatrace.pair_merges", 1)
+            span *= 2
+        self._partials.append((span, nodes))
+        self.fed += 1
+
+    def live_node_count(self) -> int:
+        """Nodes currently held across all partial merges (the term the
+        tracer samples into ``scalatrace.nodes_live_peak``)."""
+        from repro.scalatrace.rsd import count_nodes
+        return sum(count_nodes(nodes) for _, nodes in self._partials)
+
+    def result(self) -> Trace:
+        """Finalize: fold remaining partials smallest-first (earlier
+        ranks stay the left operand) and return the merged trace."""
+        if not self._partials:
+            raise ValueError("no traces to merge")
+        obs.count("scalatrace.merge_depth", (self.fed - 1).bit_length())
+        span, nodes = self._partials[-1]
+        for pspan, prev in reversed(self._partials[:-1]):
+            nodes = merge_node_lists(prev, nodes, self.comm_table)
+            obs.count("scalatrace.pair_merges", 1)
+            span += pspan
+        self._partials = [(span, nodes)]
+        if self.world_size is None:
+            raise ValueError("accumulator was never told a world size")
+        return Trace(self.world_size, nodes, self.comm_table)
+
+
 def merge_traces(traces: List[Trace]) -> Trace:
-    """Binary (radix-tree) merge of per-rank traces into a global trace."""
+    """Binary (radix-tree) merge of per-rank traces into a global trace.
+
+    Implemented on :class:`TraceMergeAccumulator`; output is
+    byte-identical to the level-order pairwise reduction."""
     if not traces:
         raise ValueError("no traces to merge")
     world_size = traces[0].world_size
-    comm_table = {}
+    comm_table: Dict[int, Tuple[int, ...]] = {}
     for t in traces:
         comm_table.update(t.comm_table)
-    level = list(traces)
     with obs.span("scalatrace.merge", traces=len(traces)):
-        depth = 0
-        while len(level) > 1:
-            depth += 1
-            nxt = []
-            for i in range(0, len(level) - 1, 2):
-                nodes = merge_node_lists(level[i].nodes, level[i + 1].nodes,
-                                         comm_table)
-                nxt.append(Trace(world_size, nodes, comm_table))
-                obs.count("scalatrace.pair_merges", 1)
-            if len(level) % 2:
-                nxt.append(level[-1])
-            level = nxt
-        obs.count("scalatrace.merge_depth", depth)
-    result = level[0]
+        if len(traces) == 1:
+            obs.count("scalatrace.merge_depth", 0)
+            result = traces[0]
+        else:
+            acc = TraceMergeAccumulator(world_size, comm_table)
+            for t in traces:
+                acc.add_nodes(t.nodes)
+            result = acc.result()
     result.comm_table = comm_table
     return result

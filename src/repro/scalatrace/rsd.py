@@ -247,9 +247,16 @@ class Node:
     structurally before any fold, keeping compression output independent
     of hash collisions.  Nodes are never structurally mutated after
     construction, so the fingerprint is computed once in ``__init__``.
+
+    ``mfp`` is the *merge* fingerprint: like ``fp`` but rank-agnostic
+    (and count/instance-agnostic), so the same call structure recorded on
+    two different ranks hashes identically.  The inter-rank merge uses a
+    rolling hash over ``mfp`` to gate its identical-sequence fast path;
+    as with ``fp``, equality is always confirmed structurally before it
+    changes behaviour, so collisions cannot alter merge output.
     """
 
-    __slots__ = ("ranks", "fp")
+    __slots__ = ("ranks", "fp", "mfp")
 
     def iter_events(self) -> Iterator["EventNode"]:
         raise NotImplementedError
@@ -303,6 +310,11 @@ class EventNode(Node):
         self.sig = ("event", op, callsite, comm_id, wait_offsets)
         self.fp = hash(("event", op, callsite, comm_id, wait_offsets,
                         ranks)) % FP_MOD
+        # Rank/instance-agnostic: two ranks recording the same call site
+        # get the same merge fingerprint (instances are compared exactly
+        # by the merge's structural-identity walk, not hashed here, so
+        # in-place instance bumps in the compressor can't stale it).
+        self.mfp = hash(self.sig) % FP_MOD
 
     @property
     def time(self) -> TimeHistogram:
@@ -373,11 +385,17 @@ class LoopNode(Node):
         self.body = list(body)
         self.ranks = ranks
         h = 0
+        hm = 0
         for node in self.body:
             h = (h * FP_BASE + node.fp) % FP_MOD
+            hm = (hm * FP_BASE + node.mfp) % FP_MOD
         self.body_fp = h
         self.fp = hash(("loop", count, ranks, len(self.body),
                         h)) % FP_MOD
+        # Count excluded on purpose: ``bump_count`` (the hot streaming
+        # absorb path) must stay a single-hash refresh of ``fp``; the
+        # merge fast path compares counts exactly in its identity walk.
+        self.mfp = hash(("loop", len(self.body), hm)) % FP_MOD
 
     def bump_count(self, delta: int) -> None:
         """Increase the iteration count in place, refreshing the cached
@@ -409,6 +427,20 @@ class LoopNode(Node):
         return f"LoopNode(x{self.count}, |body|={len(self.body)})"
 
 
+def count_nodes(nodes: List[Node]) -> int:
+    """Total number of nodes in a forest, loop bodies included.
+
+    This is the unit the streaming pipeline's memory accounting is
+    expressed in (``scalatrace.nodes_live_peak``): live *nodes*, not raw
+    events, are what a bounded-memory tracer is allowed to hold."""
+    total = 0
+    for n in nodes:
+        total += 1
+        if isinstance(n, LoopNode):
+            total += count_nodes(n.body)
+    return total
+
+
 class Trace:
     """A complete (possibly multi-rank) compressed trace."""
 
@@ -430,14 +462,7 @@ class Trace:
         """Total node count (a proxy for trace size; the compression
         benchmarks assert this stays near-constant as ranks/iterations
         grow)."""
-        def count(nodes):
-            total = 0
-            for n in nodes:
-                total += 1
-                if isinstance(n, LoopNode):
-                    total += count(n.body)
-            return total
-        return count(self.nodes)
+        return count_nodes(self.nodes)
 
     def event_count(self, rank: Optional[int] = None) -> int:
         """Number of concrete MPI events (decompressed) for one rank or

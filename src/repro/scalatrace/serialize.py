@@ -16,12 +16,17 @@ standalone workstation (§5.1).  Example::
 
 Every field round-trips exactly (rank sets, parameter expressions, value
 sequences, timing histograms, call-site signatures).
+
+Both directions stream: :func:`iter_trace_lines` yields the file line by
+line (the writer holds one line plus a loop-nesting stack, never the
+whole text), and the parser consumes any line iterator — including a
+lazily read file handle — so loading never materialises the file either.
 """
 
 from __future__ import annotations
 
 import io
-from typing import List, TextIO, Union
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro import obs
 from repro.errors import TraceError
@@ -34,26 +39,41 @@ _MAGIC = "SCALATRACE 1"
 
 
 def _quote(text: str) -> str:
-    return text.replace("%", "%25").replace(" ", "%20")
+    # '%' first so later escapes never double-encode; every '%' in the
+    # output starts exactly one escape triple, which is what makes
+    # _unquote's fixed replace order collision-free.
+    return (text.replace("%", "%25")
+                .replace("\\", "%5C")
+                .replace("\n", "%0A")
+                .replace("\r", "%0D")
+                .replace("\t", "%09")
+                .replace(" ", "%20"))
 
 
 def _unquote(text: str) -> str:
-    return text.replace("%20", " ").replace("%25", "%")
+    # Exact reverse order; '%25' last, since it is the only replacement
+    # that reintroduces a literal '%'.
+    return (text.replace("%20", " ")
+                .replace("%09", "\t")
+                .replace("%0D", "\r")
+                .replace("%0A", "\n")
+                .replace("%5C", "\\")
+                .replace("%25", "%"))
 
 
-def _write_nodes(out: TextIO, nodes: List[Node]) -> None:
+def _node_lines(nodes: List[Node]) -> Iterator[str]:
     for node in nodes:
         if isinstance(node, LoopNode):
-            out.write(f"loop {node.count} ranks={node.ranks.serialize()} {{\n")
-            _write_nodes(out, node.body)
-            out.write("}\n")
+            yield f"loop {node.count} ranks={node.ranks.serialize()} {{"
+            yield from _node_lines(node.body)
+            yield "}"
         else:
             parts = [f"event {node.op}",
                      f"ranks={node.ranks.serialize()}",
                      f"comm={node.comm_id}",
                      f"inst={node.instances}"]
             for name in ("peer", "size", "tag", "root"):
-                field: ParamField = getattr(node, name)
+                field: Optional[ParamField] = getattr(node, name)
                 if field is not None:
                     parts.append(f"{name}={_quote(field.serialize())}")
             if node.wait_offsets is not None:
@@ -63,24 +83,33 @@ def _write_nodes(out: TextIO, nodes: List[Node]) -> None:
             parts.append(f"time={_quote(node.time_rest.serialize())}")
             if node.callsite is not None:
                 parts.append(f"cs={_quote(node.callsite.serialize())}")
-            out.write(" ".join(parts) + "\n")
+            yield " ".join(parts)
+
+
+def iter_trace_lines(trace: Trace) -> Iterator[str]:
+    """Yield ``trace``'s serialized form one line at a time (newlines
+    excluded).  Joining with ``"\\n"`` plus a trailing newline is
+    byte-identical to :func:`dumps_trace`."""
+    yield _MAGIC
+    yield f"world {trace.world_size}"
+    for cid in sorted(trace.comm_table):
+        ranks = trace.comm_table[cid]
+        body = ",".join(str(r) for r in ranks) if ranks else "-"
+        yield f"comm {cid} {body}"
+    yield "nodes {"
+    yield from _node_lines(trace.nodes)
+    yield "}"
 
 
 def dump_trace(trace: Trace, out: Union[TextIO, str]) -> None:
-    """Write ``trace`` to a file path or text stream."""
+    """Write ``trace`` to a file path or text stream, one line at a time
+    (constant memory in the trace's text size)."""
     if isinstance(out, str):
         with open(out, "w") as fh:
             dump_trace(trace, fh)
         return
-    out.write(_MAGIC + "\n")
-    out.write(f"world {trace.world_size}\n")
-    for cid in sorted(trace.comm_table):
-        ranks = trace.comm_table[cid]
-        body = ",".join(str(r) for r in ranks) if ranks else "-"
-        out.write(f"comm {cid} {body}\n")
-    out.write("nodes {\n")
-    _write_nodes(out, trace.nodes)
-    out.write("}\n")
+    for line in iter_trace_lines(trace):
+        out.write(line + "\n")
 
 
 def dumps_trace(trace: Trace) -> str:
@@ -90,14 +119,18 @@ def dumps_trace(trace: Trace) -> str:
 
 
 class _Parser:
-    def __init__(self, lines: List[str]):
-        self.lines = lines
-        self.pos = 0
+    """Incremental line parser: pulls from any string iterator (list,
+    generator, or a lazily read file handle) and never looks ahead more
+    than one line."""
+
+    def __init__(self, lines: Iterable[str]):
+        self._lines = iter(lines)
+        self.consumed = 0
 
     def next_line(self) -> str:
-        while self.pos < len(self.lines):
-            line = self.lines[self.pos].strip()
-            self.pos += 1
+        for raw in self._lines:
+            self.consumed += 1
+            line = raw.strip()
             if line:
                 return line
         raise TraceError("unexpected end of trace file")
@@ -159,22 +192,27 @@ class _Parser:
 
 
 def load_trace(source: Union[TextIO, str]) -> Trace:
-    """Read a trace from a file path, text stream, or serialized string."""
+    """Read a trace from a file path, text stream, or serialized string.
+
+    File paths and streams are consumed line by line; the whole file is
+    never held in memory."""
     if isinstance(source, str):
         if "\n" in source:
-            text = source
-        else:
-            with open(source) as fh:
-                text = fh.read()
-    else:
-        text = source.read()
-    lines = text.splitlines()
-    with obs.span("scalatrace.parse", lines=len(lines)):
-        return _parse_trace(lines)
+            return loads_trace(source)
+        with open(source) as fh:
+            return _load_stream(fh)
+    return _load_stream(source)
 
 
-def _parse_trace(lines: List[str]) -> Trace:
-    parser = _Parser(lines)
+def _load_stream(stream: Iterable[str]) -> Trace:
+    parser = _Parser(stream)
+    with obs.span("scalatrace.parse"):
+        trace = _parse_trace(parser)
+        obs.count("scalatrace.parse_lines", parser.consumed)
+    return trace
+
+
+def _parse_trace(parser: _Parser) -> Trace:
     if parser.next_line() != _MAGIC:
         raise TraceError("not a ScalaTrace file (bad magic)")
     head = parser.next_line().split()
@@ -198,4 +236,4 @@ def _parse_trace(lines: List[str]) -> Trace:
 
 
 def loads_trace(text: str) -> Trace:
-    return load_trace(io.StringIO(text))
+    return _load_stream(io.StringIO(text))

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.scalatrace.compress import CompressionQueue
-from repro.scalatrace.merge import merge_traces
+from repro.scalatrace.merge import merge_traces, set_merge_fastpath
 from repro.scalatrace.rsd import Trace
 from repro.scalatrace.serialize import dumps_trace, loads_trace
 from repro.util.callsite import Callsite
@@ -108,3 +108,67 @@ class TestMergeLossless:
         again = loads_trace(dumps_trace(merged))
         for r in range(WORLD):
             assert stream_of(again, r) == stream_of(merged, r)
+
+
+class TestMergeFastpathInvisible:
+    """The identical-sequence splice must be unobservable: merge output
+    bytes are the same with the fast path on and off, for arbitrary
+    streams (where it mostly declines) and for identical per-rank
+    streams (where it fires on every pair merge)."""
+
+    @staticmethod
+    def _merge_both_ways(streams):
+        a = merge_traces([build_trace(r, s) for r, s in enumerate(streams)])
+        prev = set_merge_fastpath(False)
+        try:
+            b = merge_traces(
+                [build_trace(r, s) for r, s in enumerate(streams)])
+        finally:
+            set_merge_fastpath(prev)
+        return dumps_trace(a), dumps_trace(b)
+
+    @given(st.lists(event_streams, min_size=WORLD, max_size=WORLD))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_streams(self, streams):
+        with_fp, without_fp = self._merge_both_ways(streams)
+        assert with_fp == without_fp
+
+    @given(event_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_identical_streams(self, stream):
+        with_fp, without_fp = self._merge_both_ways([stream] * WORLD)
+        assert with_fp == without_fp
+
+
+class TestSerializeByteStability:
+    """loads(dumps(t)) re-dumps byte-identically — the quoting layer is
+    a bijection even for hostile embedded characters."""
+
+    _label = st.text(alphabet="ab %\\\n\r\t:.", min_size=0, max_size=8)
+
+    @given(event_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_redump_byte_identical(self, stream):
+        text = dumps_trace(build_trace(0, stream * 3))
+        assert dumps_trace(loads_trace(text)) == text
+
+    @given(st.lists(event_streams, min_size=WORLD, max_size=WORLD))
+    @settings(max_examples=30, deadline=None)
+    def test_merged_redump_byte_identical(self, streams):
+        traces = [build_trace(r, s) for r, s in enumerate(streams)]
+        text = dumps_trace(merge_traces(traces))
+        assert dumps_trace(loads_trace(text)) == text
+
+    @given(st.lists(_label, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_nasty_callsites_redump(self, labels):
+        q = CompressionQueue(0)
+        for i, label in enumerate(labels):
+            q.append_event("Barrier", Callsite.synthetic(label, i), 0,
+                           size=0)
+        trace = Trace(1, q.nodes, {0: (0,)})
+        text = dumps_trace(trace)
+        again = loads_trace(text)
+        assert dumps_trace(again) == text
+        got = [e.node.callsite.frames[0][0] for e in again.iter_rank(0)]
+        assert got == labels

@@ -2,10 +2,20 @@
 
 import pytest
 
+from repro import obs
 from repro.scalatrace.compress import CompressionQueue
-from repro.scalatrace.merge import merge_traces
+from repro.scalatrace.merge import (TraceMergeAccumulator, merge_node_lists,
+                                    merge_traces, set_merge_fastpath)
 from repro.scalatrace.rsd import LoopNode, Trace
+from repro.scalatrace.serialize import dumps_trace
 from repro.util.callsite import Callsite
+
+
+@pytest.fixture
+def no_fastpath():
+    prev = set_merge_fastpath(False)
+    yield
+    set_merge_fastpath(prev)
 
 
 def cs(n):
@@ -148,3 +158,143 @@ class TestRankMerging:
                        comm_table={0: (0,)})
         merged = merge_traces([t])
         assert merged.node_count() == 1
+
+    def test_disjoint_op_sequences_interleave(self):
+        # No call site is shared between the two ranks: nothing aligns,
+        # the merge is a pure interleave preserving both program orders.
+        t0 = build_rank(0, [("Send", {"cs": cs(1), "peer": 1, "size": 8,
+                                      "tag": 0}),
+                            ("Send", {"cs": cs(2), "peer": 1, "size": 8,
+                                      "tag": 1})], world=2)
+        t1 = build_rank(1, [("Recv", {"cs": cs(3), "peer": 0, "size": 8,
+                                      "tag": 0}),
+                            ("Recv", {"cs": cs(4), "peer": 0, "size": 8,
+                                      "tag": 1})], world=2)
+        merged = merge_traces([t0, t1])
+        assert merged.node_count() == 4
+        assert [e.op for e in merged.iter_rank(0)] == ["Send", "Send"]
+        assert [e.op for e in merged.iter_rank(1)] == ["Recv", "Recv"]
+
+
+def ring_traces(world, iters=60):
+    """Iterative SPMD workload: every rank records the same structure."""
+    traces = []
+    for r in range(world):
+        script = [("Isend", {"cs": cs(1), "peer": (r + 1) % world,
+                             "size": 1024, "tag": 0}),
+                  ("Irecv", {"cs": cs(2), "peer": (r - 1) % world,
+                             "size": 0, "tag": 0}),
+                  ("Waitall", {"cs": cs(3), "wait_offsets": (0, 1)})
+                  ] * iters
+        script.append(("Finalize", {"cs": cs(9), "size": 0}))
+        traces.append(build_rank(r, script, world=world))
+    return traces
+
+
+def reference_level_order(traces):
+    """The seed's merge_traces: level-order pairwise LCS reduction."""
+    world_size = traces[0].world_size
+    comm_table = {}
+    for t in traces:
+        comm_table.update(t.comm_table)
+    level = list(traces)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nodes = merge_node_lists(level[i].nodes, level[i + 1].nodes,
+                                     comm_table)
+            nxt.append(Trace(world_size, nodes, comm_table))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    result = level[0]
+    result.comm_table = comm_table
+    return result
+
+
+class TestTreeReductionByteIdentity:
+    """The streaming accumulator and the fast path must both be
+    invisible: merge output stays byte-identical to the seed's
+    level-order pairwise LCS reduction."""
+
+    @pytest.mark.parametrize("world", [2, 3, 5, 8, 13])
+    def test_accumulator_matches_reference(self, world, no_fastpath):
+        traces = ring_traces(world)
+        expected = dumps_trace(reference_level_order(ring_traces(world)))
+        assert dumps_trace(merge_traces(traces)) == expected
+
+    @pytest.mark.parametrize("world", [2, 3, 8])
+    def test_fastpath_matches_lcs(self, world):
+        with_fp = dumps_trace(merge_traces(ring_traces(world)))
+        prev = set_merge_fastpath(False)
+        try:
+            without_fp = dumps_trace(merge_traces(ring_traces(world)))
+        finally:
+            set_merge_fastpath(prev)
+        assert with_fp == without_fp
+
+    def test_fastpath_hits_counted_and_lcs_skipped(self):
+        with obs.instrumented() as inst:
+            merge_traces(ring_traces(4))
+        counters = {r["name"]: r["value"] for r in inst.counter_records()}
+        # 3 pair merges, each hitting at the top level (plus once per
+        # merged loop body) — and no LCS DP cell is ever touched.
+        assert counters.get("scalatrace.merge_fastpath_hits", 0) >= 3
+        assert "scalatrace.lcs_cells" not in counters
+
+    def test_lcs_cells_counted_without_fastpath(self, no_fastpath):
+        with obs.instrumented() as inst:
+            merge_traces(ring_traces(4))
+        counters = {r["name"]: r["value"] for r in inst.counter_records()}
+        assert counters.get("scalatrace.lcs_cells", 0) > 0
+        assert "scalatrace.merge_fastpath_hits" not in counters
+
+    def test_equal_count_loops_with_shared_events_fall_back(self):
+        # Two distinct loops with equal counts that share a call site:
+        # the one configuration where the diagonal splice could diverge
+        # from the DP's cross-merge preference — the fast path must
+        # decline, keeping bytes identical to the LCS baseline.
+        def ranked(r):
+            shared = ("Isend", {"cs": cs(7), "peer": (r + 1) % 2,
+                                "size": 8, "tag": 0})
+            a = [("Allreduce", {"cs": cs(1), "size": 8}), shared] * 30
+            b = [("Allreduce", {"cs": cs(2), "size": 8}), shared] * 30
+            return build_rank(r, a + b + [("Finalize", {"cs": cs(9),
+                                                        "size": 0})],
+                              world=2)
+
+        with_fp = dumps_trace(merge_traces([ranked(0), ranked(1)]))
+        prev = set_merge_fastpath(False)
+        try:
+            without_fp = dumps_trace(merge_traces([ranked(0), ranked(1)]))
+        finally:
+            set_merge_fastpath(prev)
+        assert with_fp == without_fp
+
+
+class TestTraceMergeAccumulator:
+    def test_streaming_add_equals_merge_traces(self):
+        traces = ring_traces(6)
+        acc = TraceMergeAccumulator()
+        for t in ring_traces(6):
+            acc.add(t)
+        assert dumps_trace(acc.result()) == dumps_trace(merge_traces(traces))
+
+    def test_empty_accumulator_rejected(self):
+        with pytest.raises(ValueError):
+            TraceMergeAccumulator().result()
+
+    def test_partials_stay_logarithmic(self):
+        acc = TraceMergeAccumulator(world_size=64)
+        for t in ring_traces(64):
+            acc.add_nodes(t.nodes, t.comm_table)
+            assert len(acc._partials) <= 7  # log2(64) + 1
+        assert len(acc._partials) == 1  # 64 is a power of two
+        acc.result()
+
+    def test_live_node_count_tracks_partials(self):
+        acc = TraceMergeAccumulator(world_size=4)
+        assert acc.live_node_count() == 0
+        for t in ring_traces(4):
+            acc.add(t)
+        assert acc.live_node_count() == acc.result().node_count()

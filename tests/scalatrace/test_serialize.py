@@ -108,6 +108,83 @@ class TestRoundTrip:
         assert first_event(t2).callsite == first_event(t).callsite
 
 
+class TestQuoting:
+    """Embedded newlines, backslashes, tabs, and percent signs in string
+    fields must neither corrupt the line-oriented format nor change the
+    bytes of untouched traces."""
+
+    NASTY_LABELS = [
+        "space in label",
+        "line\nbreak",
+        "crlf\r\nlabel",
+        "tab\tchar",
+        "back\\slash",
+        "percent%20literal",
+        "%25%0A",
+        "\\n is not a newline",
+        " \n\r\t\\% ",
+    ]
+
+    @staticmethod
+    def _trace_with_label(label):
+        from repro.scalatrace import CompressionQueue, Trace
+        from repro.util.callsite import Callsite
+
+        q = CompressionQueue(0)
+        q.append_event("Barrier", Callsite.synthetic(label, 1), 0, size=0)
+        return Trace(1, q.nodes, {0: (0,)})
+
+    @pytest.mark.parametrize("label", NASTY_LABELS)
+    def test_nasty_callsite_round_trips(self, label):
+        t = self._trace_with_label(label)
+        text = dumps_trace(t)
+        t2 = loads_trace(text)
+        assert t2.nodes[0].callsite.frames[0][0] == label
+        # re-dump is byte-identical (the round-trip property)
+        assert dumps_trace(t2) == text
+
+    @pytest.mark.parametrize("label", NASTY_LABELS)
+    def test_quoted_fields_stay_one_line(self, label):
+        text = dumps_trace(self._trace_with_label(label))
+        # magic + world + comm + "nodes {" + event + "}" — a raw newline
+        # in the callsite would add lines and break the framing
+        assert len(text.splitlines()) == 6
+
+    def test_quote_unquote_inverse(self):
+        from repro.scalatrace.serialize import _quote, _unquote
+        for label in self.NASTY_LABELS:
+            assert _unquote(_quote(label)) == label
+            assert " " not in _quote(label)
+            assert "\n" not in _quote(label)
+
+
+class TestStreaming:
+    def test_file_round_trip(self, tmp_path):
+        from repro.scalatrace.serialize import dump_trace, load_trace
+
+        def program(mpi):
+            for _ in range(10):
+                yield from mpi.barrier()
+            yield from mpi.finalize()
+
+        t = traced(program, 4)
+        path = str(tmp_path / "trace.txt")
+        dump_trace(t, path)
+        t2 = load_trace(path)
+        assert_equivalent(t, t2)
+        assert dumps_trace(t2) == dumps_trace(t)
+
+    def test_iter_trace_lines_matches_dumps(self):
+        from repro.scalatrace.serialize import iter_trace_lines
+
+        def program(mpi):
+            yield from mpi.allreduce(64)
+            yield from mpi.finalize()
+
+        t = traced(program, 2)
+        assert "\n".join(iter_trace_lines(t)) + "\n" == dumps_trace(t)
+
+
 class TestErrors:
     def test_bad_magic(self):
         with pytest.raises(TraceError):

@@ -2,8 +2,15 @@
 
 import pytest
 
+from repro import obs
+from repro.apps import APPS, make_app
+from repro.apps.registry import valid_rank_counts
+from repro.errors import TraceError
 from repro.mpi import ANY_SOURCE, run_spmd
-from repro.scalatrace import ScalaTraceHook
+from repro.mpi.hooks import MPIHook
+from repro.scalatrace import (CompressionQueue, ScalaTraceHook, Trace,
+                              dumps_trace, ingest_event, merge_node_lists,
+                              set_merge_fastpath)
 from repro.sim import SimpleModel
 
 
@@ -132,3 +139,119 @@ class TestStencilTrace:
         assert first_ops.count("Isend") == 20
         mid_ops = [e.op for e in t32.iter_rank(5)]
         assert mid_ops.count("Isend") == 40
+
+
+class TestHookReuse:
+    def test_second_run_raises(self):
+        hook = ScalaTraceHook()
+        run_spmd(ring_app(iterations=5), 2, hooks=[hook])
+        with pytest.raises(TraceError):
+            run_spmd(ring_app(iterations=5), 2, hooks=[hook])
+
+    def test_reset_allows_reuse(self):
+        hook = ScalaTraceHook()
+        run_spmd(ring_app(iterations=5), 2, hooks=[hook])
+        first = dumps_trace(hook.trace)
+        hook.reset()
+        assert hook.trace is None
+        run_spmd(ring_app(iterations=5), 2, hooks=[hook])
+        assert dumps_trace(hook.trace) == first
+
+    def test_counters_reset(self):
+        hook = ScalaTraceHook()
+        run_spmd(ring_app(iterations=5), 2, hooks=[hook])
+        assert hook.events_in == 2 * (5 * 3 + 1)
+        assert hook.nodes_live_peak > 0
+        hook.reset()
+        assert hook.events_in == 0
+        assert hook.nodes_live_peak == 0
+
+
+class TestStreamingCounters:
+    def test_events_in_and_peak_emitted(self):
+        with obs.instrumented() as inst:
+            trace_app(ring_app(iterations=50), 4)
+        counters = {r["name"]: r["value"] for r in inst.counter_records()}
+        assert counters["scalatrace.events_in"] == 4 * (50 * 3 + 1)
+        # the peak is bounded by compressed size, not raw events: each
+        # rank holds ~6 nodes, plus log-many partial merges
+        assert 0 < counters["scalatrace.nodes_live_peak"] < 100
+
+    def test_peak_stays_flat_as_iterations_grow(self):
+        # 8x the raw events may move the peak by at most a few
+        # replay-cursor rows — never proportionally.
+        def peak(iters):
+            with obs.instrumented() as inst:
+                trace_app(ring_app(iterations=iters), 4)
+            return {r["name"]: r["value"]
+                    for r in inst.counter_records()}["scalatrace.nodes_live_peak"]
+        assert peak(400) <= peak(50) + 5
+
+
+def reference_level_order(traces):
+    """The seed's merge_traces: level-order pairwise LCS reduction."""
+    world_size = traces[0].world_size
+    comm_table = {}
+    for t in traces:
+        comm_table.update(t.comm_table)
+    level = list(traces)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nodes = merge_node_lists(level[i].nodes, level[i + 1].nodes,
+                                     comm_table)
+            nxt.append(Trace(world_size, nodes, comm_table))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    result = level[0]
+    result.comm_table = comm_table
+    return result
+
+
+class SeedReplicaHook(MPIHook):
+    """The pre-streaming tracer: collect every rank's queue until run
+    end, then merge with the level-order reduction and no fast path."""
+
+    def __init__(self):
+        self._queues = {}
+        self._last_end = {}
+        self.trace = None
+
+    def on_event(self, event):
+        q = self._queues.get(event.rank)
+        if q is None:
+            q = self._queues[event.rank] = CompressionQueue(event.rank)
+        ingest_event(q, self._last_end, event)
+
+    def on_run_end(self, world):
+        comm_table = {c.id: c.world_ranks
+                      for c in world.registry.all_comms()}
+        per_rank = [Trace(world.size,
+                          self._queues[r].nodes if r in self._queues else [],
+                          dict(comm_table))
+                    for r in range(world.size)]
+        prev = set_merge_fastpath(False)
+        try:
+            self.trace = reference_level_order(per_rank)
+        finally:
+            set_merge_fastpath(prev)
+
+
+class TestStreamingByteIdentity:
+    """The whole streaming pipeline (incremental flush, binary-counter
+    accumulator, fingerprint fast path) must be invisible in the output:
+    every app preset serializes byte-identically to the seed tracer."""
+
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_app_preset_byte_identical(self, app):
+        (np,) = valid_rank_counts(app, [4])
+        seed, streaming = SeedReplicaHook(), ScalaTraceHook()
+        run_spmd(make_app(app, np), nranks=np, hooks=[seed, streaming])
+        assert dumps_trace(streaming.trace) == dumps_trace(seed.trace)
+
+    @pytest.mark.parametrize("np", [8, 9])
+    def test_odd_and_even_rank_counts(self, np):
+        seed, streaming = SeedReplicaHook(), ScalaTraceHook()
+        run_spmd(make_app("jacobi", np), nranks=np, hooks=[seed, streaming])
+        assert dumps_trace(streaming.trace) == dumps_trace(seed.trace)

@@ -157,6 +157,19 @@ class TestPipelineSubcommand:
         for phase in ("schedule", "match", "execute", "fabric"):
             assert phase in out
 
+    def test_streaming_trace_counters_reach_metrics(self, workdir, capsys):
+        assert main(["pipeline", "--app", "ring", "--np", "4",
+                     "--no-cache", "--metrics", "m.jsonl"]) == 0
+        records = [json.loads(line) for line in open("m.jsonl")]
+        counters = {r["name"]: r["value"] for r in records
+                    if r["kind"] == "counter"}
+        # the streaming trace pipeline surfaces its whole budget:
+        # ingest volume, live-memory peak, and merge-path split
+        assert counters.get("scalatrace.events_in", 0) > 0
+        assert counters.get("scalatrace.nodes_live_peak", 0) > 0
+        assert counters.get("scalatrace.merge_fastpath_hits", 0) > 0
+        assert "scalatrace.pair_merges" in counters
+
     def test_profile_counters_reach_metrics(self, workdir, capsys):
         assert main(["pipeline", "--app", "ring", "--np", "4",
                      "--no-cache", "--profile",
