@@ -1,0 +1,79 @@
+"""Wildcard fan-in race — a deliberately schedule-dependent skeleton.
+
+The pattern is the one in ``examples/deadlock_detection.py`` (the
+paper's Fig. 5 discussion): a master posts ``nranks - 2`` ANY_SOURCE
+receives followed by one *directed* receive from a straggler that sends
+late.  On the canonical schedule the straggler's message is always the
+last-arriving candidate, so the wildcards drain the prompt senders and
+the directed receive gets the straggler's message — the run completes.
+But every wildcard could *legally* match the straggler instead; any
+schedule that lets one do so leaves the directed receive waiting on a
+message that was already consumed, a classic schedule-dependent
+deadlock.  This is the seeded fixture the schedule-space fuzzer
+(``repro fuzz``, see ``docs/FUZZING.md``) is asserted against: the
+``canonical`` policy completes, ``adversarial-delay`` deadlocks
+deterministically, and ``random`` deadlocks for most seeds.
+
+Rank layout (``nranks >= 3``):
+
+* rank 0 — the master: per iteration, ``nranks - 2`` blocking wildcard
+  receives, then a blocking receive directed at the straggler;
+* ranks ``1 .. nranks-2`` — prompt senders: one eager send to the
+  master per iteration;
+* rank ``nranks - 1`` — the straggler: a compute delay much longer
+  than any fabric latency, then one eager send per iteration.
+
+The straggler is the *highest* rank on purpose: rank cohorts execute in
+rank order, so on wire-queueing platforms (ethernet, arc) the prompt
+senders claim the master's serial ejection link first and the
+straggler's message stays the latest arrival there too — the canonical
+completion guarantee holds on every platform preset.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppError, ClassParams, work_seconds
+from repro.mpi.api import ANY_SOURCE
+
+#: straggler compute delay in seconds — three decades above the largest
+#: platform-preset latency (3e-5), so the straggler's arrival estimate
+#: is strictly the maximum among the wildcard candidates everywhere
+STRAGGLER_DELAY = 1e-3
+
+
+def validate(nranks: int) -> None:
+    """The race needs a master, a straggler, and >= 1 prompt sender."""
+    if nranks < 3:
+        raise AppError(f"race requires at least 3 ranks, got {nranks}")
+
+
+def race_factory(nranks: int, params: ClassParams, nbytes: int = 64):
+    iterations = params.iterations
+    fanin = nranks - 2
+    straggler = nranks - 1
+
+    def program(mpi):
+        rank = mpi.rank
+        for _ in range(iterations):
+            if rank == 0:
+                for _ in range(fanin):
+                    yield from mpi.recv(source=ANY_SOURCE, tag=0)
+                yield from mpi.recv(source=straggler, tag=0)
+                yield from mpi.compute(work_seconds(params.grid ** 2))
+            elif rank == straggler:
+                yield from mpi.compute(STRAGGLER_DELAY)
+                yield from mpi.send(dest=0, nbytes=nbytes, tag=0)
+            else:
+                yield from mpi.send(dest=0, nbytes=nbytes, tag=0)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=16, iterations=1),
+    "W": ClassParams(grid=16, iterations=2),
+    "A": ClassParams(grid=32, iterations=4),
+    "B": ClassParams(grid=32, iterations=8),
+    "C": ClassParams(grid=64, iterations=16),
+}

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.apps import (bt, cg, ep, ft, halo3d, is_sort, jacobi, lu, mg,
-                        ring, sp, sweep3d)
+                        races, ring, sp, sweep3d)
 from repro.apps.base import (AppDefinition, AppError, require_power_of_two,
                              require_square)
 
@@ -54,6 +54,11 @@ APPS: Dict[str, AppDefinition] = {
     "halo3d": AppDefinition(
         "halo3d", halo3d.halo3d_factory, halo3d.CLASSES,
         "halo3d: 27-point 3-D exchange (faces/edges/corners, Ember-style)"),
+    "race": AppDefinition(
+        "race", races.race_factory, races.CLASSES,
+        "wildcard fan-in race: schedule-dependent deadlock fixture for "
+        "the fuzzer (docs/FUZZING.md)",
+        validate=races.validate),
 }
 
 #: the paper's evaluation set (§5.1): NPB + Sweep3D

@@ -84,6 +84,37 @@ def _topology_kwargs(args) -> dict:
     return out
 
 
+def _add_schedule(parser):
+    from repro.sim.policy import POLICIES
+    parser.add_argument("--schedule-policy", choices=POLICIES,
+                        default="canonical", dest="schedule_policy",
+                        help="scheduler tie-break policy for simulated "
+                             "runs (default: canonical; see "
+                             "docs/FUZZING.md)")
+    parser.add_argument("--schedule-seed", type=int, default=None,
+                        dest="schedule_seed", metavar="N",
+                        help="seed for a non-canonical schedule policy "
+                             "(default: 0)")
+
+
+def _schedule_kwargs(args) -> dict:
+    """PipelineConfig keyword args for the ``--schedule-*`` flag family.
+
+    Canonical runs return an empty mapping so every pre-policy call
+    site stays byte-identical; a seed without a seeded policy is an
+    argv error, caught here rather than deep inside a run.
+    """
+    policy = getattr(args, "schedule_policy", "canonical")
+    seed = getattr(args, "schedule_seed", None)
+    if policy == "canonical":
+        if seed is not None:
+            raise SystemExit(
+                "error: --schedule-seed requires a non-canonical "
+                "--schedule-policy (see docs/FUZZING.md)")
+        return {}
+    return {"schedule_policy": policy, "schedule_seed": seed}
+
+
 @contextlib.contextmanager
 def _metrics(args):
     """Collect instrumentation for the command; dump it if requested."""
@@ -126,7 +157,8 @@ def cmd_apps(args):
 
 def cmd_trace(args):
     config = PipelineConfig(app=args.app, nranks=args.np, cls=args.cls,
-                            platform=args.platform)
+                            platform=args.platform,
+                            **_schedule_kwargs(args))
     with _metrics(args):
         result = Pipeline([TraceStage()]).run(config)
     trace = result.trace
@@ -172,7 +204,8 @@ def cmd_run(args):
     with open(args.program) as fh:
         source = fh.read()
     config = PipelineConfig(nranks=args.np, platform=args.platform,
-                            **_topology_kwargs(args))
+                            **_topology_kwargs(args),
+                            **_schedule_kwargs(args))
     hook = MpiPHook()
     ctx = RunContext(config, hooks=[hook])
     ctx.artifacts["source"] = source
@@ -192,7 +225,8 @@ def cmd_replay(args):
     trace = load_trace(args.trace)
     config = PipelineConfig(nranks=trace.world_size,
                             platform=args.platform,
-                            **_topology_kwargs(args))
+                            **_topology_kwargs(args),
+                            **_schedule_kwargs(args))
     ctx = RunContext(config)
     ctx.artifacts["trace"] = trace
     with _metrics(args):
@@ -217,9 +251,20 @@ def cmd_pipeline(args):
                             fault_plan=plan,
                             stage_retries=args.stage_retries,
                             profile=args.profile,
-                            **_topology_kwargs(args))
+                            **_topology_kwargs(args),
+                            **_schedule_kwargs(args))
+    from repro.errors import SimDeadlockError
     with _metrics(args) as inst:
-        result = full_pipeline(run=not args.no_run).run(config)
+        try:
+            result = full_pipeline(run=not args.no_run).run(config)
+        except SimDeadlockError as exc:
+            # the normal outcome of replaying a fuzz reproducer seed:
+            # report the structured evidence instead of a traceback
+            print(f"deadlock: {exc}", file=sys.stderr)
+            if exc.diagnostic is not None:
+                print(exc.diagnostic.render(indent="  "),
+                      file=sys.stderr)
+            return 1
     print(result.report())
     hits = [r.stage + (" (generate)" if r.stage == "emit" else "")
             for r in result.records if r.cache == "hit"]
@@ -347,6 +392,66 @@ def cmd_sweep_run(args):
     return 1 if result.failed else 0
 
 
+def cmd_fuzz_template(args):
+    from repro.fuzz import TEMPLATE as FUZZ_TEMPLATE
+    if args.output:
+        _write_atomic(args.output, FUZZ_TEMPLATE)
+        print(f"wrote {args.output}")
+    else:
+        print(FUZZ_TEMPLATE, end="")
+    return 0
+
+
+def cmd_fuzz_validate(args):
+    from repro.errors import FuzzError
+    from repro.fuzz import load_campaign
+    try:
+        campaign = load_campaign(args.campaign)
+        campaign.check()
+    except FuzzError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {campaign.describe()}")
+    return 0
+
+
+def cmd_fuzz_run(args):
+    import dataclasses
+    from repro.fuzz import (load_campaign, load_corpus, run_campaign,
+                            save_corpus)
+    from repro.sweep import default_workers
+    campaign = load_campaign(args.campaign)
+    if args.seeds is not None:
+        campaign = dataclasses.replace(campaign, seeds=args.seeds)
+    workers = args.workers if args.workers > 0 else default_workers()
+    corpus = load_corpus(args.corpus) if args.corpus else None
+    with _metrics(args) as inst:
+        report = run_campaign(campaign, workers=workers,
+                              use_cache=args.cache_dir is not None,
+                              cache_dir=args.cache_dir or ".repro-cache",
+                              corpus=corpus)
+    print(report.summary())
+    for cell in report.divergent_cells:
+        for cls in cell["classes"]:
+            if not cls["canonical"] and cls["reproducer"]:
+                print(f"  reproduce [{cell['label']} {cls['kind']}]: "
+                      f"{cls['reproducer']['command']}")
+    if args.output:
+        _write_atomic(args.output,
+                      json.dumps(report.to_dict(), indent=2,
+                                 sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    if args.corpus:
+        save_corpus(args.corpus, corpus)
+        print(f"corpus: {args.corpus} ({report.new_classes} new "
+              f"class(es))")
+    if args.report:
+        print(inst.report())
+    # a divergence (even a deadlock) is a *finding*, not a failure:
+    # the exit status only reflects whether the campaign was driven
+    return 0
+
+
 def cmd_extrapolate(args):
     if len(args.traces) < 2:
         print("error: extrapolation needs traces at two or more distinct "
@@ -403,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="problem class (S/W/A/B/C)")
     p.add_argument("-o", "--output", required=True)
     _add_platform(p)
+    _add_schedule(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_trace)
 
@@ -427,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the mpiP-style profile")
     _add_platform(p)
     _add_topology(p)
+    _add_schedule(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_run)
 
@@ -434,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     _add_platform(p)
     _add_topology(p)
+    _add_schedule(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_replay)
 
@@ -467,6 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "summary at exit")
     _add_platform(p)
     _add_topology(p)
+    _add_schedule(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_pipeline)
 
@@ -538,6 +647,51 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also print the per-layer instrumentation report")
     _add_metrics(sp)
     sp.set_defaults(func=cmd_sweep_run)
+
+    p = sub.add_parser("fuzz",
+                       help="schedule-space fuzzing: explore legal MPI "
+                            "schedules under seeded policies and "
+                            "classify the outcomes "
+                            "(template/validate/run)")
+    zsub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    zp = zsub.add_parser("template",
+                         help="print a commented fuzz-campaign template")
+    zp.add_argument("-o", "--output",
+                    help="write the template here instead of stdout")
+    zp.set_defaults(func=cmd_fuzz_template)
+
+    zp = zsub.add_parser("validate",
+                         help="check a fuzz-campaign file and every "
+                              "point config it expands to")
+    zp.add_argument("campaign")
+    zp.set_defaults(func=cmd_fuzz_validate)
+
+    zp = zsub.add_parser("run",
+                         help="execute a fuzz campaign and classify the "
+                              "schedule outcomes (a deadlock find is a "
+                              "finding, not a failure)")
+    zp.add_argument("campaign", help="fuzz-campaign file (YAML/JSON; "
+                                     "see 'repro fuzz template')")
+    zp.add_argument("--workers", type=int, default=1,
+                    help="worker processes (0 = one per CPU; default 1)")
+    zp.add_argument("--seeds", type=int, default=None, metavar="N",
+                    help="override the campaign's seeds-per-policy "
+                         "count")
+    zp.add_argument("-o", "--output",
+                    help="write the full fuzz report (JSON) here")
+    zp.add_argument("--corpus", metavar="FILE",
+                    help="dedup corpus JSON: mark classes unseen by "
+                         "earlier campaigns and update the file")
+    zp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="enable the shared artifact cache at DIR "
+                         "(off by default: each point runs a distinct "
+                         "schedule)")
+    zp.add_argument("--report", action="store_true",
+                    help="also print the per-layer instrumentation "
+                         "report")
+    _add_metrics(zp)
+    zp.set_defaults(func=cmd_fuzz_run)
 
     p = sub.add_parser("extrapolate",
                        help="extrapolate small-rank traces to a larger "

@@ -181,14 +181,16 @@ class ConceptualProgram:
         return program
 
     def run(self, nranks: int, model=None, hooks=None,
-            max_steps=None, faults=None,
-            profile=False) -> Tuple[SpmdResult, LogDatabase]:
+            max_steps=None, faults=None, profile=False,
+            schedule_policy=None,
+            schedule_seed=None) -> Tuple[SpmdResult, LogDatabase]:
         """Compile-and-run convenience: returns the simulation result and
         the program's log database."""
         logs = LogDatabase()
         result = run_spmd(self.instantiate(logs), nranks, model=model,
                           hooks=hooks, max_steps=max_steps, faults=faults,
-                          profile=profile)
+                          profile=profile, schedule_policy=schedule_policy,
+                          schedule_seed=schedule_seed)
         return result, logs
 
     # -- statement execution ------------------------------------------------

@@ -89,6 +89,15 @@ class SweepPlanError(SweepError):
     """A sweep plan is malformed: bad axis, bad field, unparsable file."""
 
 
+class FuzzError(ReproError):
+    """A schedule-space fuzz campaign could not be driven."""
+
+
+class FuzzCampaignError(FuzzError):
+    """A fuzz campaign spec is malformed: bad policy, bad app cell,
+    unparsable file."""
+
+
 class TraceDeadlockError(GenerationError):
     """Algorithm 2's deadlock detector found a potential deadlock in the
     traced application (paper, Fig. 5): the trace admits an execution in

@@ -1,0 +1,363 @@
+"""The fuzz campaign runner: fan out schedules, dedupe the outcomes.
+
+:func:`run_campaign` expands a :class:`~repro.fuzz.campaign.FuzzCampaign`
+into an explicit-points sweep plan and fans it across the PR 4 sweep
+engine's process pool — one pipeline per (cell, policy, seed).  The
+interesting work happens after the sweep: outcomes are deduped into
+**equivalence classes** per cell:
+
+* completing schedules are keyed by their process-stable outcome
+  fingerprint (makespan + per-rank clocks + serialized trace — see
+  :func:`repro.sweep.engine._outcome_fingerprint`);
+* deadlocking schedules are keyed by the structured
+  :class:`~repro.sim.diagnostics.DeadlockDiagnostic` evidence the sweep
+  captured: the wait-for cycle plus the kinds of operations blocked;
+* other failures are keyed by their error text.
+
+A cell is **divergent** when its schedules populate more than one
+class, and exhibits a **schedule-dependent deadlock** when the
+canonical baseline completes but some seeded schedule deadlocks — the
+fuzzer's headline find.  Every divergent class carries its minimal
+reproducer seed and the exact ``repro pipeline`` command that replays
+it (``docs/FUZZING.md``).
+
+The report's canonical rendering is byte-identical across worker
+counts, like every other result object in the system; wall-clock and
+seeds/sec throughput live in the execution metadata.  An optional
+**corpus** (a JSON dict persisted across nightly runs) marks classes
+never seen before, so recurring divergences do not drown new ones.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import FuzzError
+from repro.fuzz.campaign import FuzzCampaign, FuzzPoint
+from repro.sweep.engine import PointResult, SweepResult, run_sweep
+
+#: schema version of serialized fuzz reports and corpora
+REPORT_VERSION = 1
+
+
+def _signature(pr: PointResult) -> Tuple[str, str]:
+    """The equivalence-class key ``(kind, key)`` of one point outcome.
+
+    ``kind`` is ``outcome`` (completed; keyed by the process-stable
+    outcome fingerprint), ``deadlock`` (keyed by wait-for cycle plus
+    blocked-operation kinds), or ``error`` (keyed by error text).
+    """
+    if pr.status != "failed":
+        return "outcome", str(pr.metrics.get("outcome_fp", ""))
+    diag = pr.diagnostic
+    if diag and diag.get("cycle"):
+        cycle = "-".join(str(r) for r in diag["cycle"])
+        blocked = diag.get("blocked") or {}
+        # "Recv(src=ANY, tag=0)" -> "Recv": the operation kind, not its
+        # arguments, so symmetric deadlocks of one shape share a class
+        kinds = sorted({str(d).split("(", 1)[0]
+                        for d in blocked.values()})
+        return "deadlock", f"cycle={cycle};ops={','.join(kinds)}"
+    return "error", str(pr.error or "unknown failure")
+
+
+def _repro_command(point: FuzzPoint) -> str:
+    """The CLI invocation that replays this point's schedule."""
+    o = point.cell.overrides
+    bits = ["repro", "pipeline", "--app", str(o.get("app")),
+            "--np", str(o.get("nranks")),
+            "--class", str(o.get("cls", "S"))]
+    if o.get("platform"):
+        bits += ["--platform", str(o["platform"])]
+    if point.cell.topology:
+        bits += ["--topology", point.cell.topology]
+    if point.policy is not None:
+        bits += ["--schedule-policy", point.policy,
+                 "--schedule-seed", str(point.seed)]
+    return " ".join(bits)
+
+
+@dataclass
+class FuzzReport:
+    """Everything one executed campaign produced, classified.
+
+    ``cells`` is the per-cell classification (plain data, already
+    deterministic); ``sweep`` keeps the underlying
+    :class:`~repro.sweep.engine.SweepResult` for drill-down.  The
+    canonical renderings exclude all timing, so they are byte-identical
+    across worker counts.
+    """
+
+    campaign: FuzzCampaign          #: the executed campaign
+    cells: List[Dict[str, Any]]     #: per-cell classes, expansion order
+    sweep: SweepResult              #: the raw per-point outcomes
+    workers: int = 1                #: worker processes used
+    seconds: float = 0.0            #: campaign wall-clock time
+    new_classes: int = 0            #: classes unseen by the corpus
+    corpus_known: int = 0           #: classes the corpus already held
+
+    @property
+    def divergent_cells(self) -> List[Dict[str, Any]]:
+        """Cells whose schedules populated more than one class."""
+        return [c for c in self.cells if c["divergent"]]
+
+    @property
+    def deadlock_cells(self) -> List[Dict[str, Any]]:
+        """Cells with a schedule-dependent deadlock (canonical
+        completes, some seeded schedule deadlocks)."""
+        return [c for c in self.cells
+                if c["schedule_dependent_deadlock"]]
+
+    def seeded_points(self) -> int:
+        """How many non-canonical schedules the campaign executed."""
+        return sum(c["points"] - 1 for c in self.cells)
+
+    def seeds_per_second(self) -> float:
+        """Campaign throughput: seeded schedules per wall second."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.seeded_points() / self.seconds
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Deterministic campaign outcome: identity + classification."""
+        return {"version": REPORT_VERSION,
+                "name": self.campaign.name,
+                "mode": self.campaign.mode,
+                "campaign_digest": self.campaign.digest(),
+                "cells": self.cells}
+
+    def canonical_json(self) -> str:
+        """Canonical JSON: byte-identical for any worker count."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full rendering: canonical outcome + execution metadata."""
+        out = self.canonical_dict()
+        out["execution"] = {
+            "workers": self.workers,
+            "seconds": round(self.seconds, 6),
+            "seeded_points": self.seeded_points(),
+            "seeds_per_second": round(self.seeds_per_second(), 3),
+            "new_classes": self.new_classes,
+            "corpus_known": self.corpus_known,
+        }
+        return out
+
+    def summary(self) -> str:
+        """The per-cell table printed by ``repro fuzz run``."""
+        lines = [f"fuzz report: {self.campaign.name} "
+                 f"({len(self.cells)} cell(s), "
+                 f"{self.seeded_points()} seeded schedule(s), "
+                 f"{self.workers} worker(s), "
+                 f"digest {self.campaign.digest()})"]
+        for cell in self.cells:
+            flags = []
+            if cell["schedule_dependent_deadlock"]:
+                flags.append("SCHEDULE-DEPENDENT DEADLOCK")
+            elif cell["divergent"]:
+                flags.append("divergent")
+            tag = f"  [{', '.join(flags)}]" if flags else ""
+            lines.append(f"  {cell['label']}: "
+                         f"{len(cell['classes'])} class(es){tag}")
+            for cls in cell["classes"]:
+                mark = "*" if cls["canonical"] else " "
+                bits = [f"   {mark} {cls['kind']}: {cls['count']} "
+                        f"schedule(s)"]
+                if cls["reproducer"] is not None:
+                    rep = cls["reproducer"]
+                    bits.append(f"min seed {rep['seed']} "
+                                f"({rep['policy']})")
+                lines.append("  ".join(bits))
+        lines.append(f"  total  {self.seconds:.2f}s wall; "
+                     f"{self.seeds_per_second():.1f} seeds/s; "
+                     f"{len(self.divergent_cells)} divergent cell(s), "
+                     f"{len(self.deadlock_cells)} with "
+                     f"schedule-dependent deadlock")
+        if self.new_classes or self.corpus_known:
+            lines.append(f"  corpus: {self.new_classes} new class(es), "
+                         f"{self.corpus_known} already known")
+        return "\n".join(lines)
+
+
+def _classify_cell(points: List[FuzzPoint],
+                   results: Dict[int, PointResult],
+                   policy_order: Tuple[str, ...]) -> Dict[str, Any]:
+    """The classification record of one cell from its point outcomes."""
+    cell = points[0].cell
+    classes: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    canonical_key: Optional[Tuple[str, str]] = None
+    for point in points:
+        pr = results.get(point.index)
+        if pr is None:  # pragma: no cover - sweep always yields a record
+            continue
+        sig = _signature(pr)
+        entry = classes.get(sig)
+        if entry is None:
+            entry = classes[sig] = {
+                "kind": sig[0], "key": sig[1], "count": 0,
+                "canonical": False, "seeds": {p: [] for p in policy_order},
+                "reproducer": None,
+                "makespan_s": pr.metrics.get("makespan_s"),
+                "error": pr.error,
+                "diagnostic": pr.diagnostic,
+            }
+        entry["count"] += 1
+        if point.policy is None:
+            entry["canonical"] = True
+            canonical_key = sig
+        else:
+            entry["seeds"][point.policy].append(point.seed)
+            rep = entry["reproducer"]
+            better = (point.seed, policy_order.index(point.policy))
+            if rep is None or better < (rep["seed"],
+                                        policy_order.index(rep["policy"])):
+                entry["reproducer"] = {
+                    "policy": point.policy, "seed": point.seed,
+                    "command": _repro_command(point)}
+    ordered = sorted(
+        classes.values(),
+        key=lambda c: (not c["canonical"], c["kind"], c["key"]))
+    for entry in ordered:
+        entry["seeds"] = {p: sorted(s) for p, s in entry["seeds"].items()
+                          if s}
+    canonical_entry = ordered[0] if ordered and ordered[0]["canonical"] \
+        else None
+    return {
+        "cell": cell.index,
+        "label": cell.label(),
+        "topology": cell.topology,
+        "points": len(points),
+        "canonical_kind": (canonical_entry["kind"]
+                           if canonical_entry else None),
+        "classes": ordered,
+        "divergent": len(ordered) > 1,
+        "schedule_dependent_deadlock": bool(
+            canonical_entry and canonical_entry["kind"] == "outcome"
+            and any(c["kind"] == "deadlock" for c in ordered
+                    if not c["canonical"])),
+    }
+
+
+def run_campaign(campaign: FuzzCampaign, workers: int = 1, *,
+                 use_cache: bool = False,
+                 cache_dir: str = ".repro-cache",
+                 corpus: Optional[Dict[str, Any]] = None,
+                 progress=None) -> FuzzReport:
+    """Execute ``campaign`` and classify the schedule outcomes.
+
+    ``workers`` fans the points across the sweep engine's process pool.
+    The artifact cache is *off* by default: every point of a cell shares
+    the same app/platform but runs a different schedule, so canonical
+    content addresses would rarely be reused and a policy-keyed trace
+    cache mostly pays write traffic (``use_cache=True`` restores the
+    PR 2 behavior for campaigns that re-run).  ``corpus``, when given,
+    is a mutable dict (see :func:`load_corpus`) consulted and updated in
+    place so nightly campaigns can flag never-before-seen classes.
+    ``progress`` is forwarded to :func:`~repro.sweep.engine.run_sweep`.
+    """
+    points = campaign.points()
+    plan = campaign.to_sweep_plan()
+    t0 = time.perf_counter()
+    with obs.span("fuzz.campaign", campaign=campaign.name,
+                  points=len(points), workers=workers):
+        sweep = run_sweep(plan, workers, use_cache=use_cache,
+                          cache_dir=cache_dir, progress=progress,
+                          fingerprint_outcomes=True)
+        results = {pr.index: pr for pr in sweep.points}
+        by_cell: Dict[int, List[FuzzPoint]] = {}
+        for point in points:
+            by_cell.setdefault(point.cell.index, []).append(point)
+        cells = [_classify_cell(pts, results, campaign.policies)
+                 for _, pts in sorted(by_cell.items())]
+    report = FuzzReport(campaign=campaign, cells=cells, sweep=sweep,
+                        workers=sweep.workers,
+                        seconds=time.perf_counter() - t0)
+    if corpus is not None:
+        _consult_corpus(corpus, report)
+    obs.count("fuzz.points", len(points))
+    obs.count("fuzz.cells", len(cells))
+    obs.count("fuzz.classes", sum(len(c["classes"]) for c in cells))
+    obs.count("fuzz.divergent_cells", len(report.divergent_cells))
+    obs.count("fuzz.deadlock_cells", len(report.deadlock_cells))
+    obs.count("fuzz.new_classes", report.new_classes)
+    obs.event("campaign_done", "fuzz.campaign",
+              campaign=campaign.name, cells=len(cells),
+              divergent=len(report.divergent_cells),
+              dur_s=report.seconds)
+    return report
+
+
+# -- dedup corpus -----------------------------------------------------------
+
+def _corpus_key(cell: Dict[str, Any], cls: Dict[str, Any]) -> str:
+    """The cross-run identity of one class: cell label + class key."""
+    return f"{cell['label']}|{cls['kind']}|{cls['key']}"
+
+
+def _consult_corpus(corpus: Dict[str, Any], report: FuzzReport) -> None:
+    """Mark each class new/known against ``corpus`` and record it."""
+    if not isinstance(corpus, dict):
+        raise FuzzError(
+            f"corpus must be a dict (see load_corpus), got "
+            f"{type(corpus).__name__}")
+    classes = corpus.setdefault("classes", {})
+    new = known = 0
+    for cell in report.cells:
+        for cls in cell["classes"]:
+            key = _corpus_key(cell, cls)
+            if key in classes:
+                cls["new"] = False
+                classes[key]["seen"] += 1
+                known += 1
+            else:
+                cls["new"] = True
+                classes[key] = {
+                    "kind": cls["kind"],
+                    "cell": cell["label"],
+                    "first_campaign": report.campaign.digest(),
+                    "reproducer": cls["reproducer"],
+                    "seen": 1,
+                }
+                new += 1
+    corpus["version"] = REPORT_VERSION
+    report.new_classes = new
+    report.corpus_known = known
+
+
+def load_corpus(path: str) -> Dict[str, Any]:
+    """The dedup corpus at ``path``; a fresh one if the file is absent.
+
+    The corpus is plain JSON so ``actions/cache`` can persist it across
+    nightly runs; a corrupt file raises :class:`FuzzError` rather than
+    silently discarding history.
+    """
+    import os
+    if not os.path.exists(path):
+        return {"version": REPORT_VERSION, "classes": {}}
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FuzzError(f"cannot read fuzz corpus {path!r}: {exc}") \
+            from None
+    if not isinstance(data, dict) or \
+            not isinstance(data.get("classes", {}), dict):
+        raise FuzzError(f"fuzz corpus {path!r} is not a corpus mapping")
+    data.setdefault("classes", {})
+    return data
+
+
+def save_corpus(path: str, corpus: Dict[str, Any]) -> None:
+    """Write ``corpus`` back to ``path`` (stable key order)."""
+    text = json.dumps(corpus, sort_keys=True, indent=2) + "\n"
+    try:
+        with open(path, "w") as fh:
+            fh.write(text)
+    except OSError as exc:
+        raise FuzzError(f"cannot write fuzz corpus {path!r}: {exc}") \
+            from None

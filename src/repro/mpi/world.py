@@ -20,9 +20,12 @@ class World:
     def __init__(self, nranks: int, model: NetworkModel,
                  hooks: Optional[Sequence[MPIHook]] = None,
                  max_steps: Optional[int] = None, faults=None,
-                 profile: bool = False):
+                 profile: bool = False, schedule_policy=None,
+                 schedule_seed: Optional[int] = None):
         self.engine = Engine(nranks, model, max_steps=max_steps,
-                             faults=faults, profile=profile)
+                             faults=faults, profile=profile,
+                             schedule_policy=schedule_policy,
+                             schedule_seed=schedule_seed)
         self.registry = CommRegistry(nranks)
         self.hooks: List[MPIHook] = list(hooks or [])
         self.split_data: Dict[tuple, Dict[int, tuple]] = {}
@@ -83,7 +86,9 @@ def run_spmd(program: Callable, nranks: int,
              model: Optional[NetworkModel] = None,
              hooks: Optional[Sequence[MPIHook]] = None,
              max_steps: Optional[int] = None,
-             faults=None, profile: bool = False) -> SpmdResult:
+             faults=None, profile: bool = False,
+             schedule_policy=None,
+             schedule_seed: Optional[int] = None) -> SpmdResult:
     """Execute ``program`` on ``nranks`` simulated ranks.
 
     ``program(mpi)`` must be a generator function taking an
@@ -96,9 +101,13 @@ def run_spmd(program: Callable, nranks: int,
     the :class:`SpmdResult` of everything that executed before the hang,
     and hooks still observe the end of the run — that is what lets the
     pipeline salvage a trace prefix and fault report.
+    ``schedule_policy``/``schedule_seed`` pick the engine's tie-break
+    policy (default canonical; see :mod:`repro.sim.policy`).
     """
     world = World(nranks, model or LogGPModel(), hooks=hooks,
-                  max_steps=max_steps, faults=faults, profile=profile)
+                  max_steps=max_steps, faults=faults, profile=profile,
+                  schedule_policy=schedule_policy,
+                  schedule_seed=schedule_seed)
     gens = [_wrap(program, MPIProcess(world, r)) for r in range(nranks)]
     try:
         total = world.engine.run(gens)

@@ -68,6 +68,11 @@ class PipelineConfig:
     placement: str = "block"           #: rank→node placement spec
     #:                                    ("block", "roundrobin",
     #:                                    "random[:seed]", "map:<file>")
+    schedule_policy: str = "canonical"  #: engine tie-break policy for
+    #:                                     every simulated run in the
+    #:                                     pipeline (repro.sim.policy)
+    schedule_seed: Optional[int] = None  #: seed for non-canonical
+    #:                                      schedule policies
     stage_retries: int = 0             #: re-run attempts for failed stages
     stage_retry_backoff: float = 0.0   #: seconds slept before retry k (*2^k)
     profile: bool = False              #: per-phase engine wall-time
@@ -155,6 +160,13 @@ class PipelineConfig:
             raise PipelineConfigError(
                 f"placement must be a non-empty spec string, got "
                 f"{self.placement!r}")
+        from repro.sim.policy import resolve_policy
+        try:
+            # construction-time validation only; each simulated stage
+            # builds its own fresh policy (the RNG is per-run state)
+            resolve_policy(self.schedule_policy, self.schedule_seed)
+        except ValueError as exc:
+            raise PipelineConfigError(str(exc)) from None
         if self.placement != "block":
             from repro.topology import parse_placement_spec
             try:

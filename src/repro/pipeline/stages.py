@@ -51,6 +51,22 @@ def _salvage(ctx: RunContext, exc: SimulationError, faults):
     return partial
 
 
+def _schedule_kwargs(ctx: RunContext) -> dict:
+    """``run_spmd`` keyword arguments for the config's schedule policy.
+
+    Empty for the canonical default, so the untouched-path call sites
+    stay exactly as before; a non-canonical policy is rebuilt fresh per
+    stage (each simulated run must see the same seeded RNG sequence a
+    standalone ``repro run --schedule-policy ... --schedule-seed ...``
+    would).
+    """
+    c = ctx.config
+    if c.schedule_policy == "canonical":
+        return {}
+    return {"schedule_policy": c.schedule_policy,
+            "schedule_seed": c.schedule_seed}
+
+
 class Stage:
     """One step of the pipeline.
 
@@ -99,8 +115,13 @@ class TraceStage(Stage):
         # clean one (and from other plans) so the cache cannot serve a
         # degraded artifact to a fault-free run or vice versa
         fault = (None if plan is None or plan.is_null() else plan.digest())
+        # the schedule policy changes which wildcard matches the trace
+        # records, so (policy, seed) must key the artifact; canonical
+        # folds to None so all canonical runs share one address
+        sched = (None if c.schedule_policy == "canonical"
+                 else (c.schedule_policy, c.schedule_seed))
         return ("trace", c.app, c.nranks, c.cls, c.platform, c.max_steps,
-                fault)
+                fault, sched)
 
     def run(self, ctx):
         """Run the application under ScalaTrace on the simulator."""
@@ -115,10 +136,13 @@ class TraceStage(Stage):
         try:
             result = run_spmd(ctx.program, nranks, model=ctx.model,
                               hooks=hooks, max_steps=ctx.config.max_steps,
-                              faults=faults, profile=ctx.config.profile)
+                              faults=faults, profile=ctx.config.profile,
+                              **_schedule_kwargs(ctx))
         except SimulationError as exc:
-            if _salvage(ctx, exc, faults) is None:
+            partial = _salvage(ctx, exc, faults)
+            if partial is None:
                 raise
+            ctx.artifacts["trace_run_result"] = partial
             trace = tracer.trace
             ctx.artifacts["trace"] = trace
             return ("salvaged",
@@ -126,6 +150,9 @@ class TraceStage(Stage):
                     f"{trace.node_count()} nodes (prefix; {exc})")
         trace = tracer.trace
         ctx.artifacts["trace"] = trace
+        # the traced application's own SpmdResult: trace-mode harnesses
+        # (the fuzzer) read the makespan from here without a run stage
+        ctx.artifacts["trace_run_result"] = result
         detail = (f"{trace.event_count()} events in "
                   f"{trace.node_count()} nodes")
         if faults is not None:
@@ -290,7 +317,8 @@ class RunStage(Stage):
                                        hooks=ctx.hooks,
                                        max_steps=ctx.config.max_steps,
                                        faults=faults,
-                                       profile=ctx.config.profile)
+                                       profile=ctx.config.profile,
+                                       **_schedule_kwargs(ctx))
         except SimulationError as exc:
             partial = _salvage(ctx, exc, faults)
             if partial is None:
@@ -334,7 +362,7 @@ class ReplayStage(Stage):
                                include_timing=ctx.config.include_timing),
                 trace.world_size, model=ctx.run_model, hooks=ctx.hooks,
                 max_steps=ctx.config.max_steps, faults=faults,
-                profile=ctx.config.profile)
+                profile=ctx.config.profile, **_schedule_kwargs(ctx))
         except SimulationError as exc:
             partial = _salvage(ctx, exc, faults)
             if partial is None:

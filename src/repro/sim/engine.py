@@ -59,6 +59,7 @@ from repro.sim.matching import (MatchIndex, _Message, _PendingRecv,
 from repro.sim.network import NetworkModel
 from repro.sim.ops import (ANY_SOURCE, Collective, Compute, Op, PostRecv,
                            PostSend, Test, WaitAll, WaitAny)
+from repro.sim.policy import drain_policy, resolve_policy
 from repro.sim.requests import Request, Status
 from repro.sim.sched import BLOCKED, DONE, READY, Scheduler
 
@@ -97,7 +98,8 @@ class Engine:
 
     def __init__(self, nranks: int, model: NetworkModel,
                  max_steps: Optional[int] = None, faults=None,
-                 mode: Optional[str] = None, profile: bool = False):
+                 mode: Optional[str] = None, profile: bool = False,
+                 schedule_policy=None, schedule_seed: Optional[int] = None):
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         self.nranks = nranks
@@ -106,6 +108,10 @@ class Engine:
         #: executor selection: "batch" (cohort executor, default) or
         #: "scalar" (reference loop); both are bit-identical
         self.mode = resolve_mode(mode)
+        #: tie-break policy for wildcard matches and same-clock cohorts;
+        #: canonical (the default) leaves every hot path untouched —
+        #: see repro.sim.policy.  Validated here, at construction.
+        self.policy = resolve_policy(schedule_policy, schedule_seed)
         #: per-phase wall-time attribution (``repro pipeline --profile``)
         self.profile = bool(profile)
         self.profile_phases: Optional[Dict[str, float]] = None
@@ -213,6 +219,19 @@ class Engine:
         use_batch = self.mode == "batch" and self._crash_at is None
         if self.mode == "batch":
             self._drain = MethodType(drain_batch, self)
+        if not self.policy.canonical:
+            # non-canonical schedule: both executors route the two
+            # decision points through the policy.  The policy drain
+            # replaces both the scalar reference drain and drain_batch
+            # (the batch candidate heaps answer canonical-minimum
+            # queries a policy cannot use), so scalar and batch mode
+            # enumerate candidates — and consume RNG draws — in the
+            # same order.  The pop rebinding covers the scalar loop and
+            # run_profiled; run_batch checks the policy itself.
+            self._drain = MethodType(drain_policy, self)
+            policy = self.policy
+            s = self._sched
+            self._pop_ready = lambda: s.pop_ready_policy(policy)
         with obs.span("engine.run", nranks=self.nranks):
             try:
                 if self.profile:

@@ -172,6 +172,13 @@ def run_batch(eng) -> None:
     rq_append = rq.append
     rq_i = 0
 
+    # non-canonical schedule policy: cohort ordering routes through
+    # sched.pop_ready_policy, and the resume-queue shortcut is disabled
+    # (its front-of-queue pops would bypass the policy's cohort
+    # collection).  The defer-memo fast paths stay valid: the policy
+    # drain never writes the memo, so the memo lookups above never hit.
+    policy_tie = None if eng.policy.canonical else eng.policy
+
     try:
         while True:
             steps += 1
@@ -208,7 +215,8 @@ def run_batch(eng) -> None:
                             r.blocked_kind = None
                             r.blocked_data = None
                             entry = (comp, rank)
-                            if not rq or rq[-1] <= entry:
+                            if policy_tie is None and \
+                                    (not rq or rq[-1] <= entry):
                                 rq_append(entry)
                             else:
                                 heappush(ready, entry)
@@ -227,7 +235,8 @@ def run_batch(eng) -> None:
                             r.blocked_kind = None
                             r.blocked_data = None
                             entry = (r.clock, rank)
-                            if not rq or rq[-1] <= entry:
+                            if policy_tie is None and \
+                                    (not rq or rq[-1] <= entry):
                                 rq_append(entry)
                             else:
                                 heappush(ready, entry)
@@ -249,34 +258,39 @@ def run_batch(eng) -> None:
             # front and the lazy-deletion heap's valid top — identical
             # (clock, rank) order to the reference single-heap pop
             rs = None
-            qe = None
-            qlen = len(rq)
-            while rq_i < qlen:
-                qe = rq[rq_i]
-                qr = ranks[qe[1]]
-                if qr.state == READY and qr.clock == qe[0]:
-                    break
-                rq_i += 1
+            if policy_tie is not None:
+                # the resume queue is empty (appends gated off above),
+                # so the policy pop sees the full same-clock cohort
+                rs = sched.pop_ready_policy(policy_tie)
             else:
                 qe = None
-                if qlen:
-                    del rq[:]
-                    rq_i = 0
-            while ready:
-                he = ready[0]
-                hr = ranks[he[1]]
-                if hr.state == READY and hr.clock == he[0]:
-                    break
-                heappop(ready)
-            if qe is not None and (not ready or qe <= ready[0]):
-                rs = qr
-                rq_i += 1
-                if rq_i == len(rq):
-                    del rq[:]
-                    rq_i = 0
-            elif ready:
-                heappop(ready)
-                rs = hr
+                qlen = len(rq)
+                while rq_i < qlen:
+                    qe = rq[rq_i]
+                    qr = ranks[qe[1]]
+                    if qr.state == READY and qr.clock == qe[0]:
+                        break
+                    rq_i += 1
+                else:
+                    qe = None
+                    if qlen:
+                        del rq[:]
+                        rq_i = 0
+                while ready:
+                    he = ready[0]
+                    hr = ranks[he[1]]
+                    if hr.state == READY and hr.clock == he[0]:
+                        break
+                    heappop(ready)
+                if qe is not None and (not ready or qe <= ready[0]):
+                    rs = qr
+                    rq_i += 1
+                    if rq_i == len(rq):
+                        del rq[:]
+                        rq_i = 0
+                elif ready:
+                    heappop(ready)
+                    rs = hr
             if rs is None:
                 if eng._done_count == nranks:
                     break

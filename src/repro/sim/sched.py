@@ -77,6 +77,46 @@ class Scheduler:
                 return rs
         return None
 
+    def pop_ready_policy(self, policy) -> Optional[object]:
+        """Policy-ordered variant of :meth:`pop_ready`.
+
+        Both executors call this instead of :meth:`pop_ready` when the
+        engine runs under a non-canonical
+        :class:`~repro.sim.policy.SchedulerPolicy`: all READY ranks tied
+        at the smallest clock are collected (the full legal cohort —
+        duplicate lazy heap entries deduplicate through the rank set),
+        the policy picks one, and the rest are pushed back untouched.  A
+        singleton cohort consumes no policy decision, keeping the RNG
+        draw sequence identical across executors.
+        """
+        heap = self.ready_heap
+        ranks = self.ranks
+        pop = heapq.heappop
+        first = None
+        while heap:
+            clock, rank = pop(heap)
+            rs = ranks[rank]
+            if rs.state == READY and rs.clock == clock:
+                first = rs
+                break
+        if first is None:
+            return None
+        clock = first.clock
+        ties = {first.rank}
+        while heap and heap[0][0] == clock:
+            _, rank = pop(heap)
+            rs = ranks[rank]
+            if rs.state == READY and rs.clock == clock:
+                ties.add(rank)
+        if len(ties) == 1:
+            return first
+        chosen = policy.pick_rank(sorted(ties))
+        push = heapq.heappush
+        for rank in ties:
+            if rank != chosen:
+                push(heap, (clock, rank))
+        return ranks[chosen]
+
     def make_ready(self, rs) -> None:
         rs.state = READY
         rs.blocked_kind = None

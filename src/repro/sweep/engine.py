@@ -61,12 +61,21 @@ class PointResult:
     fault: Optional[Dict[str, Any]] = None  #: FaultReport.to_dict()
     error: Optional[str] = None     #: failure description (failed only)
     execution: Dict[str, Any] = field(default_factory=dict)
+    #: structured DeadlockDiagnostic.to_dict() when the failure carried
+    #: one (schedule-dependent deadlocks surface their wait-for cycle
+    #: here; the fuzzer classifies on it)
+    diagnostic: Optional[Dict[str, Any]] = None
 
     def canonical_dict(self) -> Dict[str, Any]:
         """The deterministic, order-independent part of the result."""
-        return {"index": self.index, "params": self.params,
-                "status": self.status, "metrics": self.metrics,
-                "fault": self.fault, "error": self.error}
+        out = {"index": self.index, "params": self.params,
+               "status": self.status, "metrics": self.metrics,
+               "fault": self.fault, "error": self.error}
+        # only present when captured: pre-diagnostic sweep outputs stay
+        # byte-identical
+        if self.diagnostic is not None:
+            out["diagnostic"] = self.diagnostic
+        return out
 
 
 @dataclass
@@ -178,7 +187,8 @@ def _execute_point(payload) -> Dict[str, Any]:
     sweep down; non-repro exceptions are programming errors and
     propagate.
     """
-    index, mode, overrides, params, use_cache, cache_dir = payload
+    index, mode, overrides, params, use_cache, cache_dir = payload[:6]
+    fingerprint = payload[6] if len(payload) > 6 else False
     t0 = time.perf_counter()
     record: Dict[str, Any] = {"index": index, "params": params,
                               "status": "ok", "metrics": {},
@@ -190,6 +200,15 @@ def _execute_point(payload) -> Dict[str, Any]:
     except ReproError as exc:
         record["status"] = "failed"
         record["error"] = f"{type(exc).__name__}: {exc}"
+        # structured deadlock evidence rides along when the error has
+        # it: the fuzzer keys equivalence classes on the wait-for cycle
+        diag = getattr(exc, "diagnostic", None)
+        if diag is not None:
+            record["diagnostic"] = diag.to_dict()
+        else:
+            cycle = getattr(exc, "cycle", None)
+            if cycle:
+                record["diagnostic"] = {"cycle": list(cycle)}
         record["execution"] = {"seconds": round(time.perf_counter() - t0,
                                                 6)}
         return record
@@ -201,9 +220,15 @@ def _execute_point(payload) -> Dict[str, Any]:
     if result.source is not None:
         metrics["source_lines"] = len(result.source.splitlines())
     run_result = result.run_result
+    if run_result is None and fingerprint:
+        # trace-mode point: the traced application's own result carries
+        # the schedule-dependent makespan the fuzzer compares
+        run_result = result.artifacts.get("trace_run_result")
     if run_result is not None:
         metrics["makespan_s"] = run_result.total_time
         metrics["messages"] = run_result.messages_sent
+    if fingerprint:
+        metrics["outcome_fp"] = _outcome_fingerprint(run_result, trace)
     if result.degraded:
         record["status"] = "degraded"
     if result.fault_report is not None:
@@ -218,6 +243,29 @@ def _execute_point(payload) -> Dict[str, Any]:
     return record
 
 
+def _outcome_fingerprint(run_result, trace) -> str:
+    """Process-stable digest of everything schedule-dependent.
+
+    Two points with the same fingerprint reached equivalent outcomes:
+    same makespan and per-rank clocks (to the bit, via ``float.hex``),
+    same message count, same serialized trace text when tracing.  Rabin
+    node fingerprints are *not* used — they hash Python strings, so they
+    differ across pool workers under ``PYTHONHASHSEED``; sha256 over the
+    serialized artifacts is stable everywhere.
+    """
+    import hashlib
+    h = hashlib.sha256()
+    if run_result is not None:
+        h.update(run_result.total_time.hex().encode())
+        for t in run_result.per_rank_times:
+            h.update(t.hex().encode())
+        h.update(str(run_result.messages_sent).encode())
+    if trace is not None:
+        from repro.scalatrace.serialize import dumps_trace
+        h.update(dumps_trace(trace).encode())
+    return h.hexdigest()[:16]
+
+
 def _to_point_result(record: Dict[str, Any]) -> PointResult:
     """A :class:`PointResult` from a worker's outcome record."""
     return PointResult(index=record["index"], params=record["params"],
@@ -225,12 +273,13 @@ def _to_point_result(record: Dict[str, Any]) -> PointResult:
                        metrics=record.get("metrics", {}),
                        fault=record.get("fault"),
                        error=record.get("error"),
-                       execution=record.get("execution", {}))
+                       execution=record.get("execution", {}),
+                       diagnostic=record.get("diagnostic"))
 
 
 def run_sweep(plan: SweepPlan, workers: int = 1, *,
               use_cache: bool = True, cache_dir: str = ".repro-cache",
-              progress=None) -> SweepResult:
+              progress=None, fingerprint_outcomes: bool = False) -> SweepResult:
     """Execute every point of ``plan``; returns the merged result.
 
     ``workers`` > 1 fans the points across a ``ProcessPoolExecutor``;
@@ -239,13 +288,17 @@ def run_sweep(plan: SweepPlan, workers: int = 1, *,
     artifact cache (on by default: cache sharing across points is the
     engine's main economy).  ``progress``, when given, is called as
     ``progress(point_record)`` after each point completes, in completion
-    order.
+    order.  ``fingerprint_outcomes`` adds a process-stable
+    ``metrics["outcome_fp"]`` digest per point (and, in trace mode, the
+    traced run's makespan) — the fuzzer's dedup key; off by default so
+    ordinary sweep output bytes are unchanged.
     """
     if workers < 1:
         raise SweepError(f"workers must be >= 1, got {workers}")
     points = plan.points()
     payloads = [(p.index, plan.mode, p.overrides, p.params,
-                 use_cache, cache_dir) for p in points]
+                 use_cache, cache_dir, fingerprint_outcomes)
+                for p in points]
     t0 = time.perf_counter()
     records: List[Optional[Dict[str, Any]]] = [None] * len(points)
     with obs.span("sweep.run", plan=plan.name, points=len(points),

@@ -1,0 +1,197 @@
+"""Scheduler-policy layer: validation, determinism, and the race fixture.
+
+The policy layer (``repro.sim.policy``) must (a) reject bad specs with
+clear ValueErrors at *construction* time, (b) leave canonical runs
+byte-identical to an engine that never heard of policies, (c) make
+every (policy, seed) pair a fully deterministic schedule in both
+executors, and (d) actually find the seeded ``race`` fixture's
+schedule-dependent deadlock.
+"""
+
+import pytest
+
+from repro.apps import make_app
+from repro.errors import PipelineConfigError, SimDeadlockError
+from repro.mpi.world import run_spmd
+from repro.pipeline import PipelineConfig
+from repro.sim.engine import Engine
+from repro.sim.network import make_model
+from repro.sim.policy import (POLICIES, SEEDED_POLICIES,
+                              AdversarialDelayPolicy, CanonicalPolicy,
+                              RandomPolicy, resolve_policy)
+
+
+def _race(policy=None, seed=None, nranks=4, cls="S", platform="simple",
+          mode=None):
+    import os
+    prog = make_app("race", nranks, cls)
+    prior = os.environ.get("REPRO_ENGINE_MODE")
+    if mode is not None:
+        os.environ["REPRO_ENGINE_MODE"] = mode
+    try:
+        return run_spmd(prog, nranks, model=make_model(platform),
+                        schedule_policy=policy, schedule_seed=seed)
+    finally:
+        if mode is not None:
+            if prior is None:
+                os.environ.pop("REPRO_ENGINE_MODE", None)
+            else:
+                os.environ["REPRO_ENGINE_MODE"] = prior
+
+
+class TestResolvePolicy:
+    def test_none_and_name_give_canonical(self):
+        assert resolve_policy(None).canonical
+        assert resolve_policy("canonical").canonical
+
+    def test_seeded_policies_default_seed_zero(self):
+        p = resolve_policy("random")
+        assert isinstance(p, RandomPolicy) and p.seed == 0
+        p = resolve_policy("adversarial-delay", 7)
+        assert isinstance(p, AdversarialDelayPolicy) and p.seed == 7
+
+    def test_unknown_policy_lists_choices(self):
+        with pytest.raises(ValueError, match="unknown schedule policy"):
+            resolve_policy("chaos")
+        with pytest.raises(ValueError, match="docs/FUZZING.md"):
+            resolve_policy("chaos")
+
+    def test_seed_on_canonical_rejected(self):
+        with pytest.raises(ValueError, match="meaningless"):
+            resolve_policy("canonical", 3)
+        with pytest.raises(ValueError, match="meaningless"):
+            resolve_policy(None, 0)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ValueError, match="must be an int"):
+            resolve_policy("random", "3")
+        with pytest.raises(ValueError, match="must be an int"):
+            resolve_policy("random", True)
+
+    def test_policy_object_passes_through_but_rejects_seed(self):
+        obj = RandomPolicy(5)
+        assert resolve_policy(obj) is obj
+        with pytest.raises(ValueError, match="already-built"):
+            resolve_policy(obj, 5)
+
+    def test_fresh_instance_per_resolve(self):
+        assert resolve_policy("random", 1) is not resolve_policy(
+            "random", 1)
+
+    def test_registry_constants(self):
+        assert set(SEEDED_POLICIES) == set(POLICIES) - {"canonical"}
+
+
+class TestEngineConstruction:
+    def test_bad_mode_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="mode"):
+            Engine(2, make_model("simple"), mode="vectorized")
+
+    def test_bad_env_mode_rejected_at_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_MODE", "turbo")
+        with pytest.raises(ValueError, match="REPRO_ENGINE_MODE"):
+            Engine(2, make_model("simple"))
+
+    def test_bad_policy_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown schedule policy"):
+            Engine(2, make_model("simple"), schedule_policy="chaos")
+
+    def test_seed_without_policy_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="meaningless"):
+            Engine(2, make_model("simple"), schedule_seed=1)
+
+    def test_valid_policy_accepted(self):
+        eng = Engine(2, make_model("simple"), schedule_policy="random",
+                     schedule_seed=3)
+        assert eng.policy.seed == 3
+
+
+class TestPipelineConfigValidation:
+    def test_bad_policy_is_config_error(self):
+        with pytest.raises(PipelineConfigError,
+                           match="unknown schedule policy"):
+            PipelineConfig(app="ring", nranks=4,
+                           schedule_policy="chaos")
+
+    def test_seed_on_canonical_is_config_error(self):
+        with pytest.raises(PipelineConfigError, match="meaningless"):
+            PipelineConfig(app="ring", nranks=4, schedule_seed=1)
+
+    def test_policy_enters_fingerprint(self):
+        a = PipelineConfig(app="ring", nranks=4)
+        b = PipelineConfig(app="ring", nranks=4,
+                           schedule_policy="random", schedule_seed=1)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestCanonicalByteIdentity:
+    @pytest.mark.parametrize("mode", ["scalar", "batch"])
+    def test_explicit_canonical_matches_default(self, mode):
+        base = _race(mode=mode)
+        explicit = _race(policy="canonical", mode=mode)
+        assert explicit.total_time.hex() == base.total_time.hex()
+        assert [t.hex() for t in explicit.per_rank_times] == \
+               [t.hex() for t in base.per_rank_times]
+        assert explicit.messages_sent == base.messages_sent
+
+
+class TestRaceFixture:
+    @pytest.mark.parametrize("platform",
+                             ["simple", "bluegene", "ethernet", "arc"])
+    def test_canonical_completes_everywhere(self, platform):
+        result = _race(platform=platform)
+        assert result.total_time > 0
+
+    def test_adversarial_delay_finds_the_deadlock(self):
+        with pytest.raises(SimDeadlockError) as exc:
+            _race(policy="adversarial-delay", seed=0)
+        diag = exc.value.diagnostic
+        assert diag is not None
+        # the straggler's directed receive starves: the cycle ties the
+        # master (rank 0) to the last rank
+        assert tuple(diag.cycle) == (0, 3)
+
+    def test_random_seeds_diverge(self):
+        outcomes = {}
+        for seed in range(3):
+            try:
+                outcomes[seed] = _race(policy="random",
+                                       seed=seed).total_time.hex()
+            except SimDeadlockError:
+                outcomes[seed] = "deadlock"
+        assert "deadlock" in outcomes.values()
+        assert any(v != "deadlock" for v in outcomes.values())
+
+    def test_validate_rejects_tiny_worlds(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="at least 3"):
+            make_app("race", 2, "S")
+
+
+class TestSeededDeterminism:
+    @pytest.mark.parametrize("policy,seed",
+                             [("random", 0), ("random", 1),
+                              ("adversarial-delay", 0)])
+    def test_same_seed_same_schedule(self, policy, seed):
+        def outcome():
+            try:
+                r = _race(policy=policy, seed=seed)
+                return ("ok", r.total_time.hex())
+            except SimDeadlockError as exc:
+                return ("deadlock",
+                        tuple(exc.diagnostic.cycle)
+                        if exc.diagnostic else None)
+        assert outcome() == outcome()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_scalar_batch_identical_under_random(self, seed):
+        def run(mode):
+            try:
+                r = _race(policy="random", seed=seed, mode=mode)
+                return ("ok", r.total_time.hex(),
+                        [t.hex() for t in r.per_rank_times])
+            except SimDeadlockError as exc:
+                return ("deadlock",
+                        tuple(exc.diagnostic.cycle)
+                        if exc.diagnostic else None)
+        assert run("scalar") == run("batch")
