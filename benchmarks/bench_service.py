@@ -1,0 +1,217 @@
+"""Sweep service under concurrent clients: throughput, dedup, latency.
+
+The service promises that many clients can hammer one endpoint and the
+engine still does the minimum work: every submission is journaled and
+acknowledged quickly, identical plans (same digest) collapse onto one
+execution, and each job's result is the engine's canonical bytes.
+This harness measures that contract with a thread pool of stdlib
+clients against a real server (ephemeral port, 1 engine worker — the
+most adversarial setting for queueing latency):
+
+* ``clients`` threads each submit the same set of ``distinct`` one-point
+  sweep plans; submissions/sec is the journal + HTTP round-trip rate
+  (every acknowledgment implies an fsync'd journal record);
+* the dedup ratio is read back from ``/healthz`` counters and must be
+  exactly ``1 - distinct/submissions`` — the engine ran one execution
+  per distinct digest, no matter how many clients raced;
+* job latency (submit acknowledged -> terminal state observed while
+  polling every 20 ms) is reported as p50/p95 across all jobs.  With a
+  single worker this includes queueing behind other digests, which is
+  the honest number a capacity planner wants;
+* every job's result bytes must equal the direct ``run_sweep`` canonical
+  JSON for its plan — the byte-parity guarantee, re-checked here under
+  concurrency.
+
+Latency on a shared host depends on CPU count, so ``host_cpus`` is
+recorded alongside the numbers.  Results land in
+``benchmarks/BENCH_service.json``.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import ServiceThread, SweepService, client  # noqa: E402
+from repro.sweep import SweepPlan, run_sweep  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "BENCH_service.json")
+
+POLL_S = 0.02
+
+
+def make_spec(compute_scale: float) -> dict:
+    """One-point sweep spec; distinct ``compute_scale`` => distinct digest."""
+    return {
+        "name": f"bench-scale-{compute_scale:g}",
+        "base": {"app": "jacobi", "nranks": 4, "cls": "S",
+                 "platform": "bluegene"},
+        "axes": [{"field": "compute_scale", "values": [compute_scale]}],
+    }
+
+
+def submit_all(url: str, specs, clients: int):
+    """Every client submits every spec; returns (jobs, elapsed_s).
+
+    ``jobs`` is a list of ``(job_dict, t_submitted)`` pairs across all
+    threads.
+    """
+    jobs = []
+    lock = threading.Lock()
+    errors = []
+
+    def one_client(order):
+        try:
+            for spec in order:
+                job = client.submit(url, json.dumps(spec), kind="sweep")
+                now = time.perf_counter()
+                with lock:
+                    jobs.append((job, now))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = []
+    for i in range(clients):
+        # stagger the orderings so racing clients hit the same digest
+        # from different positions
+        order = specs[i % len(specs):] + specs[:i % len(specs)]
+        threads.append(threading.Thread(target=one_client, args=(order,)))
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return jobs, elapsed
+
+
+def await_all(url: str, jobs):
+    """Poll until every job is terminal; returns per-job latencies (s)."""
+    pending = {job["id"]: t for job, t in jobs}
+    latencies = {}
+    while pending:
+        for job_id in list(pending):
+            status = client.status(url, job_id)
+            if status["state"] in ("done", "failed"):
+                assert status["state"] == "done", \
+                    f"{job_id} failed: {status.get('error')}"
+                latencies[job_id] = time.perf_counter() - pending.pop(job_id)
+        if pending:
+            time.sleep(POLL_S)
+    return list(latencies.values())
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI-sized load")
+    ap.add_argument("--clients", type=int, default=None,
+                    help="override the concurrent client count")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="output JSON path (default benchmarks/"
+                         "BENCH_service.json); '-' to skip writing")
+    args = ap.parse_args(argv)
+
+    clients = args.clients or (4 if args.quick else 8)
+    distinct = 2 if args.quick else 4
+    specs = [make_spec(1.0 - i * 0.25) for i in range(distinct)]
+    submissions = clients * distinct
+    cpus = os.cpu_count() or 1
+
+    tmp = tempfile.mkdtemp(prefix="bench-service-")
+    service = SweepService(state_dir=os.path.join(tmp, "state"),
+                           cache_dir=os.path.join(tmp, "cache"),
+                           workers=1, port=0)
+    runner = ServiceThread(service)
+    runner.start()
+    url = runner.url
+    print(f"service bench: {clients} client(s) x {distinct} distinct "
+          f"plan(s) = {submissions} submission(s), 1 engine worker, "
+          f"host has {cpus} CPU(s)")
+    try:
+        jobs, submit_s = submit_all(url, specs, clients)
+        assert len(jobs) == submissions, (len(jobs), submissions)
+        latencies = await_all(url, jobs)
+
+        health = client.healthz(url)
+        counters = health["counters"]
+        started = counters.get("service.executions_started", 0)
+        deduped = counters.get("service.jobs_deduplicated", 0)
+        assert started == distinct, \
+            (f"{submissions} submissions of {distinct} digests ran "
+             f"{started} execution(s) — dedup broken")
+        assert deduped == submissions - distinct, (deduped, submissions)
+        dedup_ratio = deduped / submissions
+
+        # byte-parity under concurrency: every job serves the canonical
+        # bytes of a direct engine run of its plan
+        direct = {}
+        for spec in specs:
+            plan = SweepPlan.from_dict(spec)
+            res = run_sweep(plan, workers=1,
+                            cache_dir=os.path.join(tmp, "cache"))
+            direct[plan.digest()] = res.canonical_json()
+        for job, _ in jobs:
+            served = client.result(url, job["id"], fmt="json")
+            assert served == direct[job["digest"]], \
+                f"job {job['id']} bytes diverge from direct run_sweep"
+    finally:
+        runner.stop()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    lat_sorted = sorted(latencies)
+    p50 = statistics.median(lat_sorted)
+    p95 = lat_sorted[min(len(lat_sorted) - 1,
+                         int(round(0.95 * (len(lat_sorted) - 1))))]
+    subs_per_s = submissions / submit_s
+    print(f"  submissions: {submissions} in {submit_s:.3f}s "
+          f"({subs_per_s:.1f}/s, each fsync'd to the journal)")
+    print(f"  dedup: {deduped}/{submissions} deduplicated "
+          f"(ratio {dedup_ratio:.3f}), {started} execution(s)")
+    print(f"  job latency: p50 {p50:.3f}s  p95 {p95:.3f}s  "
+          f"max {lat_sorted[-1]:.3f}s (1 worker, poll {POLL_S * 1000:.0f}ms)")
+    print("parity ok: all job results byte-identical to direct run_sweep")
+
+    results = {
+        "mode": "quick" if args.quick else "full",
+        "clients": clients,
+        "distinct_plans": distinct,
+        "submissions": submissions,
+        "engine_workers": 1,
+        "host_cpus": cpus,
+        "python": platform.python_version(),
+        "submissions_per_sec": round(subs_per_s, 1),
+        "submit_wall_s": round(submit_s, 3),
+        "dedup_ratio": round(dedup_ratio, 3),
+        "executions": started,
+        "latency_s": {"p50": round(p50, 3), "p95": round(p95, 3),
+                      "max": round(lat_sorted[-1], 3)},
+        "poll_interval_s": POLL_S,
+    }
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

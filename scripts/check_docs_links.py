@@ -3,9 +3,15 @@
 
 Scans ``README.md`` and ``docs/*.md`` (plus any extra paths given on
 the command line) for inline markdown links/images and verifies that
-relative targets exist in the repository.  External (``http(s)://``,
-``mailto:``) and pure-anchor links are skipped; a ``path#anchor``
-target is checked for the path part only.
+
+* relative targets exist in the repository, and
+* ``#anchor`` fragments — both pure-anchor links and the fragment part
+  of ``path#anchor`` targets into another markdown file — name a real
+  heading, using GitHub's slugification (lowercase, punctuation
+  stripped, spaces to hyphens, ``-1``/``-2`` suffixes on duplicates).
+
+External (``http(s)://``, ``mailto:``) links are skipped, as is
+anything inside fenced code blocks.
 
 Used by the CI ``docs`` step and mirrored by ``tests/test_docs.py`` so
 the tier-1 suite catches broken cross-references too.
@@ -25,6 +31,9 @@ import sys
 #: inline markdown links and images: [text](target) / ![alt](target)
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
+#: ATX headings (``# ...`` through ``###### ...``), trailing #s allowed
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
 #: schemes that are not filesystem paths
 _EXTERNAL = ("http://", "https://", "mailto:")
 
@@ -42,20 +51,74 @@ def iter_links(text: str):
             yield match.group(1)
 
 
-def check_file(path: str) -> list:
-    """Broken relative link targets in one markdown file."""
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading's text."""
+    # inline markdown contributes only its text: [x](y) -> x, `x` -> x
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").strip().lower()
+    kept = [ch for ch in text if ch.isalnum() or ch in "-_ "]
+    return "".join(kept).replace(" ", "-")
+
+
+def heading_anchors(text: str) -> set:
+    """Every anchor a markdown file exposes (duplicates suffixed)."""
+    seen: dict = {}
+    anchors = set()
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def _anchors_of(path: str, cache: dict) -> set:
+    """Cached :func:`heading_anchors` of one file."""
+    path = os.path.abspath(path)
+    if path not in cache:
+        with open(path) as fh:
+            cache[path] = heading_anchors(fh.read())
+    return cache[path]
+
+
+def check_file(path: str, anchor_cache: dict = None) -> list:
+    """Broken relative links / anchors in one markdown file.
+
+    Returns ``(path, target)`` pairs: a target appears when its file
+    part does not exist, or when its ``#fragment`` names no heading in
+    the targeted markdown file (the file itself for pure ``#anchor``
+    links).  ``anchor_cache`` memoizes per-file anchor sets across
+    calls.
+    """
+    if anchor_cache is None:
+        anchor_cache = {}
     with open(path) as fh:
         text = fh.read()
     base = os.path.dirname(os.path.abspath(path))
     broken = []
     for target in iter_links(text):
-        if target.startswith(_EXTERNAL) or target.startswith("#"):
+        if target.startswith(_EXTERNAL):
             continue
-        rel = target.split("#", 1)[0]
-        if not rel:
-            continue
-        if not os.path.exists(os.path.join(base, rel)):
-            broken.append((path, target))
+        rel, sep, fragment = target.partition("#")
+        if rel:
+            full = os.path.normpath(os.path.join(base, rel))
+            if not os.path.exists(full):
+                broken.append((path, target))
+                continue
+        else:
+            full = os.path.abspath(path)
+        if sep and fragment and full.endswith(".md"):
+            if fragment not in _anchors_of(full, anchor_cache):
+                broken.append((path, target))
     return broken
 
 
@@ -71,13 +134,15 @@ def main(argv=None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     files = args or default_files(root)
+    anchor_cache: dict = {}
     broken = []
     for path in files:
-        broken.extend(check_file(path))
+        broken.extend(check_file(path, anchor_cache))
     for path, target in broken:
         print(f"BROKEN LINK: {path}: ({target})", file=sys.stderr)
     if not broken:
-        print(f"docs links OK ({len(files)} file(s) checked)")
+        print(f"docs links OK ({len(files)} file(s) checked, "
+              f"anchors validated)")
     return 1 if broken else 0
 
 

@@ -452,6 +452,88 @@ def cmd_fuzz_run(args):
     return 0
 
 
+def cmd_serve(args):
+    """Run the sweep service until interrupted (see docs/SERVICE.md)."""
+    import asyncio
+    from repro.service import SweepService
+    from repro.sweep import default_workers
+    workers = args.workers if args.workers > 0 else default_workers()
+    service = SweepService(args.state_dir, cache_dir=args.cache_dir,
+                           workers=workers, host=args.host,
+                           port=args.port)
+
+    async def serve() -> None:
+        await service.start()
+        replay = service.store.replay
+        print(f"repro service {__version__} on "
+              f"http://{service.host}:{service.port} "
+              f"(state {args.state_dir}, cache {args.cache_dir}, "
+              f"{workers} engine worker(s))", flush=True)
+        if replay.get("jobs"):
+            print(f"journal replay: {replay['jobs']} job(s), "
+                  f"{replay['requeued']} requeued", flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
+def cmd_jobs_submit(args):
+    from repro.service import client
+    with open(args.plan) as fh:
+        spec_text = fh.read()
+    job = client.submit(args.url, spec_text, kind=args.kind)
+    shared = " (deduplicated: shares an existing execution)" \
+        if job.get("deduplicated") else ""
+    print(f"submitted {job['id']} [{job['kind']}] "
+          f"digest {job['digest']} state {job['state']}{shared}")
+    if args.wait:
+        job = client.wait(args.url, job["id"], timeout=args.timeout)
+        print(f"{job['id']} -> {job['state']}"
+              + (f" ({job['error']})" if job.get("error") else ""))
+        return 0 if job["state"] == "done" else 1
+    return 0
+
+
+def cmd_jobs_status(args):
+    from repro.service import client
+    job = client.status(args.url, args.id)
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 1 if job.get("state") == "failed" else 0
+
+
+def cmd_jobs_result(args):
+    from repro.service import client
+    fmt = "jsonl" if args.jsonl else "json"
+    text = client.result(args.url, args.id, fmt=fmt)
+    if args.output:
+        _write_atomic(args.output, text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_jobs_health(args):
+    import time as _time
+    from repro.errors import ServiceError
+    from repro.service import client
+    deadline = _time.monotonic() + args.timeout
+    while True:
+        try:
+            health = client.healthz(args.url)
+            break
+        except ServiceError:
+            if _time.monotonic() >= deadline:
+                raise
+            _time.sleep(0.2)
+    print(json.dumps(health, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_extrapolate(args):
     if len(args.traces) < 2:
         print("error: extrapolation needs traces at two or more distinct "
@@ -692,6 +774,69 @@ def build_parser() -> argparse.ArgumentParser:
                          "report")
     _add_metrics(zp)
     zp.set_defaults(func=cmd_fuzz_run)
+
+    p = sub.add_parser("serve",
+                       help="run the sweep service: an HTTP/JSON job "
+                            "API over a journaled queue and the shared "
+                            "artifact cache (see docs/SERVICE.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8642,
+                   help="bind port (0 = ephemeral; default 8642)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="sweep-engine worker processes per execution "
+                        "(0 = one per CPU; default 1)")
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="shared artifact cache directory "
+                        "(default: .repro-cache)")
+    p.add_argument("--state-dir", default=".repro-service",
+                   help="journal + result payload directory "
+                        "(default: .repro-service)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("jobs",
+                       help="client commands against a running service "
+                            "(submit/status/result/health)")
+    jsub = p.add_subparsers(dest="jobs_command", required=True)
+    url_kw = {"default": "http://127.0.0.1:8642",
+              "help": "service base URL "
+                      "(default: http://127.0.0.1:8642)"}
+
+    jp = jsub.add_parser("submit",
+                         help="submit a sweep plan or fuzz campaign")
+    jp.add_argument("plan", help="plan/campaign file (YAML/JSON)")
+    jp.add_argument("--kind", choices=["sweep", "fuzz"], default="sweep",
+                    help="what the file describes (default: sweep)")
+    jp.add_argument("--url", **url_kw)
+    jp.add_argument("--wait", action="store_true",
+                    help="block until the job reaches a terminal state")
+    jp.add_argument("--timeout", type=float, default=600.0,
+                    help="--wait timeout in seconds (default 600)")
+    jp.set_defaults(func=cmd_jobs_submit)
+
+    jp = jsub.add_parser("status", help="print one job's status JSON")
+    jp.add_argument("id", help="job id from 'repro jobs submit'")
+    jp.add_argument("--url", **url_kw)
+    jp.set_defaults(func=cmd_jobs_status)
+
+    jp = jsub.add_parser("result",
+                         help="fetch a terminal job's canonical result "
+                              "bytes")
+    jp.add_argument("id", help="job id from 'repro jobs submit'")
+    jp.add_argument("--url", **url_kw)
+    jp.add_argument("--jsonl", action="store_true",
+                    help="canonical per-point JSON lines (sweep jobs)")
+    jp.add_argument("-o", "--output",
+                    help="write the result here instead of stdout")
+    jp.set_defaults(func=cmd_jobs_result)
+
+    jp = jsub.add_parser("health",
+                         help="print /healthz (retries until the "
+                              "service answers or --timeout elapses)")
+    jp.add_argument("--url", **url_kw)
+    jp.add_argument("--timeout", type=float, default=30.0,
+                    help="retry window in seconds (default 30)")
+    jp.set_defaults(func=cmd_jobs_health)
 
     p = sub.add_parser("extrapolate",
                        help="extrapolate small-rank traces to a larger "

@@ -98,6 +98,11 @@ class FuzzCampaignError(FuzzError):
     unparsable file."""
 
 
+class ServiceError(ReproError):
+    """The sweep service could not satisfy a request: unknown job,
+    malformed submission, missing result payload, bad server reply."""
+
+
 class TraceDeadlockError(GenerationError):
     """Algorithm 2's deadlock detector found a potential deadlock in the
     traced application (paper, Fig. 5): the trace admits an execution in

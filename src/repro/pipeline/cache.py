@@ -6,6 +6,9 @@ Layout (under the cache root, default ``.repro-cache/``)::
       ab/
         ab3f...e1.trace     # serialized ScalaTrace trace
         ab91...07.ncptl     # generated coNCePTuaL source (JSON envelope)
+      locks/
+        ab/
+          ab3f...e1.lock    # per-key cross-process lock (same sharding)
 
 Keys are SHA-256 hashes over a JSON rendering of ``(upstream key, stage
 name, stage config)`` — a rolling chain, so a stage's key changes
@@ -13,6 +16,16 @@ whenever *anything* upstream of it changes (application, rank count,
 problem class, platform, or any earlier stage's configuration).
 Artifacts are written atomically (temp file + rename) so a crashed or
 concurrent run can never leave a truncated entry behind.
+
+Both artifacts and their lock files are sharded by the first two hex
+digits of the key, so hot service traffic (many concurrent submissions
+over one shared cache) fans out across 256 directories instead of
+serializing directory operations on a single flat ``locks/``.  Caches
+written by older versions are migrated transparently: a read that
+misses the sharded location probes the legacy flat location
+(``<root>/<key><suffix>``, and ``locks/<key>.lock`` respectively) and,
+on a hit, moves the artifact into its shard atomically — accounting
+exactly one hit for the read, never a miss-plus-recompute.
 """
 
 from __future__ import annotations
@@ -58,19 +71,33 @@ class ArtifactCache:
         """Sharded on-disk location of ``key``'s artifact."""
         return os.path.join(self.root, key[:2], key + suffix)
 
+    def legacy_path(self, key: str, suffix: str = "") -> str:
+        """Pre-sharding flat location of ``key``'s artifact (read-only:
+        entries found here are migrated into their shard)."""
+        return os.path.join(self.root, key + suffix)
+
     def get(self, key: str, suffix: str = "",
             record: bool = True) -> Optional[str]:
         """The cached artifact text, or None (counted as hit/miss).
+
+        Probes the sharded location first, then the legacy flat layout;
+        a legacy hit migrates the entry into its shard so the flat
+        directory drains as it is read.  However the read is satisfied,
+        it accounts **exactly one** hit or miss — the double-checked
+        read under :meth:`lock` must see the same view, or two racing
+        clients on a legacy-layout cache would each record a miss and
+        recompute the artifact.
 
         ``record=False`` reads without touching the hit/miss accounting
         — used by the double-checked read under :meth:`lock`, whose
         outcome is accounted for explicitly by the caller.
         """
-        path = self.path(key, suffix)
-        try:
-            with open(path) as fh:
-                text = fh.read()
-        except OSError:
+        text = self._read(self.path(key, suffix))
+        if text is None:
+            text = self._read(self.legacy_path(key, suffix))
+            if text is not None:
+                self._migrate(key, suffix)
+        if text is None:
             if record:
                 self.misses += 1
                 obs.count("pipeline.cache_misses")
@@ -79,6 +106,31 @@ class ArtifactCache:
             self.hits += 1
             obs.count("pipeline.cache_hits")
         return text
+
+    @staticmethod
+    def _read(path: str) -> Optional[str]:
+        """The file's text, or None when absent/unreadable."""
+        try:
+            with open(path) as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    def _migrate(self, key: str, suffix: str) -> None:
+        """Move a legacy flat entry into its shard (atomic, best-effort).
+
+        ``os.replace`` is atomic within the cache filesystem, so a
+        concurrent migrator or reader sees either layout but never a
+        truncated entry; losing the race just means the other process
+        already migrated the file.
+        """
+        path = self.path(key, suffix)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        try:
+            os.replace(self.legacy_path(key, suffix), path)
+            obs.count("pipeline.cache_migrated")
+        except OSError:  # pragma: no cover - lost a benign migration race
+            pass
 
     def record_hit(self) -> None:
         """Account one cache hit (for reads done with ``record=False``)."""
@@ -95,17 +147,20 @@ class ArtifactCache:
         """Cross-process advisory lock on ``key``.
 
         Serializes the *computation* of one artifact across concurrent
-        pipeline runs (e.g. parallel sweep workers): the first worker to
-        reach a missing key computes it while the others block here,
-        re-check the cache, and hit.  Lock files live under
-        ``<root>/locks/`` so artifact shards stay clean.  On platforms
-        without ``fcntl`` the lock degrades to a no-op — writes are
-        still safe (atomic rename), only duplicate work is possible.
+        pipeline runs (e.g. parallel sweep workers, concurrent service
+        jobs): the first worker to reach a missing key computes it while
+        the others block here, re-check the cache, and hit.  Lock files
+        live under ``<root>/locks/<key[:2]>/`` — sharded like the
+        artifacts themselves, so hot traffic does not serialize
+        directory operations on one flat ``locks/`` directory.  On
+        platforms without ``fcntl`` the lock degrades to a no-op —
+        writes are still safe (atomic rename), only duplicate work is
+        possible.
         """
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             yield
             return
-        lock_dir = os.path.join(self.root, "locks")
+        lock_dir = os.path.join(self.root, "locks", key[:2])
         os.makedirs(lock_dir, exist_ok=True)
         lock_path = os.path.join(lock_dir, key + ".lock")
         with open(lock_path, "w") as fh:

@@ -1,0 +1,38 @@
+"""repro.service — sweeps and fuzz campaigns as a long-running service.
+
+The one-shot CLIs (``repro sweep run``, ``repro fuzz run``) become job
+types on one substrate: an asyncio HTTP/JSON server (``repro serve``)
+with a crash-safe journaled job queue, digest deduplication (two
+clients submitting the same plan share one execution), and the shared
+sharded artifact cache underneath.
+
+* :class:`JobStore` — the persistent queue: JSONL journal, replay on
+  restart, dedup by ``<kind>:<digest>``, atomic result payloads;
+* :class:`SweepService` — the asyncio server: ``POST /jobs``,
+  ``GET /jobs/{id}``, ``GET /jobs/{id}/result``, ``GET /healthz``;
+* :class:`ServiceThread` — an in-process server harness for tests and
+  benchmarks;
+* :mod:`repro.service.client` — the stdlib HTTP client the
+  ``repro jobs`` commands use.
+
+See ``docs/SERVICE.md`` for the API reference, job lifecycle, dedup
+semantics, and the cache-sharding/migration story.
+"""
+
+from repro.service.jobs import (JOB_KINDS, JOB_STATES, TERMINAL_STATES,
+                                Execution, Job, JobStore)
+from repro.service.server import (ServiceThread, SweepService,
+                                  execute_spec, parse_submission)
+
+__all__ = [
+    "Execution",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobStore",
+    "ServiceThread",
+    "SweepService",
+    "TERMINAL_STATES",
+    "execute_spec",
+    "parse_submission",
+]

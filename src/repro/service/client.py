@@ -1,0 +1,117 @@
+"""A stdlib HTTP client for the sweep service (the ``repro jobs`` CLI).
+
+Thin ``urllib.request`` wrappers over the endpoints in
+:mod:`repro.service.server`; every server-reported error surfaces as a
+:class:`~repro.errors.ServiceError` carrying the server's message, so
+callers never parse raw HTTP failures.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.service.jobs import TERMINAL_STATES
+
+#: per-request socket timeout (seconds); executions run server-side, so
+#: every request here is cheap regardless of job size
+REQUEST_TIMEOUT = 30.0
+
+
+def _request(base_url: str, method: str, path: str,
+             body: Optional[str] = None,
+             timeout: float = REQUEST_TIMEOUT) -> Tuple[int, str]:
+    """One HTTP round-trip; returns ``(status, body_text)``.
+
+    4xx/5xx responses are returned, not raised — the caller decides
+    which statuses are errors (409 on ``/result`` is ordinary polling).
+    Transport failures (refused, reset, timeout) raise
+    :class:`ServiceError`.
+    """
+    url = base_url.rstrip("/") + path
+    data = body.encode("utf-8") if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        raise ServiceError(f"cannot reach service at {base_url!r}: "
+                           f"{exc}") from None
+
+
+def _json_or_raise(status: int, text: str, context: str) -> Dict[str, Any]:
+    """Parse a JSON payload; raise ServiceError on error statuses."""
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        payload = {"error": text.strip() or f"HTTP {status}"}
+    if status >= 400:
+        raise ServiceError(f"{context}: {payload.get('error', text)} "
+                           f"(HTTP {status})")
+    return payload
+
+
+def submit(base_url: str, spec_text: str,
+           kind: str = "sweep") -> Dict[str, Any]:
+    """POST /jobs: submit plan/campaign text; returns the job status."""
+    envelope = None
+    try:
+        data = json.loads(spec_text)
+    except ValueError:
+        data = None
+    if isinstance(data, dict):
+        envelope = json.dumps({"kind": kind, "spec": data})
+    if envelope is not None:
+        status, text = _request(base_url, "POST", "/jobs", envelope)
+    else:  # YAML body: kind travels in the query string
+        status, text = _request(base_url, "POST", f"/jobs?kind={kind}",
+                                spec_text)
+    return _json_or_raise(status, text, "submit failed")
+
+
+def status(base_url: str, job_id: str) -> Dict[str, Any]:
+    """GET /jobs/{id}: the job's current status dict."""
+    code, text = _request(base_url, "GET", f"/jobs/{job_id}")
+    return _json_or_raise(code, text, f"status of {job_id} failed")
+
+
+def result(base_url: str, job_id: str, fmt: str = "json") -> str:
+    """GET /jobs/{id}/result: the canonical result text (terminal)."""
+    code, text = _request(base_url, "GET",
+                          f"/jobs/{job_id}/result?format={fmt}")
+    if code != 200:
+        _json_or_raise(code, text, f"result of {job_id} failed")
+    return text
+
+
+def healthz(base_url: str) -> Dict[str, Any]:
+    """GET /healthz: the service liveness/summary payload."""
+    code, text = _request(base_url, "GET", "/healthz")
+    return _json_or_raise(code, text, "healthz failed")
+
+
+def wait(base_url: str, job_id: str, timeout: float = 300.0,
+         poll: float = 0.15) -> Dict[str, Any]:
+    """Poll until the job reaches a terminal state; returns its status.
+
+    Raises :class:`ServiceError` when ``timeout`` (wall seconds)
+    elapses first — the job keeps running server-side either way.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        st = status(base_url, job_id)
+        if st.get("state") in TERMINAL_STATES:
+            return st
+        if time.monotonic() >= deadline:
+            raise ServiceError(
+                f"job {job_id} still {st.get('state')!r} after "
+                f"{timeout:.0f}s")
+        time.sleep(poll)

@@ -1,0 +1,231 @@
+"""JobStore journal semantics: dedup, crash-safe replay, corruption.
+
+These tests drive the store synchronously (no server, no threads): the
+journal contract is what makes the service restartable, so it gets its
+own unit coverage independent of the HTTP layer.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobStore
+
+PLAN = {"name": "t", "mode": "generate",
+        "base": {"app": "jacobi", "nranks": 4}}
+
+
+def store_at(tmp_path, load=True):
+    store = JobStore(str(tmp_path / "state"))
+    if load:
+        store.load()
+    return store
+
+
+class TestSubmitAndDedup:
+    def test_submit_queues_one_execution(self, tmp_path):
+        store = store_at(tmp_path)
+        job = store.submit("sweep", "d1", "t", PLAN)
+        assert job.execution.state == "queued"
+        assert not job.deduplicated
+        assert store.pending == [job.execution.key]
+
+    def test_same_digest_shares_the_execution(self, tmp_path):
+        store = store_at(tmp_path)
+        a = store.submit("sweep", "d1", "t", PLAN)
+        b = store.submit("sweep", "d1", "t", PLAN)
+        assert b.deduplicated and not a.deduplicated
+        assert a.execution is b.execution
+        assert a.execution.job_ids == [a.id, b.id]
+        # one pending execution, not two
+        assert store.pending == [a.execution.key]
+
+    def test_kinds_do_not_collide_on_digest(self, tmp_path):
+        store = store_at(tmp_path)
+        a = store.submit("sweep", "d1", "t", PLAN)
+        b = store.submit("fuzz", "d1", "t", PLAN)
+        assert not b.deduplicated
+        assert a.execution is not b.execution
+
+    def test_late_submit_observes_terminal_state(self, tmp_path):
+        store = store_at(tmp_path)
+        a = store.submit("sweep", "d1", "t", PLAN)
+        store.mark_running(a.execution)
+        store.finish(a.execution, {"json": "{}\n"}, {"workers": 1})
+        b = store.submit("sweep", "d1", "t", PLAN)
+        assert b.deduplicated
+        assert b.execution.state == "done"
+        assert store.take_pending() is None
+
+    def test_failed_digest_is_retried_fresh(self, tmp_path):
+        store = store_at(tmp_path)
+        a = store.submit("sweep", "d1", "t", PLAN)
+        store.mark_running(a.execution)
+        store.fail(a.execution, "boom")
+        b = store.submit("sweep", "d1", "t", PLAN)
+        assert not b.deduplicated
+        assert b.execution is not a.execution
+        assert b.execution.state == "queued"
+        # the first job keeps observing its failure
+        assert a.execution.state == "failed"
+
+    def test_unknown_kind_is_rejected(self, tmp_path):
+        store = store_at(tmp_path)
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            store.submit("bake", "d1", "t", PLAN)
+
+
+class TestRestartReplay:
+    def test_queued_job_is_recovered_and_requeued(self, tmp_path):
+        store = store_at(tmp_path)
+        job = store.submit("sweep", "d1", "t", PLAN)
+        store.close()
+        fresh = store_at(tmp_path)
+        assert fresh.replay["jobs"] == 1
+        recovered = fresh.jobs[job.id]
+        assert recovered.execution.state == "queued"
+        assert recovered.execution.spec == PLAN
+        assert fresh.take_pending() is recovered.execution
+
+    def test_running_job_is_requeued(self, tmp_path):
+        store = store_at(tmp_path)
+        job = store.submit("sweep", "d1", "t", PLAN)
+        store.mark_running(job.execution)
+        store.close()  # crash while running
+        fresh = store_at(tmp_path)
+        assert fresh.replay["requeued"] == 1
+        assert fresh.jobs[job.id].execution.state == "queued"
+        assert fresh.take_pending() is not None
+
+    def test_done_job_is_terminal_after_replay(self, tmp_path):
+        store = store_at(tmp_path)
+        job = store.submit("sweep", "d1", "t", PLAN)
+        store.mark_running(job.execution)
+        store.finish(job.execution, {"json": '{"x":1}\n'},
+                     {"workers": 2, "seconds": 0.5})
+        store.close()
+        fresh = store_at(tmp_path)
+        recovered = fresh.jobs[job.id]
+        assert recovered.execution.state == "done"
+        assert recovered.execution.execution["workers"] == 2
+        assert fresh.take_pending() is None
+        # the result payload survived alongside
+        assert fresh.read_result(recovered) == '{"x":1}\n'
+
+    def test_dedup_survives_restart(self, tmp_path):
+        store = store_at(tmp_path)
+        a = store.submit("sweep", "d1", "t", PLAN)
+        b = store.submit("sweep", "d1", "t", PLAN)
+        store.close()
+        fresh = store_at(tmp_path)
+        ra, rb = fresh.jobs[a.id], fresh.jobs[b.id]
+        assert ra.execution is rb.execution
+        assert len(fresh.pending) == 1
+
+    def test_new_ids_continue_past_replayed_ones(self, tmp_path):
+        store = store_at(tmp_path)
+        a = store.submit("sweep", "d1", "t", PLAN)
+        store.close()
+        fresh = store_at(tmp_path)
+        b = fresh.submit("sweep", "d2", "t", PLAN)
+        assert b.id != a.id
+        assert b.id > a.id  # zero-padded sequence keeps ordering
+
+    def test_terminal_records_are_idempotent(self, tmp_path):
+        store = store_at(tmp_path)
+        job = store.submit("sweep", "d1", "t", PLAN)
+        store.mark_running(job.execution)
+        store.finish(job.execution, {}, {"workers": 1})
+        # duplicate the terminal record, as a crashed-then-replayed
+        # writer could
+        with open(store.journal_path) as fh:
+            lines = fh.readlines()
+        store.close()
+        with open(store.journal_path, "a") as fh:
+            fh.write(lines[-1])
+        fresh = store_at(tmp_path)
+        assert fresh.jobs[job.id].execution.state == "done"
+        assert fresh.replay["skipped_records"] == 0
+        assert fresh.take_pending() is None
+
+
+class TestJournalCorruption:
+    def test_corrupt_trailing_line_truncates_with_warning(self, tmp_path):
+        store = store_at(tmp_path)
+        job = store.submit("sweep", "d1", "t", PLAN)
+        store.close()
+        size = os.path.getsize(store.journal_path)
+        with open(store.journal_path, "a") as fh:
+            fh.write('{"rec": "state", "key"')  # torn write
+        with pytest.warns(UserWarning, match="corrupt record"):
+            fresh = store_at(tmp_path)
+        # the good prefix survived, the torn tail is gone from disk
+        assert fresh.jobs[job.id].execution.state == "queued"
+        assert os.path.getsize(store.journal_path) == size
+        assert fresh.replay["truncated_bytes"] > 0
+
+    def test_truncated_journal_appends_cleanly(self, tmp_path):
+        store = store_at(tmp_path)
+        store.submit("sweep", "d1", "t", PLAN)
+        store.close()
+        with open(store.journal_path, "a") as fh:
+            fh.write("not json at all")
+        with pytest.warns(UserWarning):
+            fresh = store_at(tmp_path)
+        fresh.submit("sweep", "d2", "t", PLAN)
+        fresh.close()
+        again = store_at(tmp_path)
+        assert len(again.jobs) == 2
+
+    def test_missing_journal_is_empty_store(self, tmp_path):
+        store = store_at(tmp_path)
+        assert store.jobs == {}
+        assert store.replay == {"jobs": 0, "requeued": 0,
+                                "truncated_bytes": 0,
+                                "skipped_records": 0}
+
+    def test_unknown_record_type_is_skipped_not_fatal(self, tmp_path):
+        store = store_at(tmp_path)
+        store.submit("sweep", "d1", "t", PLAN)
+        store.close()
+        with open(store.journal_path, "a") as fh:
+            fh.write(json.dumps({"rec": "mystery"}) + "\n")
+        with pytest.warns(UserWarning, match="unknown record"):
+            fresh = store_at(tmp_path)
+        assert fresh.replay["skipped_records"] == 1
+        assert len(fresh.jobs) == 1
+
+    def test_state_for_unknown_execution_is_skipped(self, tmp_path):
+        store = store_at(tmp_path, load=False)
+        os.makedirs(store.state_dir, exist_ok=True)
+        with open(store.journal_path, "w") as fh:
+            fh.write(json.dumps({"rec": "state", "key": "sweep:ghost",
+                                 "state": "done"}) + "\n")
+        with pytest.warns(UserWarning, match="unknown execution"):
+            summary = store.load()
+        assert summary["skipped_records"] == 1
+
+
+class TestResults:
+    def test_payloads_written_before_done(self, tmp_path):
+        store = store_at(tmp_path)
+        job = store.submit("sweep", "d1", "t", PLAN)
+        store.mark_running(job.execution)
+        store.finish(job.execution,
+                     {"json": "{}\n", "jsonl": "a\nb\n"}, {})
+        assert store.read_result(job, "json") == "{}\n"
+        assert store.read_result(job, "jsonl") == "a\nb\n"
+
+    def test_unknown_format_is_an_error(self, tmp_path):
+        store = store_at(tmp_path)
+        job = store.submit("fuzz", "d1", "t", PLAN)
+        with pytest.raises(ServiceError, match="no 'jsonl' format"):
+            store.read_result(job, "jsonl")
+
+    def test_missing_payload_is_an_error(self, tmp_path):
+        store = store_at(tmp_path)
+        job = store.submit("sweep", "d1", "t", PLAN)
+        with pytest.raises(ServiceError, match="payload missing"):
+            store.read_result(job)

@@ -62,6 +62,19 @@ class TestKeyLock:
         shard = tmp_path / "c" / key[:2]
         assert [p.name for p in shard.iterdir()] == [key + ".trace"]
 
+    def test_lock_files_are_sharded_by_key_prefix(self, tmp_path):
+        """Locks fan out over locks/<prefix>/ instead of one flat
+        directory, so hot service traffic does not serialize on a
+        single directory of locks."""
+        cache = ArtifactCache(str(tmp_path / "c"))
+        key = cache_key("sharded-lock")
+        with cache.lock(key):
+            pass
+        lock_shard = tmp_path / "c" / "locks" / key[:2]
+        assert [p.name for p in lock_shard.iterdir()] == [key + ".lock"]
+        flat = [p.name for p in (tmp_path / "c" / "locks").iterdir()]
+        assert flat == [key[:2]]
+
     def test_concurrent_puts_leave_one_intact_entry(self, tmp_path):
         cache = ArtifactCache(str(tmp_path / "c"))
         key = cache_key("same")
@@ -79,6 +92,69 @@ class TestKeyLock:
         assert cache.get(key, ".trace") == payload
         shard = tmp_path / "c" / key[:2]
         assert [p.name for p in shard.iterdir()] == [key + ".trace"]
+
+
+class TestRacingSameDigestClients:
+    """Two clients submitting the same digest concurrently (the service
+    dedup scenario at the cache layer) must keep exactly-one hit-or-miss
+    accounting per artifact request — even when the cache still holds
+    the legacy flat layout."""
+
+    def _race(self, cache_dir):
+        from repro.pipeline import PipelineConfig, full_pipeline
+        config = PipelineConfig(app="jacobi", nranks=4, use_cache=True,
+                                cache_dir=cache_dir)
+        results, errors = [], []
+
+        def client():
+            try:
+                results.append(full_pipeline(run=False).run(config))
+            except Exception as exc:  # pragma: no cover - fail the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        return results
+
+    def test_cold_cache_accounts_one_miss_per_artifact(self, tmp_path):
+        cache_dir = str(tmp_path / "shared")
+        results = self._race(cache_dir)
+        hits = sum(r.cache_hits() for r in results)
+        misses = sum(sum(1 for rec in r.records if rec.cache == "miss")
+                     for r in results)
+        # 4 artifact requests (2 clients x trace+emit): each computed
+        # exactly once, each request accounted exactly once
+        assert misses == 2
+        assert hits == 2
+        assert len(glob.glob(cache_dir + "/*/*.trace")) == 1
+
+    def test_legacy_layout_race_accounts_hits_only(self, tmp_path):
+        """A cache populated in the pre-sharding flat layout must serve
+        both racing clients as hits (no recompute, no double miss)."""
+        import os
+        cache_dir = str(tmp_path / "shared")
+        # populate sharded, then flatten into the legacy layout
+        self._race(cache_dir)
+        for shard in os.listdir(cache_dir):
+            full = os.path.join(cache_dir, shard)
+            if shard == "locks" or not os.path.isdir(full):
+                continue
+            for name in os.listdir(full):
+                os.replace(os.path.join(full, name),
+                           os.path.join(cache_dir, name))
+            os.rmdir(full)
+        assert not glob.glob(cache_dir + "/*/*.trace")
+        results = self._race(cache_dir)
+        hits = sum(r.cache_hits() for r in results)
+        misses = sum(sum(1 for rec in r.records if rec.cache == "miss")
+                     for r in results)
+        assert (hits, misses) == (4, 0)
+        # and the entries migrated back into their shards
+        assert len(glob.glob(cache_dir + "/*/*.trace")) == 1
 
 
 class TestDogpilePrevention:

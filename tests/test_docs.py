@@ -46,9 +46,57 @@ class TestLinkChecker:
     def test_checker_skips_external_and_fenced(self, tmp_path):
         checker = _load_checker()
         ok = tmp_path / "ok.md"
-        ok.write_text("[x](https://example.com) [y](#anchor)\n"
+        ok.write_text("# Anchor\n\n"
+                      "[x](https://example.com) [y](#anchor)\n"
                       "```\n[z](inside-fence.md)\n```\n")
         assert checker.check_file(str(ok)) == []
+
+
+class TestAnchorValidation:
+    def test_slugify_matches_github(self):
+        checker = _load_checker()
+        assert checker.slugify("The job journal") == "the-job-journal"
+        assert checker.slugify("Cache sharding and legacy migration") \
+            == "cache-sharding-and-legacy-migration"
+        assert checker.slugify("`repro serve` — CLI") == "repro-serve--cli"
+        assert checker.slugify("Instrumentation bus (`repro.obs`)") \
+            == "instrumentation-bus-reproobs"
+        assert checker.slugify("[linked](x.md) heading") == "linked-heading"
+
+    def test_heading_anchors_suffixes_duplicates(self):
+        checker = _load_checker()
+        anchors = checker.heading_anchors(
+            "# Same\n\n## Same\n\n### Other\n\n## Same\n")
+        assert anchors == {"same", "same-1", "same-2", "other"}
+
+    def test_heading_anchors_skip_fences(self):
+        checker = _load_checker()
+        anchors = checker.heading_anchors(
+            "# Real\n```\n# not a heading\n```\n")
+        assert anchors == {"real"}
+
+    def test_bad_same_file_anchor_is_broken(self, tmp_path):
+        checker = _load_checker()
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Only Heading\n\n[bad](#no-such-heading)\n")
+        assert checker.check_file(str(doc)) == [
+            (str(doc), "#no-such-heading")]
+
+    def test_cross_file_anchor_checked(self, tmp_path):
+        checker = _load_checker()
+        (tmp_path / "target.md").write_text("# Good Section\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[ok](target.md#good-section)\n"
+                       "[bad](target.md#absent-section)\n")
+        assert checker.check_file(str(doc)) == [
+            (str(doc), "target.md#absent-section")]
+
+    def test_fragments_into_non_markdown_are_ignored(self, tmp_path):
+        checker = _load_checker()
+        (tmp_path / "script.py").write_text("pass\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[src](script.py#L3)\n")
+        assert checker.check_file(str(doc)) == []
 
 
 class TestArchitectureHub:
@@ -62,10 +110,17 @@ class TestArchitectureHub:
     @pytest.mark.parametrize("doc", [f for f in
                                      ["FAULTS.md", "LANGUAGE.md",
                                       "PERFORMANCE.md", "PIPELINE.md",
-                                      "SWEEPS.md"]])
+                                      "SERVICE.md", "SWEEPS.md"]])
     def test_every_doc_links_architecture(self, doc):
         assert "ARCHITECTURE.md" in _read(os.path.join(DOCS, doc)), \
             f"docs/{doc} does not cross-link ARCHITECTURE.md"
+
+    def test_architecture_doc_index_reaches_every_doc(self):
+        text = _read(os.path.join(DOCS, "ARCHITECTURE.md"))
+        missing = [doc for doc in _doc_files()
+                   if doc != "ARCHITECTURE.md" and f"({doc})" not in text]
+        assert not missing, \
+            f"docs not reachable from the ARCHITECTURE.md index: {missing}"
 
     def test_architecture_maps_every_package(self):
         text = _read(os.path.join(DOCS, "ARCHITECTURE.md"))
@@ -91,3 +146,20 @@ class TestSweepDocs:
         text = _read(os.path.join(ROOT, "README.md"))
         assert "repro sweep run" in text
         assert "docs/SWEEPS.md" in text
+
+
+class TestServiceDocs:
+    def test_service_doc_covers_the_contract(self):
+        text = _read(os.path.join(DOCS, "SERVICE.md"))
+        for needle in ("POST /jobs", "GET /jobs/{id}", "/healthz",
+                       "repro serve", "repro jobs submit",
+                       "deduplicat", "jobs.jsonl", "digest",
+                       "queued", "running", "byte-identical",
+                       "locks/", "legacy"):
+            assert needle in text, f"SERVICE.md missing {needle!r}"
+
+    def test_readme_documents_the_service_cli(self):
+        text = _read(os.path.join(ROOT, "README.md"))
+        assert "repro serve" in text
+        assert "repro jobs submit" in text
+        assert "docs/SERVICE.md" in text
