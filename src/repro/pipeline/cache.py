@@ -20,12 +20,17 @@ concurrent run can never leave a truncated entry behind.
 Both artifacts and their lock files are sharded by the first two hex
 digits of the key, so hot service traffic (many concurrent submissions
 over one shared cache) fans out across 256 directories instead of
-serializing directory operations on a single flat ``locks/``.  Caches
-written by older versions are migrated transparently: a read that
-misses the sharded location probes the legacy flat location
-(``<root>/<key><suffix>``, and ``locks/<key>.lock`` respectively) and,
-on a hit, moves the artifact into its shard atomically — accounting
-exactly one hit for the read, never a miss-plus-recompute.
+serializing directory operations on a single flat ``locks/``.  Legacy
+flat *artifacts* are migrated transparently: a read that misses the
+sharded location probes the legacy flat location
+(``<root>/<key><suffix>``) and, on a hit, moves the artifact into its
+shard atomically — accounting exactly one hit for the read, never a
+miss-plus-recompute.  Lock files carry no content, so there is nothing
+to migrate: :meth:`ArtifactCache.lock` only ever takes the sharded
+path.  An older-version process sharing the cache would lock the flat
+``locks/<key>.lock`` instead — the two can then compute the same key
+concurrently, which costs duplicate work but never corruption, since
+artifact writes are atomic either way.
 """
 
 from __future__ import annotations

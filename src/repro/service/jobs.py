@@ -18,6 +18,16 @@ so a crashed or restarted service replays to a consistent queue:
 * ``state`` records carry execution transitions (``running`` /
   ``done`` / ``failed``) for every job id sharing the execution.
 
+A digest can run more than once: a *failed* execution is terminal for
+the jobs that observed it, and the next submission of the same digest
+creates a fresh one (see :meth:`JobStore.submit`).  Both record types
+therefore carry the execution **generation** (``gen``, 0-based per
+dedup key), so replay re-creates each generation as its own execution
+instead of merging a retry into the failure it is retrying — without
+it, the retry would replay as "failed" with the stale error and never
+be re-queued, or a completed retry would flip the original failure to
+"done".
+
 Replay rules (``tests/service/test_journal.py``):
 
 * jobs whose execution was ``queued`` or ``running`` at crash time are
@@ -69,6 +79,8 @@ class Execution:
     digest: str                     #: plan/campaign content digest
     name: str                       #: plan/campaign name
     spec: Dict[str, Any]            #: the plan as plain data (replayable)
+    gen: int = 0                    #: generation per key (bumped when a
+    #:                                 failed digest is retried fresh)
     state: str = "queued"           #: JOB_STATES member
     error: Optional[str] = None     #: failure description (failed only)
     job_ids: List[str] = field(default_factory=list)
@@ -240,11 +252,25 @@ class JobStore:
         if job_id in self.jobs:  # replayed submit: idempotent
             return True
         key = _execution_key(kind, digest)
+        gen = record.get("gen")
         ex = self.executions.get(key)
-        dedup = ex is not None
-        if ex is None:
+        # mirror submit(): a job record for a *new* generation starts a
+        # fresh execution superseding the current one (earlier jobs keep
+        # their reference, so a replayed failure stays sticky for them).
+        # Journals from before generation tracking carry no "gen"; there
+        # a new generation is recognizable exactly as submit() created
+        # it — the current execution had already failed.
+        fresh = ex is None or (gen != ex.gen if gen is not None
+                               else ex.state == "failed")
+        if fresh:
+            if gen is None:
+                gen = 0 if ex is None else ex.gen + 1
             ex = self.executions[key] = Execution(
-                key=key, kind=kind, digest=digest, name=name, spec=spec)
+                key=key, kind=kind, digest=digest, name=name, spec=spec,
+                gen=gen)
+            dedup = False
+        else:
+            dedup = True
         ex.job_ids.append(job_id)
         self.jobs[job_id] = Job(id=job_id, execution=ex,
                                 deduplicated=dedup)
@@ -263,6 +289,13 @@ class JobStore:
             warnings.warn(
                 f"service journal: state record for unknown execution "
                 f"{key!r} (state {state!r}) skipped", stacklevel=2)
+            return False
+        gen = record.get("gen")
+        if gen is not None and gen != ex.gen:
+            warnings.warn(
+                f"service journal: state record for stale generation "
+                f"{gen} of {key!r} (current {ex.gen}) skipped",
+                stacklevel=2)
             return False
         if ex.terminal and state == ex.state:
             return True  # duplicated terminal record: idempotent
@@ -294,14 +327,16 @@ class JobStore:
         job_id = f"j{self._seq:06d}-{digest[:8]}"
         if not dedup:
             ex = self.executions[key] = Execution(
-                key=key, kind=kind, digest=digest, name=name, spec=spec)
+                key=key, kind=kind, digest=digest, name=name, spec=spec,
+                gen=0 if ex is None else ex.gen + 1)
             self.pending.append(key)
         assert ex is not None
         ex.job_ids.append(job_id)
         job = Job(id=job_id, execution=ex, deduplicated=dedup)
         self.jobs[job_id] = job
         self._append({"rec": "job", "id": job_id, "kind": kind,
-                      "digest": digest, "name": name, "spec": spec})
+                      "digest": digest, "name": name, "spec": spec,
+                      "gen": ex.gen})
         return job
 
     def take_pending(self) -> Optional[Execution]:
@@ -316,7 +351,8 @@ class JobStore:
     def mark_running(self, ex: Execution) -> None:
         """Record the execution's transition to ``running``."""
         ex.state = "running"
-        self._append({"rec": "state", "key": ex.key, "state": "running"})
+        self._append({"rec": "state", "key": ex.key, "gen": ex.gen,
+                      "state": "running"})
 
     def finish(self, ex: Execution, payloads: Dict[str, str],
                execution_meta: Dict[str, Any]) -> None:
@@ -329,15 +365,15 @@ class JobStore:
             self._write_result(ex.kind, ex.digest, fmt, text)
         ex.execution = execution_meta
         ex.state = "done"
-        self._append({"rec": "state", "key": ex.key, "state": "done",
-                      "execution": execution_meta})
+        self._append({"rec": "state", "key": ex.key, "gen": ex.gen,
+                      "state": "done", "execution": execution_meta})
 
     def fail(self, ex: Execution, error: str) -> None:
         """Record the execution's terminal failure."""
         ex.state = "failed"
         ex.error = error
-        self._append({"rec": "state", "key": ex.key, "state": "failed",
-                      "error": error})
+        self._append({"rec": "state", "key": ex.key, "gen": ex.gen,
+                      "state": "failed", "error": error})
 
     # -- results ------------------------------------------------------------
     def result_path(self, kind: str, digest: str, fmt: str = "json") -> str:

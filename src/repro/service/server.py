@@ -259,6 +259,16 @@ class SweepService:
             except _HTTPError as exc:
                 self.inst.count("service.request_errors")
                 status, payload, raw = exc.status, exc.payload, None
+            except (ConnectionError, asyncio.IncompleteReadError):
+                raise  # client gone: handled by the outer except
+            except Exception as exc:
+                # a handler bug or environmental failure (say, the
+                # journal's fsync on a full disk) answers 500 instead
+                # of silently dropping the connection
+                self.inst.count("service.request_errors")
+                status, raw = 500, None
+                payload = {"error": f"internal error: "
+                                    f"{type(exc).__name__}: {exc}"}
             await self._respond(writer, status, payload, raw)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request: nothing to answer
@@ -293,6 +303,8 @@ class SweepService:
             if name.strip().lower() == "content-length":
                 try:
                     length = int(value.strip())
+                    if length < 0:
+                        raise ValueError
                 except ValueError:
                     raise _HTTPError(400, "bad Content-Length") from None
         if length > MAX_BODY_BYTES:

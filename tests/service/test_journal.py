@@ -133,6 +133,82 @@ class TestRestartReplay:
         assert b.id != a.id
         assert b.id > a.id  # zero-padded sequence keeps ordering
 
+    def test_queued_retry_of_failed_digest_survives_restart(self, tmp_path):
+        # regression: without generation tracking the retry job merged
+        # into the failed execution on replay — stuck "failed" with the
+        # stale error, never re-queued
+        store = store_at(tmp_path)
+        a = store.submit("sweep", "d1", "t", PLAN)
+        store.mark_running(a.execution)
+        store.fail(a.execution, "boom")
+        b = store.submit("sweep", "d1", "t", PLAN)  # queued retry
+        store.close()  # crash before the retry ran
+        fresh = store_at(tmp_path)
+        ra, rb = fresh.jobs[a.id], fresh.jobs[b.id]
+        assert ra.execution is not rb.execution
+        assert ra.execution.state == "failed"
+        assert ra.execution.error == "boom"
+        assert rb.execution.state == "queued"
+        assert rb.execution.error is None
+        assert fresh.take_pending() is rb.execution
+
+    def test_completed_retry_keeps_original_failure_sticky(self, tmp_path):
+        store = store_at(tmp_path)
+        a = store.submit("sweep", "d1", "t", PLAN)
+        store.mark_running(a.execution)
+        store.fail(a.execution, "boom")
+        b = store.submit("sweep", "d1", "t", PLAN)
+        retry = store.take_pending()
+        store.mark_running(retry)
+        store.finish(retry, {"json": "{}\n"}, {"workers": 1})
+        store.close()
+        fresh = store_at(tmp_path)
+        # the retry's "done" must not flip the observed failure
+        assert fresh.jobs[a.id].execution.state == "failed"
+        rb = fresh.jobs[b.id]
+        assert rb.execution.state == "done"
+        assert fresh.read_result(rb) == "{}\n"
+        assert fresh.take_pending() is None
+
+    def test_pre_generation_journal_replays_retry_fresh(self, tmp_path):
+        # journals written before the "gen" field: a job record after a
+        # failure still re-creates a fresh queued execution, mirroring
+        # what submit() did when it wrote the record
+        store = store_at(tmp_path, load=False)
+        os.makedirs(store.state_dir, exist_ok=True)
+        with open(store.journal_path, "w") as fh:
+            for rec in [
+                {"rec": "job", "id": "j000001-d1", "kind": "sweep",
+                 "digest": "d1", "name": "t", "spec": PLAN},
+                {"rec": "state", "key": "sweep:d1", "state": "running"},
+                {"rec": "state", "key": "sweep:d1", "state": "failed",
+                 "error": "boom"},
+                {"rec": "job", "id": "j000002-d1", "kind": "sweep",
+                 "digest": "d1", "name": "t", "spec": PLAN},
+            ]:
+                fh.write(json.dumps(rec) + "\n")
+        summary = store.load()
+        assert summary["skipped_records"] == 0
+        assert store.jobs["j000001-d1"].execution.state == "failed"
+        assert store.jobs["j000002-d1"].execution.state == "queued"
+        assert len(store.pending) == 1
+
+    def test_stale_generation_state_record_is_skipped(self, tmp_path):
+        store = store_at(tmp_path)
+        a = store.submit("sweep", "d1", "t", PLAN)
+        store.mark_running(a.execution)
+        store.fail(a.execution, "boom")
+        b = store.submit("sweep", "d1", "t", PLAN)
+        store.close()
+        # a (hand-edited / corrupted) late record for the dead generation
+        with open(store.journal_path, "a") as fh:
+            fh.write(json.dumps({"rec": "state", "key": "sweep:d1",
+                                 "gen": 0, "state": "done"}) + "\n")
+        with pytest.warns(UserWarning, match="stale generation"):
+            fresh = store_at(tmp_path)
+        assert fresh.replay["skipped_records"] == 1
+        assert fresh.jobs[b.id].execution.state == "queued"
+
     def test_terminal_records_are_idempotent(self, tmp_path):
         store = store_at(tmp_path)
         job = store.submit("sweep", "d1", "t", PLAN)

@@ -184,6 +184,36 @@ class TestErrorPaths:
         with pytest.raises(ServiceError, match="no 'jsonl' format"):
             client.result(service.url, job["id"], "jsonl")
 
+    def test_negative_content_length_is_400(self, service):
+        # regression: int() accepted "-5", then readexactly(-5) raised
+        # ValueError and the connection dropped with no response
+        import socket
+        svc = service.service
+        with socket.create_connection((svc.host, svc.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"POST /jobs HTTP/1.1\r\n"
+                         b"Content-Length: -5\r\n\r\n")
+            reply = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                reply += chunk
+        assert reply.startswith(b"HTTP/1.1 400")
+        assert b"bad Content-Length" in reply
+
+    def test_unexpected_handler_error_answers_500(self, service,
+                                                  monkeypatch):
+        # regression: a non-_HTTPError escaping _route (e.g. OSError
+        # from a disk-full journal fsync) dropped the connection
+        def boom(method, path, query, body):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(service.service, "_route", boom)
+        with pytest.raises(ServiceError,
+                           match=r"no space left.*HTTP 500"):
+            client.healthz(service.url)
+
 
 class TestRestart:
     def test_results_survive_restart(self, tmp_path):
