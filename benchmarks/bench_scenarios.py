@@ -1,0 +1,161 @@
+"""Scenario registry benchmark: every curated adversity, measured.
+
+Runs the curated scenario registry against point-to-point-heavy app
+cells (the ones whose traffic actually routes over links) and records
+what each adversity mechanism does to the execution: makespan against
+the ``calm`` control row, link utilization, cumulative link wait, and
+CoDel drop counters.  Because scenarios are execution-only, each app's
+whole scenario column shares one cached trace and one generated
+source — the row-to-row deltas are pure execution effects.
+
+Recorded invariants, asserted here and by CI:
+
+* every scenario x app cell completes (``ok``);
+* the ``calm`` control row is adversity-free: no link waits, no drops;
+* ``torus-hotlink`` slows the sweep app down relative to ``calm``;
+* ``codel-pressure`` produces nonzero drop counters;
+* the whole grid is byte-identical across worker counts (the
+  adversary construction is deterministic, not just the engine);
+* per app, only trace+emit miss the cache — every scenario row reuses
+  them.
+
+Results land in ``benchmarks/BENCH_scenarios.json``.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+    PYTHONPATH=src python benchmarks/bench_scenarios.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.scenarios import SCENARIOS  # noqa: E402
+from repro.sweep import SweepPlan, run_sweep  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__),
+                           "BENCH_scenarios.json")
+
+#: p2p-heavy cells: link-level adversaries have traffic to degrade
+CELLS = ({"app": "sweep3d", "nranks": 16, "cls": "W"},
+         {"app": "halo3d", "nranks": 16, "cls": "W"})
+QUICK_CELLS = ({"app": "sweep3d", "nranks": 16, "cls": "W"},)
+
+QUICK_SCENARIOS = ("calm", "torus-hotlink", "codel-pressure",
+                   "straggler-wavefront")
+
+
+def _plan(base: dict, names) -> SweepPlan:
+    return SweepPlan(name=f"bench-scenarios-{base['app']}", base=base,
+                     axes=[{"field": "scenario", "values": list(names)}])
+
+
+def _rows(result, names):
+    rows = {}
+    for name, point in zip(names, result.points):
+        m = point.metrics
+        rows[name] = {
+            "status": point.status,
+            "makespan_s": m["makespan_s"],
+            "links_used": m.get("links_used", 0),
+            "link_wait_s": m.get("link_wait_s", 0.0),
+            "link_drops": m.get("link_drops", 0),
+            "scenario_digest": m["scenario_digest"],
+        }
+    calm = rows["calm"]["makespan_s"]
+    for row in rows.values():
+        row["slowdown_vs_calm"] = round(row["makespan_s"] / calm, 4)
+    return rows
+
+
+def check_invariants(app: str, rows: dict) -> None:
+    bad = {n: r["status"] for n, r in rows.items()
+           if r["status"] != "ok"}
+    assert not bad, f"{app}: non-ok scenario cells: {bad}"
+    calm = rows["calm"]
+    assert calm["links_used"] == 0 and calm["link_drops"] == 0, \
+        f"{app}: the calm control row must be adversity-free"
+    if "torus-hotlink" in rows:
+        assert rows["torus-hotlink"]["makespan_s"] > calm["makespan_s"], \
+            f"{app}: degrading the hottest links must cost makespan"
+    if "codel-pressure" in rows:
+        assert rows["codel-pressure"]["link_drops"] > 0, \
+            f"{app}: the tight-target CoDel scenario must drop"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI-sized grid")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="output JSON path (default benchmarks/"
+                         "BENCH_scenarios.json); '-' to skip writing")
+    args = ap.parse_args(argv)
+
+    names = QUICK_SCENARIOS if args.quick else tuple(SCENARIOS)
+    cells = QUICK_CELLS if args.quick else CELLS
+    workers = min(4, os.cpu_count() or 1)
+
+    apps = {}
+    t0 = time.perf_counter()
+    for base in cells:
+        app = base["app"]
+        plan = _plan(base, names)
+        with tempfile.TemporaryDirectory() as cache:
+            result = run_sweep(plan, workers=workers, cache_dir=cache)
+            # scenarios are execution-only: one trace + one emit serve
+            # the entire scenario column
+            assert result.cache_misses == 2, \
+                f"{app}: expected 2 cache misses, got " \
+                f"{result.cache_misses}"
+        with tempfile.TemporaryDirectory() as cache:
+            serial = run_sweep(plan, workers=1, cache_dir=cache)
+        assert serial.canonical_json() == result.canonical_json(), \
+            f"{app}: scenario grid must be worker-count deterministic"
+        rows = _rows(result, names)
+        check_invariants(app, rows)
+        apps[app] = {"base": base, "rows": rows,
+                     "cache_hits": result.cache_hits,
+                     "cache_misses": result.cache_misses}
+        width = max(len(n) for n in names)
+        print(f"\n{app} (nranks={base['nranks']}, cls={base['cls']}):")
+        for name in names:
+            r = rows[name]
+            print(f"  {name:{width}s}  makespan={r['makespan_s']:.6f}s"
+                  f"  x{r['slowdown_vs_calm']:<7.4f}"
+                  f"  links={r['links_used']:3d}"
+                  f"  wait={r['link_wait_s']:.6f}s"
+                  f"  drops={r['link_drops']}")
+    seconds = time.perf_counter() - t0
+
+    results = {
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "workers": workers,
+        "seconds": round(seconds, 3),
+        "scenarios": list(names),
+        "cells": len(apps) * len(names),
+        "apps": apps,
+    }
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    print(f"invariants ok: {results['cells']} scenario x app cells, "
+          f"calm control clean, hot-link costs makespan, codel drops, "
+          f"worker-count deterministic ({seconds:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

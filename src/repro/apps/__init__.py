@@ -1,8 +1,10 @@
 """Application suite: communication skeletons of the NAS Parallel
 Benchmarks (BT, CG, EP, FT, IS, LU, MG, SP) and Sweep3D — the paper's
-evaluation workloads (§5.1) — plus the Fig. 2 ring example."""
+evaluation workloads (§5.1) — plus the Fig. 2 ring example and the HPC
+proxy skeletons (AMG, Kripke, Laghos) the scenario layer targets."""
 
-from repro.apps.base import AppDefinition, AppError, ClassParams
+from repro.apps.base import (PATTERNS, AppDefinition, AppError,
+                             ClassParams)
 from repro.apps.registry import (APPS, PAPER_SUITE, make_app,
                                  valid_rank_counts)
 
@@ -11,6 +13,7 @@ __all__ = [
     "AppDefinition",
     "AppError",
     "ClassParams",
+    "PATTERNS",
     "PAPER_SUITE",
     "make_app",
     "valid_rank_counts",

@@ -1,0 +1,135 @@
+"""AMG (algebraic multigrid, BoomerAMG-style) communication skeleton.
+
+AMG solves on a hierarchy of increasingly coarse operator grids.  Unlike
+the geometric NPB MG, coarsening *thins the rank set*: each level keeps
+roughly half the active ranks, so deep levels run on a handful of ranks
+exchanging tiny messages while the idle ranks wait at the cycle's
+synchronization points.  That skew — latency-bound coarse levels on a
+shrinking communicator, bandwidth-bound fine levels on the full one —
+is the behaviour HPC proxy studies single AMG out for, and it makes the
+app a sharp probe for scenario adversaries that degrade a few links
+(hot-link, bisection) versus many.
+
+Skeleton shape per V-cycle, with ``active(level) = nranks >> level``:
+
+* down-cycle: smooth (6-neighbour halo on the active set), restrict to
+  the surviving half (pairwise send to the keeper rank);
+* coarsest solve: a small allgather-like exchange among the survivors;
+* up-cycle: prolongate back out (keeper sends to the re-activated rank),
+  smooth again;
+* a convergence allreduce over the *full* communicator closes the cycle.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import (ClassParams, grid_3d, require_power_of_two,
+                             work_seconds)
+
+
+def amg_factory(nranks: int, params: ClassParams):
+    require_power_of_two(nranks, "AMG")
+    n = params.grid
+    # thin the rank set by half per level until ~4 ranks (or 2 levels min)
+    levels = max(2, min(nranks.bit_length() - 2, 8,
+                        max(n.bit_length() - 3, 2)))
+
+    def program(mpi):
+        me = mpi.rank
+
+        def active(level):
+            return max(nranks >> level, 1)
+
+        def smooth(level):
+            """Halo exchange + relaxation among the level's active ranks."""
+            nact = active(level)
+            if me >= nact:
+                return
+            px, py, pz = grid_3d(nact)
+            x = me % px
+            y = (me // px) % py
+            z = me // (px * py)
+
+            def nbr(dx, dy, dz):
+                return (((x + dx) % px) + ((y + dy) % py) * px
+                        + ((z + dz) % pz) * px * py)
+
+            side = max(n >> level, 2)
+            face = max((side * side * 8) // max(px * py, 1), 8)
+            peers = sorted({nbr(-1, 0, 0), nbr(1, 0, 0), nbr(0, -1, 0),
+                            nbr(0, 1, 0), nbr(0, 0, -1), nbr(0, 0, 1)}
+                           - {me})
+            reqs = []
+            for peer in peers:
+                r = yield from mpi.irecv(source=peer, tag=level)
+                reqs.append(r)
+            for peer in peers:
+                s = yield from mpi.isend(dest=peer, nbytes=face, tag=level)
+                reqs.append(s)
+            yield from mpi.waitall(reqs)
+            yield from mpi.compute(work_seconds((side ** 3) / nact))
+
+        def restrict(level):
+            """Level -> level+1: the dropped half ships its coarse rows
+            to its keeper (rank me - next_active)."""
+            nact, nnext = active(level), active(level + 1)
+            coarse = max((max(n >> (level + 1), 2) ** 3 * 8) // nact, 8)
+            if nnext <= me < nact:
+                yield from mpi.send(dest=me - nnext, nbytes=coarse,
+                                    tag=100 + level)
+            elif me < nnext and me + nnext < nact:
+                yield from mpi.recv(source=me + nnext, tag=100 + level)
+
+        def prolongate(level):
+            """Level+1 -> level: the keeper re-activates its partner."""
+            nact, nnext = active(level), active(level + 1)
+            coarse = max((max(n >> (level + 1), 2) ** 3 * 8) // nact, 8)
+            if me < nnext and me + nnext < nact:
+                yield from mpi.send(dest=me + nnext, nbytes=coarse,
+                                    tag=200 + level)
+            elif nnext <= me < nact:
+                yield from mpi.recv(source=me - nnext, tag=200 + level)
+
+        # setup: operator coarsening info, one allreduce per level
+        for level in range(levels):
+            yield from mpi.allreduce(16)
+        for _ in range(params.iterations):
+            # down-cycle
+            for level in range(levels - 1):
+                yield from smooth(level)
+                yield from restrict(level)
+            # coarsest solve: the few survivors exchange everything
+            nbot = active(levels - 1)
+            if me < nbot:
+                bot = max(n >> (levels - 1), 2)
+                blob = max((bot ** 3 * 8) // nbot, 8)
+                reqs = []
+                for peer in range(nbot):
+                    if peer == me:
+                        continue
+                    r = yield from mpi.irecv(source=peer, tag=99)
+                    reqs.append(r)
+                for peer in range(nbot):
+                    if peer == me:
+                        continue
+                    s = yield from mpi.isend(dest=peer, nbytes=blob, tag=99)
+                    reqs.append(s)
+                yield from mpi.waitall(reqs)
+                yield from mpi.compute(work_seconds(bot ** 3))
+            # up-cycle
+            for level in range(levels - 2, -1, -1):
+                yield from prolongate(level)
+                yield from smooth(level)
+            # convergence norm over the full communicator
+            yield from mpi.allreduce(8)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=32, iterations=2),
+    "W": ClassParams(grid=64, iterations=3),
+    "A": ClassParams(grid=128, iterations=4),
+    "B": ClassParams(grid=256, iterations=8),
+    "C": ClassParams(grid=512, iterations=10),
+}

@@ -25,6 +25,21 @@ class AppError(ReproError):
     """Invalid application configuration (bad rank count, unknown class)."""
 
 
+#: the communication-pattern vocabulary: every registry app declares one,
+#: so scenario adversaries (repro.scenarios) can target what actually
+#: hurts that pattern (e.g. stragglers on a wavefront's critical path)
+#: and ``repro apps --json`` can report it
+PATTERNS = (
+    "collective-heavy",        # dominated by allreduce/alltoall phases
+    "embarrassingly-parallel",  # compute with rare small collectives
+    "irregular",               # wildcard/race-driven, schedule-sensitive
+    "multigrid",               # level-varying halos, V-cycle structure
+    "stencil",                 # fixed-neighbour halo exchange
+    "sweep",                   # pipelined wavefronts over a process grid
+    "transpose",               # all-to-all data redistribution
+)
+
+
 @dataclass(frozen=True)
 class ClassParams:
     """One NPB problem class for one app."""
@@ -93,6 +108,13 @@ class AppDefinition:
     classes: Dict[str, ClassParams]
     description: str = ""
     validate: Optional[Callable[[int], None]] = None
+    pattern: str = "stencil"  # communication pattern (PATTERNS)
+
+    def __post_init__(self):
+        if self.pattern not in PATTERNS:
+            raise AppError(
+                f"{self.name}: unknown pattern {self.pattern!r}; "
+                f"choose from {PATTERNS}")
 
     def make(self, nranks: int, cls: str = "S", **kwargs) -> Callable:
         """Build the SPMD program function for ``nranks`` ranks."""

@@ -1,0 +1,83 @@
+"""Kripke (LLNL deterministic transport proxy) communication skeleton.
+
+Kripke, like Sweep3D, performs KBA wavefront sweeps of the discrete-
+ordinates equations across a 2-D processor decomposition — but it
+pipelines much more aggressively: the angular domain is blocked into
+*group-sets* and *direction-sets*, and every (group-set, direction-set,
+zone-plane) block is swept as an independent pipelined stage.  The
+result is many more, smaller wavefront messages in flight at once, which
+keeps the sweep pipeline full but makes the app acutely sensitive to
+per-link queueing and to stragglers on the process-grid diagonal — the
+``straggler-wavefront`` scenario's target.  Between sweep passes the
+groups are reduced with a population allreduce.
+
+Skeleton shape per iteration: for each direction-set (one per sweep
+corner) and each group-set, sweep ``inner`` zone-plane blocks through
+the grid; then one allreduce for the particle-balance check.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, grid_2d, work_seconds
+
+#: sweep corners (di, dj): Kripke sweeps all four 2-D quadrants
+_CORNERS = [(1, 1), (-1, 1), (1, -1), (-1, -1)]
+
+#: angular blocking: group-sets x direction-sets-per-corner
+_GROUP_SETS = 2
+
+
+def kripke_factory(nranks: int, params: ClassParams):
+    px, py = grid_2d(nranks)
+    n = params.grid
+    it_cells = max(n // px, 1)
+    jt_cells = max(n // py, 1)
+    # per-block boundary flux: thinner than Sweep3D's because the
+    # angular domain is split across group-sets
+    i_face = max(jt_cells * 4 * 8 // _GROUP_SETS, 8)
+    j_face = max(it_cells * 4 * 8 // _GROUP_SETS, 8)
+
+    def program(mpi):
+        me = mpi.rank
+        x, y = me % px, me // px
+
+        def sweep_block(di, dj, tag):
+            """One (group-set, direction-set, k-block) pipeline stage."""
+            i_up = me - di if 0 <= x - di < px else None
+            i_dn = me + di if 0 <= x + di < px else None
+            j_up = me - dj * px if 0 <= y - dj < py else None
+            j_dn = me + dj * px if 0 <= y + dj < py else None
+            if i_up is not None:
+                yield from mpi.recv(source=i_up, tag=tag)
+            if j_up is not None:
+                yield from mpi.recv(source=j_up, tag=tag + 1)
+            yield from mpi.compute(work_seconds(
+                it_cells * jt_cells * 4 / _GROUP_SETS))
+            if i_dn is not None:
+                yield from mpi.send(dest=i_dn, nbytes=i_face, tag=tag)
+            if j_dn is not None:
+                yield from mpi.send(dest=j_dn, nbytes=j_face, tag=tag + 1)
+
+        for _ in range(params.iterations):
+            for ci, (di, dj) in enumerate(_CORNERS):
+                for gs in range(_GROUP_SETS):
+                    # zone-plane blocks pipeline through the grid: the
+                    # next block enters as soon as the corner rank frees
+                    tag = 2 * (ci * _GROUP_SETS + gs)
+                    for _ in range(params.inner):
+                        yield from sweep_block(di, dj, tag)
+            # particle balance across all groups
+            yield from mpi.allreduce(16)
+        yield from mpi.bcast(8, root=0)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=16, iterations=2, inner=4),
+    "W": ClassParams(grid=32, iterations=3, inner=6),
+    "A": ClassParams(grid=64, iterations=4, inner=8),
+    "B": ClassParams(grid=128, iterations=6, inner=10),
+    "C": ClassParams(grid=256, iterations=8, inner=12),
+}

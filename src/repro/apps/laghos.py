@@ -1,0 +1,83 @@
+"""Laghos (high-order Lagrangian hydrodynamics proxy) communication
+skeleton.
+
+Laghos advances compressible flow on a moving high-order mesh.  Each
+time step assembles forces (a face-neighbour halo exchange over the
+mesh partition) and then runs a CG solve for the velocity mass matrix —
+a tight loop of small halo exchanges *and* latency-critical dot-product
+allreduces, two per CG iteration.  The resulting mix — medium halo
+traffic punctuated by many tiny global reductions — is the opposite
+extreme from the sweep apps, and it is what makes Laghos the standard
+probe for allreduce sensitivity: hotspot/incast scenarios that delay
+even one participant stall every reduction.
+
+Skeleton shape per time step: force-assembly halo, then ``inner`` CG
+iterations (halo + two 8-byte allreduces each), then a dt-control
+allreduce and an energy-conservation check.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ClassParams, grid_2d, work_seconds
+
+
+def laghos_factory(nranks: int, params: ClassParams):
+    px, py = grid_2d(nranks)
+    n = params.grid
+    # high-order (Q2) face data: ~3 dofs per edge point, 8 bytes each
+    row_bytes = max((n // px) * 3 * 8, 8)
+    col_bytes = max((n // py) * 3 * 8, 8)
+
+    def program(mpi):
+        me = mpi.rank
+        x, y = me % px, me // px
+        neighbours = []
+        if x > 0:
+            neighbours.append((me - 1, col_bytes))
+        if x < px - 1:
+            neighbours.append((me + 1, col_bytes))
+        if y > 0:
+            neighbours.append((me - px, row_bytes))
+        if y < py - 1:
+            neighbours.append((me + px, row_bytes))
+
+        def halo(tag, scale=1):
+            reqs = []
+            for peer, _ in neighbours:
+                r = yield from mpi.irecv(source=peer, tag=tag)
+                reqs.append(r)
+            for peer, nbytes in neighbours:
+                s = yield from mpi.isend(dest=peer,
+                                         nbytes=max(nbytes // scale, 8),
+                                         tag=tag)
+                reqs.append(s)
+            yield from mpi.waitall(reqs)
+
+        local = (n // px) * (n // py)
+        for _ in range(params.iterations):
+            # corner-force assembly on the moving mesh
+            yield from halo(0)
+            yield from mpi.compute(work_seconds(local * 12))
+            # CG solve for the velocity mass matrix: each iteration is
+            # one sparse mat-vec halo plus two dot-product allreduces
+            for _ in range(params.inner):
+                yield from halo(1, scale=3)
+                yield from mpi.compute(work_seconds(local * 4))
+                yield from mpi.allreduce(8)    # alpha = r.r / p.Ap
+                yield from mpi.allreduce(8)    # new residual norm
+            # CFL time-step control: global minimum over elements
+            yield from mpi.allreduce(8)
+        # energy conservation check at the end of the run
+        yield from mpi.allreduce(16)
+        yield from mpi.finalize()
+
+    return program
+
+
+CLASSES = {
+    "S": ClassParams(grid=32, iterations=2, inner=6),
+    "W": ClassParams(grid=64, iterations=3, inner=8),
+    "A": ClassParams(grid=128, iterations=4, inner=12),
+    "B": ClassParams(grid=256, iterations=6, inner=16),
+    "C": ClassParams(grid=512, iterations=8, inner=20),
+}

@@ -4,61 +4,91 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.apps import (bt, cg, ep, ft, halo3d, is_sort, jacobi, lu, mg,
-                        races, ring, sp, sweep3d)
+from repro.apps import (amg, bt, cg, ep, ft, halo3d, is_sort, jacobi,
+                        kripke, laghos, lu, mg, races, ring, sp, sweep3d)
 from repro.apps.base import (AppDefinition, AppError, require_power_of_two,
                              require_square)
 
 APPS: Dict[str, AppDefinition] = {
     "ring": AppDefinition(
         "ring", ring.ring_factory, ring.CLASSES,
-        "nearest-neighbour ring exchange (the paper's Fig. 2 example)"),
+        "nearest-neighbour ring exchange (the paper's Fig. 2 example)",
+        pattern="stencil"),
     "ep": AppDefinition(
         "ep", ep.ep_factory, ep.CLASSES,
-        "NPB EP: embarrassingly parallel, final small allreduces"),
+        "NPB EP: embarrassingly parallel, final small allreduces",
+        pattern="embarrassingly-parallel"),
     "cg": AppDefinition(
         "cg", cg.cg_factory, cg.CLASSES,
         "NPB CG: row-sum butterfly + transpose + dot-product allreduces",
-        validate=lambda n: require_power_of_two(n, "CG")),
+        validate=lambda n: require_power_of_two(n, "CG"),
+        pattern="collective-heavy"),
     "mg": AppDefinition(
         "mg", mg.mg_factory, mg.CLASSES,
         "NPB MG: V-cycle with level-dependent 3-D halo exchange",
-        validate=lambda n: require_power_of_two(n, "MG")),
+        validate=lambda n: require_power_of_two(n, "MG"),
+        pattern="multigrid"),
     "ft": AppDefinition(
         "ft", ft.ft_factory, ft.CLASSES,
         "NPB FT: all-to-all transposes on a duplicated communicator",
-        validate=lambda n: require_power_of_two(n, "FT")),
+        validate=lambda n: require_power_of_two(n, "FT"),
+        pattern="transpose"),
     "is": AppDefinition(
         "is", is_sort.is_factory, is_sort.CLASSES,
         "NPB IS: bucket allreduce + alltoall + uneven alltoallv",
-        validate=lambda n: require_power_of_two(n, "IS")),
+        validate=lambda n: require_power_of_two(n, "IS"),
+        pattern="transpose"),
     "lu": AppDefinition(
         "lu", lu.lu_factory, lu.CLASSES,
-        "NPB LU: SSOR wavefront with MPI_ANY_SOURCE receives (§4.4)"),
+        "NPB LU: SSOR wavefront with MPI_ANY_SOURCE receives (§4.4)",
+        pattern="sweep"),
     "bt": AppDefinition(
         "bt", bt.bt_factory, bt.CLASSES,
         "NPB BT: ADI face exchange + solver pipelines (the §5.4 subject)",
-        validate=lambda n: require_square(n, "BT")),
+        validate=lambda n: require_square(n, "BT"),
+        pattern="stencil"),
     "sp": AppDefinition(
         "sp", sp.sp_factory, sp.CLASSES,
         "NPB SP: ADI with thinner, more frequent pipeline messages",
-        validate=lambda n: require_square(n, "SP")),
+        validate=lambda n: require_square(n, "SP"),
+        pattern="stencil"),
     "sweep3d": AppDefinition(
         "sweep3d", sweep3d.sweep3d_factory, sweep3d.CLASSES,
         "Sweep3D: octant wavefronts with split-call-site collectives "
-        "(§4.3)"),
+        "(§4.3)",
+        pattern="sweep"),
     # extra (non-paper) workloads
     "jacobi": AppDefinition(
         "jacobi", jacobi.jacobi_factory, jacobi.CLASSES,
-        "Jacobi 2-D: non-periodic 5-point halo exchange + residual checks"),
+        "Jacobi 2-D: non-periodic 5-point halo exchange + residual checks",
+        pattern="stencil"),
     "halo3d": AppDefinition(
         "halo3d", halo3d.halo3d_factory, halo3d.CLASSES,
-        "halo3d: 27-point 3-D exchange (faces/edges/corners, Ember-style)"),
+        "halo3d: 27-point 3-D exchange (faces/edges/corners, Ember-style)",
+        pattern="stencil"),
     "race": AppDefinition(
         "race", races.race_factory, races.CLASSES,
         "wildcard fan-in race: schedule-dependent deadlock fixture for "
         "the fuzzer (docs/FUZZING.md)",
-        validate=races.validate),
+        validate=races.validate,
+        pattern="irregular"),
+    # HPC proxy applications (scenario-layer targets)
+    "amg": AppDefinition(
+        "amg", amg.amg_factory, amg.CLASSES,
+        "AMG: algebraic-multigrid V-cycle with rank-thinning coarse "
+        "levels (BoomerAMG-style)",
+        validate=lambda n: require_power_of_two(n, "AMG"),
+        pattern="multigrid"),
+    "kripke": AppDefinition(
+        "kripke", kripke.kripke_factory, kripke.CLASSES,
+        "Kripke: KBA transport sweeps pipelined over group/direction "
+        "sets (LLNL proxy)",
+        pattern="sweep"),
+    "laghos": AppDefinition(
+        "laghos", laghos.laghos_factory, laghos.CLASSES,
+        "Laghos: high-order Lagrangian hydro — halo exchange + CG "
+        "dot-product allreduce mix (CEED proxy)",
+        pattern="collective-heavy"),
 }
 
 #: the paper's evaluation set (§5.1): NPB + Sweep3D

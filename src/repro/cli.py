@@ -115,6 +115,59 @@ def _schedule_kwargs(args) -> dict:
     return {"schedule_policy": policy, "schedule_seed": seed}
 
 
+def _add_queueing(parser):
+    from repro.sim.queueing import QUEUE_DISCIPLINES
+    parser.add_argument("--queue-discipline", choices=QUEUE_DISCIPLINES,
+                        default="fifo", dest="queue_discipline",
+                        help="per-link queue discipline for routed runs "
+                             "(default: fifo; non-fifo disciplines need "
+                             "--topology; see docs/SCENARIOS.md)")
+    parser.add_argument("--queue-param", action="append", default=[],
+                        metavar="KEY=VALUE", dest="queue_params",
+                        help="queue-discipline knob (repeatable), e.g. "
+                             "target=1e-6, interval=1e-5, penalty=5e-5")
+
+
+def _queueing_kwargs(args) -> dict:
+    """PipelineConfig keyword args for the ``--queue-*`` flag family.
+
+    FIFO (the default) returns an empty mapping so pre-queueing call
+    sites stay byte-identical; knobs without a non-fifo discipline are
+    an argv error, caught here rather than deep inside a run.
+    """
+    discipline = getattr(args, "queue_discipline", "fifo")
+    params = {}
+    for item in getattr(args, "queue_params", None) or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --queue-param needs KEY=VALUE, got {item!r}")
+        try:
+            params[key] = json.loads(value)
+        except ValueError:
+            params[key] = value
+    if discipline in (None, "fifo"):
+        if params:
+            raise SystemExit(
+                "error: --queue-param requires a non-fifo "
+                "--queue-discipline")
+        return {}
+    out = {"queue_discipline": discipline}
+    if params:
+        out["queue_params"] = params
+    return out
+
+
+def _scenario_ref(value: str):
+    """Resolve a ``--scenario``/positional scenario argument: a file
+    path loads as an inline spec; anything else passes through as a
+    curated registry name (resolved by the config/job layer)."""
+    if os.path.exists(value):
+        from repro.scenarios import load_scenario
+        return load_scenario(value)
+    return value
+
+
 @contextlib.contextmanager
 def _metrics(args):
     """Collect instrumentation for the command; dump it if requested."""
@@ -146,12 +199,14 @@ def _write_atomic(path: str, text: str) -> None:
 def cmd_apps(args):
     if args.json:
         listing = {name: {"description": APPS[name].description,
-                          "classes": sorted(APPS[name].classes)}
+                          "classes": sorted(APPS[name].classes),
+                          "pattern": APPS[name].pattern}
                    for name in sorted(APPS)}
         print(json.dumps(listing, indent=2, sort_keys=True))
         return 0
     for name in sorted(APPS):
-        print(f"{name:10s} {APPS[name].description}")
+        app = APPS[name]
+        print(f"{name:10s} [{app.pattern}] {app.description}")
     return 0
 
 
@@ -205,6 +260,7 @@ def cmd_run(args):
         source = fh.read()
     config = PipelineConfig(nranks=args.np, platform=args.platform,
                             **_topology_kwargs(args),
+                            **_queueing_kwargs(args),
                             **_schedule_kwargs(args))
     hook = MpiPHook()
     ctx = RunContext(config, hooks=[hook])
@@ -226,6 +282,7 @@ def cmd_replay(args):
     config = PipelineConfig(nranks=trace.world_size,
                             platform=args.platform,
                             **_topology_kwargs(args),
+                            **_queueing_kwargs(args),
                             **_schedule_kwargs(args))
     ctx = RunContext(config)
     ctx.artifacts["trace"] = trace
@@ -251,7 +308,10 @@ def cmd_pipeline(args):
                             fault_plan=plan,
                             stage_retries=args.stage_retries,
                             profile=args.profile,
+                            scenario=(_scenario_ref(args.scenario)
+                                      if args.scenario else None),
                             **_topology_kwargs(args),
+                            **_queueing_kwargs(args),
                             **_schedule_kwargs(args))
     from repro.errors import SimDeadlockError
     with _metrics(args) as inst:
@@ -452,6 +512,90 @@ def cmd_fuzz_run(args):
     return 0
 
 
+def cmd_scenarios_list(args):
+    from repro.scenarios import SCENARIOS
+    if args.json:
+        listing = {name: {"description": s.description,
+                          "digest": s.digest(),
+                          "topology": s.topology,
+                          "queue_discipline": s.queue_discipline}
+                   for name, s in SCENARIOS.items()}
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    for name, s in SCENARIOS.items():
+        print(f"{name:22s} {s.description}")
+    return 0
+
+
+def cmd_scenarios_show(args):
+    from repro.errors import ScenarioError
+    from repro.scenarios import dumps_scenario
+    try:
+        scn = _scenario_ref(args.scenario)
+        if isinstance(scn, str):
+            from repro.scenarios import get_scenario
+            scn = get_scenario(scn)
+    except ScenarioError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(dumps_scenario(scn), end="")
+    print(f"# {scn.describe()}")
+    return 0
+
+
+def cmd_scenarios_template(args):
+    from repro.scenarios import TEMPLATE as SCENARIO_TEMPLATE
+    if args.output:
+        _write_atomic(args.output, SCENARIO_TEMPLATE)
+        print(f"wrote {args.output}")
+    else:
+        print(SCENARIO_TEMPLATE, end="")
+    return 0
+
+
+def cmd_scenarios_run(args):
+    """Run one scenario × app cell through the sweep engine.
+
+    The job compiles to a one-point sweep plan — the identical plan the
+    service's ``scenario`` job kind executes — so ``-o`` writes the same
+    canonical bytes ``repro jobs result`` would return for the same
+    submission.
+    """
+    from repro.errors import ScenarioError
+    from repro.scenarios import ScenarioJob
+    from repro.sweep import default_workers, run_sweep
+    try:
+        job = ScenarioJob(scenario=_scenario_ref(args.scenario),
+                          app=args.app, nranks=args.np, cls=args.cls,
+                          platform=args.platform, mode=args.mode)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers > 0 else default_workers()
+    with _metrics(args) as inst:
+        result = run_sweep(job.to_sweep_plan(), workers=workers,
+                           use_cache=not args.no_cache,
+                           cache_dir=args.cache_dir)
+    print(job.describe())
+    print(result.report())
+    for point in result.points:
+        extras = {k: point.metrics[k] for k in
+                  ("links_used", "link_wait_s", "link_drops")
+                  if k in point.metrics}
+        if extras:
+            print("  " + "  ".join(f"{k}={v}" for k, v
+                                   in sorted(extras.items())))
+    if args.output:
+        _write_atomic(args.output, result.canonical_json())
+        print(f"wrote {args.output}")
+    if args.jsonl:
+        _write_atomic(args.jsonl, result.canonical_jsonl())
+        print(f"wrote {args.jsonl}")
+    if args.report:
+        print(inst.report())
+    return 1 if result.failed else 0
+
+
 def cmd_serve(args):
     """Run the sweep service until interrupted (see docs/SERVICE.md)."""
     import asyncio
@@ -615,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the mpiP-style profile")
     _add_platform(p)
     _add_topology(p)
+    _add_queueing(p)
     _add_schedule(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_run)
@@ -623,6 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     _add_platform(p)
     _add_topology(p)
+    _add_queueing(p)
     _add_schedule(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_replay)
@@ -655,8 +801,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attribute engine wall time to phases "
                         "(schedule/match/execute/fabric) and print a "
                         "summary at exit")
+    p.add_argument("--scenario", metavar="NAME|FILE",
+                   help="execute under a scenario: a curated name from "
+                        "'repro scenarios list' or a YAML/JSON spec "
+                        "file (the trace stays canonical; see "
+                        "docs/SCENARIOS.md)")
     _add_platform(p)
     _add_topology(p)
+    _add_queueing(p)
     _add_schedule(p)
     _add_metrics(p)
     p.set_defaults(func=cmd_pipeline)
@@ -775,6 +927,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics(zp)
     zp.set_defaults(func=cmd_fuzz_run)
 
+    p = sub.add_parser("scenarios",
+                       help="adversarial traffic/congestion scenarios: "
+                            "curated named specs composing topology, "
+                            "faults, queueing, placement, and schedule "
+                            "(list/show/run/template)")
+    csub = p.add_subparsers(dest="scenarios_command", required=True)
+
+    cp = csub.add_parser("list", help="list the curated scenarios")
+    cp.add_argument("--json", action="store_true",
+                    help="machine-readable listing")
+    cp.set_defaults(func=cmd_scenarios_list)
+
+    cp = csub.add_parser("show",
+                         help="print one scenario's full spec (a curated "
+                              "name or a YAML/JSON file)")
+    cp.add_argument("scenario", help="curated name or spec file")
+    cp.set_defaults(func=cmd_scenarios_show)
+
+    cp = csub.add_parser("run",
+                         help="run one scenario x app cell through the "
+                              "sweep engine (canonical result bytes "
+                              "match the service's scenario job kind)")
+    cp.add_argument("scenario", help="curated name or spec file")
+    cp.add_argument("--app", required=True, choices=sorted(APPS))
+    cp.add_argument("--np", type=int, required=True)
+    cp.add_argument("--class", dest="cls", default="S",
+                    help="problem class (S/W/A/B/C)")
+    cp.add_argument("--mode", default="run", choices=["run", "trace"],
+                    help="pipeline suffix per point (default: run)")
+    cp.add_argument("--workers", type=int, default=1,
+                    help="worker processes (0 = one per CPU; default 1)")
+    cp.add_argument("-o", "--output",
+                    help="write the canonical result (JSON) here")
+    cp.add_argument("--jsonl", metavar="FILE",
+                    help="write canonical per-point JSON lines here")
+    cp.add_argument("--cache-dir", default=".repro-cache",
+                    help="shared artifact cache directory "
+                         "(default: .repro-cache)")
+    cp.add_argument("--no-cache", action="store_true",
+                    help="bypass the artifact cache entirely")
+    cp.add_argument("--report", action="store_true",
+                    help="also print the per-layer instrumentation "
+                         "report")
+    _add_platform(cp)
+    _add_metrics(cp)
+    cp.set_defaults(func=cmd_scenarios_run)
+
+    cp = csub.add_parser("template",
+                         help="print a commented scenario-spec template")
+    cp.add_argument("-o", "--output",
+                    help="write the template here instead of stdout")
+    cp.set_defaults(func=cmd_scenarios_template)
+
     p = sub.add_parser("serve",
                        help="run the sweep service: an HTTP/JSON job "
                             "API over a journaled queue and the shared "
@@ -803,9 +1008,11 @@ def build_parser() -> argparse.ArgumentParser:
                       "(default: http://127.0.0.1:8642)"}
 
     jp = jsub.add_parser("submit",
-                         help="submit a sweep plan or fuzz campaign")
-    jp.add_argument("plan", help="plan/campaign file (YAML/JSON)")
-    jp.add_argument("--kind", choices=["sweep", "fuzz"], default="sweep",
+                         help="submit a sweep plan, fuzz campaign, or "
+                              "scenario job")
+    jp.add_argument("plan", help="plan/campaign/job file (YAML/JSON)")
+    jp.add_argument("--kind", choices=["sweep", "fuzz", "scenario"],
+                    default="sweep",
                     help="what the file describes (default: sweep)")
     jp.add_argument("--url", **url_kw)
     jp.add_argument("--wait", action="store_true",

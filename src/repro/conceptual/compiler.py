@@ -182,15 +182,18 @@ class ConceptualProgram:
 
     def run(self, nranks: int, model=None, hooks=None,
             max_steps=None, faults=None, profile=False,
-            schedule_policy=None,
-            schedule_seed=None) -> Tuple[SpmdResult, LogDatabase]:
+            schedule_policy=None, schedule_seed=None,
+            queue_discipline=None,
+            queue_params=None) -> Tuple[SpmdResult, LogDatabase]:
         """Compile-and-run convenience: returns the simulation result and
         the program's log database."""
         logs = LogDatabase()
         result = run_spmd(self.instantiate(logs), nranks, model=model,
                           hooks=hooks, max_steps=max_steps, faults=faults,
                           profile=profile, schedule_policy=schedule_policy,
-                          schedule_seed=schedule_seed)
+                          schedule_seed=schedule_seed,
+                          queue_discipline=queue_discipline,
+                          queue_params=queue_params)
         return result, logs
 
     # -- statement execution ------------------------------------------------

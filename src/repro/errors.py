@@ -98,6 +98,11 @@ class FuzzCampaignError(FuzzError):
     unparsable file."""
 
 
+class ScenarioError(ReproError):
+    """A scenario spec is malformed, names an unknown adversary or
+    dimension value, or could not be expanded for a concrete run."""
+
+
 class ServiceError(ReproError):
     """The sweep service could not satisfy a request: unknown job,
     malformed submission, missing result payload, bad server reply."""

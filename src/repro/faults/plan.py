@@ -261,12 +261,18 @@ max_retries: 3            # retransmission attempts after the first send
 retry_timeout: 1.0e-4     # seconds before the first retransmission
 retry_backoff: 2.0        # timeout multiplier per further attempt
 windows: []               # transient link degradation, e.g.
-#  - t_start: 0.0
-#    t_end: 0.005
+#  - t_start: 0.0         # rank-filtered: slow every message landing
+#    t_end: 0.005         # on ranks 0 and 1 during the window
 #    latency_factor: 4.0
 #    bandwidth_factor: 2.0
 #    ranks: [0, 1]        # destination ranks affected (omit for all)
-#    links: ["x+:0,0,0"]  # named fabric links (routed fabrics only)
+#  - t_start: 0.0         # link-filtered (routed fabrics only): slow
+#    t_end: 0.005         # messages whose route traverses a named
+#    latency_factor: 8.0  # fabric link -- "x+:0,0,0" on a torus,
+#    bandwidth_factor: 4.0  # "up:1:2" on a fat-tree (docs/TOPOLOGY.md)
+#    ranks: [0, 1]        # filters compound: BOTH the destination rank
+#    links: ["x+:0,0,0"]  # AND the route filter must pass (omit ranks
+#                         # to target the links alone)
 stragglers: []            # per-rank compute slowdowns, e.g.
 #  - {rank: 2, factor: 3.0}
 crashes: []               # rank stops executing at a virtual time, e.g.

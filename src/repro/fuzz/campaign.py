@@ -11,6 +11,10 @@ It has four parts:
   (``app``, ``nranks``, ``cls``, and any per-cell override);
 * ``topologies`` — routed-fabric names the cells are crossed with
   (``null`` = the flat network);
+* ``scenarios`` — scenario references the cells are crossed with
+  (``null`` = none; curated names or inline specs, see
+  ``docs/SCENARIOS.md``).  Scenarios that pin the schedule are
+  rejected — the campaign owns the schedule dimension;
 * ``policies`` x ``seeds`` — the seeded scheduler policies
   (:data:`repro.sim.policy.SEEDED_POLICIES`) and how many consecutive
   seeds (starting at ``seed0``) each one explores.
@@ -43,7 +47,8 @@ from repro.sim.policy import SEEDED_POLICIES
 CAMPAIGN_MODES = ("run", "trace")
 
 #: config fields the campaign owns; cells and base may not set them
-_RESERVED_FIELDS = ("schedule_policy", "schedule_seed", "topology")
+_RESERVED_FIELDS = ("schedule_policy", "schedule_seed", "topology",
+                    "scenario")
 
 
 def _check_cell(where: str, mapping: Mapping[str, Any]) -> None:
@@ -54,7 +59,8 @@ def _check_cell(where: str, mapping: Mapping[str, Any]) -> None:
         if key in _RESERVED_FIELDS:
             raise FuzzCampaignError(
                 f"{where}: field {key!r} is owned by the campaign "
-                f"(set it via the policies/seeds/topologies keys)")
+                f"(set it via the policies/seeds/topologies/scenarios "
+                f"keys)")
         if key not in known:
             raise FuzzCampaignError(
                 f"{where}: unknown config field {key!r}; choose from "
@@ -63,11 +69,12 @@ def _check_cell(where: str, mapping: Mapping[str, Any]) -> None:
 
 @dataclass(frozen=True)
 class FuzzCell:
-    """One expanded (application cell x topology) schedule space."""
+    """One expanded (application cell x topology x scenario) space."""
 
     index: int                     #: position in expansion order
-    overrides: Dict[str, Any]      #: base + cell fields (+ topology)
+    overrides: Dict[str, Any]      #: base + cell fields (+ topology...)
     topology: Optional[str]        #: routed fabric, None = flat
+    scenario: Optional[str] = None  #: scenario label, None = unscoped
 
     def label(self) -> str:
         """Short human label: app/nranks/cls plus the topology."""
@@ -79,6 +86,8 @@ class FuzzCell:
             bits.append(str(o["platform"]))
         if self.topology:
             bits.append(self.topology)
+        if self.scenario:
+            bits.append(f"scenario={self.scenario}")
         return "/".join(bits)
 
 
@@ -120,6 +129,7 @@ class FuzzCampaign:
     base: Dict[str, Any] = field(default_factory=dict)
     apps: Tuple[Dict[str, Any], ...] = ()
     topologies: Tuple[Optional[str], ...] = (None,)
+    scenarios: Tuple[Any, ...] = (None,)
     policies: Tuple[str, ...] = SEEDED_POLICIES
     seeds: int = 16                 #: seeds explored per policy
     seed0: int = 0                  #: first seed of the range
@@ -161,6 +171,41 @@ class FuzzCampaign:
                     f"unknown topology {t!r}; choose from "
                     f"{sorted(TOPOLOGIES)} or null")
         object.__setattr__(self, "topologies", tuple(topos))
+        scns = self.scenarios
+        if not isinstance(scns, (list, tuple)) or not scns:
+            raise FuzzCampaignError(
+                "scenarios must be a non-empty list (use [null] for "
+                "no scenario)")
+        from repro.errors import ScenarioError
+        from repro.scenarios import get_scenario
+        normalized = []
+        seen_digests = set()
+        for i, entry in enumerate(scns):
+            if entry is None:
+                if None in normalized:
+                    raise FuzzCampaignError(
+                        f"scenarios[{i}]: null listed more than once")
+                normalized.append(None)
+                continue
+            try:
+                scn = get_scenario(entry)
+            except ScenarioError as exc:
+                raise FuzzCampaignError(
+                    f"scenarios[{i}]: {exc}") from None
+            if scn.pins_schedule():
+                raise FuzzCampaignError(
+                    f"scenarios[{i}]: scenario {scn.name!r} pins the "
+                    f"schedule ({scn.schedule_policy}), but the "
+                    f"campaign owns the schedule dimension; drop the "
+                    f"pin or use a scenario without one")
+            if scn.digest() in seen_digests:
+                raise FuzzCampaignError(
+                    f"scenarios[{i}]: scenario {scn.name!r} listed "
+                    f"more than once")
+            seen_digests.add(scn.digest())
+            normalized.append(entry if isinstance(entry, str)
+                              else scn.to_dict())
+        object.__setattr__(self, "scenarios", tuple(normalized))
         pols = self.policies
         if not isinstance(pols, (list, tuple)) or not pols:
             raise FuzzCampaignError(
@@ -190,14 +235,21 @@ class FuzzCampaign:
 
     # -- expansion ----------------------------------------------------------
     def cells(self) -> List[FuzzCell]:
-        """The (app cell x topology) schedule spaces, expansion order."""
+        """The (app cell x topology x scenario) schedule spaces, in
+        expansion order."""
         out: List[FuzzCell] = []
         for cell in self.apps:
             for topo in self.topologies:
-                overrides = {**self.base, **cell}
-                if topo is not None:
-                    overrides["topology"] = topo
-                out.append(FuzzCell(len(out), overrides, topo))
+                for scn in self.scenarios:
+                    overrides = {**self.base, **cell}
+                    if topo is not None:
+                        overrides["topology"] = topo
+                    label = None
+                    if scn is not None:
+                        overrides["scenario"] = scn
+                        label = (scn if isinstance(scn, str)
+                                 else scn.get("name", "inline"))
+                    out.append(FuzzCell(len(out), overrides, topo, label))
         return out
 
     def points(self) -> List[FuzzPoint]:
@@ -236,8 +288,12 @@ class FuzzCampaign:
 
     # -- serialization ------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data rendering (the YAML/JSON file content)."""
-        return {
+        """Plain-data rendering (the YAML/JSON file content).
+
+        ``scenarios`` is omitted at its default so campaigns written
+        before the scenario axis existed keep their digests.
+        """
+        out = {
             "name": self.name,
             "mode": self.mode,
             "base": dict(self.base),
@@ -247,6 +303,10 @@ class FuzzCampaign:
             "seeds": self.seeds,
             "seed0": self.seed0,
         }
+        if self.scenarios != (None,):
+            out["scenarios"] = [s if s is None or isinstance(s, str)
+                                else dict(s) for s in self.scenarios]
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FuzzCampaign":
@@ -256,7 +316,7 @@ class FuzzCampaign:
                 f"fuzz campaign must be a mapping, got "
                 f"{type(data).__name__}")
         known = {"name", "mode", "base", "apps", "topologies",
-                 "policies", "seeds", "seed0"}
+                 "scenarios", "policies", "seeds", "seed0"}
         unknown = set(data) - known
         if unknown:
             raise FuzzCampaignError(
@@ -272,7 +332,8 @@ class FuzzCampaign:
             "base": dict(data.get("base", {})),
             "apps": tuple(apps),
         }
-        for key in ("topologies", "policies", "seeds", "seed0"):
+        for key in ("topologies", "scenarios", "policies", "seeds",
+                    "seed0"):
             if key in data:
                 value = data[key]
                 kwargs[key] = (tuple(value)
@@ -314,6 +375,10 @@ apps:                     # application cells: each its own schedule
   - {app: ring, nranks: 8, cls: S}   # deterministic control: one class
 topologies: [null]        # cross cells with routed fabrics; null = flat
                           # e.g. [null, torus3d, fattree]
+scenarios: [null]         # cross cells with adversity scenarios; null =
+                          # none; e.g. [null, torus-hotlink] (curated
+                          # names from `repro scenarios list` — pins of
+                          # schedule_policy are rejected here)
 policies:                 # seeded policies to explore (the canonical
   - random                # baseline point runs automatically per cell)
   - adversarial-delay

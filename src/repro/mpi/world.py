@@ -21,11 +21,14 @@ class World:
                  hooks: Optional[Sequence[MPIHook]] = None,
                  max_steps: Optional[int] = None, faults=None,
                  profile: bool = False, schedule_policy=None,
-                 schedule_seed: Optional[int] = None):
+                 schedule_seed: Optional[int] = None,
+                 queue_discipline=None, queue_params=None):
         self.engine = Engine(nranks, model, max_steps=max_steps,
                              faults=faults, profile=profile,
                              schedule_policy=schedule_policy,
-                             schedule_seed=schedule_seed)
+                             schedule_seed=schedule_seed,
+                             queue_discipline=queue_discipline,
+                             queue_params=queue_params)
         self.registry = CommRegistry(nranks)
         self.hooks: List[MPIHook] = list(hooks or [])
         self.split_data: Dict[tuple, Dict[int, tuple]] = {}
@@ -88,7 +91,8 @@ def run_spmd(program: Callable, nranks: int,
              max_steps: Optional[int] = None,
              faults=None, profile: bool = False,
              schedule_policy=None,
-             schedule_seed: Optional[int] = None) -> SpmdResult:
+             schedule_seed: Optional[int] = None,
+             queue_discipline=None, queue_params=None) -> SpmdResult:
     """Execute ``program`` on ``nranks`` simulated ranks.
 
     ``program(mpi)`` must be a generator function taking an
@@ -102,12 +106,16 @@ def run_spmd(program: Callable, nranks: int,
     and hooks still observe the end of the run — that is what lets the
     pipeline salvage a trace prefix and fault report.
     ``schedule_policy``/``schedule_seed`` pick the engine's tie-break
-    policy (default canonical; see :mod:`repro.sim.policy`).
+    policy (default canonical; see :mod:`repro.sim.policy`);
+    ``queue_discipline``/``queue_params`` pick the routed fabric's
+    per-link queue (default FIFO; see :mod:`repro.sim.queueing`).
     """
     world = World(nranks, model or LogGPModel(), hooks=hooks,
                   max_steps=max_steps, faults=faults, profile=profile,
                   schedule_policy=schedule_policy,
-                  schedule_seed=schedule_seed)
+                  schedule_seed=schedule_seed,
+                  queue_discipline=queue_discipline,
+                  queue_params=queue_params)
     gens = [_wrap(program, MPIProcess(world, r)) for r in range(nranks)]
     try:
         total = world.engine.run(gens)

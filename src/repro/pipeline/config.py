@@ -24,6 +24,24 @@ from repro.faults.plan import FaultPlan
 #: problem classes accepted by the application suite
 _CLASSES = ("S", "W", "A", "B", "C")
 
+#: the execution-only fields: they change how the generated benchmark
+#: *executes* without touching the trace/emit artifacts, so none of
+#: them may appear in the trace/emit rolling cache key (the §5.4
+#: what-if economy).  The contract test in
+#: ``tests/pipeline/test_execution_only.py`` enforces this list
+#: field-by-field against the stage key parts.
+EXECUTION_ONLY_FIELDS = (
+    "compute_scale",
+    "run_platform",
+    "run_platform_params",
+    "topology",
+    "topology_params",
+    "placement",
+    "scenario",
+    "queue_discipline",
+    "queue_params",
+)
+
 
 @dataclass(frozen=True)
 class PipelineConfig:
@@ -68,6 +86,20 @@ class PipelineConfig:
     placement: str = "block"           #: rank→node placement spec
     #:                                    ("block", "roundrobin",
     #:                                    "random[:seed]", "map:<file>")
+    scenario: Optional[Any] = None     #: execution scenario: a curated
+    #:                                    registry name, an inline spec
+    #:                                    mapping, or a Scenario object
+    #:                                    (normalized to the latter).
+    #:                                    Expands into the execution-only
+    #:                                    dimensions; its fault content
+    #:                                    and schedule pin apply only at
+    #:                                    the run/replay stages.
+    queue_discipline: str = "fifo"     #: per-link queue discipline for
+    #:                                    routed execution fabrics
+    #:                                    (repro.sim.queueing)
+    queue_params: Optional[Tuple[Tuple[str, Any], ...]] = None
+    #: queue-discipline knobs (codel target/interval/penalty);
+    #: normalized like the other params fields
     schedule_policy: str = "canonical"  #: engine tie-break policy for
     #:                                     every simulated run in the
     #:                                     pipeline (repro.sim.policy)
@@ -84,6 +116,12 @@ class PipelineConfig:
     def __post_init__(self):
         from repro.apps import APPS
         from repro.sim.network import PLATFORMS
+        # normalize the params fields first so scenario expansion can
+        # compare values in canonical (sorted-pair-tuple) form
+        self._normalize_params("run_platform_params")
+        self._normalize_params("topology_params")
+        self._normalize_params("queue_params")
+        self._expand_scenario()
         if self.app is not None and self.app.lower() not in APPS:
             raise PipelineConfigError(
                 f"unknown application {self.app!r}; choose from "
@@ -124,7 +162,6 @@ class PipelineConfig:
             raise PipelineConfigError(
                 f"unknown run_platform {self.run_platform!r}; choose "
                 f"from {sorted(PLATFORMS)}")
-        self._normalize_params("run_platform_params")
         if self.run_platform_params is not None:
             # satellite guard: a typoed or preset-incompatible parameter
             # (e.g. eager_threshold on SimpleModel) fails here — at
@@ -144,7 +181,6 @@ class PipelineConfig:
                 raise PipelineConfigError(
                     f"unknown topology {self.topology!r}; choose from "
                     f"{sorted(TOPOLOGIES)}")
-        self._normalize_params("topology_params")
         if self.topology_params is not None:
             if self.topology is None:
                 raise PipelineConfigError(
@@ -174,6 +210,61 @@ class PipelineConfig:
             except ValueError as exc:
                 raise PipelineConfigError(f"bad placement: {exc}") \
                     from None
+        from repro.sim.queueing import resolve_queue_discipline
+        try:
+            resolve_queue_discipline(
+                self.queue_discipline, dict(self.queue_params or ()))
+        except ValueError as exc:
+            raise PipelineConfigError(str(exc)) from None
+        if self.queue_discipline not in (None, "fifo") \
+                and self.topology is None:
+            raise PipelineConfigError(
+                f"queue_discipline {self.queue_discipline!r} needs a "
+                f"routed execution fabric; set a topology")
+
+    def _expand_scenario(self) -> None:
+        """Resolve ``scenario`` to a :class:`Scenario` and adopt its
+        execution dimensions.
+
+        A dimension the scenario sets is adopted when the config still
+        carries the field default; an explicit conflicting value is an
+        error (scenarios compose with, never silently override, direct
+        settings).  The scenario's fault content and schedule pin are
+        *not* expanded into config fields — they apply only at the
+        run/replay stages (see ``repro.pipeline.stages``), which keeps
+        the canonical trace and its cache key scenario-independent.
+        """
+        if self.scenario is None:
+            return
+        from repro.errors import ScenarioError
+        from repro.scenarios import get_scenario
+        try:
+            scn = get_scenario(self.scenario)
+        except ScenarioError as exc:
+            raise PipelineConfigError(str(exc)) from None
+        object.__setattr__(self, "scenario", scn)
+        if scn.has_fault_content() and self.fault_plan is not None:
+            raise PipelineConfigError(
+                f"scenario {scn.name!r} carries fault content and the "
+                f"config sets fault_plan; use one or the other")
+        if scn.pins_schedule() and (
+                self.schedule_policy != "canonical"
+                or self.schedule_seed is not None):
+            raise PipelineConfigError(
+                f"scenario {scn.name!r} pins the schedule policy and "
+                f"the config sets schedule_policy/schedule_seed; use "
+                f"one or the other")
+        defaults = {f.name: f.default for f in fields(type(self))}
+        for name, value in scn.dimensions().items():
+            current = getattr(self, name)
+            if current == defaults[name]:
+                object.__setattr__(self, name, value)
+                if name.endswith("_params"):
+                    self._normalize_params(name)
+            elif current != value:
+                raise PipelineConfigError(
+                    f"scenario {scn.name!r} sets {name}={value!r} but "
+                    f"the config already has {name}={current!r}")
 
     def _normalize_params(self, field_name: str) -> None:
         """Normalize a params field (mapping or pair sequence) to a
@@ -218,6 +309,9 @@ class PipelineConfig:
         if self.fault_plan is not None:
             out["fault_plan"] = (None if self.fault_plan.is_null()
                                  else self.fault_plan.digest())
+        # likewise for scenarios: digest-keyed, not object-valued
+        if self.scenario is not None:
+            out["scenario"] = self.scenario.digest()
         return out
 
     def replace(self, **changes) -> "PipelineConfig":

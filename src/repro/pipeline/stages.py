@@ -27,10 +27,24 @@ from repro.errors import PipelineError, SimulationError
 from repro.pipeline.context import RunContext
 
 
-def _fault_injector(ctx: RunContext):
-    """A FaultInjector for the config's plan, or None when no (effective)
-    plan is set — the fault-free path never touches the faults package."""
+def _fault_injector(ctx: RunContext, execution: bool = False):
+    """A FaultInjector for the stage's effective plan, or None when no
+    plan applies — the fault-free path never touches the faults package.
+
+    ``execution=True`` marks the run/replay stages: only there does a
+    scenario's fault content (its base plan plus expanded adversaries)
+    engage.  The trace stage never sees it, which is what keeps the
+    canonical trace — and its cache address — scenario-independent.
+    """
     plan = ctx.config.fault_plan
+    if execution:
+        scn = ctx.config.scenario
+        if scn is not None and scn.has_fault_content():
+            # config.fault_plan + scenario fault content is rejected at
+            # config construction, so the scenario's plan stands alone
+            from repro.scenarios import scenario_fault_plan
+            plan = scenario_fault_plan(scn, ctx.config.app,
+                                       ctx.config.nranks)
     if plan is None or plan.is_null():
         return None
     from repro.faults import FaultInjector
@@ -51,20 +65,45 @@ def _salvage(ctx: RunContext, exc: SimulationError, faults):
     return partial
 
 
-def _schedule_kwargs(ctx: RunContext) -> dict:
-    """``run_spmd`` keyword arguments for the config's schedule policy.
+def _schedule_kwargs(ctx: RunContext, execution: bool = False) -> dict:
+    """``run_spmd`` keyword arguments for the stage's schedule policy.
 
     Empty for the canonical default, so the untouched-path call sites
     stay exactly as before; a non-canonical policy is rebuilt fresh per
     stage (each simulated run must see the same seeded RNG sequence a
     standalone ``repro run --schedule-policy ... --schedule-seed ...``
     would).
+
+    ``execution=True`` marks the run/replay stages: only there does a
+    scenario's schedule pin engage (the trace stays canonical, so a
+    schedule-pinning scenario still shares the canonical trace cache).
+    A config-level non-canonical policy keys the trace and wins
+    everywhere; the combination of both is rejected at config time.
     """
     c = ctx.config
-    if c.schedule_policy == "canonical":
+    policy, seed = c.schedule_policy, c.schedule_seed
+    if execution and policy == "canonical":
+        scn = c.scenario
+        if scn is not None and scn.pins_schedule():
+            policy, seed = scn.schedule_policy, scn.schedule_seed
+    if policy == "canonical":
         return {}
-    return {"schedule_policy": c.schedule_policy,
-            "schedule_seed": c.schedule_seed}
+    return {"schedule_policy": policy, "schedule_seed": seed}
+
+
+def _queue_kwargs(ctx: RunContext) -> dict:
+    """``run_spmd`` keyword arguments for the config's queue discipline.
+
+    Empty for the FIFO default (the call sites — and the engine's inline
+    fold — stay byte-identical to the pre-queueing code path); only the
+    execution stages call this, because queue disciplines act on the
+    routed execution fabric.
+    """
+    c = ctx.config
+    if c.queue_discipline in (None, "fifo"):
+        return {}
+    return {"queue_discipline": c.queue_discipline,
+            "queue_params": dict(c.queue_params or ())}
 
 
 class Stage:
@@ -311,14 +350,16 @@ class RunStage(Stage):
             # the last moment, so the cached trace/source stay pristine
             from repro.generator.api import scale_compute
             program = scale_compute(program, ctx.config.compute_scale)
-        faults = _fault_injector(ctx)
+        faults = _fault_injector(ctx, execution=True)
         try:
             result, logs = program.run(nranks, model=ctx.run_model,
                                        hooks=ctx.hooks,
                                        max_steps=ctx.config.max_steps,
                                        faults=faults,
                                        profile=ctx.config.profile,
-                                       **_schedule_kwargs(ctx))
+                                       **_queue_kwargs(ctx),
+                                       **_schedule_kwargs(
+                                           ctx, execution=True))
         except SimulationError as exc:
             partial = _salvage(ctx, exc, faults)
             if partial is None:
@@ -355,14 +396,15 @@ class ReplayStage(Stage):
         from repro.tools.replay import replay_program
         from repro.mpi.world import run_spmd
         trace = ctx.require("trace")
-        faults = _fault_injector(ctx)
+        faults = _fault_injector(ctx, execution=True)
         try:
             result = run_spmd(
                 replay_program(trace,
                                include_timing=ctx.config.include_timing),
                 trace.world_size, model=ctx.run_model, hooks=ctx.hooks,
                 max_steps=ctx.config.max_steps, faults=faults,
-                profile=ctx.config.profile, **_schedule_kwargs(ctx))
+                profile=ctx.config.profile, **_queue_kwargs(ctx),
+                **_schedule_kwargs(ctx, execution=True))
         except SimulationError as exc:
             partial = _salvage(ctx, exc, faults)
             if partial is None:

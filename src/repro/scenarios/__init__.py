@@ -1,0 +1,42 @@
+"""First-class execution scenarios: adversarial traffic, congestion,
+and degradation compositions over the what-if dimensions.
+
+The package layers (see ``docs/SCENARIOS.md``):
+
+* :mod:`repro.scenarios.spec` — the digest-keyed :class:`Scenario`
+  value object (YAML + programmatic) composing the execution-only
+  pipeline dimensions plus a list of adversaries;
+* :mod:`repro.scenarios.adversaries` — topology-aware generators that
+  expand adversary specs into concrete link-targeted fault-plan
+  content for a concrete (app, nranks) run;
+* :mod:`repro.scenarios.registry` — the curated named scenarios;
+* :mod:`repro.scenarios.job` — :class:`ScenarioJob`, one scenario ×
+  app cell compiled to a one-point sweep plan (the byte-parity bridge
+  between ``repro scenarios run`` and the service's ``scenario`` job
+  kind).
+"""
+
+from repro.scenarios.adversaries import (ADVERSARIES,
+                                         scenario_fault_plan)
+from repro.scenarios.job import ScenarioJob, loads_scenario_job
+from repro.scenarios.registry import SCENARIOS, get_scenario, \
+    scenario_names
+from repro.scenarios.spec import (TEMPLATE, AdversarySpec, Scenario,
+                                  dumps_scenario, load_scenario,
+                                  loads_scenario)
+
+__all__ = [
+    "ADVERSARIES",
+    "AdversarySpec",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioJob",
+    "TEMPLATE",
+    "dumps_scenario",
+    "get_scenario",
+    "load_scenario",
+    "loads_scenario",
+    "loads_scenario_job",
+    "scenario_fault_plan",
+    "scenario_names",
+]

@@ -1,0 +1,403 @@
+"""Topology-aware adversary generators.
+
+Each generator turns an :class:`~repro.scenarios.spec.AdversarySpec`
+into concrete fault-plan content — :class:`~repro.faults.plan.LinkWindow`
+entries targeting *named fabric links* and per-rank straggler factors —
+once the concrete run is known (application, rank count, topology,
+placement).  The expansion is pure arithmetic over the deterministic
+routing of :mod:`repro.topology.graph`, so the same scenario expands to
+the same plan on every machine, and the resulting plan digest is stable.
+
+Generators:
+
+* ``hot-link`` — degrade the highest-*betweenness* inter-node links:
+  the links traversed by the most (ordered) rank-pair routes under the
+  scenario's placement.  The topology-agnostic worst case.
+* ``bisection-cut`` — torus only: degrade every link crossing the
+  bisection plane of one axis (both directions, including the
+  wraparound), the classic bisection-bandwidth stress.
+* ``uplink-loss`` — fat-tree only: degrade the busiest ``up:<level>:``
+  links at a tree level (default: just below the root, where sharing
+  is maximal) — modeling a lossy/flapping core uplink.
+* ``incast`` — serialize delivery into one victim: on a routed fabric
+  the victim node's ``eject:<node>`` link is degraded (pure incast at
+  the endpoint), on a flat fabric the victim rank is targeted via the
+  window's ``ranks`` filter.
+* ``hotspot`` — degrade delivery to the hottest *set* of ranks (by
+  ejection-link betweenness under the placement; central ranks on a
+  flat fabric), via a ``ranks``-filtered window.
+* ``straggler`` — slow down wavefront-critical ranks: the diagonal of
+  the process grid for sweep-pattern apps (where a late rank stalls
+  every octant), the root for multigrid/collective-heavy patterns, the
+  center rank for stencils.  Uses the app registry's ``pattern``
+  metadata.
+
+Every generator is seedless: adversaries are worst-*case* constructions
+(computed, not sampled), so the only randomness in a scenario run comes
+from an explicitly seeded base fault plan or schedule policy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ScenarioError
+from repro.faults.plan import FaultPlan, LinkWindow
+from repro.topology.graph import (FABRIC_PARAMS, FatTree, Topology,
+                                  Torus3D, make_topology)
+from repro.topology.placement import make_placement
+
+
+class AdversaryContext:
+    """Everything an adversary expansion may consult, prebuilt once."""
+
+    def __init__(self, app: Optional[str], nranks: int,
+                 pattern: Optional[str],
+                 topology: Optional[Topology],
+                 assignment: Optional[Tuple[int, ...]]):
+        self.app = app
+        self.nranks = nranks
+        self.pattern = pattern
+        self.topology = topology
+        self.assignment = assignment
+        self._traversals: Optional[Dict[str, int]] = None
+        self._eject: Optional[Dict[int, int]] = None
+
+    @property
+    def traversals(self) -> Dict[str, int]:
+        """Inter-node link betweenness: how many ordered rank-pair
+        routes traverse each named link under the placement."""
+        if self._traversals is None:
+            counts: Dict[str, int] = {}
+            topo, assign = self.topology, self.assignment
+            assert topo is not None and assign is not None
+            for s in range(self.nranks):
+                for d in range(self.nranks):
+                    if s == d:
+                        continue
+                    for link in topo.node_route(assign[s], assign[d]):
+                        counts[link] = counts.get(link, 0) + 1
+            self._traversals = counts
+        return self._traversals
+
+    @property
+    def eject_counts(self) -> Dict[int, int]:
+        """Per-node ejection-link load: messages landing on each node
+        if every ordered rank pair exchanged one message."""
+        if self._eject is None:
+            counts: Dict[int, int] = {}
+            assign = self.assignment
+            assert assign is not None
+            for d in range(self.nranks):
+                node = assign[d]
+                counts[node] = counts.get(node, 0) + (self.nranks - 1)
+            self._eject = counts
+        return self._eject
+
+
+def _hottest(counts: Dict[str, int], count: int,
+             what: str) -> Tuple[str, ...]:
+    """The ``count`` busiest links, by (traversals desc, name asc)."""
+    if not counts:
+        raise ScenarioError(f"no {what} to degrade (no routes use any)")
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return tuple(sorted(name for name, _ in ranked[:count]))
+
+
+def _window_params(params: Dict[str, Any], latency_default: float,
+                   bandwidth_default: float) -> Dict[str, float]:
+    """The shared degradation-window knobs with per-kind defaults."""
+    return {
+        "t_start": float(params.get("t_start", 0.0)),
+        "t_end": float(params.get("t_end", 1.0)),
+        "latency_factor": float(params.get("latency_factor",
+                                           latency_default)),
+        "bandwidth_factor": float(params.get("bandwidth_factor",
+                                             bandwidth_default)),
+    }
+
+
+def _int_param(params: Dict[str, Any], key: str, default: int,
+               minimum: int = 1) -> int:
+    value = params.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"adversary parameter {key!r} must be an "
+                            f"int, got {value!r}")
+    if value < minimum:
+        raise ScenarioError(f"adversary parameter {key!r} must be >= "
+                            f"{minimum}, got {value}")
+    return value
+
+
+# -- generators --------------------------------------------------------------
+
+def _hot_link(params: Dict[str, Any], ctx: AdversaryContext):
+    """Degrade the top-betweenness inter-node links."""
+    if ctx.topology is None:
+        raise ScenarioError("hot-link needs a routed topology")
+    count = _int_param(params, "count", 1)
+    links = _hottest(ctx.traversals, count, "inter-node links")
+    return [LinkWindow(links=links,
+                       **_window_params(params, 4.0, 4.0))], []
+
+
+def _bisection_cut(params: Dict[str, Any], ctx: AdversaryContext):
+    """Degrade every link crossing one torus axis's bisection plane."""
+    topo = ctx.topology
+    if not isinstance(topo, Torus3D):
+        raise ScenarioError(
+            "bisection-cut needs a torus3d topology, got "
+            f"{getattr(topo, 'name', None)!r}")
+    axes = "xyz"
+    axis = params.get("axis")
+    if axis is None:
+        # default: the largest dimension (the widest bisection), x first
+        axis = axes[max(range(3), key=lambda i: topo.dims[i])]
+    if axis not in axes:
+        raise ScenarioError(
+            f"bisection-cut axis must be one of {tuple(axes)}, "
+            f"got {axis!r}")
+    ai = axes.index(axis)
+    size = topo.dims[ai]
+    if size < 2:
+        raise ScenarioError(
+            f"bisection-cut axis {axis!r} has size {size}; need >= 2")
+    half = size // 2
+    links: List[str] = []
+    other = [i for i in range(3) if i != ai]
+    for u in range(topo.dims[other[0]]):
+        for v in range(topo.dims[other[1]]):
+            coord = [0, 0, 0]
+            coord[other[0]] = u
+            coord[other[1]] = v
+            # the four directed boundary crossings of the halved ring:
+            # +axis out of half-1 and out of the wrap end, -axis out of
+            # half and out of 0 (each link leaves its named coordinate)
+            for c, sign in ((half - 1, "+"), (size - 1, "+"),
+                            (half, "-"), (0, "-")):
+                coord[ai] = c
+                name = f"{axis}{sign}:{coord[0]},{coord[1]},{coord[2]}"
+                if name not in links:
+                    links.append(name)
+    return [LinkWindow(links=tuple(sorted(links)),
+                       **_window_params(params, 4.0, 8.0))], []
+
+
+def _uplink_loss(params: Dict[str, Any], ctx: AdversaryContext):
+    """Degrade the busiest fat-tree uplinks at one tree level."""
+    topo = ctx.topology
+    if not isinstance(topo, FatTree):
+        raise ScenarioError(
+            "uplink-loss needs a fattree topology, got "
+            f"{getattr(topo, 'name', None)!r}")
+    level = _int_param(params, "level", topo.levels - 1, minimum=0)
+    if level >= topo.levels:
+        raise ScenarioError(
+            f"uplink-loss level {level} out of range; this fattree has "
+            f"levels 0..{topo.levels - 1}")
+    count = _int_param(params, "count", 1)
+    prefix = f"up:{level}:"
+    uplinks = {name: n for name, n in ctx.traversals.items()
+               if name.startswith(prefix)}
+    links = _hottest(uplinks, count, f"level-{level} uplinks")
+    return [LinkWindow(links=links,
+                       **_window_params(params, 2.0, 8.0))], []
+
+
+def _incast(params: Dict[str, Any], ctx: AdversaryContext):
+    """Serialize delivery into one victim endpoint."""
+    victim = params.get("victim")
+    if victim is not None:
+        victim = _int_param(params, "victim", 0, minimum=0)
+        if victim >= ctx.nranks:
+            raise ScenarioError(
+                f"incast victim rank {victim} out of range "
+                f"[0, {ctx.nranks})")
+    if ctx.topology is not None and ctx.assignment is not None:
+        if victim is not None:
+            node = ctx.assignment[victim]
+        else:
+            # the most-loaded ejection link; ties to the lowest node
+            counts = ctx.eject_counts
+            node = min(counts, key=lambda n: (-counts[n], n))
+        return [LinkWindow(links=(f"eject:{node}",),
+                           **_window_params(params, 2.0, 16.0))], []
+    if victim is None:
+        victim = ctx.nranks // 2
+    return [LinkWindow(ranks=(victim,),
+                       **_window_params(params, 2.0, 16.0))], []
+
+
+def _hotspot(params: Dict[str, Any], ctx: AdversaryContext):
+    """Degrade delivery to the hottest set of destination ranks."""
+    count = _int_param(params, "count", max(1, ctx.nranks // 8))
+    count = min(count, ctx.nranks)
+    if ctx.topology is not None and ctx.assignment is not None:
+        counts = ctx.eject_counts
+        ranked = sorted(range(ctx.nranks),
+                        key=lambda r: (-counts[ctx.assignment[r]],
+                                       ctx.assignment[r], r))
+    else:
+        center = ctx.nranks // 2
+        ranked = sorted(range(ctx.nranks),
+                        key=lambda r: (abs(r - center), r))
+    victims = tuple(sorted(ranked[:count]))
+    return [LinkWindow(ranks=victims,
+                       **_window_params(params, 2.0, 4.0))], []
+
+
+def _straggler(params: Dict[str, Any], ctx: AdversaryContext):
+    """Slow the ranks the app's communication pattern is gated on."""
+    factor = float(params.get("factor", 4.0))
+    if factor <= 1.0:
+        raise ScenarioError(
+            f"straggler factor must be > 1.0, got {factor!r}")
+    explicit = params.get("ranks")
+    if explicit is not None:
+        candidates = [int(r) for r in explicit]
+        bad = sorted(r for r in candidates
+                     if not 0 <= r < ctx.nranks)
+        if bad:
+            raise ScenarioError(
+                f"straggler rank(s) {bad} out of range "
+                f"[0, {ctx.nranks})")
+    elif ctx.pattern == "sweep":
+        # the wavefront's critical path runs along the process-grid
+        # diagonal: a slow diagonal rank stalls every octant both ways
+        from repro.apps.base import grid_2d
+        px, py = grid_2d(ctx.nranks)
+        diag = [i * px + i for i in range(min(px, py))]
+        mid = len(diag) // 2
+        candidates = sorted(diag, key=lambda r: (abs(diag.index(r) - mid),
+                                                 r))
+    elif ctx.pattern in ("multigrid", "collective-heavy"):
+        # coarse levels and reductions funnel through rank 0
+        candidates = [0]
+    elif ctx.pattern == "stencil":
+        candidates = [ctx.nranks // 2]
+    else:
+        candidates = [0]
+    count = _int_param(params, "count", 1)
+    chosen = candidates[:count]
+    return [], [(r, factor) for r in sorted(chosen)]
+
+
+#: kind -> (generator, accepted parameter names, required topology name)
+_SHARED = ("t_start", "t_end", "latency_factor", "bandwidth_factor")
+ADVERSARIES: Dict[str, Tuple[Callable, Tuple[str, ...],
+                             Optional[str]]] = {
+    "hot-link": (_hot_link, ("count",) + _SHARED, "routed"),
+    "bisection-cut": (_bisection_cut, ("axis",) + _SHARED, "torus3d"),
+    "uplink-loss": (_uplink_loss, ("level", "count") + _SHARED,
+                    "fattree"),
+    "incast": (_incast, ("victim",) + _SHARED, None),
+    "hotspot": (_hotspot, ("count",) + _SHARED, None),
+    "straggler": (_straggler, ("factor", "count", "ranks"), None),
+}
+
+
+def validate_adversary(kind: str, params: Dict[str, Any]) -> None:
+    """Construction-time validation: known kind, known parameter names."""
+    if kind not in ADVERSARIES:
+        raise ScenarioError(
+            f"unknown adversary kind {kind!r}; choose from "
+            f"{sorted(ADVERSARIES)}")
+    _, accepted, _ = ADVERSARIES[kind]
+    bad = sorted(set(params) - set(accepted))
+    if bad:
+        raise ScenarioError(
+            f"adversary {kind!r} does not accept parameter(s) {bad}; "
+            f"accepted: {sorted(accepted)}")
+
+
+def check_adversary_topology(kind: str,
+                             topology: Optional[str]) -> None:
+    """Scenario-level validation: the adversary's topology requirement
+    against the scenario's pinned topology name."""
+    _, _, need = ADVERSARIES[kind]
+    if need is None:
+        return
+    if need == "routed":
+        if topology is None or topology == "flat":
+            raise ScenarioError(
+                f"adversary {kind!r} needs the scenario to pin a "
+                "non-flat routed topology (it degrades inter-node "
+                "links)")
+    elif topology != need:
+        raise ScenarioError(
+            f"adversary {kind!r} needs topology {need!r}, but the "
+            f"scenario pins {topology!r}")
+
+
+def _build_context(scenario, app: Optional[str], nranks: int,
+                   pattern: Optional[str]) -> AdversaryContext:
+    """The expansion context: the scenario's topology graph + placement
+    built exactly as :func:`repro.topology.model.make_topology_model`
+    would (same ``nodes`` default, same placement spec), so adversary
+    link names match the links the run actually uses."""
+    topo = None
+    assignment = None
+    if scenario.topology is not None:
+        params = dict(scenario.topology_params or ())
+        nodes = int(params.pop("nodes", nranks))
+        for knob in FABRIC_PARAMS:
+            params.pop(knob, None)
+        topo = make_topology(scenario.topology, nodes, **params)
+        assignment = make_placement(scenario.placement or "block",
+                                    nranks, nodes)
+    return AdversaryContext(app, nranks, pattern, topo, assignment)
+
+
+def _merge_stragglers(base: Tuple[Tuple[int, float], ...],
+                      extra: List[Tuple[int, float]]):
+    """Combine straggler factors; a rank slowed twice compounds."""
+    merged: Dict[int, float] = dict(base)
+    for rank, factor in extra:
+        merged[rank] = merged.get(rank, 1.0) * factor
+    return tuple(sorted(merged.items()))
+
+
+def scenario_fault_plan(scenario, app: Optional[str],
+                        nranks: int) -> Optional[FaultPlan]:
+    """Expand a scenario's fault content for a concrete run.
+
+    Returns the scenario's base plan with every adversary's windows and
+    stragglers merged in, or None when the scenario injects nothing.
+    Deterministic: the same (scenario, app, nranks) always expands to
+    the same plan, so the expansion can happen independently in sweep
+    workers, service executors, and the CLI and still agree.
+    """
+    if not scenario.has_fault_content():
+        return None
+    if nranks is None or nranks <= 0:
+        raise ScenarioError(
+            f"scenario {scenario.name!r} expansion needs a positive "
+            f"rank count, got {nranks!r}")
+    pattern = None
+    if app is not None:
+        from repro.apps import APPS
+        entry = APPS.get(app.lower())
+        if entry is not None:
+            pattern = entry.pattern
+    ctx = _build_context(scenario, app, nranks, pattern)
+    windows: List[LinkWindow] = []
+    stragglers: List[Tuple[int, float]] = []
+    for adv in scenario.adversaries:
+        gen, _, _ = ADVERSARIES[adv.kind]
+        w, s = gen(adv.param_dict(), ctx)
+        windows.extend(w)
+        stragglers.extend(s)
+    base = scenario.fault_plan or FaultPlan()
+    return FaultPlan(
+        seed=base.seed,
+        drop_rate=base.drop_rate,
+        duplicate_rate=base.duplicate_rate,
+        reorder_rate=base.reorder_rate,
+        reorder_max_delay=base.reorder_max_delay,
+        windows=base.windows + tuple(windows),
+        stragglers=_merge_stragglers(base.stragglers, stragglers),
+        crashes=base.crashes,
+        max_retries=base.max_retries,
+        retry_timeout=base.retry_timeout,
+        retry_backoff=base.retry_backoff,
+    )

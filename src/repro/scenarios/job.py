@@ -1,0 +1,188 @@
+"""Scenario jobs: one scenario × app cell as an executable sweep.
+
+A :class:`ScenarioJob` binds a scenario (curated name or inline spec)
+to a concrete workload and compiles to a one-point
+:class:`~repro.sweep.plan.SweepPlan`.  That compilation is the whole
+byte-parity story: ``repro scenarios run`` and the service's
+``scenario`` job kind both execute the *same* plan through the same
+:func:`~repro.sweep.engine.run_sweep` entry point, so their canonical
+JSON results are identical byte for byte — the same contract the sweep
+and fuzz kinds already honor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple, Union
+
+from repro.errors import ScenarioError
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import Scenario
+
+#: job fields that are not free-form config overrides
+_OWN_KEYS = ("scenario", "app", "nranks", "cls", "platform", "mode",
+             "overrides")
+
+
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One scenario × app execution, digest-keyed like every other job."""
+
+    scenario: Union[str, Scenario]  #: curated name or inline spec
+    app: str                        #: workload from repro.apps.APPS
+    nranks: int                     #: simulated world size
+    cls: str = "S"                  #: problem class
+    platform: str = "bluegene"      #: trace/generate platform preset
+    mode: str = "run"               #: pipeline suffix (sweep MODES)
+    #: extra PipelineConfig overrides (e.g. max_steps), normalized to
+    #: a sorted tuple of pairs
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self):
+        if isinstance(self.scenario, Mapping):
+            object.__setattr__(self, "scenario",
+                               Scenario.from_dict(dict(self.scenario)))
+        # resolves curated names and validates inline specs
+        self.resolved_scenario()
+        from repro.apps import APPS
+        if not isinstance(self.app, str) or self.app.lower() not in APPS:
+            raise ScenarioError(
+                f"unknown application {self.app!r}; choose from "
+                f"{sorted(APPS)}")
+        if not isinstance(self.nranks, int) or isinstance(
+                self.nranks, bool) or self.nranks <= 0:
+            raise ScenarioError(
+                f"nranks must be a positive int, got {self.nranks!r}")
+        from repro.sweep.plan import MODES
+        if self.mode not in MODES:
+            raise ScenarioError(
+                f"unknown mode {self.mode!r}; choose from {MODES}")
+        if isinstance(self.overrides, Mapping):
+            object.__setattr__(
+                self, "overrides",
+                tuple(sorted(self.overrides.items())))
+        clash = sorted(set(k for k, _ in self.overrides)
+                       & set(_OWN_KEYS))
+        if clash:
+            raise ScenarioError(
+                f"override(s) {clash} collide with the job's own "
+                f"fields; set them directly")
+        # the sweep plan's point validation (build_config) will catch
+        # bad cls/platform/override values; fail here, at construction
+        self.to_sweep_plan()
+
+    def resolved_scenario(self) -> Scenario:
+        """The concrete :class:`Scenario` this job runs under."""
+        return get_scenario(self.scenario)
+
+    def job_name(self) -> str:
+        """Stable display name: ``scenario-<scenario>-<app>``."""
+        return f"scenario-{self.resolved_scenario().name}-{self.app}"
+
+    @property
+    def name(self) -> str:
+        """Display name, matching the sweep/fuzz plan attribute the
+        job service stores."""
+        return self.job_name()
+
+    # -- compilation ---------------------------------------------------------
+    def to_sweep_plan(self):
+        """The equivalent one-point :class:`~repro.sweep.plan.SweepPlan`.
+
+        The scenario rides in the point as its serialized reference (a
+        curated name stays a name; an inline spec becomes its mapping),
+        so the plan is plain data: picklable to sweep workers,
+        digestable, and identical no matter which surface built it.
+        """
+        from repro.errors import SweepPlanError
+        from repro.sweep.plan import SweepPlan
+        scenario = self.scenario
+        if isinstance(scenario, Scenario):
+            scenario = scenario.to_dict()
+        point = {"app": self.app, "nranks": self.nranks,
+                 "cls": self.cls, "platform": self.platform,
+                 "scenario": scenario}
+        point.update(dict(self.overrides))
+        try:
+            plan = SweepPlan(name=self.job_name(), mode=self.mode,
+                             extra_points=(point,))
+            plan.check()
+        except SweepPlanError as exc:
+            raise ScenarioError(f"bad scenario job: {exc}") from None
+        return plan
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        scenario = self.scenario
+        if isinstance(scenario, Scenario):
+            scenario = scenario.to_dict()
+        out: Dict[str, Any] = {
+            "scenario": scenario, "app": self.app,
+            "nranks": self.nranks, "cls": self.cls,
+            "platform": self.platform, "mode": self.mode,
+        }
+        if self.overrides:
+            out["overrides"] = dict(self.overrides)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioJob":
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"scenario job must be a mapping, got "
+                f"{type(data).__name__}")
+        unknown = set(data) - set(_OWN_KEYS)
+        if unknown:
+            raise ScenarioError(
+                f"unknown scenario-job keys: {sorted(unknown)}; "
+                f"known keys: {sorted(_OWN_KEYS)}")
+        for need in ("scenario", "app", "nranks"):
+            if need not in data:
+                raise ScenarioError(f"scenario job needs {need!r}")
+        kw = dict(data)
+        overrides = kw.pop("overrides", None) or {}
+        if not isinstance(overrides, Mapping):
+            raise ScenarioError(
+                f"overrides must be a mapping, got "
+                f"{type(overrides).__name__}")
+        try:
+            return cls(overrides=tuple(sorted(overrides.items())), **kw)
+        except TypeError as exc:
+            raise ScenarioError(f"bad scenario job: {exc}") from None
+
+    def digest(self) -> str:
+        """Stable content address (dedup key on the job service)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (f"{self.job_name()}: app={self.app} nranks={self.nranks} "
+                f"cls={self.cls} platform={self.platform} "
+                f"mode={self.mode} (digest {self.digest()})")
+
+
+def loads_scenario_job(text: str) -> ScenarioJob:
+    """Parse a scenario job from YAML (preferred) or JSON text."""
+    data = None
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - PyYAML is normally present
+        yaml = None
+    if yaml is not None:
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(
+                f"unparsable scenario job: {exc}") from None
+    else:  # pragma: no cover - JSON fallback without PyYAML
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"unparsable scenario job: {exc}") from None
+    if data is None:
+        data = {}
+    return ScenarioJob.from_dict(data)

@@ -1,8 +1,9 @@
 """Persistent job queue for the sweep service: journal, dedup, replay.
 
-The service accepts **jobs** — a :class:`~repro.sweep.plan.SweepPlan`
-or :class:`~repro.fuzz.campaign.FuzzCampaign` submitted over HTTP —
-and runs each underlying plan exactly once per content digest.  Two
+The service accepts **jobs** — a :class:`~repro.sweep.plan.SweepPlan`,
+:class:`~repro.fuzz.campaign.FuzzCampaign`, or
+:class:`~repro.scenarios.job.ScenarioJob` submitted over HTTP — and
+runs each underlying plan exactly once per content digest.  Two
 clients submitting the same digest share one **execution**: both jobs
 point at the same execution record and both observe its terminal
 state.  The split mirrors the artifact cache's dogpile guarantee one
@@ -64,10 +65,11 @@ JOB_STATES = ("queued", "running", "done", "failed")
 TERMINAL_STATES = ("done", "failed")
 
 #: plan kinds the service executes
-JOB_KINDS = ("sweep", "fuzz")
+JOB_KINDS = ("sweep", "fuzz", "scenario")
 
 #: result payload formats persisted per kind
-RESULT_FORMATS = {"sweep": ("json", "jsonl"), "fuzz": ("json",)}
+RESULT_FORMATS = {"sweep": ("json", "jsonl"), "fuzz": ("json",),
+                  "scenario": ("json", "jsonl")}
 
 
 @dataclass
@@ -75,7 +77,7 @@ class Execution:
     """One deduplicated plan execution shared by same-digest jobs."""
 
     key: str                        #: dedup key, ``<kind>:<digest>``
-    kind: str                       #: sweep | fuzz
+    kind: str                       #: JOB_KINDS member
     digest: str                     #: plan/campaign content digest
     name: str                       #: plan/campaign name
     spec: Dict[str, Any]            #: the plan as plain data (replayable)

@@ -8,7 +8,8 @@ enough to audit end-to-end (``docs/SERVICE.md`` is the API reference):
 ========  ======================  ========================================
 method    path                    meaning
 ========  ======================  ========================================
-POST      ``/jobs``               submit a SweepPlan or FuzzCampaign
+POST      ``/jobs``               submit a SweepPlan, FuzzCampaign, or
+                                  ScenarioJob
 GET       ``/jobs``               list all known jobs
 GET       ``/jobs/{id}``          job status + live per-point progress
 GET       ``/jobs/{id}/result``   canonical result bytes (terminal only)
@@ -60,15 +61,17 @@ def parse_submission(text: str,
 
     Two shapes are accepted:
 
-    * a JSON **envelope** ``{"kind": "sweep"|"fuzz", "spec": {...}}``
-      (the explicit form the client CLI sends);
-    * a bare plan/campaign body (YAML or JSON), whose kind comes from
-      ``kind_hint`` (the ``?kind=`` query parameter, default sweep).
+    * a JSON **envelope** ``{"kind": "sweep"|"fuzz"|"scenario",
+      "spec": {...}}`` (the explicit form the client CLI sends);
+    * a bare plan/campaign/job body (YAML or JSON), whose kind comes
+      from ``kind_hint`` (the ``?kind=`` query parameter, default
+      sweep).
 
     Malformed submissions raise :class:`ServiceError` — the server maps
     it to 400, so a bad plan never reaches the queue.
     """
     from repro.fuzz import loads_campaign
+    from repro.scenarios import loads_scenario_job
     from repro.sweep import loads_sweep_plan
     kind = kind_hint or "sweep"
     body = text
@@ -86,6 +89,10 @@ def parse_submission(text: str,
         if kind == "sweep":
             plan = loads_sweep_plan(body)
             plan.check()
+        elif kind == "scenario":
+            # a ScenarioJob validates (and compiles its one-point
+            # sweep plan) at construction — no separate check()
+            plan = loads_scenario_job(body)
         else:
             plan = loads_campaign(body)
             plan.check()
@@ -108,12 +115,18 @@ def execute_spec(kind: str, spec: Dict[str, Any], workers: int,
     ``pipeline.*`` counter snapshot.
     """
     from repro.fuzz import FuzzCampaign, run_campaign
+    from repro.scenarios import ScenarioJob
     from repro.sweep import SweepPlan, run_sweep
     inst = obs.Instrumentation()
     t0 = time.perf_counter()
     with obs.instrumented(inst):
-        if kind == "sweep":
-            result = run_sweep(SweepPlan.from_dict(spec), workers,
+        if kind in ("sweep", "scenario"):
+            # a scenario job compiles to its one-point sweep plan and
+            # runs through the same engine, so its canonical result is
+            # byte-identical to `repro scenarios run` on the same job
+            plan = (ScenarioJob.from_dict(spec).to_sweep_plan()
+                    if kind == "scenario" else SweepPlan.from_dict(spec))
+            result = run_sweep(plan, workers,
                                use_cache=True, cache_dir=cache_dir,
                                progress=progress)
             payloads = {"json": result.canonical_json(),

@@ -9,16 +9,24 @@ from repro.sim.network import (CongestionModel, Fabric, FlatFabric,
                                validate_platform_params)
 from repro.sim.ops import (ANY_SOURCE, ANY_TAG, Collective, Compute, Op,
                            PostRecv, PostSend, Test, WaitAll, WaitAny)
+from repro.sim.queueing import (CoDelDiscipline, FifoDiscipline,
+                                QUEUE_DISCIPLINES, QueueDiscipline,
+                                resolve_queue_discipline)
 from repro.sim.requests import Request, Status
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "arc_model",
+    "CoDelDiscipline",
     "Collective",
     "Compute",
     "CongestionModel",
     "Engine",
+    "FifoDiscipline",
+    "QUEUE_DISCIPLINES",
+    "QueueDiscipline",
+    "resolve_queue_discipline",
     "Fabric",
     "FlatFabric",
     "LogGPModel",

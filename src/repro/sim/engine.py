@@ -60,6 +60,7 @@ from repro.sim.network import NetworkModel
 from repro.sim.ops import (ANY_SOURCE, Collective, Compute, Op, PostRecv,
                            PostSend, Test, WaitAll, WaitAny)
 from repro.sim.policy import drain_policy, resolve_policy
+from repro.sim.queueing import resolve_queue_discipline
 from repro.sim.requests import Request, Status
 from repro.sim.sched import BLOCKED, DONE, READY, Scheduler
 
@@ -99,7 +100,8 @@ class Engine:
     def __init__(self, nranks: int, model: NetworkModel,
                  max_steps: Optional[int] = None, faults=None,
                  mode: Optional[str] = None, profile: bool = False,
-                 schedule_policy=None, schedule_seed: Optional[int] = None):
+                 schedule_policy=None, schedule_seed: Optional[int] = None,
+                 queue_discipline=None, queue_params=None):
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         self.nranks = nranks
@@ -166,6 +168,18 @@ class Engine:
         self._link_msgs: Dict[str, int] = {}
         self._link_busy: Dict[str, float] = {}
         self._link_wait: Dict[str, float] = {}
+        #: per-link admission rule for the routed fold; None is the
+        #: default FIFO (the original inline arithmetic, untouched —
+        #: that is the byte-identity contract the goldens pin).
+        #: Validated here, at construction — see repro.sim.queueing.
+        self._qdisc = resolve_queue_discipline(queue_discipline,
+                                               queue_params)
+        if self._qdisc is not None and not self._routed:
+            raise ValueError(
+                f"queue discipline {self._qdisc.describe()!r} needs a "
+                "routed fabric (named links to queue on); flat fabrics "
+                "have only the per-destination ejection wire")
+        self._link_drops: Dict[str, int] = {}
         # leaky-bucket overload accounting: (last update time, level bytes)
         self._overload: Dict[int, Tuple[float, float]] = {}
         self.overload_events = 0
@@ -315,6 +329,13 @@ class Engine:
             if span > 0.0:
                 pairs.append(("engine.link_util_max",
                               max(self._link_busy.values()) / span))
+            if self._qdisc is not None:
+                # drop accounting exists only under a real discipline;
+                # the default FIFO counter set is unchanged byte-for-byte
+                for name, drops in self._link_drops.items():
+                    pairs.append((f"engine.link.{name}.drops", drops))
+                pairs.append(("engine.link_drops_total",
+                              sum(self._link_drops.values())))
         if self._faults is not None:
             for name, value in self._faults.snapshot().items():
                 pairs.append((f"engine.fault.{name}", value))
@@ -338,8 +359,17 @@ class Engine:
 
         ``{link_name: {"msgs": count, "busy_s": occupied seconds,
         "wait_s": seconds messages queued for the link}}`` — empty for
-        flat fabrics (no named links).
+        flat fabrics (no named links).  Under a non-FIFO queue
+        discipline each entry also carries ``"drops"`` (counted
+        retransmissions); the default FIFO shape is unchanged so the
+        golden suites and downstream consumers see the same bytes.
         """
+        if self._qdisc is not None:
+            return {name: {"msgs": self._link_msgs[name],
+                           "busy_s": self._link_busy.get(name, 0.0),
+                           "wait_s": self._link_wait.get(name, 0.0),
+                           "drops": self._link_drops.get(name, 0)}
+                    for name in sorted(self._link_msgs)}
         return {name: {"msgs": self._link_msgs[name],
                        "busy_s": self._link_busy.get(name, 0.0),
                        "wait_s": self._link_wait.get(name, 0.0)}
@@ -615,15 +645,34 @@ class Engine:
         t = inject
         msgs = self._link_msgs
         busy = self._link_busy
+        qdisc = self._qdisc
+        if qdisc is None:
+            # default FIFO: the original inline fold, byte-identical to
+            # the goldens — disciplines must not perturb this path
+            for link in links:
+                reach = t + hop
+                avail = free.get(link, 0.0)
+                if avail > reach:
+                    self._link_wait[link] = \
+                        self._link_wait.get(link, 0.0) + (avail - reach)
+                    start = avail
+                else:
+                    start = reach
+                t = start + ser
+                free[link] = t
+                msgs[link] = msgs.get(link, 0) + 1
+                busy[link] = busy.get(link, 0.0) + ser
+            return links, inject, t
         for link in links:
             reach = t + hop
             avail = free.get(link, 0.0)
-            if avail > reach:
+            start, drops = qdisc.admit(link, reach, ser, avail)
+            if start > reach:
                 self._link_wait[link] = \
-                    self._link_wait.get(link, 0.0) + (avail - reach)
-                start = avail
-            else:
-                start = reach
+                    self._link_wait.get(link, 0.0) + (start - reach)
+            if drops:
+                self._link_drops[link] = \
+                    self._link_drops.get(link, 0) + drops
             t = start + ser
             free[link] = t
             msgs[link] = msgs.get(link, 0) + 1

@@ -227,6 +227,20 @@ def _execute_point(payload) -> Dict[str, Any]:
     if run_result is not None:
         metrics["makespan_s"] = run_result.total_time
         metrics["messages"] = run_result.messages_sent
+        if "scenario" in params or "scenario" in dict(overrides):
+            # scenario points additionally report the adversity-facing
+            # accounting (deterministic, so canonical-safe); plain sweep
+            # points keep their pre-scenario byte shape
+            link_stats = run_result.link_stats
+            metrics["links_used"] = len(link_stats)
+            metrics["link_wait_s"] = sum(
+                s["wait_s"] for s in link_stats.values())
+            metrics["link_drops"] = sum(
+                s.get("drops", 0) for s in link_stats.values())
+            scn = config.scenario
+            if scn is not None:
+                metrics["scenario"] = scn.name
+                metrics["scenario_digest"] = scn.digest()
     if fingerprint:
         metrics["outcome_fp"] = _outcome_fingerprint(run_result, trace)
     if result.degraded:

@@ -290,6 +290,11 @@ axes:                     # cartesian product, listed order, last fastest
 #    values: [null, torus3d, fattree]
 #  - field: placement
 #    values: [block, roundrobin, "random:1"]
+# scenarios are execution-only too: a scenario axis (curated names or
+# inline specs, docs/SCENARIOS.md) reruns the same cached benchmark
+# under each adversity, and scenario points report link/drop metrics:
+#  - field: scenario
+#    values: [calm, torus-hotlink, straggler-wavefront]
 points: []                # explicit extra points, e.g.
 #  - {nranks: 64, compute_scale: 0.5}
 # a fault_plan axis takes inline plans (docs/FAULTS.md schema):

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.apps import APPS, AppError, PAPER_SUITE, make_app, \
-    valid_rank_counts
+from repro.apps import APPS, PATTERNS, AppError, PAPER_SUITE, \
+    make_app, valid_rank_counts
 from repro.apps.base import grid_2d, grid_3d, require_power_of_two, \
     require_square, work_seconds
 from repro.mpi import RecordingHook, run_spmd
@@ -60,6 +60,14 @@ class TestBaseHelpers:
     def test_paper_suite_registered(self):
         assert set(PAPER_SUITE) <= set(APPS)
         assert len(PAPER_SUITE) == 9
+
+    def test_every_app_declares_a_known_pattern(self):
+        for name, app in APPS.items():
+            assert app.pattern in PATTERNS, name
+
+    def test_pattern_vocabulary_is_sorted_and_closed(self):
+        assert PATTERNS == tuple(sorted(PATTERNS))
+        assert {"sweep", "stencil", "multigrid"} <= set(PATTERNS)
 
 
 @pytest.mark.parametrize("name", sorted(APPS))
@@ -175,6 +183,74 @@ class TestAppCommunicationShapes:
         fixups = [e for e in rec.events
                   if e.op == "Allreduce" and e.nbytes == 24]
         assert len({e.callsite for e in fixups}) == 1
+
+
+class TestProxyAppShapes:
+    """The three HPC proxy skeletons added for the scenario layer."""
+
+    def test_amg_requires_power_of_two(self):
+        with pytest.raises(AppError, match="power-of-two"):
+            profile("amg", 6)
+
+    def test_amg_thins_the_rank_set_with_depth(self):
+        rec = RecordingHook()
+        run_spmd(make_app("amg", 8, "S"), 8, model=SimpleModel(),
+                 hooks=[rec])
+        # restriction traffic exists: pairwise keeper sends per level
+        restricts = [e for e in rec.events
+                     if e.op == "Send" and 100 <= e.tag < 200]
+        assert restricts
+        # coarse levels involve fewer distinct senders than the fine set
+        coarse_senders = {e.rank for e in rec.events
+                          if e.op == "Isend" and e.tag == 99}
+        assert 0 < len(coarse_senders) < 8
+
+    def test_amg_message_sizes_shrink_with_level(self):
+        rec = RecordingHook()
+        run_spmd(make_app("amg", 16, "S"), 16, model=SimpleModel(),
+                 hooks=[rec])
+        halo_sizes = {e.nbytes for e in rec.events if e.op == "Isend"
+                      and e.tag != 99}
+        assert len(halo_sizes) > 1
+
+    def test_kripke_flux_is_thinner_than_sweep3d(self):
+        # same wavefront structure, but the angular domain is blocked
+        # into group-sets, so each pipeline message carries less
+        _, kripke = profile("kripke", 8)
+        _, sweep = profile("sweep3d", 8)
+        kripke_mean = kripke.bytes("Send") / kripke.calls("Send")
+        sweep_p2p = sweep.calls("Send") + sweep.calls("Isend")
+        sweep_mean = (sweep.bytes("Send") + sweep.bytes("Isend")) \
+            / sweep_p2p
+        assert kripke_mean < sweep_mean
+
+    def test_kripke_sweeps_all_four_corners(self):
+        rec = RecordingHook()
+        run_spmd(make_app("kripke", 8, "S"), 8, model=SimpleModel(),
+                 hooks=[rec])
+        # corner rank 0 both starts sweeps (sends first) and finishes
+        # opposite-corner sweeps (receives first): it does both roles
+        r0 = [e for e in rec.events if e.rank == 0
+              and e.op in ("Send", "Recv")]
+        assert {"Send", "Recv"} <= {e.op for e in r0}
+
+    def test_laghos_is_allreduce_dense(self):
+        _, laghos = profile("laghos", 8)
+        _, halo = profile("halo3d", 8)
+        assert laghos.calls("Allreduce") > halo.calls("Allreduce")
+        # two dot products per CG iteration dominate the count:
+        # S class = 2 steps x (6 inner x 2 + 1 dt) + 1 energy check
+        assert laghos.calls("Allreduce") == (2 * 13 + 1) * 8
+
+    def test_laghos_cg_halo_is_thinner_than_assembly_halo(self):
+        rec = RecordingHook()
+        run_spmd(make_app("laghos", 4, "S"), 4, model=SimpleModel(),
+                 hooks=[rec])
+        assembly = {e.nbytes for e in rec.events
+                    if e.op == "Isend" and e.tag == 0}
+        cg = {e.nbytes for e in rec.events
+              if e.op == "Isend" and e.tag == 1}
+        assert max(cg) < max(assembly)
 
 
 class TestClassScaling:

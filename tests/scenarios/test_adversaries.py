@@ -1,0 +1,101 @@
+"""Adversary generators: deterministic worst-case fault-plan expansion.
+
+Every generator is seedless arithmetic over the routing graph, so the
+same (scenario, app, nranks) must expand to the identical plan — the
+digest equality sweep workers, the service, and the CLI all rely on."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import SCENARIOS, Scenario, scenario_fault_plan
+
+
+def _plan(scenario, app="sweep3d", nranks=16):
+    return scenario_fault_plan(scenario, app, nranks)
+
+
+class TestExpansion:
+    def test_calm_expands_to_nothing(self):
+        assert _plan(SCENARIOS["calm"]) is None
+
+    def test_expansion_is_deterministic(self):
+        a = _plan(SCENARIOS["torus-hotlink"])
+        b = _plan(SCENARIOS["torus-hotlink"])
+        assert a.digest() == b.digest()
+
+    def test_hot_link_targets_named_links(self):
+        plan = _plan(SCENARIOS["torus-hotlink"])
+        assert len(plan.windows) == 1
+        w = plan.windows[0]
+        assert len(w.links) == 2           # count: 2 in the registry
+        assert not w.ranks                 # link-filtered, not rank
+        assert w.latency_factor > 1.0 and w.bandwidth_factor > 1.0
+
+    def test_bisection_cut_crosses_the_plane_both_ways(self):
+        plan = _plan(SCENARIOS["torus-bisection"], nranks=8)
+        (w,) = plan.windows
+        # a 2x2x2 torus: every cut link leaves a named coordinate on
+        # the widest (first) axis, in both directions
+        assert all(link[1] in "+-" for link in w.links)
+        signs = {link[1] for link in w.links}
+        assert signs == {"+", "-"}
+
+    def test_uplink_loss_targets_top_level_uplinks(self):
+        plan = _plan(SCENARIOS["fattree-uplink-loss"])
+        (w,) = plan.windows
+        assert all(link.startswith("up:") for link in w.links)
+
+    def test_incast_targets_one_ejection_link_when_routed(self):
+        plan = _plan(SCENARIOS["incast-burst"])
+        (w,) = plan.windows
+        assert len(w.links) == 1
+        assert w.links[0].startswith("eject:")
+
+    def test_incast_falls_back_to_rank_filter_on_flat(self):
+        s = Scenario(name="flat-incast",
+                     adversaries=({"kind": "incast"},))
+        plan = _plan(s, nranks=8)
+        (w,) = plan.windows
+        assert not w.links and w.ranks == (4,)
+
+    def test_hotspot_picks_a_rank_set(self):
+        plan = _plan(SCENARIOS["hotspot-ranks"], nranks=16)
+        (w,) = plan.windows
+        assert len(w.ranks) == 2           # nranks // 8
+        assert all(0 <= r < 16 for r in w.ranks)
+
+    def test_straggler_hits_the_sweep_diagonal(self):
+        plan = _plan(SCENARIOS["straggler-wavefront"],
+                     app="sweep3d", nranks=16)
+        assert not plan.windows
+        ((rank, factor),) = plan.stragglers
+        # 4x4 grid diagonal: {0, 5, 10, 15}; the middle one is chosen
+        assert rank in (0, 5, 10, 15)
+        assert factor == 4.0
+
+    def test_straggler_pattern_awareness(self):
+        s = SCENARIOS["straggler-wavefront"]
+        root = _plan(s, app="cg", nranks=16)     # collective-heavy
+        assert root.stragglers[0][0] == 0
+        center = _plan(s, app="jacobi", nranks=16)  # stencil
+        assert center.stragglers[0][0] == 8
+
+    def test_explicit_straggler_ranks_validated(self):
+        s = Scenario(name="x", adversaries=(
+            {"kind": "straggler", "params": {"ranks": [99]}},))
+        with pytest.raises(ScenarioError, match="out of range"):
+            _plan(s, nranks=4)
+
+    def test_base_plan_merges_with_adversaries(self):
+        s = Scenario(name="mix", topology="torus3d",
+                     fault_plan={"seed": 5, "drop_rate": 0.01},
+                     adversaries=({"kind": "hot-link"},
+                                  {"kind": "straggler"},))
+        plan = _plan(s, app="lu", nranks=16)
+        assert plan.seed == 5 and plan.drop_rate == 0.01
+        assert len(plan.windows) == 1
+        assert plan.stragglers           # straggler rode along
+
+    def test_expansion_needs_a_rank_count(self):
+        with pytest.raises(ScenarioError, match="rank count"):
+            _plan(SCENARIOS["torus-hotlink"], nranks=0)

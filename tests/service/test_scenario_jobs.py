@@ -1,0 +1,94 @@
+"""The service's ``scenario`` job kind: submit, dedup, byte-parity.
+
+A scenario job compiles to the same one-point sweep plan on every
+surface, so the service's result bytes must match ``repro scenarios
+run`` exactly — the same contract the sweep kind pins against the
+one-shot CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ServiceThread, SweepService, client
+from repro.service.server import parse_submission
+from repro.scenarios import ScenarioJob
+from repro.sweep import run_sweep
+
+JOB = {"scenario": "torus-hotlink", "app": "sweep3d", "nranks": 8,
+       "cls": "S"}
+
+JOB_YAML = """\
+scenario: torus-hotlink
+app: sweep3d
+nranks: 8
+cls: S
+"""
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = SweepService(str(tmp_path / "state"),
+                       cache_dir=str(tmp_path / "cache"), workers=1)
+    thread = ServiceThread(svc).start()
+    try:
+        yield thread
+    finally:
+        thread.stop()
+
+
+def _submit(url, spec):
+    return client.submit(url, json.dumps(spec), kind="scenario")
+
+
+class TestParseSubmission:
+    def test_envelope_form(self):
+        envelope = json.dumps({"kind": "scenario", "spec": JOB})
+        kind, plan = parse_submission(envelope)
+        assert kind == "scenario"
+        assert plan.name == "scenario-torus-hotlink-sweep3d"
+
+    def test_bare_yaml_with_kind_hint(self):
+        kind, plan = parse_submission(JOB_YAML, kind_hint="scenario")
+        assert kind == "scenario"
+        assert plan.digest() == ScenarioJob.from_dict(JOB).digest()
+
+    def test_invalid_job_is_a_service_error(self):
+        bad = dict(JOB, scenario="nope")
+        with pytest.raises(ServiceError, match="invalid scenario"):
+            parse_submission(json.dumps({"kind": "scenario",
+                                         "spec": bad}))
+
+
+class TestScenarioJobs:
+    def test_roundtrip(self, service):
+        job = _submit(service.url, JOB)
+        assert job["kind"] == "scenario"
+        final = client.wait(service.url, job["id"], timeout=240)
+        assert final["state"] == "done"
+        assert final["execution"]["points"] == {"ok": 1, "degraded": 0,
+                                                "failed": 0}
+
+    def test_result_bytes_match_direct_run(self, service, tmp_path):
+        job = _submit(service.url, JOB)
+        client.wait(service.url, job["id"], timeout=240)
+        direct = run_sweep(ScenarioJob.from_dict(JOB).to_sweep_plan(), 1,
+                           cache_dir=str(tmp_path / "other-cache"))
+        assert client.result(service.url, job["id"]) == \
+            direct.canonical_json()
+        assert client.result(service.url, job["id"], "jsonl") == \
+            direct.canonical_jsonl()
+
+    def test_same_digest_deduplicates(self, service):
+        first = _submit(service.url, JOB)
+        client.wait(service.url, first["id"], timeout=240)
+        second = _submit(service.url, JOB)
+        assert second["deduplicated"]
+        assert second["digest"] == first["digest"]
+
+    def test_distinct_scenarios_are_distinct_jobs(self, service):
+        a = _submit(service.url, JOB)
+        b = _submit(service.url,
+                    dict(JOB, scenario="straggler-wavefront"))
+        assert a["digest"] != b["digest"]
+        assert not b["deduplicated"]
